@@ -1,0 +1,339 @@
+(* psmgen — command-line front end for the PSM generation flow.
+
+   Subcommands:
+     generate   run the full flow on a named benchmark IP, print the PSM
+                set, optionally dump Graphviz/VCD/CSV artifacts
+     evaluate   train on short-TS, evaluate accuracy on long-TS
+     trace      capture a training trace and write it as VCD and/or CSV
+     info       list the benchmark IPs and their interfaces *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let logs_arg =
+  Term.(const setup_logs
+        $ Arg.(value & flag & info [ "verbose-flow" ] ~doc:"Log flow stage details."))
+
+module Flow = Psm_flow.Flow
+module Workloads = Psm_ips.Workloads
+module Capture = Psm_ips.Capture
+module Psm = Psm_core.Psm
+
+let ip_names =
+  [ "RAM"; "MultSum"; "MultSum-gates"; "AES"; "Camellia"; "Camellia-noscrub"; "FIFO" ]
+
+let make_ip = function
+  | "RAM" -> Psm_ips.Ram.create ()
+  | "MultSum" -> Psm_ips.Multsum.create ()
+  | "MultSum-gates" -> Psm_ips.Multsum.create_structural ()
+  | "AES" -> Psm_ips.Aes.create ()
+  | "Camellia" -> Psm_ips.Camellia.create ()
+  | "Camellia-noscrub" -> Psm_ips.Camellia.create_without_scrubber ()
+  | "FIFO" -> Psm_ips.Fifo.create ()
+  | other -> failwith ("unknown IP " ^ other)
+
+let ip_arg =
+  let doc = Printf.sprintf "Benchmark IP (%s)." (String.concat ", " ip_names) in
+  Arg.(required & pos 0 (some (enum (List.map (fun n -> (n, n)) ip_names))) None
+       & info [] ~docv:"IP" ~doc)
+
+let length_arg ~default ~doc =
+  Arg.(value & opt int default & info [ "length"; "n" ] ~docv:"CYCLES" ~doc)
+
+let parts_arg =
+  Arg.(value & opt int 4
+       & info [ "parts" ] ~docv:"N" ~doc:"Number of testbenches in the training suite.")
+
+let epsilon_arg =
+  Arg.(value & opt float Psm_core.Merge.default.Psm_core.Merge.epsilon
+       & info [ "epsilon" ] ~docv:"E" ~doc:"Relative merge tolerance (Case 1).")
+
+let dot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dot" ] ~docv:"FILE" ~doc:"Write the combined PSM set as Graphviz dot.")
+
+let config ~epsilon =
+  { Flow.default with
+    merge = { Psm_core.Merge.default with Psm_core.Merge.epsilon } }
+
+let train ~name ~length ~parts ~epsilon =
+  let ip = make_ip name in
+  let total_length =
+    match length with Some l -> l | None -> Workloads.paper_short_length name
+  in
+  let suite = Workloads.suite ~parts ~total_length ~long:false name in
+  (ip, Flow.train_on_ip ~config:(config ~epsilon) ip suite)
+
+let save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save" ] ~docv:"FILE"
+           ~doc:"Persist the trained model (reload with 'psmgen apply').")
+
+(* ---- generate ---- *)
+
+let generate name length parts epsilon dot save verbose =
+  let length = if length = 0 then None else Some length in
+  let _ip, trained = train ~name ~length ~parts ~epsilon in
+  let psm = trained.Flow.optimized in
+  Printf.printf "Trained PSM set for %s:\n" name;
+  Format.printf "%a@." Psm.pp psm;
+  if verbose then begin
+    let table = trained.Flow.table in
+    Printf.printf "\nPropositions:\n";
+    for p = 0 to Psm_mining.Prop_trace.Table.prop_count table - 1 do
+      Format.printf "  %a@." (Psm_mining.Prop_trace.Table.pp_prop table) p
+    done;
+    Printf.printf "\nOptimization reports:\n";
+    List.iter
+      (fun r ->
+        Printf.printf "  state %d: sigma/mu=%.3f r=%.3f upgraded=%b\n"
+          r.Psm_core.Optimize.state_id r.Psm_core.Optimize.relative_sigma
+          r.Psm_core.Optimize.correlation r.Psm_core.Optimize.upgraded)
+      trained.Flow.optimize_reports
+  end;
+  Printf.printf "\nTimings: mining %.3fs, generation %.3fs, combination %.3fs\n"
+    trained.Flow.timings.Flow.mine_s trained.Flow.timings.Flow.generate_s
+    trained.Flow.timings.Flow.combine_s;
+  Option.iter
+    (fun path ->
+      Psm_core.Dot.write_file ~name path psm;
+      Printf.printf "Wrote %s\n" path)
+    dot;
+  Option.iter
+    (fun path ->
+      Psm_flow.Persist.save_file path trained;
+      Printf.printf "Wrote %s\n" path)
+    save
+
+let generate_cmd =
+  let length =
+    Arg.(value & opt int 0
+         & info [ "length"; "n" ] ~docv:"CYCLES"
+             ~doc:"Training-suite length (0 = the paper's short-TS length).")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print propositions.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Mine PSMs for a benchmark IP")
+    Term.(const (fun () -> generate) $ logs_arg $ ip_arg $ length $ parts_arg
+          $ epsilon_arg $ dot_arg $ save_arg $ verbose)
+
+(* ---- evaluate ---- *)
+
+let evaluate name eval_length parts epsilon plot =
+  let ip, trained = train ~name ~length:None ~parts ~epsilon in
+  let long = Workloads.long_for ~length:eval_length name in
+  let trace, reference = Capture.run ip long in
+  let report, result =
+    let result = Psm_hmm.Multi_sim.simulate trained.Flow.hmm trace in
+    (Psm_hmm.Accuracy.of_result ~reference result, result)
+  in
+  Printf.printf "PSMs: %d states, %d transitions\n"
+    (Psm.state_count trained.Flow.optimized)
+    (Psm.transition_count trained.Flow.optimized);
+  Format.printf "Accuracy on %d long-TS instants: %a@." eval_length Psm_hmm.Accuracy.pp
+    report;
+  Printf.printf "Resynchronization events: %d\n" result.Psm_hmm.Multi_sim.resync_events;
+  Option.iter
+    (fun basename ->
+      Psm_flow.Plot.write ~basename ~title:(name ^ " power estimate") ~reference ~result;
+      Printf.printf "Wrote %s.dat and %s.gp (render: gnuplot %s.gp)\n" basename basename
+        basename)
+    plot
+
+let evaluate_cmd =
+  let length =
+    length_arg ~default:100_000 ~doc:"Evaluation (long-TS) length in cycles."
+  in
+  let plot =
+    Arg.(value & opt (some string) None
+         & info [ "plot" ] ~docv:"BASENAME" ~doc:"Write gnuplot artifacts.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Short-TS training, long-TS accuracy evaluation")
+    Term.(const evaluate $ ip_arg $ length $ parts_arg $ epsilon_arg $ plot)
+
+(* ---- trace ---- *)
+
+let capture_trace name length vcd csv saif =
+  let ip = make_ip name in
+  let stimulus = Workloads.suite ~parts:1 ~total_length:length ~long:false name in
+  let trace, power = Capture.run ip (List.hd stimulus) in
+  Printf.printf "Captured %d instants of %s (%d signals)\n" length name
+    (Psm_trace.Interface.arity (Psm_trace.Functional_trace.interface trace));
+  Option.iter
+    (fun path ->
+      Psm_trace.Vcd.write_file ~power path trace;
+      Printf.printf "Wrote %s\n" path)
+    vcd;
+  Option.iter
+    (fun path ->
+      Psm_trace.Csv.write_file ~power path trace;
+      Printf.printf "Wrote %s\n" path)
+    csv;
+  Option.iter
+    (fun path ->
+      Psm_trace.Saif.write_file ~design:name path trace;
+      Printf.printf "Wrote %s\n" path)
+    saif
+
+let trace_cmd =
+  let length = length_arg ~default:2000 ~doc:"Trace length in cycles." in
+  let vcd =
+    Arg.(value & opt (some string) None
+         & info [ "vcd" ] ~docv:"FILE" ~doc:"Write the trace as VCD (with power).")
+  in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Write the trace as CSV (with power).")
+  in
+  let saif =
+    Arg.(value & opt (some string) None
+         & info [ "saif" ] ~docv:"FILE"
+             ~doc:"Write the switching activity as SAIF backward annotation.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Capture a functional + power trace")
+    Term.(const capture_trace $ ip_arg $ length $ vcd $ csv $ saif)
+
+(* ---- train-vcd: the black-box path on external traces ---- *)
+
+let train_vcd files dot =
+  let pairs =
+    List.map
+      (fun file ->
+        let parsed = Psm_trace.Vcd.parse_file file in
+        match parsed.Psm_trace.Vcd.power with
+        | Some power -> (parsed.Psm_trace.Vcd.trace, power)
+        | None ->
+            Printf.eprintf "%s carries no __power__ real variable\n" file;
+            exit 1)
+      files
+  in
+  let trained =
+    Flow.train ~traces:(List.map fst pairs) ~powers:(List.map snd pairs) ()
+  in
+  Format.printf "%a@." Psm.pp trained.Flow.optimized;
+  (* Training-set accuracy, for a quick sanity read. *)
+  List.iter
+    (fun (trace, reference) ->
+      let report, _ = Flow.evaluate trained trace ~reference in
+      Format.printf "training trace (%d instants): %a@."
+        (Psm_trace.Functional_trace.length trace)
+        Psm_hmm.Accuracy.pp report)
+    pairs;
+  Option.iter
+    (fun path ->
+      Psm_core.Dot.write_file path trained.Flow.optimized;
+      Printf.printf "Wrote %s\n" path)
+    dot
+
+let train_vcd_cmd =
+  let files =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"VCD" ~doc:"Training VCD files (with embedded __power__).")
+  in
+  Cmd.v
+    (Cmd.info "train-vcd"
+       ~doc:"Mine PSMs from externally captured VCD traces (black-box mode)")
+    Term.(const train_vcd $ files $ dot_arg)
+
+(* ---- apply: run a persisted model over recorded traces ---- *)
+
+let apply model_path vcds =
+  let model = Psm_flow.Persist.load_file model_path in
+  Printf.printf "Loaded model: %d states, %d transitions, %d propositions\n"
+    (Psm.state_count model.Psm_flow.Persist.psm)
+    (Psm.transition_count model.Psm_flow.Persist.psm)
+    (Psm_mining.Prop_trace.Table.prop_count model.Psm_flow.Persist.table);
+  List.iter
+    (fun file ->
+      let parsed = Psm_trace.Vcd.parse_file file in
+      let trace = parsed.Psm_trace.Vcd.trace in
+      let result = Psm_hmm.Multi_sim.simulate model.Psm_flow.Persist.hmm trace in
+      let estimate = result.Psm_hmm.Multi_sim.estimate in
+      let total = Array.fold_left ( +. ) 0. estimate in
+      Printf.printf "%s: %d instants, estimated energy %.6g J, WSP %.2f%%\n" file
+        (Psm_trace.Functional_trace.length trace)
+        total
+        (100. *. result.Psm_hmm.Multi_sim.wsp);
+      Format.printf "  %a@."
+        Psm_flow.Coverage.pp
+        (Psm_flow.Coverage.of_trace model.Psm_flow.Persist.hmm trace);
+      match parsed.Psm_trace.Vcd.power with
+      | Some reference ->
+          let report = Psm_hmm.Accuracy.of_result ~reference result in
+          Format.printf "  vs embedded reference: %a@." Psm_hmm.Accuracy.pp report
+      | None -> ())
+    vcds
+
+let apply_cmd =
+  let model =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc:"Persisted model.")
+  in
+  let vcds =
+    Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"VCD" ~doc:"Traces to estimate.")
+  in
+  Cmd.v
+    (Cmd.info "apply" ~doc:"Estimate power for recorded traces with a persisted model")
+    Term.(const apply $ model $ vcds)
+
+(* ---- netlist: export / report the structural netlists ---- *)
+
+let netlist_cmd_run name verilog stats =
+  match Psm_ips.Structural.netlist_for name with
+  | None ->
+      Printf.eprintf "no structural netlist for %s (available: %s)\n" name
+        (String.concat ", " Psm_ips.Structural.available);
+      exit 1
+  | Some build ->
+      let nl = build () in
+      if stats then
+        Format.printf "%a@." Psm_rtl.Netlist_stats.pp (Psm_rtl.Netlist_stats.analyze nl);
+      Option.iter
+        (fun path ->
+          Psm_rtl.Verilog.write_file path nl;
+          Printf.printf "Wrote %s\n" path)
+        verilog
+
+let netlist_cmd =
+  let ip_name_arg =
+    Arg.(required
+         & pos 0 (some (enum (List.map (fun n -> (n, n)) Psm_ips.Structural.available)))
+             None
+         & info [] ~docv:"IP" ~doc:"IP with a structural netlist.")
+  in
+  let verilog =
+    Arg.(value & opt (some string) None
+         & info [ "verilog" ] ~docv:"FILE" ~doc:"Export as structural Verilog.")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print gate/depth/fanout statistics.")
+  in
+  Cmd.v
+    (Cmd.info "netlist" ~doc:"Export or report a gate-level netlist")
+    Term.(const netlist_cmd_run $ ip_name_arg $ verilog $ stats)
+
+(* ---- info ---- *)
+
+let info_all () =
+  List.iter
+    (fun name ->
+      let ip = make_ip name in
+      Format.printf "%a@." Psm_ips.Ip.pp ip;
+      List.iter
+        (fun s -> Format.printf "    %a@." Psm_trace.Signal.pp s)
+        (Psm_ips.Ip.input_signals ip @ Psm_ips.Ip.output_signals ip))
+    ip_names
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"List benchmark IPs and their interfaces")
+    Term.(const info_all $ const ())
+
+let () =
+  let doc = "automatic generation of power state machines (DATE 2016 reproduction)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "psmgen" ~version:"1.0.0" ~doc)
+                    [ generate_cmd; evaluate_cmd; trace_cmd; train_vcd_cmd; apply_cmd; netlist_cmd;
+                      info_cmd ]))

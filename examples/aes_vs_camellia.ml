@@ -1,0 +1,68 @@
+(* Why AES works and Camellia does not — the paper's key negative result,
+   reproduced and explained.
+
+   Both IPs are block ciphers with (almost) the same interface. AES's
+   power model tracks its PSM within ~3% while Camellia's misses by ~30%.
+   The difference is not magnitude but CORRELATION STRUCTURE: Camellia
+   contains a second subcomponent (a key-schedule scrubber) whose
+   switching is invisible at the primary inputs and outputs, so neither
+   constant-power states nor the Hamming-distance regression can explain
+   the per-cycle variance. Disabling the scrubber (and spending the same
+   average power as a constant) restores AES-grade accuracy.
+
+   Run with:  dune exec examples/aes_vs_camellia.exe *)
+
+module Flow = Psm_flow.Flow
+module Workloads = Psm_ips.Workloads
+module Psm = Psm_core.Psm
+module Power_attr = Psm_core.Power_attr
+
+let analyse name make =
+  let ip = make () in
+  let suite = Workloads.suite ~total_length:16000 ~long:false name in
+  let trained = Flow.train_on_ip ip suite in
+  let long = Workloads.long_for ~length:60_000 name in
+  let report, _ = Flow.evaluate_on_ip trained ip long in
+  (trained, report)
+
+let per_state_variance trained =
+  Psm.states trained.Flow.optimized
+  |> List.map (fun (s : Psm.state) ->
+         (s.Psm.id, s.Psm.attr.Power_attr.n, Power_attr.relative_sigma s.Psm.attr))
+
+let print_side name trained (report : Psm_hmm.Accuracy.report) =
+  Printf.printf "\n--- %s ---\n" name;
+  Printf.printf "states: %d   transitions: %d\n"
+    (Psm.state_count trained.Flow.optimized)
+    (Psm.transition_count trained.Flow.optimized);
+  Printf.printf "per-state relative sigma (power variance a constant cannot express):\n";
+  List.iter
+    (fun (id, n, rel) ->
+      if n > 20 then Printf.printf "  state %-5d n=%-7d sigma/mu = %5.1f%%\n" id n (100. *. rel))
+    (per_state_variance trained);
+  Printf.printf "regression candidates:\n";
+  List.iter
+    (fun r ->
+      Printf.printf "  state %-5d correlation with input switching r = %+.3f -> %s\n"
+        r.Psm_core.Optimize.state_id r.Psm_core.Optimize.correlation
+        (if r.Psm_core.Optimize.upgraded then "UPGRADED" else "rejected"))
+    trained.Flow.optimize_reports;
+  Format.printf "long-TS accuracy: %a@." Psm_hmm.Accuracy.pp report
+
+let () =
+  let aes_trained, aes_report = analyse "AES" Psm_ips.Aes.create in
+  print_side "AES" aes_trained aes_report;
+  let cam_trained, cam_report = analyse "Camellia" Psm_ips.Camellia.create in
+  print_side "Camellia" cam_trained cam_report;
+  let fixed_trained, fixed_report =
+    analyse "Camellia" Psm_ips.Camellia.create_without_scrubber
+  in
+  print_side "Camellia without the hidden scrubber (ablation)" fixed_trained fixed_report;
+  Printf.printf
+    "\nConclusion: AES MRE %.1f%%, Camellia MRE %.1f%%, Camellia-without-\n\
+     scrubber MRE %.1f%%. The hidden subcomponent's uncorrelated activity —\n\
+     not the IP's size or its interface — is what breaks the PSM, exactly\n\
+     as the paper argues in its concluding remarks.\n"
+    (100. *. aes_report.Psm_hmm.Accuracy.mre)
+    (100. *. cam_report.Psm_hmm.Accuracy.mre)
+    (100. *. fixed_report.Psm_hmm.Accuracy.mre)

@@ -1,0 +1,49 @@
+(* Hierarchical PSMs — the paper's future work, end to end.
+
+   The paper closes: "To mitigate the limitation highlighted by Camellia,
+   we foresee, as future works, the automatic generation of a power model
+   based on hierarchical PSMs that distinguishes among IP subcomponents."
+
+   This example runs that proposal: Camellia is decomposed into its Feistel
+   datapath (observed at the top-level PIs/POs, as before) and its
+   always-on key-schedule scrubber (observed at its own internal boundary,
+   a 4-bit utilization level). One PSM set is mined per subcomponent; the
+   simulated power is the sum. The flat model's ~33% MRE collapses to
+   single digits — without touching the mining flow at all: the same
+   algorithms, given visibility at the right boundaries.
+
+   Run with:  dune exec examples/hierarchical_camellia.exe *)
+
+module Workloads = Psm_ips.Workloads
+module Hier = Psm_flow.Hier
+module Psm = Psm_core.Psm
+
+let () =
+  let suite = Workloads.suite ~total_length:78004 ~long:false "Camellia" in
+  let long = Workloads.camellia_long ~length:100_000 () in
+
+  Printf.printf "Flat flow (the paper's Table II/III result)...\n%!";
+  let ip = Psm_ips.Camellia.create () in
+  let flat = Psm_flow.Flow.train_on_ip ip suite in
+  let flat_report, _ = Psm_flow.Flow.evaluate_on_ip flat ip long in
+  Format.printf "  %d states, %a@."
+    (Psm.state_count flat.Psm_flow.Flow.optimized)
+    Psm_hmm.Accuracy.pp flat_report;
+
+  Printf.printf "\nHierarchical flow (one PSM set per subcomponent)...\n%!";
+  let d = Psm_ips.Camellia.create_decomposed () in
+  let hier = Hier.train d suite in
+  List.iter
+    (fun (name, part) ->
+      Printf.printf "  %-9s %d states, %d transitions\n" name
+        (Psm.state_count part.Psm_flow.Flow.optimized)
+        (Psm.transition_count part.Psm_flow.Flow.optimized))
+    hier.Hier.parts;
+  let hier_report = Hier.evaluate hier d long in
+  Format.printf "  combined: %a@." Psm_hmm.Accuracy.pp hier_report;
+
+  Printf.printf
+    "\nMRE %.1f%% (flat) -> %.1f%% (hierarchical): the inaccuracy was never\n\
+     in the method; it was in the observation boundary.\n"
+    (100. *. flat_report.Psm_hmm.Accuracy.mre)
+    (100. *. hier_report.Psm_hmm.Accuracy.mre)

@@ -1,0 +1,58 @@
+(* Building a production power model for the RAM IP.
+
+   This is the full paper flow on a real (simulated) IP: capture training
+   traces with the reference power simulator, mine the PSMs, inspect the
+   data-dependent-state regression, evaluate on an unseen workload, and
+   write the artifacts a user would check into their repository (Graphviz
+   dot of the machine, a VCD with the power estimate).
+
+   Run with:  dune exec examples/ram_power_model.exe *)
+
+module Flow = Psm_flow.Flow
+module Workloads = Psm_ips.Workloads
+module Psm = Psm_core.Psm
+module Table = Psm_mining.Prop_trace.Table
+
+let () =
+  let ip = Psm_ips.Ram.create () in
+
+  (* Training: the functional-verification suite (4 testbenches). *)
+  Printf.printf "Training on the RAM verification suite...\n%!";
+  let suite = Workloads.suite ~total_length:34130 ~long:false "RAM" in
+  let trained = Flow.train_on_ip ip suite in
+  let psm = trained.Flow.optimized in
+  Format.printf "%a@." Psm.pp psm;
+
+  (* The mined propositions, in the paper's Fig. 3 notation. *)
+  Printf.printf "\nMined propositions:\n";
+  let table = trained.Flow.table in
+  for p = 0 to Table.prop_count table - 1 do
+    Format.printf "  %a@." (Table.pp_prop table) p
+  done;
+
+  (* Which states were upgraded to regression outputs, and why. *)
+  Printf.printf "\nData-dependent-state analysis:\n";
+  List.iter
+    (fun r ->
+      Printf.printf "  state %d: sigma/mu = %.1f%%, correlation r = %.3f -> %s\n"
+        r.Psm_core.Optimize.state_id
+        (100. *. r.Psm_core.Optimize.relative_sigma)
+        r.Psm_core.Optimize.correlation
+        (if r.Psm_core.Optimize.upgraded then "regression output" else "kept constant");
+      ())
+    trained.Flow.optimize_reports;
+
+  (* Evaluation on an unseen long workload. *)
+  let long = Workloads.ram_long ~length:100_000 () in
+  let report, result = Flow.evaluate_on_ip trained ip long in
+  Format.printf "@.Accuracy on 100k unseen instants: %a@." Psm_hmm.Accuracy.pp report;
+  Printf.printf "Resynchronization events: %d\n" result.Psm_hmm.Multi_sim.resync_events;
+
+  (* Artifacts. *)
+  let dot_path = Filename.temp_file "ram_psm" ".dot" in
+  Psm_core.Dot.write_file ~name:"ram" dot_path psm;
+  Printf.printf "\nWrote %s (render with: dot -Tsvg %s)\n" dot_path dot_path;
+  let trace, power = Psm_ips.Capture.run ip (Workloads.ram_short ~length:2000 ()) in
+  let vcd_path = Filename.temp_file "ram_trace" ".vcd" in
+  Psm_trace.Vcd.write_file ~power vcd_path trace;
+  Printf.printf "Wrote %s (open with gtkwave)\n" vcd_path

@@ -1,0 +1,306 @@
+(* Bit vectors stored as little-endian 32-bit limbs held in OCaml ints.
+   Invariant: bits of the top limb above [width mod 32] are zero, so
+   structural equality of the limb arrays coincides with value equality. *)
+
+type t = { width : int; limbs : int array }
+
+let limb_bits = 32
+let limb_mask = 0xFFFF_FFFF
+
+let nlimbs width = (width + limb_bits - 1) / limb_bits
+
+(* Mask applicable to the top limb of a vector of width [w]. *)
+let top_mask w =
+  let r = w mod limb_bits in
+  if r = 0 then limb_mask else (1 lsl r) - 1
+
+let check_width w = if w <= 0 then invalid_arg "Bits: width must be positive"
+
+let zero w =
+  check_width w;
+  { width = w; limbs = Array.make (nlimbs w) 0 }
+
+let normalize v =
+  let n = Array.length v.limbs in
+  v.limbs.(n - 1) <- v.limbs.(n - 1) land top_mask v.width;
+  v
+
+let ones w =
+  check_width w;
+  normalize { width = w; limbs = Array.make (nlimbs w) limb_mask }
+
+let of_int ~width n =
+  check_width width;
+  if n < 0 then invalid_arg "Bits.of_int: negative value";
+  let v = zero width in
+  let rec fill i n = if n <> 0 && i < Array.length v.limbs then begin
+      v.limbs.(i) <- n land limb_mask;
+      fill (i + 1) (n lsr limb_bits)
+    end in
+  fill 0 n;
+  normalize v
+
+let of_int64 ~width n =
+  check_width width;
+  let v = zero width in
+  let lo = Int64.to_int (Int64.logand n 0xFFFF_FFFFL) in
+  let hi = Int64.to_int (Int64.logand (Int64.shift_right_logical n 32) 0xFFFF_FFFFL) in
+  if Array.length v.limbs > 0 then v.limbs.(0) <- lo;
+  if Array.length v.limbs > 1 then v.limbs.(1) <- hi;
+  normalize v
+
+let of_bool b = of_int ~width:1 (if b then 1 else 0)
+
+let width v = v.width
+
+let get v i =
+  if i < 0 || i >= v.width then invalid_arg "Bits.get: index out of range";
+  v.limbs.(i / limb_bits) lsr (i mod limb_bits) land 1 = 1
+
+let set v i b =
+  if i < 0 || i >= v.width then invalid_arg "Bits.set: index out of range";
+  let limbs = Array.copy v.limbs in
+  let j = i / limb_bits and k = i mod limb_bits in
+  limbs.(j) <- (if b then limbs.(j) lor (1 lsl k) else limbs.(j) land lnot (1 lsl k));
+  { v with limbs }
+
+let init ~width f =
+  check_width width;
+  let v = zero width in
+  for i = 0 to width - 1 do
+    if f i then begin
+      let j = i / limb_bits and k = i mod limb_bits in
+      v.limbs.(j) <- v.limbs.(j) lor (1 lsl k)
+    end
+  done;
+  v
+
+let of_binary_string s =
+  let digits = ref [] in
+  String.iter
+    (fun c -> match c with
+      | '0' -> digits := false :: !digits
+      | '1' -> digits := true :: !digits
+      | '_' -> ()
+      | _ -> invalid_arg "Bits.of_binary_string: expected 0, 1 or _")
+    s;
+  (* [digits] is now little-endian: last character pushed first ... actually
+     head of the list is the last character of [s], i.e. the LSB. *)
+  let bits = Array.of_list !digits in
+  if Array.length bits = 0 then invalid_arg "Bits.of_binary_string: empty";
+  init ~width:(Array.length bits) (fun i -> bits.(i))
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Bits.of_hex_string: invalid hex digit"
+
+let of_hex_string ~width s =
+  check_width width;
+  let v = zero width in
+  let pos = ref 0 in
+  (* Iterate characters from the end of the string: least significant
+     nibble first. *)
+  for i = String.length s - 1 downto 0 do
+    let c = s.[i] in
+    if c <> '_' then begin
+      let d = hex_digit c in
+      for b = 0 to 3 do
+        if d lsr b land 1 = 1 then begin
+          let bit = !pos + b in
+          if bit >= width then
+            invalid_arg "Bits.of_hex_string: value wider than requested width";
+          let j = bit / limb_bits and k = bit mod limb_bits in
+          v.limbs.(j) <- v.limbs.(j) lor (1 lsl k)
+        end
+      done;
+      pos := !pos + 4
+    end
+  done;
+  v
+
+let to_int v =
+  let n = Array.length v.limbs in
+  if n > 2 then begin
+    for i = 2 to n - 1 do
+      if v.limbs.(i) <> 0 then failwith "Bits.to_int: value too wide"
+    done
+  end;
+  let lo = v.limbs.(0) in
+  let hi = if n > 1 then v.limbs.(1) else 0 in
+  if hi lsr 30 <> 0 then failwith "Bits.to_int: value too wide";
+  lo lor (hi lsl limb_bits)
+
+let to_int64 v =
+  let n = Array.length v.limbs in
+  for i = 2 to n - 1 do
+    if v.limbs.(i) <> 0 then failwith "Bits.to_int64: value too wide"
+  done;
+  let lo = Int64.of_int v.limbs.(0) in
+  let hi = if n > 1 then Int64.of_int v.limbs.(1) else 0L in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let to_binary_string v =
+  String.init v.width (fun i -> if get v (v.width - 1 - i) then '1' else '0')
+
+let to_hex_string v =
+  let ndigits = (v.width + 3) / 4 in
+  String.init ndigits (fun i ->
+      let nib = ndigits - 1 - i in
+      let d = ref 0 in
+      for b = 0 to 3 do
+        let bit = (nib * 4) + b in
+        if bit < v.width && get v bit then d := !d lor (1 lsl b)
+      done;
+      "0123456789abcdef".[!d])
+
+let popcount_int n =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0 n
+
+(* Precomputed popcounts for bytes keep the per-cycle switching-activity
+   computation cheap; it sits on the hot path of the power reference. *)
+let byte_popcount = Array.init 256 popcount_int
+
+let popcount v =
+  let acc = ref 0 in
+  Array.iter
+    (fun limb ->
+      acc := !acc
+             + byte_popcount.(limb land 0xFF)
+             + byte_popcount.(limb lsr 8 land 0xFF)
+             + byte_popcount.(limb lsr 16 land 0xFF)
+             + byte_popcount.(limb lsr 24 land 0xFF))
+    v.limbs;
+  !acc
+
+let is_zero v = Array.for_all (fun l -> l = 0) v.limbs
+
+let check_same_width op a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits.%s: width mismatch (%d vs %d)" op a.width b.width)
+
+let map2 op a b =
+  { width = a.width; limbs = Array.map2 op a.limbs b.limbs }
+
+let logand a b = check_same_width "logand" a b; map2 (land) a b
+let logor a b = check_same_width "logor" a b; map2 (lor) a b
+let logxor a b = check_same_width "logxor" a b; map2 (lxor) a b
+
+let lognot a =
+  normalize { width = a.width; limbs = Array.map (fun l -> lnot l land limb_mask) a.limbs }
+
+let add a b =
+  check_same_width "add" a b;
+  let v = zero a.width in
+  let carry = ref 0 in
+  for i = 0 to Array.length v.limbs - 1 do
+    let s = a.limbs.(i) + b.limbs.(i) + !carry in
+    v.limbs.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  normalize v
+
+let sub a b =
+  check_same_width "sub" a b;
+  let v = zero a.width in
+  let borrow = ref 0 in
+  for i = 0 to Array.length v.limbs - 1 do
+    let s = a.limbs.(i) - b.limbs.(i) - !borrow in
+    if s < 0 then begin v.limbs.(i) <- s + (1 lsl limb_bits); borrow := 1 end
+    else begin v.limbs.(i) <- s; borrow := 0 end
+  done;
+  normalize v
+
+let mul a b =
+  check_same_width "mul" a b;
+  let n = Array.length a.limbs in
+  let v = zero a.width in
+  (* Schoolbook with 16-bit half-limbs so partial products fit in an int. *)
+  let halves x = [| x land 0xFFFF; x lsr 16 |] in
+  let acc = Array.make (2 * n * 2) 0 in
+  for i = 0 to n - 1 do
+    let ah = halves a.limbs.(i) in
+    for j = 0 to n - 1 do
+      let bh = halves b.limbs.(j) in
+      for p = 0 to 1 do
+        for q = 0 to 1 do
+          let pos = (2 * i) + p + (2 * j) + q in
+          if pos < Array.length acc then acc.(pos) <- acc.(pos) + (ah.(p) * bh.(q))
+        done
+      done
+    done
+  done;
+  (* Carry-propagate the 16-bit columns, then pack into 32-bit limbs. *)
+  let carry = ref 0 in
+  for k = 0 to Array.length acc - 1 do
+    let s = acc.(k) + !carry in
+    acc.(k) <- s land 0xFFFF;
+    carry := s lsr 16
+  done;
+  for i = 0 to n - 1 do
+    v.limbs.(i) <- acc.(2 * i) lor (acc.((2 * i) + 1) lsl 16)
+  done;
+  normalize v
+
+let shift_left v k =
+  if k < 0 then invalid_arg "Bits.shift_left: negative shift";
+  if k = 0 then v
+  else if k >= v.width then zero v.width
+  else init ~width:v.width (fun i -> i >= k && get v (i - k))
+
+let shift_right v k =
+  if k < 0 then invalid_arg "Bits.shift_right: negative shift";
+  if k = 0 then v
+  else if k >= v.width then zero v.width
+  else init ~width:v.width (fun i -> i + k < v.width && get v (i + k))
+
+let rotate_left v k =
+  let k = ((k mod v.width) + v.width) mod v.width in
+  if k = 0 then v else init ~width:v.width (fun i -> get v (((i - k) mod v.width + v.width) mod v.width))
+
+let rotate_right v k = rotate_left v (-k)
+
+let slice v ~hi ~lo =
+  if lo < 0 || hi >= v.width || hi < lo then
+    invalid_arg (Printf.sprintf "Bits.slice: bad range [%d:%d] of width %d" hi lo v.width);
+  init ~width:(hi - lo + 1) (fun i -> get v (lo + i))
+
+let concat hi lo =
+  init ~width:(hi.width + lo.width) (fun i ->
+      if i < lo.width then get lo i else get hi (i - lo.width))
+
+let concat_list = function
+  | [] -> invalid_arg "Bits.concat_list: empty list"
+  | v :: vs -> List.fold_left (fun acc x -> concat acc x) v vs
+
+let equal a b = a.width = b.width && a.limbs = b.limbs
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c
+  else begin
+    (* Unsigned magnitude comparison: most significant limb first. *)
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Int.compare a.limbs.(i) b.limbs.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (Array.length a.limbs - 1)
+  end
+
+let ult a b =
+  check_same_width "ult" a b;
+  compare a b < 0
+
+let hamming_distance a b =
+  check_same_width "hamming_distance" a b;
+  popcount (logxor a b)
+
+let hash v = Hashtbl.hash (v.width, v.limbs)
+
+let pp fmt v = Format.fprintf fmt "%d'h%s" v.width (to_hex_string v)
+let pp_binary fmt v = Format.fprintf fmt "%d'b%s" v.width (to_binary_string v)

@@ -1,0 +1,86 @@
+type t =
+  | Until of int * int
+  | Next of int * int
+  | Seq of t list
+  | Alt of t list
+
+let seq parts =
+  let flattened =
+    List.concat_map (function Seq inner -> inner | other -> [ other ]) parts
+  in
+  match flattened with
+  | [] -> invalid_arg "Assertion.seq: empty sequence"
+  | [ single ] -> single
+  | many -> Seq many
+
+let rec equal a b =
+  match (a, b) with
+  | Until (p1, q1), Until (p2, q2) | Next (p1, q1), Next (p2, q2) -> p1 = p2 && q1 = q2
+  | Seq xs, Seq ys | Alt xs, Alt ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Until _ | Next _ | Seq _ | Alt _), _ -> false
+
+let rec compare a b =
+  let rank = function Until _ -> 0 | Next _ -> 1 | Seq _ -> 2 | Alt _ -> 3 in
+  match (a, b) with
+  | Until (p1, q1), Until (p2, q2) | Next (p1, q1), Next (p2, q2) ->
+      let c = Int.compare p1 p2 in
+      if c <> 0 then c else Int.compare q1 q2
+  | Seq xs, Seq ys | Alt xs, Alt ys -> List.compare compare xs ys
+  | _ -> Int.compare (rank a) (rank b)
+
+let alt parts =
+  let flattened =
+    List.concat_map (function Alt inner -> inner | other -> [ other ]) parts
+  in
+  let deduped = List.sort_uniq compare flattened in
+  match deduped with
+  | [] -> invalid_arg "Assertion.alt: empty alternative"
+  | [ single ] -> single
+  | many -> Alt many
+
+let alternatives = function Alt xs -> xs | other -> [ other ]
+
+let rec first_entry = function
+  | Until (p, _) | Next (p, _) -> [ p ]
+  | Seq [] | Alt [] -> assert false
+  | Seq (first :: _) -> first_entry first
+  | Alt xs -> List.concat_map first_entry xs
+
+let entry_props t = List.sort_uniq Int.compare (first_entry t)
+
+let rec last_exit = function
+  | Until (_, q) | Next (_, q) -> [ q ]
+  | Seq [] | Alt [] -> assert false
+  | Seq parts -> last_exit (List.nth parts (List.length parts - 1))
+  | Alt xs -> List.concat_map last_exit xs
+
+let exit_props t = List.sort_uniq Int.compare (last_exit t)
+
+let rec collect acc = function
+  | Until (p, q) | Next (p, q) -> q :: p :: acc
+  | Seq xs | Alt xs -> List.fold_left collect acc xs
+
+let props t = List.sort_uniq Int.compare (collect [] t)
+
+let hash t = Hashtbl.hash t
+
+let rec pp_with name fmt = function
+  | Until (p, q) -> Format.fprintf fmt "%s U %s" (name p) (name q)
+  | Next (p, q) -> Format.fprintf fmt "%s X %s" (name p) (name q)
+  | Seq parts ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt "; ")
+           (pp_with name))
+        parts
+  | Alt parts ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " || ")
+           (pp_with name))
+        parts
+
+let pp fmt t = pp_with (fun i -> "p" ^ string_of_int i) fmt t
+let pp_named name fmt t = pp_with name fmt t
+let to_string name t = Format.asprintf "%a" (pp_named name) t

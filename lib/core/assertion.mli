@@ -1,0 +1,55 @@
+(** Temporal assertions characterizing PSM states.
+
+    The two primitive patterns are the paper's [until] and [next]
+    (Sec. III-B), over interned proposition ids:
+
+    - [Until (p, q)] — ((state = p) until (state = q)): the IP stays in a
+      condition where [p] holds for one or more instants, then [q] holds;
+    - [Next (p, q)] — ((state = p) → next (state = q)): [p] holds for
+      exactly one instant, immediately followed by [q].
+
+    [simplify] composes adjacent states' assertions sequentially
+    ([Seq], the paper's "{pᵢ; pᵢ₊₁; …}") and [join] composes merged
+    states' assertions as alternatives ([Alt], "{pᵢ ‖ pⱼ ‖ …}"). *)
+
+type t =
+  | Until of int * int
+  | Next of int * int
+  | Seq of t list  (** ≥ 2 elements, none of which is a [Seq]. *)
+  | Alt of t list  (** ≥ 2 elements, none of which is an [Alt]. *)
+
+val seq : t list -> t
+(** Smart constructor: flattens nested [Seq]s, returns the single element
+    unchanged for a one-element list. Raises [Invalid_argument] on []. *)
+
+val alt : t list -> t
+(** Smart constructor: flattens nested [Alt]s and deduplicates (keeping
+    multiplicity information is the caller's concern — see the HMM B
+    matrix); single element returned unchanged. *)
+
+val alternatives : t -> t list
+(** The list of alternatives ([t] itself when it is not an [Alt]). *)
+
+val entry_props : t -> int list
+(** Propositions that can hold on entering a state with this assertion:
+    the lhs of the first pattern of each alternative. *)
+
+val exit_props : t -> int list
+(** Propositions whose occurrence completes the assertion (the rhs [q] of
+    the final pattern of each alternative) — these guard the outgoing
+    transitions. *)
+
+val props : t -> int list
+(** All proposition ids mentioned, without duplicates. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Abstract rendering with raw ids, e.g. [p3 U p5]. *)
+
+val pp_named : (int -> string) -> Format.formatter -> t -> unit
+(** Rendering with a proposition-name function. *)
+
+val to_string : (int -> string) -> t -> string

@@ -1,0 +1,64 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let si value =
+  (* Engineering rendering for energies (joule scale). *)
+  let abs = abs_float value in
+  if abs = 0. then "0"
+  else if abs >= 1e-3 then Printf.sprintf "%.3g mJ" (value *. 1e3)
+  else if abs >= 1e-6 then Printf.sprintf "%.3g uJ" (value *. 1e6)
+  else if abs >= 1e-9 then Printf.sprintf "%.3g nJ" (value *. 1e9)
+  else if abs >= 1e-12 then Printf.sprintf "%.3g pJ" (value *. 1e12)
+  else Printf.sprintf "%.3g fJ" (value *. 1e15)
+
+let to_string ?(name = "psm") ?(show_sigma = true) psm =
+  let table = Psm.prop_table psm in
+  let prop_name = Psm_mining.Prop_trace.Table.name table in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, style=rounded];\n";
+  List.iter
+    (fun (s : Psm.state) ->
+      let assertion = Assertion.to_string prop_name s.Psm.assertion in
+      let output =
+        match s.Psm.output with
+        | Psm.Const mu ->
+            if show_sigma then
+              Printf.sprintf "%s (sigma %s, n=%d)" (si mu)
+                (si s.Psm.attr.Power_attr.sigma) s.Psm.attr.Power_attr.n
+            else si mu
+        | Psm.Affine { slope; intercept } ->
+            Printf.sprintf "%s*hd + %s" (si slope) (si intercept)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d [label=\"s%d\\n%s\\n%s\"];\n" s.Psm.id s.Psm.id
+           (escape assertion) (escape output)))
+    (Psm.states psm);
+  List.iteri
+    (fun k init ->
+      Buffer.add_string buf
+        (Printf.sprintf "  entry%d [shape=point, label=\"\"];\n  entry%d -> s%d;\n" k k init))
+    (Psm.initial psm);
+  List.iter
+    (fun (tr : Psm.transition) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" tr.Psm.src tr.Psm.dst
+           (escape (prop_name tr.Psm.guard))))
+    (Psm.transitions psm);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?name ?show_sigma path psm =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name ?show_sigma psm))

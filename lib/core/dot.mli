@@ -1,0 +1,12 @@
+(** Graphviz export of PSM sets — regenerates the shapes of the paper's
+    Fig. 2 (example PSM) and Fig. 5 (generated chain) and documents every
+    mined PSM as a reviewable artifact. *)
+
+val to_string : ?name:string -> ?show_sigma:bool -> Psm.t -> string
+(** A [digraph] whose nodes are labelled with the state id, its temporal
+    assertion (with proposition names) and its output function (μ in
+    engineering notation, or the affine law for regression states), and
+    whose edges are labelled with the enabling proposition. Initial states
+    are marked with an entry arrow. *)
+
+val write_file : ?name:string -> ?show_sigma:bool -> string -> Psm.t -> unit

@@ -1,0 +1,25 @@
+(** PSMGenerator (paper Fig. 4): turn one proposition trace Γ and its
+    dynamic power trace Δ into a chain-shaped PSM.
+
+    Each pattern recognized by the {!Xu} automaton becomes a power state
+    whose attributes ⟨μ, σ, n⟩ come from Δ over the pattern's interval
+    ([getPowerAttributes] / [createPowerState]); consecutive states are
+    linked by a transition whose enabling proposition is the entry
+    proposition of the new state ([createTransition]). The chain's first
+    state is recorded as an initial state.
+
+    End-of-trace instants after the last complete pattern are folded into
+    the final state's interval (the paper's Fig. 5 example: ⟨p_c X p_d, 6,
+    7⟩), so every instant of Δ is attributed to exactly one state. *)
+
+val generate :
+  Psm.t -> trace:int -> Psm_mining.Prop_trace.t -> Psm_trace.Power_trace.t -> Psm.t
+(** [generate psm ~trace gamma delta] appends one chain (built from Γ/Δ,
+    which must have equal lengths) to [psm]; [trace] tags the power
+    intervals with the training-trace index for later attribute
+    recomputation. Γ must come from the same proposition table as [psm].
+    A Γ with a single proposition run yields one state asserting
+    [Until (p, p)] over the whole trace. Raises [Invalid_argument] on
+    length mismatch or empty Γ. *)
+
+val assertion_of_pattern : Xu.pattern -> Assertion.t

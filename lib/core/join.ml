@@ -1,0 +1,51 @@
+type cluster_acc = {
+  mutable members : int list; (* reverse order *)
+  mutable attr : Power_attr.t;
+  mutable components : (Assertion.t * Power_attr.t) list; (* reverse order *)
+}
+
+let pass config psm =
+  let clusters : cluster_acc list ref = ref [] in
+  List.iter
+    (fun (s : Psm.state) ->
+      let rec place = function
+        | [] ->
+            clusters :=
+              !clusters
+              @ [ { members = [ s.Psm.id ];
+                    attr = s.Psm.attr;
+                    components = List.rev s.Psm.components } ]
+        | c :: rest ->
+            if Merge.mergeable config c.attr s.Psm.attr then begin
+              c.members <- s.Psm.id :: c.members;
+              c.attr <- Power_attr.merge c.attr s.Psm.attr;
+              c.components <- List.rev_append s.Psm.components c.components
+            end
+            else place rest
+      in
+      place !clusters)
+    (Psm.states psm);
+  let real_clusters =
+    List.filter_map
+      (fun c ->
+        match c.members with
+        | [] | [ _ ] -> None
+        | members ->
+            let components = List.rev c.components in
+            let assertion = Assertion.alt (List.map fst components) in
+            Some
+              { Psm.members = List.rev members;
+                new_assertion = assertion;
+                new_attr = c.attr;
+                new_components = components })
+      !clusters
+  in
+  match real_clusters with
+  | [] -> (psm, [], false)
+  | cs ->
+      let psm', mapping = Psm.merge_clusters psm ~internal_edges:`Self_loop cs in
+      (psm', mapping, true)
+
+let join_traced ?(config = Merge.default) psm = Simplify.compose_passes (pass config) psm
+
+let join ?config psm = fst (join_traced ?config psm)

@@ -1,0 +1,21 @@
+(** The [join] procedure (paper Sec. IV, Fig. 6b): merge mergeable states
+    regardless of adjacency, across all PSMs of the set, producing states
+    that carry alternative assertions {pᵢ ‖ pⱼ ‖ …} and inherit every
+    predecessor and successor transition of their members.
+
+    Clustering is greedy in state-id order: each state joins the first
+    existing cluster whose accumulated attributes it is mergeable with
+    (O(S·C) instead of the quadratic all-pairs search; C is the number of
+    distinct power modes, which is small). Transitions between members of
+    one cluster become self-loops. The procedure iterates until no two
+    clusters can merge.
+
+    When a cluster absorbs states with identical assertions (and matching
+    guards), the result is a non-deterministic PSM — resolved during
+    simulation by the HMM (paper Sec. V). *)
+
+val join : ?config:Merge.config -> Psm.t -> Psm.t
+
+val join_traced : ?config:Merge.config -> Psm.t -> Psm.t * (int -> int)
+(** Also returns the total (state id → final state id) mapping across all
+    merge passes. *)

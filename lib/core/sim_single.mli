@@ -1,0 +1,26 @@
+(** Simulation of a single chain-shaped PSM (paper Sec. III-C).
+
+    The PSM is stepped in lockstep with a functional trace: at each instant
+    the PI/PO values are classified into a proposition, the current state's
+    assertion decides whether to stay or traverse the (unique) outgoing
+    transition, and the state's output function produces the power
+    estimate.
+
+    This simulator intentionally reproduces the paper's Sec. III-C
+    limitation: when the observed proposition matches neither the stay
+    condition nor the exit condition of the current state, the PSM loses
+    synchronization — it remains in the current state (whose estimate is
+    no longer reliable) and records the event. Recovery requires the
+    HMM-based multi-PSM simulation of {!Psm_hmm}. *)
+
+type result = {
+  estimate : float array;  (** Power estimate per instant. *)
+  desyncs : int list;  (** Instants at which synchronization was lost. *)
+  synchronized_fraction : float;
+}
+
+val simulate : Psm.t -> Psm_trace.Functional_trace.t -> result
+(** The PSM must contain exactly one machine whose states carry only
+    primitive assertions ([Until]/[Next]) — i.e. a chain fresh from
+    {!Generator} — and exactly one initial state; raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,85 @@
+module IntMap = Map.Make (Int)
+
+(* One pass: collect disjoint maximal runs of adjacent mergeable states,
+   merge them, and report whether anything changed. *)
+let pass config psm =
+  let out_deg = Hashtbl.create 64 and in_deg = Hashtbl.create 64 in
+  let bump table k = Hashtbl.replace table k (1 + Option.value ~default:0 (Hashtbl.find_opt table k)) in
+  List.iter
+    (fun (tr : Psm.transition) ->
+      bump out_deg tr.src;
+      bump in_deg tr.dst)
+    (Psm.transitions psm);
+  let degree table k = Option.value ~default:0 (Hashtbl.find_opt table k) in
+  (* unique_next s = Some t when s -> t is a chain link. *)
+  let unique_next = Hashtbl.create 64 in
+  List.iter
+    (fun (tr : Psm.transition) ->
+      if tr.src <> tr.dst && degree out_deg tr.src = 1 && degree in_deg tr.dst = 1 then
+        Hashtbl.replace unique_next tr.src tr.dst)
+    (Psm.transitions psm);
+  let has_unique_prev = Hashtbl.create 64 in
+  Hashtbl.iter (fun _ dst -> Hashtbl.replace has_unique_prev dst ()) unique_next;
+  (* Walk each run head, greedily accumulating mergeable members. *)
+  let clustered = Hashtbl.create 64 in
+  let clusters = ref [] in
+  let try_run head =
+    if not (Hashtbl.mem clustered head) then begin
+      let rec extend members attr last =
+        match Hashtbl.find_opt unique_next last with
+        | Some next
+          when (not (Hashtbl.mem clustered next))
+               && Merge.mergeable config attr (Psm.state psm next).Psm.attr ->
+            extend (next :: members)
+              (Power_attr.merge attr (Psm.state psm next).Psm.attr)
+              next
+        | Some _ | None -> (List.rev members, attr)
+      in
+      let members, attr = extend [ head ] (Psm.state psm head).Psm.attr head in
+      if List.length members >= 2 then begin
+        List.iter (fun m -> Hashtbl.replace clustered m ()) members;
+        let member_states = List.map (Psm.state psm) members in
+        let assertion =
+          Assertion.seq (List.map (fun (s : Psm.state) -> s.Psm.assertion) member_states)
+        in
+        clusters :=
+          { Psm.members; new_assertion = assertion; new_attr = attr;
+            new_components = [ (assertion, attr) ] }
+          :: !clusters
+      end
+    end
+  in
+  (* Heads: states that are not the unique-continuation of another state,
+     visited in id order for determinism; then any state reachable only
+     mid-chain is picked up as runs are marked. *)
+  List.iter
+    (fun (s : Psm.state) ->
+      if not (Hashtbl.mem has_unique_prev s.Psm.id) then try_run s.Psm.id)
+    (Psm.states psm);
+  List.iter (fun (s : Psm.state) -> try_run s.Psm.id) (Psm.states psm);
+  match !clusters with
+  | [] -> (psm, [], false)
+  | cs ->
+      let psm', mapping = Psm.merge_clusters psm ~internal_edges:`Drop cs in
+      (psm', mapping, true)
+
+(* Compose merge-pass mappings into one total redirect function. *)
+let compose_passes pass_fn psm =
+  let redirect = Hashtbl.create 64 in
+  let rec fixpoint psm =
+    let psm', mapping, changed = pass_fn psm in
+    if not changed then psm'
+    else begin
+      List.iter (fun (m, id) -> Hashtbl.replace redirect m id) mapping;
+      fixpoint psm'
+    end
+  in
+  let final = fixpoint psm in
+  let rec resolve id =
+    match Hashtbl.find_opt redirect id with Some next -> resolve next | None -> id
+  in
+  (final, resolve)
+
+let simplify_traced ?(config = Merge.default) psm = compose_passes (pass config) psm
+
+let simplify ?config psm = fst (simplify_traced ?config psm)

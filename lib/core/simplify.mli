@@ -1,0 +1,24 @@
+(** The [simplify] procedure (paper Sec. IV, Fig. 6a): within each PSM,
+    iteratively merge maximal runs of *adjacent* mergeable states into
+    single states carrying the sequential assertion {pᵢ; pᵢ₊₁; …}.
+
+    Adjacency means a transition s → t where s is t's only predecessor and
+    t is s's only successor (always true inside the chains produced by
+    {!Generator}; stated generally so simplify is safe on any PSM set).
+    The chain's internal transitions are absorbed; the new state connects
+    to the predecessor of the first and the successor of the last member.
+    Runs until no mergeable adjacent pair remains. *)
+
+val simplify : ?config:Merge.config -> Psm.t -> Psm.t
+
+val simplify_traced : ?config:Merge.config -> Psm.t -> Psm.t * (int -> int)
+(** Also returns the total (original state id → final state id) mapping
+    across all merge passes, used to project training-trace statistics
+    onto the simplified machine. *)
+
+(**/**)
+
+val compose_passes :
+  (Psm.t -> Psm.t * (int * int) list * bool) -> Psm.t -> Psm.t * (int -> int)
+(** Internal: fixpoint a merge pass while composing its redirect maps.
+    Shared with {!Join}. *)

@@ -1,0 +1,74 @@
+module Prop_trace = Psm_mining.Prop_trace
+
+type pattern = Until of int * int | Next of int * int
+
+type t = {
+  gamma : int array;
+  mutable pos : int; (* index of f[0] in gamma *)
+  mutable run_start : int; (* first instant of the current lhs run *)
+  mutable state : [ `X | `U ];
+  mutable exhausted : bool;
+  mutable emitted : bool; (* at least one pattern was recognized *)
+}
+
+let initialize trace =
+  { gamma = Prop_trace.prop_ids trace;
+    pos = 0;
+    run_start = 0;
+    state = `X;
+    exhausted = false;
+    emitted = false }
+
+let prop_at t i = if i >= 0 && i < Array.length t.gamma then Some t.gamma.(i) else None
+
+let fifo t = (prop_at t t.pos, prop_at t (t.pos + 1))
+
+let automaton_state t = t.state
+
+let get_assertion t =
+  let rec traverse () =
+    match (prop_at t t.pos, prop_at t (t.pos + 1)) with
+    | None, _ ->
+        t.exhausted <- true;
+        None
+    | Some _, None ->
+        (* nil entered the FIFO: the run [run_start ..] stays unattributed
+           here; Generator folds it into the last state via trailing_stop. *)
+        t.exhausted <- true;
+        None
+    | Some f0, Some f1 -> (
+        match t.state with
+        | `X ->
+            if f1 = f0 then begin
+              t.state <- `U;
+              t.pos <- t.pos + 1;
+              traverse ()
+            end
+            else begin
+              let result = (Next (f0, f1), t.run_start, t.pos) in
+              t.pos <- t.pos + 1;
+              t.run_start <- t.pos;
+              t.emitted <- true;
+              Some result
+            end
+        | `U ->
+            if f1 = f0 then begin
+              t.pos <- t.pos + 1;
+              traverse ()
+            end
+            else begin
+              let result = (Until (f0, f1), t.run_start, t.pos) in
+              t.state <- `X;
+              t.pos <- t.pos + 1;
+              t.run_start <- t.pos;
+              t.emitted <- true;
+              Some result
+            end)
+  in
+  if t.exhausted then None else traverse ()
+
+let trailing_stop t =
+  let len = Array.length t.gamma in
+  if (not t.exhausted) || len = 0 then None
+  else if t.run_start <= len - 1 then Some (len - 1)
+  else None

@@ -1,0 +1,38 @@
+(** The XU automaton (paper Fig. 5, left): a two-state recognizer that
+    scrolls a two-slot FIFO over a proposition trace Γ and emits the
+    maximal [until]/[next] temporal patterns.
+
+    Protocol (mirroring [XU_initialize] / [XU_getAssertion] of the paper's
+    Fig. 4): create with {!initialize}, then call {!get_assertion}
+    repeatedly; each call traverses the automaton until a pattern is
+    recognized and returns ⟨assertion, start, stop⟩, where [start..stop] is
+    the interval where the assertion's lhs proposition holds. [None] plays
+    the role of the paper's nil result: the trace is exhausted.
+
+    End-of-trace semantics (fixed by the paper's own worked example, where
+    ⟨p_c X p_d, 6, 7⟩ covers p_d's trailing instant): instants after the
+    last complete pattern belong to the last recognized pattern — query
+    {!trailing_stop} after exhaustion and extend the final state's interval
+    accordingly, as {!Generator} does. *)
+
+type pattern =
+  | Until of int * int
+  | Next of int * int
+
+type t
+
+val initialize : Psm_mining.Prop_trace.t -> t
+
+val get_assertion : t -> (pattern * int * int) option
+(** Next recognized pattern, or [None] when Γ is exhausted. *)
+
+val fifo : t -> (int option * int option)
+(** Current FIFO contents (f[0], f[1]); [None] encodes nil. Exposed for the
+    Fig. 5 walkthrough test. *)
+
+val automaton_state : t -> [ `X | `U ]
+
+val trailing_stop : t -> int option
+(** After {!get_assertion} returns [None]: the last instant of Γ if any
+    instants remained unattributed (the paper-example extension rule), else
+    [None]. *)

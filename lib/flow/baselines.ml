@@ -1,0 +1,57 @@
+module FT = Psm_trace.Functional_trace
+module PT = Psm_trace.Power_trace
+module Online = Psm_stats.Descriptive.Online
+module Accuracy = Psm_hmm.Accuracy
+
+module Constant = struct
+  type t = { mu : float }
+
+  let train powers =
+    if powers = [] then invalid_arg "Baselines.Constant.train: no training traces";
+    let acc = Online.create () in
+    List.iter
+      (fun p ->
+        for i = 0 to PT.length p - 1 do
+          Online.add acc (PT.get p i)
+        done)
+      powers;
+    { mu = Online.mean acc }
+
+  let power t = t.mu
+
+  let evaluate t ~reference =
+    let estimate = Array.make (PT.length reference) t.mu in
+    Accuracy.of_estimate ~reference ~estimate ~wsp:0.
+end
+
+module Two_state = struct
+  type t = { control_index : int; idle : float; active : float }
+
+  let active_at trace ~control_index ~time =
+    Psm_bits.Bits.get (FT.value trace ~time ~signal:control_index) 0
+
+  let train ~control pairs =
+    if pairs = [] then invalid_arg "Baselines.Two_state.train: no training traces";
+    let iface = FT.interface (fst (List.hd pairs)) in
+    let control_index = Psm_trace.Interface.index iface control in
+    let idle = Online.create () and active = Online.create () in
+    List.iter
+      (fun (trace, power) ->
+        FT.iter
+          (fun time _sample ->
+            let acc = if active_at trace ~control_index ~time then active else idle in
+            Online.add acc (PT.get power time))
+          trace)
+      pairs;
+    { control_index; idle = Online.mean idle; active = Online.mean active }
+
+  let idle_power t = t.idle
+  let active_power t = t.active
+
+  let estimate t trace =
+    Array.init (FT.length trace) (fun time ->
+        if active_at trace ~control_index:t.control_index ~time then t.active else t.idle)
+
+  let evaluate t trace ~reference =
+    Accuracy.of_estimate ~reference ~estimate:(estimate t trace) ~wsp:0.
+end

@@ -1,0 +1,46 @@
+(** Baseline power models the paper's related work relies on, for
+    comparison against the mined PSMs.
+
+    - {!Constant}: a single average-power number — the crudest possible
+      model, the implicit floor for any table.
+    - {!Two_state}: the classical hand-written PSM of [Benini 1998] /
+      [Bergamaschi 2003]: a designer partitions operation into idle vs
+      active by a control signal and assigns each state a constant from
+      the data sheet (here: the conditional means of the training power
+      trace — the most charitable calibration such a model can get).
+
+    Both trained from the same traces the mining flow uses, so the
+    comparison isolates the value of the *automatic state discovery*. *)
+
+module Constant : sig
+  type t
+
+  val train : Psm_trace.Power_trace.t list -> t
+  val power : t -> float
+
+  val evaluate :
+    t -> reference:Psm_trace.Power_trace.t -> Psm_hmm.Accuracy.report
+end
+
+module Two_state : sig
+  type t
+
+  val train :
+    control:string ->
+    (Psm_trace.Functional_trace.t * Psm_trace.Power_trace.t) list ->
+    t
+  (** [control] is the input signal whose LSB separates idle (0) from
+      active (1) — the designer's knowledge. Raises [Not_found] if the
+      signal does not exist. *)
+
+  val idle_power : t -> float
+  val active_power : t -> float
+
+  val estimate : t -> Psm_trace.Functional_trace.t -> float array
+
+  val evaluate :
+    t ->
+    Psm_trace.Functional_trace.t ->
+    reference:Psm_trace.Power_trace.t ->
+    Psm_hmm.Accuracy.report
+end

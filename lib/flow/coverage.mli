@@ -1,0 +1,32 @@
+(** Trace-quality diagnostics.
+
+    The paper (Sec. I): "if the functional traces were unable to cover all
+    the functional behaviours of the IP, the PSMs would be incomplete,
+    thus leading to a wrong estimation of the power consumption". This
+    module makes that warning measurable, in both directions:
+
+    - {!of_trace}: how much of a trained model does a trace exercise
+      (state and transition coverage — a verification-style coverage
+      report for the training suite);
+    - how much of a trace does the model recognize (the fraction of
+      instants whose proposition row was seen in training — a cheap
+      upfront predictor of desynchronization before running the
+      simulator). *)
+
+type report = {
+  instants : int;
+  known_instants : int;
+      (** Instants whose proposition row exists in the model's table. *)
+  known_fraction : float;
+  states_visited : int;
+  states_total : int;
+  transitions_taken : int;
+  transitions_total : int;
+  unknown_row_samples : int list;
+      (** Up to 10 instants with unknown rows, for debugging. *)
+}
+
+val of_trace : Psm_hmm.Hmm.t -> Psm_trace.Functional_trace.t -> report
+(** Simulates (online) and aggregates coverage. *)
+
+val pp : Format.formatter -> report -> unit

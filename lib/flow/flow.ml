@@ -1,0 +1,185 @@
+let log_src = Logs.Src.create "psm.flow" ~doc:"PSM generation flow"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+module Functional_trace = Psm_trace.Functional_trace
+module Power_trace = Psm_trace.Power_trace
+module Miner = Psm_mining.Miner
+module Prop_trace = Psm_mining.Prop_trace
+module Psm = Psm_core.Psm
+module Hmm = Psm_hmm.Hmm
+module Multi_sim = Psm_hmm.Multi_sim
+module Accuracy = Psm_hmm.Accuracy
+
+type config = {
+  miner : Miner.config;
+  merge : Psm_core.Merge.config;
+  optimize : Psm_core.Optimize.config;
+  power : Psm_rtl.Power_model.config;
+}
+
+let default =
+  { miner = Miner.default;
+    merge = Psm_core.Merge.default;
+    optimize = Psm_core.Optimize.default;
+    power = Psm_rtl.Power_model.default }
+
+type timings = { mine_s : float; generate_s : float; combine_s : float }
+
+let total_generation_s t = t.mine_s +. t.generate_s +. t.combine_s
+
+type trained = {
+  config : config;
+  table : Prop_trace.Table.t;
+  traces : Functional_trace.t array;
+  powers : Power_trace.t array;
+  raw : Psm.t;
+  optimized : Psm.t;
+  optimize_reports : Psm_core.Optimize.report list;
+  hmm : Hmm.t;
+  transition_counts : ((int * int) * float) list;
+  emission_counts : ((int * int) * float) list;
+  timings : timings;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let train ?(config = default) ~traces ~powers () =
+  if List.length traces <> List.length powers then
+    invalid_arg "Flow.train: traces and powers differ in number";
+  if traces = [] then invalid_arg "Flow.train: no training traces";
+  List.iter2
+    (fun t p ->
+      if Functional_trace.length t <> Power_trace.length p then
+        invalid_arg "Flow.train: functional/power trace length mismatch")
+    traces powers;
+  (* Mining: shared vocabulary, then one proposition trace per training
+     trace against a shared interning table. *)
+  let (table, prop_traces), mine_s =
+    timed (fun () ->
+        let vocabulary = Miner.mine_vocabulary ~config:config.miner traces in
+        let table = Prop_trace.Table.create vocabulary in
+        (table, List.map (Prop_trace.of_functional table) traces))
+  in
+  Log.info (fun m ->
+      m "mining: %d atoms, %d propositions over %d traces in %.3fs"
+        (Psm_mining.Vocabulary.size (Prop_trace.Table.vocabulary table))
+        (Prop_trace.Table.prop_count table) (List.length traces) mine_s);
+  (* Generation: one chain per trace, accumulated into one PSM set. *)
+  let raw, generate_s =
+    timed (fun () ->
+        let psm = Psm.empty table in
+        List.fold_left
+          (fun (psm, idx) (gamma, delta) ->
+            (Psm_core.Generator.generate psm ~trace:idx gamma delta, idx + 1))
+          (psm, 0)
+          (List.combine prop_traces powers)
+        |> fst)
+  in
+  Log.info (fun m ->
+      m "generation: %d raw chain states in %.3fs" (Psm.state_count raw) generate_s);
+  (* Combination and optimization. *)
+  let traces_arr = Array.of_list traces in
+  let powers_arr = Array.of_list powers in
+  let (optimized, optimize_reports, hmm, transition_counts, emission_counts), combine_s =
+    timed (fun () ->
+        let simplified, simplify_map =
+          Psm_core.Simplify.simplify_traced ~config:config.merge raw
+        in
+        let joined, join_map = Psm_core.Join.join_traced ~config:config.merge simplified in
+        let optimized, reports =
+          Psm_core.Optimize.optimize ~config:config.optimize ~traces:traces_arr
+            ~powers:powers_arr joined
+        in
+        (* Project the raw chains' transition frequencies onto the final
+           machine: every chain edge is one training occurrence. *)
+        let final id = join_map (simplify_map id) in
+        let counts = Hashtbl.create 64 in
+        List.iter
+          (fun (tr : Psm.transition) ->
+            let key = (final tr.Psm.src, final tr.Psm.dst) in
+            Hashtbl.replace counts key
+              (1. +. Option.value ~default:0. (Hashtbl.find_opt counts key)))
+          (Psm.transitions raw);
+        let transition_counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+        (* Emission frequencies: which propositions were observed while
+           each final state was active (for offline Viterbi decoding). *)
+        let gammas = Array.of_list prop_traces in
+        let emission_counts =
+          List.concat_map
+            (fun (s : Psm.state) ->
+              let per_prop = Hashtbl.create 8 in
+              List.iter
+                (fun iv ->
+                  for t = iv.Psm_core.Power_attr.start to iv.Psm_core.Power_attr.stop do
+                    let p = Prop_trace.prop_at gammas.(iv.Psm_core.Power_attr.trace) t in
+                    Hashtbl.replace per_prop p
+                      (1. +. Option.value ~default:0. (Hashtbl.find_opt per_prop p))
+                  done)
+                s.Psm.attr.Psm_core.Power_attr.intervals;
+              Hashtbl.fold (fun p c acc -> ((s.Psm.id, p), c) :: acc) per_prop [])
+            (Psm.states optimized)
+        in
+        ( optimized,
+          reports,
+          Hmm.build ~transition_counts ~emission_counts optimized,
+          transition_counts,
+          emission_counts ))
+  in
+  Log.info (fun m ->
+      m "combination: %d states, %d transitions, %d regression states in %.3fs"
+        (Psm.state_count optimized) (Psm.transition_count optimized)
+        (List.length (List.filter (fun r -> r.Psm_core.Optimize.upgraded) optimize_reports))
+        combine_s);
+  { config;
+    table;
+    traces = traces_arr;
+    powers = powers_arr;
+    raw;
+    optimized;
+    optimize_reports;
+    hmm;
+    transition_counts;
+    emission_counts;
+    timings = { mine_s; generate_s; combine_s } }
+
+let split_stimulus stimulus ~parts =
+  if parts <= 0 then invalid_arg "Flow.split_stimulus: parts must be positive";
+  let n = Array.length stimulus in
+  let base = n / parts in
+  if base = 0 then [ stimulus ]
+  else
+    List.init parts (fun k ->
+        let start = k * base in
+        let len = if k = parts - 1 then n - start else base in
+        Array.sub stimulus start len)
+
+let train_on_ip ?(config = default) ip stimuli =
+  let pairs =
+    List.map (fun stimulus -> Psm_ips.Capture.run ~config:config.power ip stimulus) stimuli
+  in
+  train ~config ~traces:(List.map fst pairs) ~powers:(List.map snd pairs) ()
+
+let evaluate trained trace ~reference =
+  let result = Multi_sim.simulate trained.hmm trace in
+  (Accuracy.of_result ~reference result, result)
+
+let evaluate_on_ip trained ip stimulus =
+  let trace, reference = Psm_ips.Capture.run ~config:trained.config.power ip stimulus in
+  evaluate trained trace ~reference
+
+let cosim_timed trained (ip : Psm_ips.Ip.t) stimulus =
+  ip.Psm_ips.Ip.reset ();
+  let stepper = Multi_sim.Stepper.create trained.hmm in
+  Gc.major ();
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun pis ->
+      let pos, _activity = ip.Psm_ips.Ip.step pis in
+      let sample = Array.append pis pos in
+      ignore (Multi_sim.Stepper.step stepper sample))
+    stimulus;
+  Unix.gettimeofday () -. t0

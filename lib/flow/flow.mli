@@ -1,0 +1,82 @@
+(** The end-to-end methodology of the paper's Fig. 1:
+
+    functional traces + power traces
+      → assertion mining (shared vocabulary + proposition traces)
+      → PSM generation (one chain per training trace)
+      → simplify → join → data-dependent-state optimization
+      → HMM construction
+      → concurrent simulation / accuracy evaluation.  *)
+
+type config = {
+  miner : Psm_mining.Miner.config;
+  merge : Psm_core.Merge.config;
+  optimize : Psm_core.Optimize.config;
+  power : Psm_rtl.Power_model.config;
+}
+
+val default : config
+
+type timings = {
+  mine_s : float;  (** Vocabulary mining + proposition-trace extraction. *)
+  generate_s : float;  (** PSMGenerator over all traces. *)
+  combine_s : float;  (** simplify + join + optimize + HMM build. *)
+}
+
+val total_generation_s : timings -> float
+(** Table II's "PSMs gen." column: everything after the training traces
+    exist. *)
+
+type trained = {
+  config : config;
+  table : Psm_mining.Prop_trace.Table.t;
+  traces : Psm_trace.Functional_trace.t array;
+  powers : Psm_trace.Power_trace.t array;
+  raw : Psm_core.Psm.t;  (** The generated chains, pre-combination. *)
+  optimized : Psm_core.Psm.t;  (** After simplify, join and optimize. *)
+  optimize_reports : Psm_core.Optimize.report list;
+  hmm : Psm_hmm.Hmm.t;
+  transition_counts : ((int * int) * float) list;
+      (** Training transition frequencies the HMM's A was built from
+          (persisted with the model). *)
+  emission_counts : ((int * int) * float) list;
+  timings : timings;
+}
+
+val train :
+  ?config:config ->
+  traces:Psm_trace.Functional_trace.t list ->
+  powers:Psm_trace.Power_trace.t list ->
+  unit ->
+  trained
+(** All traces must share one interface; traces and powers are paired
+    positionally and must have matching lengths. *)
+
+val train_on_ip :
+  ?config:config ->
+  Psm_ips.Ip.t ->
+  Psm_ips.Workloads.stimulus list ->
+  trained
+(** Capture one training pair per testbench (the IP is reset before each)
+    and train. Use {!Psm_ips.Workloads.suite} to build the testbench
+    list. *)
+
+val evaluate :
+  trained ->
+  Psm_trace.Functional_trace.t ->
+  reference:Psm_trace.Power_trace.t ->
+  Psm_hmm.Accuracy.report * Psm_hmm.Multi_sim.result
+(** Simulate the combined PSMs over a (possibly unseen) functional trace
+    and score against the reference power trace. *)
+
+val evaluate_on_ip :
+  trained ->
+  Psm_ips.Ip.t ->
+  Psm_ips.Workloads.stimulus ->
+  Psm_hmm.Accuracy.report * Psm_hmm.Multi_sim.result
+
+val cosim_timed :
+  trained -> Psm_ips.Ip.t -> Psm_ips.Workloads.stimulus -> float
+(** Wall-clock seconds to step the IP and the PSM/HMM simulator in
+    lockstep — Table III's "IP+PSMs" column. *)
+
+val split_stimulus : Psm_ips.Workloads.stimulus -> parts:int -> Psm_ips.Workloads.stimulus list

@@ -1,0 +1,174 @@
+module Decomposed = Psm_ips.Decomposed
+module Functional_trace = Psm_trace.Functional_trace
+module Power_trace = Psm_trace.Power_trace
+module Power_model = Psm_rtl.Power_model
+module Multi_sim = Psm_hmm.Multi_sim
+module Accuracy = Psm_hmm.Accuracy
+
+type trained = { parts : (string * Flow.trained) list }
+
+(* Subcomponent boundaries are narrow internal buses whose whole value
+   range is behaviourally meaningful (e.g. a pipeline utilization level),
+   so the hierarchical flow lifts the per-signal constant-atom cap that
+   protects top-level flows from bus-value explosion. *)
+let default_config =
+  { Flow.default with
+    Flow.miner =
+      { Psm_mining.Miner.default with Psm_mining.Miner.max_consts_per_signal = 16 };
+    (* Subcomponent power levels sit much closer together than whole-IP
+       modes; the merge tolerance tightens accordingly. *)
+    merge = { Psm_core.Merge.default with Psm_core.Merge.epsilon = 0.05 } }
+
+let capture ?(config = Power_model.default) (d : Decomposed.t) stimulus =
+  d.Decomposed.reset ();
+  let k = List.length d.Decomposed.components in
+  let n = Array.length stimulus in
+  let builders =
+    List.map
+      (fun (c : Decomposed.component) ->
+        Functional_trace.Builder.create c.Decomposed.comp_interface)
+      d.Decomposed.components
+  in
+  let energies = Array.init k (fun _ -> Array.make n 0.) in
+  let totals = Array.make n 0. in
+  Array.iteri
+    (fun t pis ->
+      let _pos, parts = d.Decomposed.step pis in
+      if List.length parts <> k then
+        invalid_arg "Hier.capture: component count mismatch";
+      List.iteri
+        (fun i (sample, activity) ->
+          Functional_trace.Builder.append (List.nth builders i) sample;
+          let e = Power_model.energy_of_weighted_activity config activity in
+          (Array.get energies i).(t) <- e;
+          totals.(t) <- totals.(t) +. e)
+        parts)
+    stimulus;
+  let pairs =
+    List.mapi
+      (fun i b ->
+        (Functional_trace.Builder.finish b, Power_trace.of_array energies.(i)))
+      builders
+  in
+  (pairs, Power_trace.of_array totals)
+
+let train ?(config = default_config) (d : Decomposed.t) stimuli =
+  (* One capture per testbench; regroup by component. *)
+  let runs = List.map (fun stimulus -> fst (capture ~config:config.Flow.power d stimulus)) stimuli in
+  let parts =
+    List.mapi
+      (fun i (c : Decomposed.component) ->
+        let traces = List.map (fun run -> fst (List.nth run i)) runs in
+        let powers = List.map (fun run -> snd (List.nth run i)) runs in
+        (c.Decomposed.comp_name, Flow.train ~config ~traces ~powers ()))
+      d.Decomposed.components
+  in
+  { parts }
+
+let evaluate trained (d : Decomposed.t) stimulus =
+  let pairs, total = capture d stimulus in
+  let n = Power_trace.length total in
+  let estimate = Array.make n 0. in
+  let worst_wsp = ref 0. in
+  List.iter2
+    (fun (_, part) (trace, _) ->
+      let result = Multi_sim.simulate part.Flow.hmm trace in
+      Array.iteri (fun t e -> estimate.(t) <- estimate.(t) +. e) result.Multi_sim.estimate;
+      worst_wsp := Float.max !worst_wsp result.Multi_sim.wsp)
+    trained.parts pairs;
+  Accuracy.of_estimate ~reference:total ~estimate ~wsp:!worst_wsp
+
+let total_states trained =
+  List.fold_left
+    (fun acc (_, part) -> acc + Psm_core.Psm.state_count part.Flow.optimized)
+    0 trained.parts
+
+(* ---------- persistence ---------- *)
+
+let part_marker = "=== part "
+
+let save trained =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Printf.sprintf "psm-repro-hier 1 %d\n" (List.length trained.parts));
+  List.iter
+    (fun (name, part) ->
+      Buffer.add_string buf (Printf.sprintf "%s%s ===\n" part_marker name);
+      Buffer.add_string buf (Persist.save part))
+    trained.parts;
+  Buffer.contents buf
+
+let save_file path trained =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (save trained))
+
+type loaded_part = { part_name : string; model : Persist.model }
+
+let load text =
+  let lines = String.split_on_char '\n' text in
+  (match lines with
+  | header :: _ when String.length header >= 15
+                     && String.sub header 0 15 = "psm-repro-hier " -> ()
+  | _ -> raise (Persist.Parse_error "bad hierarchical model header"));
+  (* Split on part markers. *)
+  let parts = ref [] in
+  let current_name = ref None in
+  let current = Buffer.create 1024 in
+  let flush () =
+    match !current_name with
+    | None -> ()
+    | Some name ->
+        parts := { part_name = name; model = Persist.load (Buffer.contents current) } :: !parts;
+        Buffer.clear current
+  in
+  List.iteri
+    (fun i line ->
+      if i = 0 then ()
+      else if String.length line > String.length part_marker
+              && String.sub line 0 (String.length part_marker) = part_marker then begin
+        flush ();
+        let rest =
+          String.sub line (String.length part_marker)
+            (String.length line - String.length part_marker)
+        in
+        let name = String.trim (String.concat "" (String.split_on_char '=' rest)) in
+        current_name := Some name
+      end
+      else begin
+        Buffer.add_string current line;
+        Buffer.add_char current '\n'
+      end)
+    lines;
+  flush ();
+  List.rev !parts
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      load (really_input_string ic len))
+
+let evaluate_loaded parts (d : Decomposed.t) stimulus =
+  let pairs, total = capture d stimulus in
+  let n = Power_trace.length total in
+  let estimate = Array.make n 0. in
+  let worst_wsp = ref 0. in
+  List.iteri
+    (fun i (c : Decomposed.component) ->
+      let part =
+        match List.find_opt (fun p -> p.part_name = c.Decomposed.comp_name) parts with
+        | Some p -> p
+        | None ->
+            raise
+              (Persist.Parse_error
+                 ("hierarchical model lacks part " ^ c.Decomposed.comp_name))
+      in
+      let trace, _ = List.nth pairs i in
+      let result = Multi_sim.simulate part.model.Persist.hmm trace in
+      Array.iteri (fun t e -> estimate.(t) <- estimate.(t) +. e) result.Multi_sim.estimate;
+      worst_wsp := Float.max !worst_wsp result.Multi_sim.wsp)
+    d.Decomposed.components;
+  Accuracy.of_estimate ~reference:total ~estimate ~wsp:!worst_wsp

@@ -1,0 +1,69 @@
+(** Hierarchical PSMs — the paper's concluding-remarks future work,
+    implemented.
+
+    "To mitigate the limitation highlighted by Camellia, we foresee, as
+    future works, the automatic generation of a power model based on
+    hierarchical PSMs that distinguishes among IP subcomponents."
+
+    Given a {!Psm_ips.Decomposed.t} — an IP whose per-cycle observation is
+    split across subcomponent boundaries, each with its own activity — the
+    full mining/generation/combination flow runs once per subcomponent on
+    that subcomponent's own traces, and simulation sums the per-component
+    power estimates. Activity a constant or regression cannot explain at
+    the top level (Camellia's scrubber) becomes perfectly explainable at
+    the boundary where it is observable. *)
+
+type trained = {
+  parts : (string * Flow.trained) list;  (** One flow per subcomponent. *)
+}
+
+val capture :
+  ?config:Psm_rtl.Power_model.config ->
+  Psm_ips.Decomposed.t ->
+  Psm_ips.Workloads.stimulus ->
+  (Psm_trace.Functional_trace.t * Psm_trace.Power_trace.t) list * Psm_trace.Power_trace.t
+(** Per-component (trace, power) pairs in component order, plus the total
+    power trace (the sum — what a flat flow would have seen). *)
+
+val train :
+  ?config:Flow.config ->
+  Psm_ips.Decomposed.t ->
+  Psm_ips.Workloads.stimulus list ->
+  trained
+(** The default config differs from {!Flow.default}: subcomponent
+    boundaries are narrow internal buses whose whole value range is
+    meaningful, so the per-signal constant-atom cap is lifted (16) and the
+    merge tolerance tightened (ε = 0.05). *)
+
+val evaluate :
+  trained ->
+  Psm_ips.Decomposed.t ->
+  Psm_ips.Workloads.stimulus ->
+  Psm_hmm.Accuracy.report
+(** Runs the decomposed IP over the stimulus, simulates every
+    subcomponent's PSM set over its own boundary trace, sums the
+    estimates and scores against the total reference power. The WSP
+    reported is the maximum across subcomponents. *)
+
+val total_states : trained -> int
+
+val save : trained -> string
+(** Serialize every subcomponent's model (see {!Persist}) under a part
+    manifest. *)
+
+val save_file : string -> trained -> unit
+
+type loaded_part = { part_name : string; model : Persist.model }
+
+val load : string -> loaded_part list
+(** Raises {!Persist.Parse_error} on malformed input. *)
+
+val load_file : string -> loaded_part list
+
+val evaluate_loaded :
+  loaded_part list ->
+  Psm_ips.Decomposed.t ->
+  Psm_ips.Workloads.stimulus ->
+  Psm_hmm.Accuracy.report
+(** Like {!evaluate}, over reloaded parts (matched to the decomposed IP's
+    components by name). *)

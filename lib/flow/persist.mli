@@ -1,0 +1,31 @@
+(** Model persistence: serialize a trained PSM power model so it can be
+    trained once and shipped/loaded without the training traces.
+
+    The format is a line-oriented text file (versioned header) carrying
+    the interface, the atomic-proposition vocabulary, the interned
+    proposition rows, every PSM state (assertion, power attributes,
+    output function, components), transitions, initial states and the
+    HMM's training frequencies — everything {!Psm_hmm.Multi_sim} and
+    {!Psm_hmm.Offline} need at simulation time.
+
+    Not persisted: the raw pre-combination chains, the training traces
+    themselves and the optimization reports (re-running {!Flow.train} is
+    the way to get those back). *)
+
+type model = {
+  table : Psm_mining.Prop_trace.Table.t;
+  psm : Psm_core.Psm.t;
+  hmm : Psm_hmm.Hmm.t;
+}
+
+val save : Flow.trained -> string
+(** Serialize the combined (optimized) model. *)
+
+val save_file : string -> Flow.trained -> unit
+
+exception Parse_error of string
+
+val load : string -> model
+(** Raises {!Parse_error} on malformed input or version mismatch. *)
+
+val load_file : string -> model

@@ -1,0 +1,41 @@
+module PT = Psm_trace.Power_trace
+module Multi_sim = Psm_hmm.Multi_sim
+
+let data_string ~reference ~(result : Multi_sim.result) =
+  let n = PT.length reference in
+  if n <> Array.length result.Multi_sim.estimate then
+    invalid_arg "Plot.data_string: reference and estimate lengths differ";
+  let buf = Buffer.create (n * 48) in
+  Buffer.add_string buf "# time reference estimate relative_error state\n";
+  for t = 0 to n - 1 do
+    let r = PT.get reference t in
+    let e = result.Multi_sim.estimate.(t) in
+    let err = if r > 0. then abs_float (e -. r) /. r else 0. in
+    Buffer.add_string buf
+      (Printf.sprintf "%d %.9g %.9g %.6f %d\n" t r e err result.Multi_sim.state_trace.(t))
+  done;
+  Buffer.contents buf
+
+let script_string ~basename ~title =
+  String.concat "\n"
+    [ "set terminal svg size 1200,600";
+      Printf.sprintf "set output '%s.svg'" basename;
+      Printf.sprintf "set title '%s'" title;
+      "set multiplot layout 2,1";
+      "set ylabel 'energy (J/cycle)'";
+      Printf.sprintf
+        "plot '%s.dat' using 1:2 with lines title 'reference', \\" basename;
+      Printf.sprintf "     '%s.dat' using 1:3 with lines title 'PSM estimate'" basename;
+      "set ylabel 'relative error'";
+      "set yrange [0:*]";
+      Printf.sprintf "plot '%s.dat' using 1:4 with impulses title 'error'" basename;
+      "unset multiplot";
+      "" ]
+
+let write ~basename ~title ~reference ~result =
+  let write_file path contents =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+  in
+  write_file (basename ^ ".dat") (data_string ~reference ~result);
+  write_file (basename ^ ".gp") (script_string ~basename ~title)

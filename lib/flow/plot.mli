@@ -1,0 +1,23 @@
+(** Plot artifacts: gnuplot-ready dumps of reference-vs-estimated power.
+
+    The paper's figures are tables, but anyone debugging a power model
+    wants to *look* at the traces. [write ~basename] produces
+    [basename.dat] (time, reference, estimate, per-instant relative
+    error, PSM state id) and [basename.gp] (a gnuplot script rendering
+    the overlay and the error track to [basename.svg]). *)
+
+val data_string :
+  reference:Psm_trace.Power_trace.t ->
+  result:Psm_hmm.Multi_sim.result ->
+  string
+(** The .dat payload. Raises [Invalid_argument] on length mismatch. *)
+
+val script_string : basename:string -> title:string -> string
+
+val write :
+  basename:string ->
+  title:string ->
+  reference:Psm_trace.Power_trace.t ->
+  result:Psm_hmm.Multi_sim.result ->
+  unit
+(** Writes [basename.dat] and [basename.gp]. *)

@@ -1,0 +1,16 @@
+(** Plain-text rendering of the experiment tables, in the layout of the
+    paper's Tables I–III. *)
+
+val render_table : header:string list -> string list list -> string
+(** Column-aligned table with a separator row under the header. *)
+
+val table1 : Experiment.table1_row list -> string
+val table2 : Experiment.table2_row list -> string
+(** Short-TS rows first, then a dashed separator, then long-TS rows, as in
+    the paper. [table2] expects the 8-row output of {!Experiment.table2};
+    other shapes are rendered without the separator. *)
+
+val table3 : Experiment.table3_row list -> string
+
+val seconds : float -> string
+val percent : float -> string

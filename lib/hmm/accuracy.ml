@@ -1,0 +1,35 @@
+module Power_trace = Psm_trace.Power_trace
+
+type report = {
+  mre : float;
+  rmse : float;
+  total_energy_error : float;
+  wsp : float;
+}
+
+let of_estimate ~reference ~estimate ~wsp =
+  let n = Power_trace.length reference in
+  if n <> Array.length estimate then
+    invalid_arg "Accuracy: estimate length differs from reference";
+  if n = 0 then invalid_arg "Accuracy: empty traces";
+  let est = Power_trace.of_array (Array.map (fun x -> Float.max x 0.) estimate) in
+  let mre = Power_trace.mean_relative_error ~reference ~estimate:est in
+  let se = ref 0. in
+  for i = 0 to n - 1 do
+    let d = Array.get estimate i -. Power_trace.get reference i in
+    se := !se +. (d *. d)
+  done;
+  let rmse = sqrt (!se /. float_of_int n) in
+  let ref_total = Power_trace.total_energy reference in
+  let est_total = Array.fold_left ( +. ) 0. estimate in
+  let total_energy_error =
+    if ref_total > 0. then abs_float (est_total -. ref_total) /. ref_total else 0.
+  in
+  { mre; rmse; total_energy_error; wsp }
+
+let of_result ~reference (r : Multi_sim.result) =
+  of_estimate ~reference ~estimate:r.Multi_sim.estimate ~wsp:r.Multi_sim.wsp
+
+let pp fmt r =
+  Format.fprintf fmt "MRE %.2f%%  RMSE %.4g  total-energy err %.2f%%  WSP %.2f%%"
+    (100. *. r.mre) r.rmse (100. *. r.total_energy_error) (100. *. r.wsp)

@@ -1,0 +1,19 @@
+(** Accuracy metrics comparing a PSM power estimate against the reference
+    power trace (Tables II and III). *)
+
+type report = {
+  mre : float;  (** Mean relative error, as a fraction (0.0345 = 3.45%). *)
+  rmse : float;
+  total_energy_error : float;
+      (** |ΣE_est − ΣE_ref| / ΣE_ref — how well cumulative energy (the
+          quantity a power manager integrates) is tracked. *)
+  wsp : float;  (** Wrong-state-prediction fraction, from the simulator. *)
+}
+
+val of_result :
+  reference:Psm_trace.Power_trace.t -> Multi_sim.result -> report
+
+val of_estimate :
+  reference:Psm_trace.Power_trace.t -> estimate:float array -> wsp:float -> report
+
+val pp : Format.formatter -> report -> unit

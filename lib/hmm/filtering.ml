@@ -1,0 +1,111 @@
+module Psm = Psm_core.Psm
+module Functional_trace = Psm_trace.Functional_trace
+module Table = Psm_mining.Prop_trace.Table
+
+let floor_p = 1e-9
+
+type t = {
+  hmm : Hmm.t;
+  a_instant : float array array; (* dwell-corrected per-instant transitions *)
+}
+
+let create hmm =
+  let m = Hmm.state_count hmm in
+  let psm = Hmm.psm hmm in
+  let dwell =
+    Array.init m (fun row ->
+        let s = Psm.state psm (Hmm.state_of_row hmm row) in
+        let visits = max 1 (List.length s.Psm.attr.Psm_core.Power_attr.intervals) in
+        Float.max 1.5
+          (float_of_int s.Psm.attr.Psm_core.Power_attr.n /. float_of_int visits))
+  in
+  let a_instant =
+    Array.init m (fun i ->
+        let stay = 1. -. (1. /. dwell.(i)) in
+        let row =
+          Array.init m (fun j ->
+              if i = j then Float.max stay (Hmm.a hmm i j)
+              else (1. -. stay) *. Hmm.a hmm i j)
+        in
+        let total = Array.fold_left ( +. ) 0. row in
+        if total > 0. then Array.map (fun v -> v /. total) row else row)
+  in
+  { hmm; a_instant }
+
+let emission t row = function
+  | None -> 1.
+  | Some prop -> Float.max floor_p (Hmm.b_obs t.hmm row prop)
+
+(* Returns (posteriors, log likelihood). *)
+let forward t observations =
+  let m = Hmm.state_count t.hmm in
+  let n = Array.length observations in
+  let posteriors = Array.make_matrix n m 0. in
+  let log_lik = ref 0. in
+  if n > 0 then begin
+    let pi = Hmm.pi t.hmm in
+    let alpha = Array.init m (fun j -> pi.(j) *. emission t j observations.(0)) in
+    let normalize v =
+      let total = Array.fold_left ( +. ) 0. v in
+      if total > 0. then begin
+        Array.iteri (fun i x -> v.(i) <- x /. total) v;
+        total
+      end
+      else begin
+        (* Impossible observation everywhere: reset to uniform. *)
+        Array.iteri (fun i _ -> v.(i) <- 1. /. float_of_int m) v;
+        floor_p
+      end
+    in
+    log_lik := log (normalize alpha);
+    Array.blit alpha 0 posteriors.(0) 0 m;
+    let scratch = Array.make m 0. in
+    for time = 1 to n - 1 do
+      for j = 0 to m - 1 do
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. (alpha.(i) *. t.a_instant.(i).(j))
+        done;
+        scratch.(j) <- !acc *. emission t j observations.(time)
+      done;
+      Array.blit scratch 0 alpha 0 m;
+      log_lik := !log_lik +. log (normalize alpha);
+      Array.blit alpha 0 posteriors.(time) 0 m
+    done
+  end;
+  (posteriors, !log_lik)
+
+let posteriors t observations = fst (forward t observations)
+
+let map_states t observations =
+  let post = posteriors t observations in
+  Array.map
+    (fun belief ->
+      let best = ref 0 in
+      Array.iteri (fun j v -> if v > belief.(!best) then best := j) belief;
+      !best)
+    post
+
+let classify t trace =
+  let table = Psm.prop_table (Hmm.psm t.hmm) in
+  Array.init (Functional_trace.length trace) (fun time ->
+      Table.classify table (Functional_trace.sample trace ~time))
+
+let expected_power t trace =
+  let psm = Hmm.psm t.hmm in
+  let hd = Functional_trace.input_hamming_series trace in
+  let post = posteriors t (classify t trace) in
+  Array.mapi
+    (fun time belief ->
+      let acc = ref 0. in
+      Array.iteri
+        (fun row p ->
+          if p > 0. then begin
+            let s = Psm.state psm (Hmm.state_of_row t.hmm row) in
+            acc := !acc +. (p *. Psm.eval_output s.Psm.output ~hamming:hd.(time))
+          end)
+        belief;
+      !acc)
+    post
+
+let log_likelihood t observations = snd (forward t observations)

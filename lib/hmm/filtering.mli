@@ -1,0 +1,36 @@
+(** Forward filtering over the PSM HMM — the paper's "state-of-the-art
+    procedure to predict the distribution of the next (hidden) states
+    according to a sequence of observations" (Sec. V), in its textbook
+    form: the normalized α recursion
+
+      α₀(j) ∝ π(j)·b_j(o₀)
+      αₜ(j) ∝ b_j(oₜ) · Σᵢ αₜ₋₁(i)·A'(i,j)
+
+    over the interned propositions as observations, with the same
+    dwell-corrected per-instant transition matrix A' as {!Offline} (the
+    PSM's A counts state *changes*; per-instant dynamics need the
+    self-dwell mass). Unknown observations are uninformative.
+
+    {!Multi_sim} keeps its cheaper assertion-cursor machinery for live
+    co-simulation; this module provides the probabilistic view — state
+    posteriors, smoothed power expectation — for analysis. *)
+
+type t
+
+val create : Hmm.t -> t
+
+val posteriors : t -> int option array -> float array array
+(** [posteriors f observations] — one normalized belief vector (over state
+    rows) per instant. *)
+
+val map_states : t -> int option array -> int array
+(** Per-instant marginal MAP state rows (argmax of each posterior). *)
+
+val expected_power : t -> Psm_trace.Functional_trace.t -> float array
+(** Power estimate as the posterior-weighted mean of the state outputs —
+    a soft alternative to committing to one state per instant. *)
+
+val log_likelihood : t -> int option array -> float
+(** Log observation likelihood under the model (from the normalization
+    constants) — a model-fit diagnostic: a trace from a different workload
+    family scores visibly lower per instant. *)

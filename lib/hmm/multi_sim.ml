@@ -1,0 +1,384 @@
+module Psm = Psm_core.Psm
+module Assertion = Psm_core.Assertion
+module Functional_trace = Psm_trace.Functional_trace
+module Interface = Psm_trace.Interface
+module Table = Psm_mining.Prop_trace.Table
+module Bits = Psm_bits.Bits
+
+type config = {
+  resync_enabled : bool;
+  on_resync : (cycle:int -> state:int -> prop:int option -> unit) option;
+}
+
+let default = { resync_enabled = true; on_resync = None }
+
+type result = {
+  estimate : float array;
+  state_trace : int array;
+  wrong_instants : int;
+  wsp : float;
+  resync_events : int;
+}
+
+(* A cursor tracks progress through one alternative of a state's assertion:
+   the array of primitive patterns of that alternative and the current
+   position. Invariant: the entry instant of the pattern at [pos] has
+   already been consumed (it coincides with the exit instant of the
+   previous pattern, or with the state-entry instant for pos = 0). *)
+type cursor = { prims : Assertion.t array; pos : int }
+
+let primitives_of_alternative = function
+  | (Assertion.Until _ | Assertion.Next _) as p -> [| p |]
+  | Assertion.Seq parts -> Array.of_list parts
+  | Assertion.Alt _ -> invalid_arg "Multi_sim: nested alternative"
+
+let entry_of_alternative alternative =
+  match Assertion.entry_props alternative with
+  | [ p ] -> p
+  | _ -> invalid_arg "Multi_sim: alternative without unique entry"
+
+let start_cursors assertion o =
+  Assertion.alternatives assertion
+  |> List.filter (fun alternative -> entry_of_alternative alternative = o)
+  |> List.map (fun alternative -> { prims = primitives_of_alternative alternative; pos = 0 })
+
+type step_outcome = Stays of cursor | Completes
+
+let step_cursor cursor o =
+  let advance () =
+    if cursor.pos + 1 < Array.length cursor.prims then
+      Some (Stays { cursor with pos = cursor.pos + 1 })
+    else Some Completes
+  in
+  match cursor.prims.(cursor.pos) with
+  | Assertion.Until (p, q) ->
+      if o = p then Some (Stays cursor) else if o = q then advance () else None
+  | Assertion.Next (_, q) -> if o = q then advance () else None
+  | Assertion.Seq _ | Assertion.Alt _ -> assert false
+
+type mode =
+  | Unstarted
+  | Synced of { row : int; cursors : cursor list }
+  | Desynced of { origin_row : int }
+
+module Stepper = struct
+  type t = {
+    config : config;
+    hmm : Hmm.t;
+    psm : Psm.t;
+    table : Table.t;
+    input_indexes : int list;
+    mutable prev_inputs : Bits.t array option;
+    mutable mode : mode;
+    mutable entered_via : (int * int) option;
+    mutable progressed : bool; (* the current state matched at least one
+                                  instant beyond its entry *)
+    mutable bans_active : bool;
+    mutable cycles : int;
+    mutable wrong_instants : int;
+    mutable resync_events : int;
+  }
+
+  let create ?(config = default) hmm =
+    Hmm.reset_bans hmm;
+    let psm = Hmm.psm hmm in
+    let table = Psm.prop_table psm in
+    let iface = Psm_mining.Vocabulary.interface (Table.vocabulary table) in
+    { config;
+      hmm;
+      psm;
+      table;
+      input_indexes = List.map fst (Interface.inputs iface);
+      prev_inputs = None;
+      mode = Unstarted;
+      entered_via = None;
+      progressed = false;
+      bans_active = false;
+      cycles = 0;
+      wrong_instants = 0;
+      resync_events = 0 }
+
+  let assertion_of_row t row = (Psm.state t.psm (Hmm.state_of_row t.hmm row)).Psm.assertion
+  let output_of_row t row = (Psm.state t.psm (Hmm.state_of_row t.hmm row)).Psm.output
+
+  (* Choose among candidate rows by filtered belief from [origin]. *)
+  let filtered_choice t ~origin_row ~prop ~candidates =
+    match candidates with
+    | [] -> None
+    | [ single ] -> Some single
+    | _ ->
+        let belief = Array.make (Hmm.state_count t.hmm) 0. in
+        belief.(origin_row) <- 1.;
+        let predicted = Hmm.predict t.hmm belief in
+        let scored =
+          List.map (fun r -> (r, predicted.(r) *. Hmm.b_entry t.hmm r prop)) candidates
+        in
+        let best =
+          List.fold_left
+            (fun acc (r, score) ->
+              match acc with
+              | Some (_, best_score) when best_score >= score -> acc
+              | _ -> Some (r, score))
+            None scored
+        in
+        Option.map fst best
+
+  (* Enter some state reachable from [origin_row] (or, failing that,
+     anywhere) on entry proposition [o]. *)
+  let try_jump t ~origin_row ~o =
+    let reachable =
+      List.filter_map
+        (fun (tr : Psm.transition) ->
+          let src = Hmm.row_of_state t.hmm tr.Psm.src in
+          let dst = Hmm.row_of_state t.hmm tr.Psm.dst in
+          if src = origin_row && tr.Psm.guard = o && Hmm.a t.hmm src dst > 0. then Some dst
+          else None)
+        (Psm.transitions t.psm)
+      |> List.sort_uniq Int.compare
+      |> List.filter (fun r -> start_cursors (assertion_of_row t r) o <> [])
+    in
+    let candidates =
+      if reachable <> [] then reachable
+      else
+        List.init (Hmm.state_count t.hmm) Fun.id
+        |> List.filter (fun r ->
+               Hmm.b_entry t.hmm r o > 0. && start_cursors (assertion_of_row t r) o <> [])
+    in
+    match filtered_choice t ~origin_row ~prop:o ~candidates with
+    | Some r -> Some (Synced { row = r; cursors = start_cursors (assertion_of_row t r) o })
+    | None -> None
+
+  (* First instant: the π-weighted choice among states recognizing o. *)
+  let initialize t o =
+    let pi = Hmm.initial_belief t.hmm in
+    let candidates =
+      List.init (Hmm.state_count t.hmm) Fun.id
+      |> List.filter (fun r -> start_cursors (assertion_of_row t r) o <> [])
+    in
+    let scored =
+      List.map (fun r -> (r, pi.(r) +. (1e-9 *. Hmm.b_entry t.hmm r o))) candidates
+    in
+    match
+      List.fold_left
+        (fun acc (r, score) ->
+          match acc with
+          | Some (_, best) when best >= score -> acc
+          | _ -> Some (r, score))
+        None scored
+    with
+    | Some (r, _) -> Synced { row = r; cursors = start_cursors (assertion_of_row t r) o }
+    | None -> Desynced { origin_row = 0 }
+
+  let notify t ~row ~o_opt =
+    match t.config.on_resync with
+    | Some hook -> hook ~cycle:t.cycles ~state:(Hmm.state_of_row t.hmm row) ~prop:o_opt
+    | None -> ()
+
+  (* Exit [row] through a transition guarded by o; ban wrong predictions
+     (chosen states that cannot recognize the entry) and re-predict.
+     [`No_edge] reports that the graph has no transition guarded by [o]
+     out of [row] at all — the completed alternative was a chain tail, so
+     the machine should remain in place (the paper: the simulation
+     "proceeds by remaining in the last valid state"). *)
+  let take_transition t ~row ~o =
+    let guard_exists =
+      List.exists
+        (fun (tr : Psm.transition) ->
+          Hmm.row_of_state t.hmm tr.Psm.src = row && tr.Psm.guard = o)
+        (Psm.transitions t.psm)
+    in
+    if not guard_exists then `No_edge
+    else begin
+      let rec attempt banned =
+        let candidates =
+          List.filter_map
+            (fun (tr : Psm.transition) ->
+              let src = Hmm.row_of_state t.hmm tr.Psm.src in
+              let dst = Hmm.row_of_state t.hmm tr.Psm.dst in
+              if src = row && tr.Psm.guard = o && Hmm.a t.hmm src dst > 0.
+                 && not (List.mem dst banned)
+              then Some dst
+              else None)
+            (Psm.transitions t.psm)
+          |> List.sort_uniq Int.compare
+        in
+        match filtered_choice t ~origin_row:row ~prop:o ~candidates with
+        | None -> `All_failed
+        | Some dst -> (
+            match start_cursors (assertion_of_row t dst) o with
+            | [] ->
+                Hmm.ban t.hmm ~src_row:row ~dst_row:dst;
+                t.bans_active <- true;
+                t.resync_events <- t.resync_events + 1;
+                notify t ~row:dst ~o_opt:(Some o);
+                attempt (dst :: banned)
+            | cursors ->
+                t.entered_via <- Some (row, dst);
+                `Chosen (Synced { row = dst; cursors }))
+      in
+      attempt []
+    end
+
+  (* Unknown behaviour in state [row]: revert to the last valid state, ban
+     the edge that brought us here, attempt a filtered jump. *)
+  let handle_failure t ~row ~o_opt =
+    t.resync_events <- t.resync_events + 1;
+    notify t ~row ~o_opt;
+    if not t.config.resync_enabled then Desynced { origin_row = row }
+    else begin
+      (* Revert-and-ban only applies to a freshly predicted state that
+         failed before matching anything (the paper's wrong prediction);
+         a state that ran fine for a while and then saw an unknown
+         behaviour is not a wrong prediction, and banning its entry edge
+         would poison A for the rest of the simulation. *)
+      let origin_row =
+        match t.entered_via with
+        | Some (src, dst) when dst = row && not t.progressed ->
+            Hmm.ban t.hmm ~src_row:src ~dst_row:dst;
+            t.bans_active <- true;
+            t.entered_via <- None;
+            src
+        | Some _ | None -> row
+      in
+      match o_opt with
+      | Some o -> (
+          match try_jump t ~origin_row ~o with
+          | Some next -> next
+          | None -> Desynced { origin_row })
+      | None -> Desynced { origin_row }
+    end
+
+  let input_hamming t sample =
+    let hd =
+      match t.prev_inputs with
+      | None -> 0
+      | Some prev ->
+          List.fold_left
+            (fun acc i -> acc + Bits.hamming_distance sample.(i) prev.(i))
+            0 t.input_indexes
+    in
+    t.prev_inputs <- Some (Array.copy sample);
+    float_of_int hd
+
+  let step t sample =
+    let hd = input_hamming t sample in
+    let o_opt = Table.classify t.table sample in
+    let initialized_now =
+      match (t.mode, o_opt) with
+      | Unstarted, Some o ->
+          t.mode <- initialize t o;
+          true
+      | Unstarted, None ->
+          t.mode <- Desynced { origin_row = 0 };
+          true
+      | (Synced _ | Desynced _), _ -> false
+    in
+    let next_mode =
+      match (t.mode, o_opt) with
+      | Unstarted, _ -> assert false
+      | Synced _, _ when initialized_now ->
+          (* The initial observation was consumed as the state's entry;
+             stepping the cursors again would read it twice. *)
+          t.mode
+      | Synced { row; cursors }, Some o -> (
+          let stepped = List.filter_map (fun c -> step_cursor c o) cursors in
+          let stays =
+            List.filter_map (function Stays c -> Some c | Completes -> None) stepped
+          in
+          let completes =
+            List.exists (function Completes -> true | Stays _ -> false) stepped
+          in
+          (* Exits take precedence: a completed alternative whose guard
+             leads somewhere wins over alternatives that merely survive
+             (simplify can produce cascades spanning several behaviours,
+             and following them past a legitimate exit strands the
+             machine when the cascade eventually diverges). When no exit
+             is possible, surviving cursors keep the machine in place. *)
+          if completes then begin
+            match take_transition t ~row ~o with
+            | `Chosen next ->
+                if t.bans_active then begin
+                  (* Normal operation resumed: the bans did their job of
+                     steering the re-prediction; keeping them would
+                     permanently distort A. *)
+                  Hmm.reset_bans t.hmm;
+                  t.bans_active <- false
+                end;
+                t.progressed <- false;
+                next
+            | `No_edge ->
+                (* Chain-tail completion: absorb, as the training fold
+                   attributed the trailing instants to this state. *)
+                if stays <> [] then begin
+                  t.progressed <- true;
+                  Synced { row; cursors = stays }
+                end
+                else Synced { row; cursors }
+            | `All_failed ->
+                if stays <> [] then begin
+                  t.progressed <- true;
+                  Synced { row; cursors = stays }
+                end
+                else handle_failure t ~row ~o_opt
+          end
+          else if stays <> [] then begin
+            t.progressed <- true;
+            Synced { row; cursors = stays }
+          end
+          else handle_failure t ~row ~o_opt)
+      | Synced { row; _ }, None -> handle_failure t ~row ~o_opt
+      | Desynced { origin_row }, Some o ->
+          if t.config.resync_enabled then begin
+            match try_jump t ~origin_row ~o with
+            | Some next ->
+                t.progressed <- false;
+                t.entered_via <- None;
+                next
+            | None -> Desynced { origin_row }
+          end
+          else begin
+            (* Sec. III-C behaviour: only the origin state itself can
+               recapture the trace. *)
+            match start_cursors (assertion_of_row t origin_row) o with
+            | [] -> Desynced { origin_row }
+            | cursors -> Synced { row = origin_row; cursors }
+          end
+      | Desynced { origin_row }, None -> Desynced { origin_row }
+    in
+    t.mode <- next_mode;
+    t.cycles <- t.cycles + 1;
+    match next_mode with
+    | Synced { row; _ } ->
+        (Psm.eval_output (output_of_row t row) ~hamming:hd, Hmm.state_of_row t.hmm row)
+    | Desynced { origin_row } ->
+        t.wrong_instants <- t.wrong_instants + 1;
+        (Psm.eval_output (output_of_row t origin_row) ~hamming:hd, -1)
+    | Unstarted -> assert false
+
+  let cycles t = t.cycles
+  let wrong_instants t = t.wrong_instants
+  let resync_events t = t.resync_events
+end
+
+let simulate ?config hmm trace =
+  let stepper = Stepper.create ?config hmm in
+  let n = Functional_trace.length trace in
+  let estimate = Array.make n 0. in
+  let state_trace = Array.make n (-1) in
+  Functional_trace.iter
+    (fun t sample ->
+      let e, sid = Stepper.step stepper sample in
+      estimate.(t) <- e;
+      state_trace.(t) <- sid)
+    trace;
+  let wrong = Stepper.wrong_instants stepper in
+  { estimate;
+    state_trace;
+    wrong_instants = wrong;
+    wsp = (if n = 0 then 0. else float_of_int wrong /. float_of_int n);
+    resync_events = Stepper.resync_events stepper }
+
+let simulate_timed ?config hmm trace =
+  let t0 = Unix.gettimeofday () in
+  let result = simulate ?config hmm trace in
+  (result, Unix.gettimeofday () -. t0)

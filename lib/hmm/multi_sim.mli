@@ -1,0 +1,65 @@
+(** Concurrent simulation of the combined PSM set under HMM control
+    (paper Sec. V).
+
+    At each instant the observed PI/PO sample is classified into a
+    proposition; the current state's assertion — possibly a [simplify]
+    cascade {p;q;…} tracked position by position, possibly a [join]
+    alternative set {p‖q‖…} tracked as a set of live alternatives — decides
+    whether the machine stays, advances inside the cascade, or exits
+    through a transition. Non-deterministic exits and resynchronization
+    jumps are resolved by HMM filtering (predict along A, condition on the
+    observed entry proposition through B).
+
+    When no alternative accepts the observation (an unknown behaviour),
+    the machine reverts to the last valid state, bans the offending A
+    entry, and attempts a filtered jump to a state that can recognize the
+    observation; failing that it remains in the last valid state — whose
+    power output keeps being emitted but is counted as unreliable — until
+    a known behaviour reappears. These unreliable instants over the total
+    gives the WSP (wrong-state prediction) metric of Table III. *)
+
+type config = {
+  resync_enabled : bool;
+      (** Ablation switch: when false, a desynchronized machine can only
+          recover by accidentally re-matching its current state (the
+          Sec. III-C behaviour). Default true. *)
+  on_resync : (cycle:int -> state:int -> prop:int option -> unit) option;
+      (** Diagnostic hook invoked at each resynchronization event with the
+          PSM state id and the observed proposition. Default [None]. *)
+}
+
+val default : config
+
+type result = {
+  estimate : float array;  (** Power estimate per instant. *)
+  state_trace : int array;  (** PSM state id per instant; -1 = desynced. *)
+  wrong_instants : int;
+  wsp : float;  (** wrong_instants / length. *)
+  resync_events : int;
+}
+
+val simulate :
+  ?config:config -> Hmm.t -> Psm_trace.Functional_trace.t -> result
+
+val simulate_timed :
+  ?config:config -> Hmm.t -> Psm_trace.Functional_trace.t -> result * float
+(** Result plus wall-clock seconds (Table III's IP+PSMs overhead
+    accounting). *)
+
+(** Streaming interface for cycle-by-cycle co-simulation with a live IP
+    model ({!simulate} is implemented on top of it). *)
+module Stepper : sig
+  type t
+
+  val create : ?config:config -> Hmm.t -> t
+  (** Resets the HMM's banned transitions. *)
+
+  val step : t -> Psm_bits.Bits.t array -> float * int
+  (** [step t sample] consumes one full interface sample (inputs then
+      outputs, in interface order) and returns (power estimate, current
+      PSM state id or -1 when desynchronized). *)
+
+  val cycles : t -> int
+  val wrong_instants : t -> int
+  val resync_events : t -> int
+end

@@ -1,0 +1,91 @@
+module Psm = Psm_core.Psm
+module Functional_trace = Psm_trace.Functional_trace
+module Table = Psm_mining.Prop_trace.Table
+
+(* Smoothing floor: keeps the lattice connected through observations or
+   transitions absent from training, at negligible cost to likelihoods
+   that training does support. *)
+let floor_p = 1e-9
+
+let viterbi hmm observations =
+  let m = Hmm.state_count hmm in
+  let n = Array.length observations in
+  if n = 0 then [||]
+  else begin
+    let log_f v = log (Float.max v floor_p) in
+    (* The PSM's A matrix is defined over state CHANGES (segment
+       boundaries); a per-instant lattice additionally needs the
+       probability of staying put. Expected dwell time per state comes
+       from its power attributes: n instants over k training visits. *)
+    let psm = Hmm.psm hmm in
+    let dwell =
+      Array.init m (fun row ->
+          let s = Psm.state psm (Hmm.state_of_row hmm row) in
+          let visits = max 1 (List.length s.Psm.attr.Psm_core.Power_attr.intervals) in
+          Float.max 1.5 (float_of_int s.Psm.attr.Psm_core.Power_attr.n /. float_of_int visits))
+    in
+    let log_a =
+      Array.init m (fun i ->
+          let stay = 1. -. (1. /. dwell.(i)) in
+          Array.init m (fun j ->
+              if i = j then log_f (Float.max stay (Hmm.a hmm i j))
+              else log_f ((1. -. stay) *. Hmm.a hmm i j)))
+    in
+    let emission row t =
+      match observations.(t) with
+      | None -> 0. (* uninformative *)
+      | Some prop -> log_f (Hmm.b_obs hmm row prop)
+    in
+    let score = Array.make_matrix n m neg_infinity in
+    let back = Array.make_matrix n m 0 in
+    let pi = Hmm.pi hmm in
+    for j = 0 to m - 1 do
+      score.(0).(j) <- log_f pi.(j) +. emission j 0
+    done;
+    for t = 1 to n - 1 do
+      for j = 0 to m - 1 do
+        let best = ref neg_infinity and arg = ref 0 in
+        for i = 0 to m - 1 do
+          let candidate = score.(t - 1).(i) +. log_a.(i).(j) in
+          if candidate > !best then begin
+            best := candidate;
+            arg := i
+          end
+        done;
+        score.(t).(j) <- !best +. emission j t;
+        back.(t).(j) <- !arg
+      done
+    done;
+    let path = Array.make n 0 in
+    let best = ref neg_infinity in
+    for j = 0 to m - 1 do
+      if score.(n - 1).(j) > !best then begin
+        best := score.(n - 1).(j);
+        path.(n - 1) <- j
+      end
+    done;
+    for t = n - 2 downto 0 do
+      path.(t) <- back.(t + 1).(path.(t + 1))
+    done;
+    path
+  end
+
+let classify_trace hmm trace =
+  let table = Psm.prop_table (Hmm.psm hmm) in
+  Array.init (Functional_trace.length trace) (fun time ->
+      Table.classify table (Functional_trace.sample trace ~time))
+
+let decode hmm trace =
+  let rows = viterbi hmm (classify_trace hmm trace) in
+  Array.map (Hmm.state_of_row hmm) rows
+
+let estimate hmm trace =
+  let psm = Hmm.psm hmm in
+  let hd = Functional_trace.input_hamming_series trace in
+  let ids = decode hmm trace in
+  Array.mapi
+    (fun t id -> Psm.eval_output (Psm.state psm id).Psm.output ~hamming:hd.(t))
+    ids
+
+let evaluate hmm trace ~reference =
+  Accuracy.of_estimate ~reference ~estimate:(estimate hmm trace) ~wsp:0.

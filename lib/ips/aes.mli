@@ -1,0 +1,26 @@
+(** AES-128 encryption/decryption IP — round-per-cycle FSM over
+    {!Aes_core}.
+
+    Interface (PIs: 260 bits, POs: 129 bits, matching Table I):
+    - [key]      (128) cipher key, sampled on [start];
+    - [data_in]  (128) plaintext/ciphertext block, sampled on [start];
+    - [start]    (1)   begin a new block (aborts any block in flight);
+    - [decrypt]  (1)   0 = encrypt, 1 = decrypt, sampled on [start];
+    - [enable]   (1)   clock gate: when 0 the IP holds all state;
+    - [rst]      (1)   synchronous reset;
+    - [data_out] (128) result block, held until the next block completes;
+    - [done]     (1)   1 from result availability until the next [start].
+
+    A block takes 11 cycles: the start cycle (key schedule + initial
+    AddRoundKey) followed by 10 round cycles; [data_out] and [done] are
+    published on the final round cycle.
+
+    Power behaviour: per-round activity is the Hamming distance of the
+    128-bit state transition plus a constant control/key-pipeline term, so
+    round power concentrates tightly around its mean — AES behaves as a
+    non-data-dependent IP, as in the paper (MRE ≈ 3%). *)
+
+val create : unit -> Ip.t
+
+val cycles_per_block : int
+(** Cycles from [start] to [done] inclusive. *)

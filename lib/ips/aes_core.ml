@@ -1,0 +1,157 @@
+module Bits = Psm_bits.Bits
+
+type block = int array
+
+let rounds = 10
+
+(* GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1. *)
+let xtime b =
+  let b = b lsl 1 in
+  if b land 0x100 <> 0 then b lxor 0x11B else b
+
+let gf_mul a b =
+  let rec go acc a b =
+    if b = 0 then acc
+    else go (if b land 1 = 1 then acc lxor a else acc) (xtime a) (b lsr 1)
+  in
+  go 0 a b
+
+(* Multiplicative inverse by Fermat: x^254 (0 maps to 0). *)
+let gf_inv x =
+  if x = 0 then 0
+  else begin
+    let rec pow acc base e =
+      if e = 0 then acc
+      else pow (if e land 1 = 1 then gf_mul acc base else acc) (gf_mul base base) (e lsr 1)
+    in
+    pow 1 x 254
+  end
+
+let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xFF
+
+(* S-box: affine transform of the field inverse (FIPS-197 Sec. 5.1.1). *)
+let sbox =
+  Array.init 256 (fun x ->
+      let b = gf_inv x in
+      b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63)
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i s -> t.(s) <- i) sbox;
+  t
+
+let check_block name b =
+  if Array.length b <> 16 then invalid_arg ("Aes_core." ^ name ^ ": block must be 16 bytes");
+  Array.iter
+    (fun x -> if x < 0 || x > 255 then invalid_arg ("Aes_core." ^ name ^ ": byte out of range"))
+    b
+
+(* State layout: s.(r + 4*c). *)
+let sub_bytes s = Array.map (fun b -> sbox.(b)) s
+let inv_sub_bytes s = Array.map (fun b -> inv_sbox.(b)) s
+
+let shift_rows s =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      s.(r + (4 * ((c + r) mod 4))))
+
+let inv_shift_rows s =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      s.(r + (4 * ((c - r + 4) mod 4))))
+
+let mix_single column coeffs =
+  Array.init 4 (fun r ->
+      let acc = ref 0 in
+      for k = 0 to 3 do
+        acc := !acc lxor gf_mul coeffs.((k - r + 4) mod 4) column.(k)
+      done;
+      !acc)
+
+let mix_with coeffs s =
+  Array.init 16 (fun i ->
+      let c = i / 4 in
+      let column = Array.init 4 (fun r -> s.(r + (4 * c))) in
+      (mix_single column coeffs).(i mod 4))
+
+let mix_columns = mix_with [| 2; 3; 1; 1 |]
+let inv_mix_columns = mix_with [| 14; 11; 13; 9 |]
+
+let add_round_key rk s =
+  check_block "add_round_key" rk;
+  Array.map2 ( lxor ) s rk
+
+let expand_key key =
+  if Array.length key <> 16 then invalid_arg "Aes_core.expand_key: key must be 16 bytes";
+  check_block "expand_key" key;
+  let words = Array.make 44 [||] in
+  for i = 0 to 3 do
+    words.(i) <- Array.init 4 (fun b -> key.((4 * i) + b))
+  done;
+  let rcon = ref 1 in
+  for i = 4 to 43 do
+    let prev = words.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        let rotated = Array.init 4 (fun b -> prev.((b + 1) mod 4)) in
+        let substituted = Array.map (fun b -> sbox.(b)) rotated in
+        substituted.(0) <- substituted.(0) lxor !rcon;
+        rcon := xtime !rcon;
+        substituted
+      end
+      else Array.copy prev
+    in
+    words.(i) <- Array.map2 ( lxor ) words.(i - 4) temp
+  done;
+  Array.init 11 (fun round ->
+      Array.init 16 (fun i ->
+          let r = i mod 4 and c = i / 4 in
+          words.((4 * round) + c).(r)))
+
+let encrypt_round ~last rk s =
+  let s = sub_bytes s in
+  let s = shift_rows s in
+  let s = if last then s else mix_columns s in
+  add_round_key rk s
+
+let decrypt_round ~last rk s =
+  let s = inv_shift_rows s in
+  let s = inv_sub_bytes s in
+  let s = add_round_key rk s in
+  if last then s else inv_mix_columns s
+
+let encrypt_block ~key plaintext =
+  check_block "encrypt_block" plaintext;
+  let rks = expand_key key in
+  let s = ref (add_round_key rks.(0) plaintext) in
+  for round = 1 to rounds do
+    s := encrypt_round ~last:(round = rounds) rks.(round) !s
+  done;
+  !s
+
+let decrypt_block ~key ciphertext =
+  check_block "decrypt_block" ciphertext;
+  let rks = expand_key key in
+  let s = ref (add_round_key rks.(rounds) ciphertext) in
+  for round = rounds - 1 downto 0 do
+    s := decrypt_round ~last:(round = 0) rks.(round) !s
+  done;
+  !s
+
+(* The FIPS input byte sequence in0..in15 fills the state column-major
+   (s.(r + 4c) = in.(r + 4c)), so the block array IS the byte sequence.
+   Byte 0 is the most significant byte of the 128-bit value. *)
+let block_of_bits v =
+  if Bits.width v <> 128 then invalid_arg "Aes_core.block_of_bits: width must be 128";
+  Array.init 16 (fun i ->
+      Bits.to_int (Bits.slice v ~hi:(127 - (8 * i)) ~lo:(120 - (8 * i))))
+
+let bits_of_block b =
+  check_block "bits_of_block" b;
+  Bits.concat_list (Array.to_list (Array.map (fun byte -> Bits.of_int ~width:8 byte) b))
+
+let block_of_hex s =
+  if String.length s <> 32 then invalid_arg "Aes_core.block_of_hex: need 32 hex digits";
+  block_of_bits (Bits.of_hex_string ~width:128 s)
+
+let hex_of_block b = Bits.to_hex_string (bits_of_block b)

@@ -1,0 +1,44 @@
+(** AES-128 block cipher core (FIPS-197).
+
+    Pure byte-level functions used by the round-per-cycle {!Aes} IP model.
+    Blocks and round keys are 16-element byte arrays laid out as in FIPS-197
+    (byte [i] is state element [row i mod 4, column i / 4]). The S-box is
+    derived algebraically (GF(2⁸) inversion + affine map) rather than
+    transcribed, and the whole core is pinned by the FIPS-197 Appendix C
+    test vectors in the test suite. *)
+
+type block = int array
+(** 16 bytes, each in [0, 255]. *)
+
+val rounds : int
+(** 10 for AES-128. *)
+
+val sbox : int array
+val inv_sbox : int array
+
+val expand_key : int array -> block array
+(** [expand_key key] is the 11 round keys (AddRoundKey operands) derived
+    from a 16-byte key. *)
+
+val add_round_key : block -> block -> block
+
+val encrypt_round : last:bool -> block -> block -> block
+(** [encrypt_round ~last round_key state]: SubBytes, ShiftRows,
+    MixColumns (skipped when [last]), AddRoundKey. *)
+
+val decrypt_round : last:bool -> block -> block -> block
+(** One InvCipher round: InvShiftRows, InvSubBytes, AddRoundKey,
+    InvMixColumns (skipped when [last]). *)
+
+val encrypt_block : key:int array -> block -> block
+val decrypt_block : key:int array -> block -> block
+
+val block_of_bits : Psm_bits.Bits.t -> block
+(** Big-endian: byte 0 of the block is bits [127:120]. *)
+
+val bits_of_block : block -> Psm_bits.Bits.t
+
+val block_of_hex : string -> block
+(** 32 hex digits. *)
+
+val hex_of_block : block -> string

@@ -1,0 +1,206 @@
+open Psm_rtl
+module Bits = Psm_bits.Bits
+module U = Gates_util
+
+(* Byte views over 128-bit buses. The FIPS block byte j occupies bus bits
+   [127-8j .. 120-8j]; net index = bit index (LSB first), so byte j's nets
+   start at 120 - 8j. State layout follows Aes_core: byte i sits at
+   row (i mod 4), column (i / 4). *)
+let bytes_of_bus bus = Array.init 16 (fun j -> Array.sub bus (120 - (8 * j)) 8)
+
+let bus_of_bytes bytes =
+  let bus = Array.make 128 0 in
+  Array.iteri
+    (fun j byte -> Array.iteri (fun b net -> bus.((120 - (8 * j)) + b) <- net) byte)
+    bytes;
+  bus
+
+let xor_state nl a b = Array.map2 (U.xor_byte nl) a b
+
+let sub_bytes nl table state = Array.map (U.sbox_lut nl table) state
+
+let shift_rows state =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      state.(r + (4 * ((c + r) mod 4))))
+
+let inv_shift_rows state =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      state.(r + (4 * ((c - r + 4) mod 4))))
+
+let mix_with nl coeffs state =
+  Array.init 16 (fun i ->
+      let c = i / 4 and r = i mod 4 in
+      let term k =
+        U.gf_mul_const nl coeffs.((k - r + 4) mod 4) state.(k + (4 * c))
+      in
+      let acc = ref (term 0) in
+      for k = 1 to 3 do
+        acc := U.xor_byte nl !acc (term k)
+      done;
+      !acc)
+
+let mix_columns nl state = mix_with nl [| 2; 3; 1; 1 |] state
+let inv_mix_columns nl state = mix_with nl [| 14; 11; 13; 9 |] state
+
+let mux_state nl ~sel a b = Array.map2 (fun x y -> Comb.mux2 nl ~sel x y) a b
+
+(* Combinational key schedule: 44 words of 4 bytes from the key bytes,
+   regrouped into 11 round keys in state layout. *)
+let key_schedule nl key_bytes =
+  let words = Array.make 44 [||] in
+  for i = 0 to 3 do
+    words.(i) <- Array.init 4 (fun b -> key_bytes.((4 * i) + b))
+  done;
+  let rcon = ref 1 in
+  let xtime_int v = let v = v lsl 1 in if v land 0x100 <> 0 then v lxor 0x11B else v in
+  for i = 4 to 43 do
+    let prev = words.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        let rotated = Array.init 4 (fun b -> prev.((b + 1) mod 4)) in
+        let substituted = Array.map (U.sbox_lut nl Aes_core.sbox) rotated in
+        substituted.(0) <- U.xor_byte nl substituted.(0) (U.byte_const nl !rcon);
+        rcon := xtime_int !rcon;
+        substituted
+      end
+      else prev
+    in
+    words.(i) <- Array.init 4 (fun b -> U.xor_byte nl words.(i - 4).(b) temp.(b))
+  done;
+  Array.init 11 (fun round ->
+      Array.init 16 (fun i ->
+          let r = i mod 4 and c = i / 4 in
+          words.((4 * round) + c).(r)))
+
+let netlist () =
+  let nl = Netlist.create "AES" in
+  let key = Netlist.input nl "key" 128 in
+  let data_in = Netlist.input nl "data_in" 128 in
+  let start = (Netlist.input nl "start" 1).(0) in
+  let decrypt = (Netlist.input nl "decrypt" 1).(0) in
+  let enable = (Netlist.input nl "enable" 1).(0) in
+  let rst = (Netlist.input nl "rst" 1).(0) in
+  let zero = Netlist.const nl false in
+  let not_ n = Netlist.gate nl Netlist.Not [| n |] in
+  let and_ a b = Netlist.gate nl Netlist.And [| a; b |] in
+  let or_ a b = Netlist.gate nl Netlist.Or [| a; b |] in
+  let mux b0 b1 sel = Netlist.gate nl Netlist.Mux [| sel; b0; b1 |] in
+
+  (* State registers, connected after the next-state logic exists.
+     Update discipline (mirrors the behavioural model): rst clears
+     unconditionally; !enable holds; otherwise the next-state applies. *)
+  let reg width =
+    let q, connect = Netlist.dff_loop_vector nl width in
+    let finish next =
+      let held = Comb.mux2 nl ~sel:enable q next in
+      connect (Comb.mux2 nl ~sel:rst held (Array.make width zero))
+    in
+    (q, finish)
+  in
+  let s_q, s_connect = reg 128 in
+  let out_q, out_connect = reg 128 in
+  let bank =
+    Array.init 11 (fun _ -> reg 128)
+  in
+  let r_q, r_connect = reg 4 in
+  let running_q, running_connect = reg 1 in
+  let done_q, done_connect = reg 1 in
+  let decrypting_q, decrypting_connect = reg 1 in
+
+  (* Control. *)
+  let start_fire = start in
+  let running = running_q.(0) in
+  let is_round = and_ running (not_ start_fire) in
+  let r_is_10 = Comb.eq_const nl r_q (Bits.of_int ~width:4 10) in
+  let last_fire = and_ is_round r_is_10 in
+
+  (* Key schedule (combinational from the key bus) and the round-key
+     bank. *)
+  let schedule = key_schedule nl (bytes_of_bus key) in
+  let schedule_bus = Array.map bus_of_bytes schedule in
+  Array.iteri
+    (fun i (q, connect) ->
+      connect (Comb.mux2 nl ~sel:start_fire q schedule_bus.(i)))
+    bank;
+
+  (* Round-key selection: r indexes the bank (encrypt: r, decrypt: 10-r). *)
+  let bank_q = Array.map fst bank in
+  let pad16 ways = Array.init 16 (fun i -> ways.(min i 10)) in
+  let rk_enc = Comb.mux_tree nl ~sel:r_q (pad16 bank_q) in
+  let rk_dec =
+    Comb.mux_tree nl ~sel:r_q (pad16 (Array.init 11 (fun i -> bank_q.(10 - i))))
+  in
+  let decrypting = decrypting_q.(0) in
+  let rk = mux_state nl ~sel:decrypting (bytes_of_bus rk_enc) (bytes_of_bus rk_dec) in
+
+  (* The two round datapaths over the state register. *)
+  let s = bytes_of_bus s_q in
+  let enc =
+    let sb = sub_bytes nl Aes_core.sbox s in
+    let sr = shift_rows sb in
+    let mc = mix_columns nl sr in
+    let pre_ark = mux_state nl ~sel:r_is_10 mc sr in
+    xor_state nl pre_ark rk
+  in
+  let dec =
+    let isr = inv_shift_rows s in
+    let isb = sub_bytes nl Aes_core.inv_sbox isr in
+    let ark = xor_state nl isb rk in
+    let imc = inv_mix_columns nl ark in
+    mux_state nl ~sel:r_is_10 imc ark
+  in
+  let round_out = mux_state nl ~sel:decrypting enc dec in
+
+  (* Initial whitening on start: data xor (decrypt ? rk10 : rk0), straight
+     from the combinational schedule. *)
+  let first_rk = mux_state nl ~sel:decrypt schedule.(0) schedule.(10) in
+  let s_init = xor_state nl (bytes_of_bus data_in) first_rk in
+
+  (* Next-state equations. *)
+  let pick ~on_start ~on_round ~otherwise =
+    Array.init (Array.length on_start) (fun i ->
+        mux (mux otherwise.(i) on_round.(i) is_round) on_start.(i) start_fire)
+  in
+  s_connect
+    (pick ~on_start:(bus_of_bytes s_init) ~on_round:(bus_of_bytes round_out) ~otherwise:s_q);
+  out_connect
+    (pick ~on_start:out_q
+       ~on_round:(Comb.mux2 nl ~sel:r_is_10 out_q (bus_of_bytes round_out))
+       ~otherwise:out_q);
+  let one4 = Comb.const_vector nl (Bits.of_int ~width:4 1) in
+  let r_plus, _ = Comb.adder nl r_q one4 in
+  r_connect (pick ~on_start:one4 ~on_round:r_plus ~otherwise:r_q);
+  running_connect
+    (pick
+       ~on_start:[| Netlist.const nl true |]
+       ~on_round:[| not_ r_is_10 |]
+       ~otherwise:running_q);
+  done_connect
+    (pick ~on_start:[| zero |] ~on_round:[| or_ done_q.(0) last_fire |] ~otherwise:done_q);
+  decrypting_connect (pick ~on_start:[| decrypt |] ~on_round:decrypting_q ~otherwise:decrypting_q);
+
+  Netlist.output nl "data_out" out_q;
+  Netlist.output nl "done" done_q;
+  nl
+
+let create () =
+  let sim = Sim.create (netlist ()) in
+  let rec ip =
+    { Ip.name = "AES-gates";
+      interface = Sim.interface sim;
+      memory_elements = Sim.memory_elements sim;
+      reset = (fun () -> Sim.reset sim);
+      step =
+        (fun pis ->
+          Ip.check_step ip pis;
+          let outs =
+            Sim.step sim
+              [ ("key", pis.(0)); ("data_in", pis.(1)); ("start", pis.(2));
+                ("decrypt", pis.(3)); ("enable", pis.(4)); ("rst", pis.(5)) ]
+          in
+          ([| List.assoc "data_out" outs; List.assoc "done" outs |],
+           float_of_int (Sim.last_toggles sim))) }
+  in
+  ip

@@ -1,0 +1,12 @@
+(** Gate-level structural netlist of the AES-128 IP: SubBytes/InvSubBytes
+    as 256-leaf LUT mux trees, MixColumns/InvMixColumns as xtime networks,
+    the full key schedule materialized combinationally (latched into an
+    11 × 128 round-key bank on [start]), and the same round-per-cycle
+    control FSM as the behavioural {!Aes} model — cycle-exact against it.
+
+    ~190k gates: this is the "synthesized netlist" whose per-net toggle
+    simulation plays PrimeTime PX for AES. *)
+
+val netlist : unit -> Psm_rtl.Netlist.t
+
+val create : unit -> Ip.t

@@ -1,0 +1,44 @@
+(** Camellia-128 encryption/decryption IP — one Feistel round per cycle
+    over {!Camellia_core}.
+
+    Interface (PIs: 262 bits, POs: 129 bits, matching Table I):
+    - [key]      (128) cipher key, sampled on [start];
+    - [data_in]  (128) plaintext/ciphertext block, sampled on [start];
+    - [start]    (1)   begin a new block;
+    - [decrypt]  (1)   0 = encrypt, 1 = decrypt, sampled on [start];
+    - [enable]   (1)   clock gate;
+    - [rst]      (1)   synchronous reset;
+    - [mode]     (2)   reserved configuration input (must be 0); present
+                       for interface parity with the paper's 262-bit PI
+                       count;
+    - [data_out] (128) result block;
+    - [done]     (1)   1 from result availability until the next [start].
+
+    A block takes 19 cycles: start (key schedule) + 18 rounds (the FL/FL⁻¹
+    layers execute within the cycles of rounds 7 and 13).
+
+    Power behaviour — the paper's problem child. The model contains two
+    subcomponents whose switching is poorly correlated: the Feistel data
+    path (observable through PIs/POs) and an always-running key-schedule
+    scrubber whose utilization follows a bounded random walk driven by an
+    internal LFSR, invisible at the interface. The scrubber inflates every
+    power state's variance with no PI/PO correlation, so neither
+    constant-μ states nor the Hamming-distance regression can capture it —
+    reproducing the mechanism the paper blames for Camellia's ≈32% MRE. *)
+
+val create : unit -> Ip.t
+
+val create_without_scrubber : unit -> Ip.t
+(** Ablation: the same IP with the weakly-correlated subcomponent disabled
+    (its activity replaced by the equivalent constant mean). Shows that the
+    high MRE comes from the correlation structure, not the magnitude, of
+    the hidden activity. *)
+
+val cycles_per_block : int
+
+val create_decomposed : unit -> Decomposed.t
+(** Hierarchical view for {!Psm_flow.Hier}: the datapath observed at the
+    top-level PIs/POs plus the scrubber observed at its internal boundary
+    (its quantized utilization level). Implements the paper's
+    concluding-remarks proposal — with subcomponent visibility, Camellia
+    recovers AES-grade accuracy. *)

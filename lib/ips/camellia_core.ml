@@ -1,0 +1,178 @@
+module Bits = Psm_bits.Bits
+
+type half = int64
+
+type subkeys = { kw : half array; k : half array; ke : half array }
+
+let rounds = 18
+
+(* SBOX1 of RFC 3713; SBOX2-4 are rotations derived below. The encrypt/
+   decrypt round-trip and the RFC test vector in the test suite pin this
+   table. *)
+let sbox1 =
+  [| 0x70; 0x82; 0x2c; 0xec; 0xb3; 0x27; 0xc0; 0xe5; 0xe4; 0x85; 0x57; 0x35;
+     0xea; 0x0c; 0xae; 0x41; 0x23; 0xef; 0x6b; 0x93; 0x45; 0x19; 0xa5; 0x21;
+     0xed; 0x0e; 0x4f; 0x4e; 0x1d; 0x65; 0x92; 0xbd; 0x86; 0xb8; 0xaf; 0x8f;
+     0x7c; 0xeb; 0x1f; 0xce; 0x3e; 0x30; 0xdc; 0x5f; 0x5e; 0xc5; 0x0b; 0x1a;
+     0xa6; 0xe1; 0x39; 0xca; 0xd5; 0x47; 0x5d; 0x3d; 0xd9; 0x01; 0x5a; 0xd6;
+     0x51; 0x56; 0x6c; 0x4d; 0x8b; 0x0d; 0x9a; 0x66; 0xfb; 0xcc; 0xb0; 0x2d;
+     0x74; 0x12; 0x2b; 0x20; 0xf0; 0xb1; 0x84; 0x99; 0xdf; 0x4c; 0xcb; 0xc2;
+     0x34; 0x7e; 0x76; 0x05; 0x6d; 0xb7; 0xa9; 0x31; 0xd1; 0x17; 0x04; 0xd7;
+     0x14; 0x58; 0x3a; 0x61; 0xde; 0x1b; 0x11; 0x1c; 0x32; 0x0f; 0x9c; 0x16;
+     0x53; 0x18; 0xf2; 0x22; 0xfe; 0x44; 0xcf; 0xb2; 0xc3; 0xb5; 0x7a; 0x91;
+     0x24; 0x08; 0xe8; 0xa8; 0x60; 0xfc; 0x69; 0x50; 0xaa; 0xd0; 0xa0; 0x7d;
+     0xa1; 0x89; 0x62; 0x97; 0x54; 0x5b; 0x1e; 0x95; 0xe0; 0xff; 0x64; 0xd2;
+     0x10; 0xc4; 0x00; 0x48; 0xa3; 0xf7; 0x75; 0xdb; 0x8a; 0x03; 0xe6; 0xda;
+     0x09; 0x3f; 0xdd; 0x94; 0x87; 0x5c; 0x83; 0x02; 0xcd; 0x4a; 0x90; 0x33;
+     0x73; 0x67; 0xf6; 0xf3; 0x9d; 0x7f; 0xbf; 0xe2; 0x52; 0x9b; 0xd8; 0x26;
+     0xc8; 0x37; 0xc6; 0x3b; 0x81; 0x96; 0x6f; 0x4b; 0x13; 0xbe; 0x63; 0x2e;
+     0xe9; 0x79; 0xa7; 0x8c; 0x9f; 0x6e; 0xbc; 0x8e; 0x29; 0xf5; 0xf9; 0xb6;
+     0x2f; 0xfd; 0xb4; 0x59; 0x78; 0x98; 0x06; 0x6a; 0xe7; 0x46; 0x71; 0xba;
+     0xd4; 0x25; 0xab; 0x42; 0x88; 0xa2; 0x8d; 0xfa; 0x72; 0x07; 0xb9; 0x55;
+     0xf8; 0xee; 0xac; 0x0a; 0x36; 0x49; 0x2a; 0x68; 0x3c; 0x38; 0xf1; 0xa4;
+     0x40; 0x28; 0xd3; 0x7b; 0xbb; 0xc9; 0x43; 0xc1; 0x15; 0xe3; 0xad; 0xf4;
+     0x77; 0xc7; 0x80; 0x9e |]
+
+let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xFF
+
+let sbox2 = Array.map (fun s -> rotl8 s 1) sbox1
+let sbox3 = Array.map (fun s -> rotl8 s 7) sbox1
+let sbox4 = Array.init 256 (fun x -> sbox1.(rotl8 x 1))
+
+let mask8 = 0xFFL
+
+let byte x i = Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * (7 - i))) mask8)
+
+let of_bytes b =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (b.(i) land 0xFF))
+  done;
+  !acc
+
+let f x ke =
+  let x = Int64.logxor x ke in
+  let t1 = sbox1.(byte x 0)
+  and t2 = sbox2.(byte x 1)
+  and t3 = sbox3.(byte x 2)
+  and t4 = sbox4.(byte x 3)
+  and t5 = sbox2.(byte x 4)
+  and t6 = sbox3.(byte x 5)
+  and t7 = sbox4.(byte x 6)
+  and t8 = sbox1.(byte x 7) in
+  let ( ^ ) = ( lxor ) in
+  let y1 = t1 ^ t3 ^ t4 ^ t6 ^ t7 ^ t8
+  and y2 = t1 ^ t2 ^ t4 ^ t5 ^ t7 ^ t8
+  and y3 = t1 ^ t2 ^ t3 ^ t5 ^ t6 ^ t8
+  and y4 = t2 ^ t3 ^ t4 ^ t5 ^ t6 ^ t7
+  and y5 = t1 ^ t2 ^ t6 ^ t7 ^ t8
+  and y6 = t2 ^ t3 ^ t5 ^ t7 ^ t8
+  and y7 = t3 ^ t4 ^ t5 ^ t6 ^ t8
+  and y8 = t1 ^ t4 ^ t5 ^ t6 ^ t7 in
+  of_bytes [| y1; y2; y3; y4; y5; y6; y7; y8 |]
+
+let mask32 = 0xFFFFFFFFL
+
+let rotl32 x n =
+  let n = n mod 32 in
+  Int64.logand
+    (Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (32 - n)))
+    mask32
+
+let fl x ke =
+  let x1 = Int64.shift_right_logical x 32 and x2 = Int64.logand x mask32 in
+  let k1 = Int64.shift_right_logical ke 32 and k2 = Int64.logand ke mask32 in
+  let x2 = Int64.logxor x2 (rotl32 (Int64.logand x1 k1) 1) in
+  let x1 = Int64.logxor x1 (Int64.logor x2 k2) in
+  Int64.logor (Int64.shift_left x1 32) x2
+
+let flinv y ke =
+  let y1 = Int64.shift_right_logical y 32 and y2 = Int64.logand y mask32 in
+  let k1 = Int64.shift_right_logical ke 32 and k2 = Int64.logand ke mask32 in
+  let y1 = Int64.logxor y1 (Int64.logor y2 k2) in
+  let y2 = Int64.logxor y2 (rotl32 (Int64.logand y1 k1) 1) in
+  Int64.logor (Int64.shift_left y1 32) y2
+
+let sigma1 = 0xA09E667F3BCC908BL
+let sigma2 = 0xB67AE8584CAA73B2L
+let sigma3 = 0xC6EF372FE94F82BEL
+let sigma4 = 0x54FF53A5F1D36F1CL
+
+(* Rotate the 128-bit quantity (hi, lo) left by n (0 <= n < 128). *)
+let rec rotl128 (hi, lo) n =
+  let n = n mod 128 in
+  if n = 0 then (hi, lo)
+  else if n < 64 then
+    ( Int64.logor (Int64.shift_left hi n) (Int64.shift_right_logical lo (64 - n)),
+      Int64.logor (Int64.shift_left lo n) (Int64.shift_right_logical hi (64 - n)) )
+  else rotl128 (lo, hi) (n - 64)
+
+let expand_key (kl_hi, kl_lo) =
+  (* KR = 0 for 128-bit keys. *)
+  let d1 = kl_hi and d2 = kl_lo in
+  let d2 = Int64.logxor d2 (f d1 sigma1) in
+  let d1 = Int64.logxor d1 (f d2 sigma2) in
+  let d1 = Int64.logxor d1 kl_hi and d2 = Int64.logxor d2 kl_lo in
+  let d2 = Int64.logxor d2 (f d1 sigma3) in
+  let d1 = Int64.logxor d1 (f d2 sigma4) in
+  let ka = (d1, d2) in
+  let kl = (kl_hi, kl_lo) in
+  let hi (h, _) = h and lo (_, l) = l in
+  { kw =
+      [| hi (rotl128 kl 0); lo (rotl128 kl 0);
+         hi (rotl128 ka 111); lo (rotl128 ka 111) |];
+    k =
+      [| hi (rotl128 ka 0); lo (rotl128 ka 0);
+         hi (rotl128 kl 15); lo (rotl128 kl 15);
+         hi (rotl128 ka 15); lo (rotl128 ka 15);
+         hi (rotl128 kl 45); lo (rotl128 kl 45);
+         hi (rotl128 ka 45); lo (rotl128 kl 60);
+         hi (rotl128 ka 60); lo (rotl128 ka 60);
+         hi (rotl128 kl 94); lo (rotl128 kl 94);
+         hi (rotl128 ka 94); lo (rotl128 ka 94);
+         hi (rotl128 kl 111); lo (rotl128 kl 111) |];
+    ke =
+      [| hi (rotl128 ka 30); lo (rotl128 ka 30);
+         hi (rotl128 kl 77); lo (rotl128 kl 77) |] }
+
+let decryption_subkeys sk =
+  { kw = [| sk.kw.(2); sk.kw.(3); sk.kw.(0); sk.kw.(1) |];
+    k = Array.init rounds (fun i -> sk.k.(rounds - 1 - i));
+    ke = [| sk.ke.(3); sk.ke.(2); sk.ke.(1); sk.ke.(0) |] }
+
+let round sk i (d1, d2) =
+  if i < 1 || i > rounds then invalid_arg "Camellia_core.round: index in 1..18";
+  let kr = sk.k.(i - 1) in
+  if i mod 2 = 1 then (d1, Int64.logxor d2 (f d1 kr))
+  else (Int64.logxor d1 (f d2 kr), d2)
+
+let fl_layer sk j (d1, d2) =
+  if j < 0 || j > 1 then invalid_arg "Camellia_core.fl_layer: index in 0..1";
+  (fl d1 sk.ke.(2 * j), flinv d2 sk.ke.((2 * j) + 1))
+
+let run sk (m1, m2) =
+  let d1 = Int64.logxor m1 sk.kw.(0) and d2 = Int64.logxor m2 sk.kw.(1) in
+  let state = ref (d1, d2) in
+  for i = 1 to rounds do
+    if i = 7 then state := fl_layer sk 0 !state;
+    if i = 13 then state := fl_layer sk 1 !state;
+    state := round sk i !state
+  done;
+  let d1, d2 = !state in
+  (Int64.logxor d2 sk.kw.(2), Int64.logxor d1 sk.kw.(3))
+
+let encrypt_block ~key m = run (expand_key key) m
+let decrypt_block ~key c = run (decryption_subkeys (expand_key key)) c
+
+let halves_of_bits v =
+  if Bits.width v <> 128 then invalid_arg "Camellia_core.halves_of_bits: width must be 128";
+  (Bits.to_int64 (Bits.slice v ~hi:127 ~lo:64), Bits.to_int64 (Bits.slice v ~hi:63 ~lo:0))
+
+let bits_of_halves (hi, lo) =
+  Bits.concat (Bits.of_int64 ~width:64 hi) (Bits.of_int64 ~width:64 lo)
+
+let halves_of_hex s =
+  if String.length s <> 32 then invalid_arg "Camellia_core.halves_of_hex: need 32 hex digits";
+  halves_of_bits (Bits.of_hex_string ~width:128 s)
+
+let hex_of_halves h = Bits.to_hex_string (bits_of_halves h)

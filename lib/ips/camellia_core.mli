@@ -1,0 +1,54 @@
+(** Camellia-128 block cipher core (RFC 3713).
+
+    Pure functions over 64-bit halves, exposed round-wise so the
+    {!Camellia} IP can step one Feistel round per clock cycle. Pinned by
+    the RFC 3713 test vector in the test suite. *)
+
+type half = int64
+(** One 64-bit half of the 128-bit state, unsigned interpretation. *)
+
+type subkeys = {
+  kw : half array;  (** 4 whitening keys. *)
+  k : half array;  (** 18 round keys. *)
+  ke : half array;  (** 4 FL/FL⁻¹ keys. *)
+}
+
+val rounds : int
+(** 18 for Camellia-128. *)
+
+val sbox1 : int array
+
+val f : half -> half -> half
+(** [f x ke] — the Feistel F-function (S-box layer + P permutation). *)
+
+val fl : half -> half -> half
+val flinv : half -> half -> half
+
+val expand_key : half * half -> subkeys
+(** Key schedule for a 128-bit key given as (most significant half, least
+    significant half). *)
+
+val decryption_subkeys : subkeys -> subkeys
+(** The reversed schedule: running the encryption network with these
+    subkeys decrypts. *)
+
+val round : subkeys -> int -> half * half -> half * half
+(** [round sk i (d1, d2)] applies Feistel round [i] (1-based, 1..18):
+    odd rounds update d2 from d1, even rounds update d1 from d2. The FL
+    layers that precede rounds 7 and 13 are NOT included — apply
+    {!fl_layer} first on those rounds. *)
+
+val fl_layer : subkeys -> int -> half * half -> half * half
+(** [fl_layer sk j] applies the [j]-th FL/FL⁻¹ pair (j ∈ {0, 1}):
+    d1 ← FL(d1, ke.(2j)), d2 ← FL⁻¹(d2, ke.(2j+1)). *)
+
+val encrypt_block : key:half * half -> half * half -> half * half
+val decrypt_block : key:half * half -> half * half -> half * half
+
+val halves_of_bits : Psm_bits.Bits.t -> half * half
+(** (most significant 64 bits, least significant 64 bits) of a 128-bit
+    vector. *)
+
+val bits_of_halves : half * half -> Psm_bits.Bits.t
+val halves_of_hex : string -> half * half
+val hex_of_halves : half * half -> string

@@ -1,0 +1,216 @@
+open Psm_rtl
+module Bits = Psm_bits.Bits
+module U = Gates_util
+module Core = Camellia_core
+
+(* Net conventions: a 64-bit half is an LSB-first net vector; byte i of
+   the RFC's t1..t8 numbering (t1 most significant) is nets
+   [8*(7-i) .. 8*(7-i)+7]. A 128-bit quantity is hi @ lo with hi in nets
+   [64..127]. *)
+
+let half_byte h i = Array.sub h (8 * (7 - i)) 8
+
+let half_of_bytes bytes =
+  let h = Array.make 64 0 in
+  Array.iteri
+    (fun i byte -> Array.iteri (fun b net -> h.((8 * (7 - i)) + b) <- net) byte)
+    bytes;
+  h
+
+let const_half nl v = Comb.const_vector nl (Bits.of_int64 ~width:64 v)
+
+let xor_half nl a b = Comb.xor_v nl a b
+
+(* Precomputed S-box tables (same derivations as Camellia_core). *)
+let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xFF
+let sbox2 = Array.map (fun s -> rotl8 s 1) Core.sbox1
+let sbox3 = Array.map (fun s -> rotl8 s 7) Core.sbox1
+let sbox4 = Array.init 256 (fun x -> Core.sbox1.(rotl8 x 1))
+
+let f_function nl x ke =
+  let x = xor_half nl x ke in
+  let s tbl i = U.sbox_lut nl tbl (half_byte x i) in
+  let t = [| s Core.sbox1 0; s sbox2 1; s sbox3 2; s sbox4 3;
+             s sbox2 4; s sbox3 5; s sbox4 6; s Core.sbox1 7 |] in
+  let xor_list nets =
+    match nets with
+    | [] -> assert false
+    | first :: rest -> List.fold_left (fun acc n -> U.xor_byte nl acc n) first rest
+  in
+  (* P layer (RFC 3713): y1..y8 from t1..t8 (arrays are 0-based). *)
+  let y =
+    [| xor_list [ t.(0); t.(2); t.(3); t.(5); t.(6); t.(7) ];
+       xor_list [ t.(0); t.(1); t.(3); t.(4); t.(6); t.(7) ];
+       xor_list [ t.(0); t.(1); t.(2); t.(4); t.(5); t.(7) ];
+       xor_list [ t.(1); t.(2); t.(3); t.(4); t.(5); t.(6) ];
+       xor_list [ t.(0); t.(1); t.(5); t.(6); t.(7) ];
+       xor_list [ t.(1); t.(2); t.(4); t.(6); t.(7) ];
+       xor_list [ t.(2); t.(3); t.(4); t.(5); t.(7) ];
+       xor_list [ t.(0); t.(3); t.(4); t.(5); t.(6) ] |]
+  in
+  half_of_bytes y
+
+(* FL / FL⁻¹ on a 64-bit half: x1 = high 32 bits (nets 32..63). *)
+let fl nl x ke =
+  let x1 = Array.sub x 32 32 and x2 = Array.sub x 0 32 in
+  let k1 = Array.sub ke 32 32 and k2 = Array.sub ke 0 32 in
+  let x2' = Comb.xor_v nl x2 (U.rotl_nets (Comb.and_v nl x1 k1) 1) in
+  let x1' = Comb.xor_v nl x1 (Comb.or_v nl x2' k2) in
+  Array.append x2' x1'
+
+let flinv nl y ke =
+  let y1 = Array.sub y 32 32 and y2 = Array.sub y 0 32 in
+  let k1 = Array.sub ke 32 32 and k2 = Array.sub ke 0 32 in
+  let y1' = Comb.xor_v nl y1 (Comb.or_v nl y2 k2) in
+  let y2' = Comb.xor_v nl y2 (U.rotl_nets (Comb.and_v nl y1' k1) 1) in
+  Array.append y2' y1'
+
+(* Combinational key schedule: returns the 26 subkeys (kw1..4, k1..18,
+   ke1..4) in encryption order, as (hi, lo are folded: each subkey is a
+   64-net vector). *)
+let key_schedule nl kl_hi kl_lo =
+  let d2 = xor_half nl kl_lo (f_function nl kl_hi (const_half nl 0xA09E667F3BCC908BL)) in
+  let d1 = xor_half nl kl_hi (f_function nl d2 (const_half nl 0xB67AE8584CAA73B2L)) in
+  let d1 = xor_half nl d1 kl_hi and d2 = xor_half nl d2 kl_lo in
+  let d2 = xor_half nl d2 (f_function nl d1 (const_half nl 0xC6EF372FE94F82BEL)) in
+  let d1 = xor_half nl d1 (f_function nl d2 (const_half nl 0x54FF53A5F1D36F1CL)) in
+  let ka = Array.append d2 d1 (* 128 nets, lo first *) in
+  let kl = Array.append kl_lo kl_hi in
+  let hi q = Array.sub q 64 64 and lo q = Array.sub q 0 64 in
+  let rot q n = U.rotl_nets q n in
+  let kw = [| hi (rot kl 0); lo (rot kl 0); hi (rot ka 111); lo (rot ka 111) |] in
+  let k =
+    [| hi (rot ka 0); lo (rot ka 0); hi (rot kl 15); lo (rot kl 15);
+       hi (rot ka 15); lo (rot ka 15); hi (rot kl 45); lo (rot kl 45);
+       hi (rot ka 45); lo (rot kl 60); hi (rot ka 60); lo (rot ka 60);
+       hi (rot kl 94); lo (rot kl 94); hi (rot ka 94); lo (rot ka 94);
+       hi (rot kl 111); lo (rot kl 111) |]
+  in
+  let ke = [| hi (rot ka 30); lo (rot ka 30); hi (rot kl 77); lo (rot kl 77) |] in
+  (kw, k, ke)
+
+let netlist () =
+  let nl = Netlist.create "Camellia" in
+  let key = Netlist.input nl "key" 128 in
+  let data_in = Netlist.input nl "data_in" 128 in
+  let start = (Netlist.input nl "start" 1).(0) in
+  let decrypt = (Netlist.input nl "decrypt" 1).(0) in
+  let enable = (Netlist.input nl "enable" 1).(0) in
+  let rst = (Netlist.input nl "rst" 1).(0) in
+  let _mode = Netlist.input nl "mode" 2 in
+  let zero = Netlist.const nl false in
+  let not_ n = Netlist.gate nl Netlist.Not [| n |] in
+  let and_ a b = Netlist.gate nl Netlist.And [| a; b |] in
+  let or_ a b = Netlist.gate nl Netlist.Or [| a; b |] in
+  let mux1 b0 b1 sel = Netlist.gate nl Netlist.Mux [| sel; b0; b1 |] in
+  let reg width =
+    let q, connect = Netlist.dff_loop_vector nl width in
+    let finish next =
+      let held = Comb.mux2 nl ~sel:enable q next in
+      connect (Comb.mux2 nl ~sel:rst held (Array.make width zero))
+    in
+    (q, finish)
+  in
+
+  (* Schedule in both orders; the bank latches the right one on start. *)
+  let kl_hi = Array.sub key 64 64 and kl_lo = Array.sub key 0 64 in
+  let kw, k, ke = key_schedule nl kl_hi kl_lo in
+  let enc = Array.concat [ kw; k; ke ] in
+  let dec_kw = [| kw.(2); kw.(3); kw.(0); kw.(1) |] in
+  let dec_k = Array.init 18 (fun i -> k.(17 - i)) in
+  let dec_ke = [| ke.(3); ke.(2); ke.(1); ke.(0) |] in
+  let dec = Array.concat [ dec_kw; dec_k; dec_ke ] in
+  let bank =
+    Array.init 26 (fun i ->
+        let q, finish = reg 64 in
+        let loaded = Comb.mux2 nl ~sel:decrypt enc.(i) dec.(i) in
+        finish (Comb.mux2 nl ~sel:start q loaded);
+        q)
+  in
+  let bkw i = bank.(i) and bk i = bank.(4 + i) and bke i = bank.(22 + i) in
+
+  (* State registers. *)
+  let d1_q, d1_connect = reg 64 in
+  let d2_q, d2_connect = reg 64 in
+  let out_q, out_connect = reg 128 in
+  let r_q, r_connect = reg 5 in
+  let running_q, running_connect = reg 1 in
+  let done_q, done_connect = reg 1 in
+
+  (* Control. *)
+  let start_fire = start in
+  let is_round = and_ running_q.(0) (not_ start_fire) in
+  let r_is v = Comb.eq_const nl r_q (Bits.of_int ~width:5 v) in
+  let r7 = r_is 7 and r13 = r_is 13 and r18 = r_is 18 in
+  let last_fire = and_ is_round r18 in
+
+  (* FL layer (active before rounds 7 and 13). *)
+  let fl_active = or_ r7 r13 in
+  let ke_d1 = Comb.mux2 nl ~sel:r13 (bke 0) (bke 2) in
+  let ke_d2 = Comb.mux2 nl ~sel:r13 (bke 1) (bke 3) in
+  let d1_fl = Comb.mux2 nl ~sel:fl_active d1_q (fl nl d1_q ke_d1) in
+  let d2_fl = Comb.mux2 nl ~sel:fl_active d2_q (flinv nl d2_q ke_d2) in
+
+  (* Round: odd r updates d2 from d1, even r updates d1 from d2. *)
+  let odd = r_q.(0) in
+  let k_ways = Array.init 32 (fun i -> bk (max 0 (min 17 (i - 1)))) in
+  let k_r = Comb.mux_tree nl ~sel:r_q k_ways in
+  let f_in = Comb.mux2 nl ~sel:odd d2_fl d1_fl in
+  let f_out = f_function nl f_in k_r in
+  let d1_round = Comb.mux2 nl ~sel:odd (Comb.xor_v nl d1_fl f_out) d1_fl in
+  let d2_round = Comb.mux2 nl ~sel:odd d2_fl (Comb.xor_v nl d2_fl f_out) in
+
+  (* Start: pre-whitening with kw1/kw2 straight from the schedule (order
+     muxed by the live decrypt input, as the bank is loaded this cycle). *)
+  let kw1_live = Comb.mux2 nl ~sel:decrypt kw.(0) dec_kw.(0) in
+  let kw2_live = Comb.mux2 nl ~sel:decrypt kw.(1) dec_kw.(1) in
+  let data_hi = Array.sub data_in 64 64 and data_lo = Array.sub data_in 0 64 in
+  let d1_init = xor_half nl data_hi kw1_live in
+  let d2_init = xor_half nl data_lo kw2_live in
+
+  (* Output: C = (d2 ^ kw3) | (d1 ^ kw4) at the last round. *)
+  let out_next =
+    Array.append (xor_half nl d1_round (bkw 3)) (xor_half nl d2_round (bkw 2))
+  in
+
+  let pick ~on_start ~on_round ~otherwise =
+    Array.init (Array.length on_start) (fun i ->
+        mux1 (mux1 otherwise.(i) on_round.(i) is_round) on_start.(i) start_fire)
+  in
+  d1_connect (pick ~on_start:d1_init ~on_round:d1_round ~otherwise:d1_q);
+  d2_connect (pick ~on_start:d2_init ~on_round:d2_round ~otherwise:d2_q);
+  out_connect
+    (pick ~on_start:out_q ~on_round:(Comb.mux2 nl ~sel:r18 out_q out_next) ~otherwise:out_q);
+  let one5 = Comb.const_vector nl (Bits.of_int ~width:5 1) in
+  let r_plus, _ = Comb.adder nl r_q one5 in
+  r_connect (pick ~on_start:one5 ~on_round:r_plus ~otherwise:r_q);
+  running_connect
+    (pick ~on_start:[| Netlist.const nl true |] ~on_round:[| not_ r18 |]
+       ~otherwise:running_q);
+  done_connect
+    (pick ~on_start:[| zero |] ~on_round:[| or_ done_q.(0) last_fire |] ~otherwise:done_q);
+
+  Netlist.output nl "data_out" out_q;
+  Netlist.output nl "done" done_q;
+  nl
+
+let create () =
+  let sim = Sim.create (netlist ()) in
+  let rec ip =
+    { Ip.name = "Camellia-gates";
+      interface = Sim.interface sim;
+      memory_elements = Sim.memory_elements sim;
+      reset = (fun () -> Sim.reset sim);
+      step =
+        (fun pis ->
+          Ip.check_step ip pis;
+          let outs =
+            Sim.step sim
+              [ ("key", pis.(0)); ("data_in", pis.(1)); ("start", pis.(2));
+                ("decrypt", pis.(3)); ("enable", pis.(4)); ("rst", pis.(5));
+                ("mode", pis.(6)) ]
+          in
+          ([| List.assoc "data_out" outs; List.assoc "done" outs |],
+           float_of_int (Sim.last_toggles sim))) }
+  in
+  ip

@@ -1,0 +1,15 @@
+(** Gate-level structural netlist of the Camellia-128 IP: the Feistel
+    F-function (8 S-box LUT mux trees + the P byte-diffusion layer), the
+    FL/FL⁻¹ layers, the full key schedule materialized combinationally
+    (four more F instances) and latched into a 26 × 64 subkey bank —
+    pre-reversed for decryption, so the round network is direction-
+    agnostic — under the same round-per-cycle control FSM as the
+    behavioural {!Camellia} model. Cycle-exact against it (the behavioural
+    model's hidden scrubber contributes power only, never function).
+
+    The netlist omits the scrubber subcomponent: it is a power-modelling
+    artifact with no logic function (see DESIGN.md). *)
+
+val netlist : unit -> Psm_rtl.Netlist.t
+
+val create : unit -> Ip.t

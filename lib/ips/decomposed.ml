@@ -1,0 +1,18 @@
+type component = {
+  comp_name : string;
+  comp_interface : Psm_trace.Interface.t;
+}
+
+type t = {
+  ip_name : string;
+  components : component list;
+  reset : unit -> unit;
+  step :
+    Psm_bits.Bits.t array ->
+    Psm_bits.Bits.t array * (Psm_bits.Bits.t array * float) list;
+}
+
+let top_interface t =
+  match t.components with
+  | [] -> invalid_arg "Decomposed.top_interface: no components"
+  | first :: _ -> first.comp_interface

@@ -1,0 +1,38 @@
+(** Subcomponent-decomposed IP models — the substrate for hierarchical
+    PSMs (the paper's concluding-remarks future work).
+
+    The paper attributes Camellia's poor accuracy to switching activity
+    "distributed among subcomponents that could present power behaviours
+    poorly correlated to each other", without "visibility on internal
+    signals connecting the subcomponents", and proposes hierarchical PSMs
+    that distinguish among subcomponents as the remedy.
+
+    A decomposed model exposes, per clock cycle, one observation sample
+    and one activity figure for EACH subcomponent: the sample ranges over
+    that subcomponent's boundary signals (top-level PIs/POs for the main
+    datapath; internal interconnect signals for buried blocks), which is
+    exactly the extra visibility hierarchy buys. {!Psm_flow.Hier} trains
+    one PSM set per subcomponent from these and sums their estimates. *)
+
+type component = {
+  comp_name : string;
+  comp_interface : Psm_trace.Interface.t;
+      (** The subcomponent's observable boundary. *)
+}
+
+type t = {
+  ip_name : string;
+  components : component list;
+  reset : unit -> unit;
+  step :
+    Psm_bits.Bits.t array ->
+    Psm_bits.Bits.t array * (Psm_bits.Bits.t array * float) list;
+      (** [step pis] returns the top-level POs plus, per component (in
+          [components] order), the component's boundary sample (aligned
+          with its interface) and its activity this cycle. The summed
+          activities equal the flat model's activity. *)
+}
+
+val top_interface : t -> Psm_trace.Interface.t
+(** The first component's interface must be the IP's top-level PI/PO
+    interface (the main datapath); this accessor returns it. *)

@@ -1,0 +1,87 @@
+module Bits = Psm_bits.Bits
+module Signal = Psm_trace.Signal
+module Interface = Psm_trace.Interface
+
+let depth = 16
+let width = 32
+
+let interface =
+  Interface.create
+    [ Signal.input "wr_en" 1;
+      Signal.input "rd_en" 1;
+      Signal.input "wdata" 32;
+      Signal.output "rdata" 32;
+      Signal.output "full" 1;
+      Signal.output "empty" 1 ]
+
+let base_idle = 1.5
+let base_write = 12.0
+let base_read = 10.0
+let w_bus = 1.2
+let w_out = 0.8
+
+type state = {
+  mem : Bits.t array;
+  mutable head : int; (* next pop *)
+  mutable count : int;
+  mutable rdata : Bits.t;
+  mutable prev_wdata : Bits.t;
+}
+
+let create () =
+  let st =
+    { mem = Array.make depth (Bits.zero width);
+      head = 0;
+      count = 0;
+      rdata = Bits.zero width;
+      prev_wdata = Bits.zero width }
+  in
+  let reset () =
+    Array.fill st.mem 0 depth (Bits.zero width);
+    st.head <- 0;
+    st.count <- 0;
+    st.rdata <- Bits.zero width;
+    st.prev_wdata <- Bits.zero width
+  in
+  let rec ip =
+    { Ip.name = "FIFO";
+      interface;
+      memory_elements = (depth * width) + width + 10;
+      reset;
+      step =
+        (fun pis ->
+          Ip.check_step ip pis;
+          (* Registered (Moore) outputs. *)
+          let out =
+            [| st.rdata;
+               Bits.of_bool (st.count = depth);
+               Bits.of_bool (st.count = 0) |]
+          in
+          let wr = Bits.get pis.(0) 0 and rd = Bits.get pis.(1) 0 in
+          let wdata = pis.(2) in
+          let activity = ref base_idle in
+          let do_write = wr && st.count < depth in
+          let do_read = rd && st.count > 0 in
+          if do_write then begin
+            let slot = (st.head + st.count) mod depth in
+            st.mem.(slot) <- wdata;
+            activity :=
+              !activity +. base_write
+              +. (w_bus *. float_of_int (Bits.hamming_distance wdata st.prev_wdata))
+          end;
+          if do_read then begin
+            let next = st.mem.(st.head) in
+            activity :=
+              !activity +. base_read
+              +. (w_out *. float_of_int (Bits.hamming_distance st.rdata next));
+            st.rdata <- next;
+            st.head <- (st.head + 1) mod depth
+          end;
+          (match (do_write, do_read) with
+          | true, false -> st.count <- st.count + 1
+          | false, true -> st.count <- st.count - 1
+          | _ -> ());
+          st.prev_wdata <- wdata;
+          (out, !activity)) }
+  in
+  ip

@@ -1,0 +1,21 @@
+(** A synchronous FIFO (16 × 32) — a fifth IP beyond the paper's benchmark
+    set, exercising the flow on the kind of interconnect block the paper's
+    introduction motivates (SoC virtual prototyping).
+
+    Interface (PIs: 34 bits, POs: 34 bits):
+    - [wr_en]  (1)  push [wdata] when not full;
+    - [rd_en]  (1)  pop when not empty;
+    - [wdata]  (32) write data;
+    - [rdata]  (32) registered head-of-queue data;
+    - [full]   (1)  registered status flags;
+    - [empty]  (1).
+
+    Power behaviour: writes cost bus-switching-proportional energy (like
+    the RAM), reads cost output-driver energy, and the occupancy-dependent
+    status logic adds a small constant — a multi-mode block whose states
+    (idle / streaming / back-pressure) the miner must discover. *)
+
+val create : unit -> Ip.t
+
+val depth : int
+val width : int

@@ -1,0 +1,52 @@
+open Psm_rtl
+module Bits = Psm_bits.Bits
+
+let enabled_reg nl ~enable ?init inputs =
+  let q, connect = Netlist.dff_loop_vector nl ?init (Array.length inputs) in
+  connect (Comb.mux2 nl ~sel:enable q inputs);
+  q
+
+let sbox_lut nl table byte =
+  if Array.length table <> 256 then invalid_arg "Gates_util.sbox_lut: need 256 entries";
+  if Array.length byte <> 8 then invalid_arg "Gates_util.sbox_lut: need an 8-bit input";
+  Array.init 8 (fun bit ->
+      let ways =
+        Array.init 256 (fun v -> [| Netlist.const nl (table.(v) lsr bit land 1 = 1) |])
+      in
+      (Comb.mux_tree nl ~sel:byte ways).(0))
+
+let xor_byte nl a b = Comb.xor_v nl a b
+
+let xtime nl b =
+  if Array.length b <> 8 then invalid_arg "Gates_util.xtime: need an 8-bit input";
+  let msb = b.(7) in
+  (* (b << 1) xor (msb ? 0x1B : 0): bits 1, 3, 4 of the shifted value are
+     conditionally inverted; bit 0 becomes msb. *)
+  [| msb;
+     Netlist.gate nl Netlist.Xor [| b.(0); msb |];
+     b.(1);
+     Netlist.gate nl Netlist.Xor [| b.(2); msb |];
+     Netlist.gate nl Netlist.Xor [| b.(3); msb |];
+     b.(4);
+     b.(5);
+     b.(6) |]
+
+let byte_const nl v = Comb.const_vector nl (Bits.of_int ~width:8 (v land 0xFF))
+
+let gf_mul_const nl k b =
+  if k <= 0 || k > 15 then invalid_arg "Gates_util.gf_mul_const: constant in 1..15";
+  let x1 = b in
+  let x2 = xtime nl x1 in
+  let x4 = xtime nl x2 in
+  let x8 = xtime nl x4 in
+  let terms =
+    List.filteri (fun i _ -> k lsr i land 1 = 1) [ x1; x2; x4; x8 ]
+  in
+  match terms with
+  | [] -> assert false
+  | first :: rest -> List.fold_left (fun acc t -> xor_byte nl acc t) first rest
+
+let rotl_nets v n =
+  let len = Array.length v in
+  let n = ((n mod len) + len) mod len in
+  Array.init len (fun i -> v.((i - n + len) mod len))

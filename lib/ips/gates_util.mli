@@ -1,0 +1,30 @@
+(** Shared gate-level building blocks for the structural IP netlists:
+    byte-wide S-box LUTs (balanced mux trees over constant leaves),
+    GF(2⁸) xtime networks and register helpers. *)
+
+open Psm_rtl
+
+val enabled_reg :
+  Netlist.t -> enable:Netlist.net -> ?init:Psm_bits.Bits.t -> Netlist.net array ->
+  Netlist.net array
+(** Register bank with enable recirculation: q holds when [enable] is 0. *)
+
+val sbox_lut : Netlist.t -> int array -> Netlist.net array -> Netlist.net array
+(** [sbox_lut nl table byte] — an 8-in/8-out lookup table materialized as
+    eight 256-leaf mux trees over constants, driven by the 8 input nets
+    (LSB first). [table] must have 256 entries in [0, 255]. *)
+
+val xor_byte : Netlist.t -> Netlist.net array -> Netlist.net array -> Netlist.net array
+
+val xtime : Netlist.t -> Netlist.net array -> Netlist.net array
+(** GF(2⁸) multiplication by x modulo x⁸+x⁴+x³+x+1 (the AES polynomial),
+    as pure wiring plus three XOR gates. *)
+
+val gf_mul_const : Psm_rtl.Netlist.t -> int -> Netlist.net array -> Netlist.net array
+(** Multiply a byte by a small constant (1..15) in AES's GF(2⁸), built
+    from {!xtime} chains and XORs. *)
+
+val byte_const : Netlist.t -> int -> Netlist.net array
+
+val rotl_nets : 'a array -> int -> 'a array
+(** Rotate a net vector left (toward higher indices) — pure wiring. *)

@@ -1,0 +1,35 @@
+module Bits = Psm_bits.Bits
+module Interface = Psm_trace.Interface
+module Signal = Psm_trace.Signal
+
+type t = {
+  name : string;
+  interface : Interface.t;
+  memory_elements : int;
+  reset : unit -> unit;
+  step : Bits.t array -> Bits.t array * float;
+}
+
+let input_signals t = List.map snd (Interface.inputs t.interface)
+let output_signals t = List.map snd (Interface.outputs t.interface)
+
+let pi_bits t = Interface.total_input_width t.interface
+let po_bits t = Interface.total_output_width t.interface
+
+let check_step t pis =
+  let ins = Interface.inputs t.interface in
+  if Array.length pis <> List.length ins then
+    invalid_arg
+      (Printf.sprintf "%s.step: %d input values for %d inputs" t.name
+         (Array.length pis) (List.length ins));
+  List.iteri
+    (fun i (_, (s : Signal.t)) ->
+      if Bits.width pis.(i) <> s.width then
+        invalid_arg
+          (Printf.sprintf "%s.step: input %s expects width %d, got %d" t.name
+             s.name s.width (Bits.width pis.(i))))
+    ins
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %d PI bits, %d PO bits, %d memory elements" t.name
+    (pi_bits t) (po_bits t) t.memory_elements

@@ -1,0 +1,37 @@
+(** The common cycle-accurate IP model interface.
+
+    An IP is a black box with primary inputs and outputs (sampled once per
+    clock) plus a per-cycle *internal activity* figure — the weighted count
+    of internal register bits that toggled — which feeds the reference
+    power model and is deliberately NOT part of the observable interface:
+    the mining methodology must recover power behaviour from PIs/POs and
+    the power trace alone, exactly as the paper prescribes for black-box
+    IPs. *)
+
+type t = {
+  name : string;
+  interface : Psm_trace.Interface.t;
+      (** All inputs precede all outputs, in declaration order. *)
+  memory_elements : int;
+      (** Internal register bits — Table I's "Memory elements". *)
+  reset : unit -> unit;
+  step : Psm_bits.Bits.t array -> Psm_bits.Bits.t array * float;
+      (** [step pis] advances one clock cycle. [pis] is aligned with the
+          interface's inputs (in order); the result is the outputs (in
+          order) and the cycle's weighted internal activity. *)
+}
+
+val input_signals : t -> Psm_trace.Signal.t list
+val output_signals : t -> Psm_trace.Signal.t list
+
+val pi_bits : t -> int
+(** Total primary-input width — Table I's "PIs". *)
+
+val po_bits : t -> int
+
+val check_step : t -> Psm_bits.Bits.t array -> unit
+(** Validates a PI vector against the interface (arity and widths); raises
+    [Invalid_argument] with the offending signal name. Model [step]
+    functions call this on entry. *)
+
+val pp : Format.formatter -> t -> unit

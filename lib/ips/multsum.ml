@@ -1,0 +1,137 @@
+module Bits = Psm_bits.Bits
+module Signal = Psm_trace.Signal
+module Interface = Psm_trace.Interface
+module Netlist = Psm_rtl.Netlist
+module Comb = Psm_rtl.Comb
+module Sim = Psm_rtl.Sim
+
+let interface =
+  Interface.create
+    [ Signal.input "a" 16;
+      Signal.input "b" 16;
+      Signal.input "c" 16;
+      Signal.input "en" 1;
+      Signal.output "result" 32 ]
+
+let model ~a ~b ~c = ((a * b) + c) land 0xFFFFFFFF
+
+(* Activity weights for the behavioural model. The multiplier term scales
+   with the number of active partial products (popcount a × popcount b),
+   a genuine data dependence that the Hamming distance of consecutive
+   inputs does not fully explain — the source of MultSum's residual MRE in
+   the paper. *)
+let base_idle = 3.0
+let base_busy = 25.0
+let w_in = 2.0
+let w_mul = 0.15
+let w_out = 1.0
+
+type state = {
+  mutable ra : Bits.t;
+  mutable rb : Bits.t;
+  mutable rc : Bits.t;
+  mutable product : Bits.t; (* stage-2 register: a*b+c of the stage-1 operands *)
+  mutable result : Bits.t;
+}
+
+let zero16 = Bits.zero 16
+let zero32 = Bits.zero 32
+
+let create () =
+  let st = { ra = zero16; rb = zero16; rc = zero16; product = zero32; result = zero32 } in
+  let reset () =
+    st.ra <- zero16;
+    st.rb <- zero16;
+    st.rc <- zero16;
+    st.product <- zero32;
+    st.result <- zero32
+  in
+  let rec ip =
+    { Ip.name = "MultSum";
+      interface;
+      memory_elements = 16 + 16 + 16 + 32 + 32;
+      reset;
+      step =
+        (fun pis ->
+          Ip.check_step ip pis;
+          let en = Bits.get pis.(3) 0 in
+          (* Output is sampled on the same edge that advances the pipeline,
+             as in the structural netlist: the value returned for cycle t
+             is the register content entering the cycle. *)
+          let out = st.result in
+          let activity =
+            if not en then base_idle
+            else begin
+              let a = pis.(0) and b = pis.(1) and c = pis.(2) in
+              let in_flips =
+                Bits.hamming_distance a st.ra
+                + Bits.hamming_distance b st.rb
+                + Bits.hamming_distance c st.rc
+              in
+              let mul_activity =
+                float_of_int (Bits.popcount st.ra * Bits.popcount st.rb) /. 4.
+              in
+              let next_product =
+                Bits.of_int ~width:32
+                  (model ~a:(Bits.to_int st.ra) ~b:(Bits.to_int st.rb)
+                     ~c:(Bits.to_int st.rc))
+              in
+              let out_flips =
+                Bits.hamming_distance st.product next_product
+                + Bits.hamming_distance st.result st.product
+              in
+              st.result <- st.product;
+              st.product <- next_product;
+              st.ra <- a;
+              st.rb <- b;
+              st.rc <- c;
+              base_busy
+              +. (w_in *. float_of_int in_flips)
+              +. (w_mul *. mul_activity)
+              +. (w_out *. float_of_int out_flips)
+            end
+          in
+          ([| out |], activity)) }
+  in
+  ip
+
+let structural_netlist () =
+  let nl = Netlist.create "MultSum" in
+  let a = Netlist.input nl "a" 16 in
+  let b = Netlist.input nl "b" 16 in
+  let c = Netlist.input nl "c" 16 in
+  let en = Netlist.input nl "en" 1 in
+  (* Register with enable recirculation: q holds when [en] is low. *)
+  let enabled_reg inputs =
+    let q, connect = Netlist.dff_loop_vector nl (Array.length inputs) in
+    connect (Comb.mux2 nl ~sel:en.(0) q inputs);
+    q
+  in
+  let ra = enabled_reg a in
+  let rb = enabled_reg b in
+  let rc = enabled_reg c in
+  let product = Comb.multiplier nl ra rb in
+  let sum, _carry = Comb.adder nl product (Comb.zero_extend nl rc 32) in
+  let rproduct = enabled_reg sum in
+  let rresult = enabled_reg rproduct in
+  Netlist.output nl "result" rresult;
+  nl
+
+let create_structural () =
+  let sim = Sim.create (structural_netlist ()) in
+  let rec ip =
+    { Ip.name = "MultSum-gates";
+      interface;
+      memory_elements = Sim.memory_elements sim;
+      reset = (fun () -> Sim.reset sim);
+      step =
+        (fun pis ->
+          Ip.check_step ip pis;
+          let outs =
+            Sim.step sim
+              [ ("a", pis.(0)); ("b", pis.(1)); ("c", pis.(2)); ("en", pis.(3)) ]
+          in
+          let result = List.assoc "result" outs in
+          ([| result |], float_of_int (Sim.last_toggles sim))) }
+  in
+  ip

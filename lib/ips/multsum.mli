@@ -1,0 +1,29 @@
+(** MultSum — a multiply-accumulate datapath (the paper's DesignWare MAC
+    stand-in): [result = a × b + c] over a two-stage pipeline.
+
+    Interface (PIs: 49 bits, POs: 32 bits, matching Table I):
+    - [a], [b], [c] (16 each) operands;
+    - [en]          (1)       pipeline advance; when 0 everything holds;
+    - [result]      (32)      registered output, 2 cycles after the
+                              operands entered.
+
+    Two implementations share the same interface:
+    - {!create}: behavioural, with a datapath-activity model whose
+      multiplier term depends on operand values (not just input toggles) —
+      making MultSum data-dependent in a way input-Hamming regression only
+      partially captures, as in the paper (MRE ≈ 4%);
+    - {!create_structural}: a real gate-level netlist (input registers,
+      16×16 array multiplier, 32-bit adder, output register) simulated with
+      {!Psm_rtl.Sim}; its activity is the exact per-cycle net toggle count.
+      Used for the reference-granularity ablation and Table I's elaboration
+      column. *)
+
+val create : unit -> Ip.t
+
+val create_structural : unit -> Ip.t
+
+val structural_netlist : unit -> Psm_rtl.Netlist.t
+(** The elaborated netlist (also used to time elaboration for Table I). *)
+
+val model : a:int -> b:int -> c:int -> int
+(** The golden function: [(a * b + c) mod 2^32] for 16-bit operands. *)

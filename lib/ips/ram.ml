@@ -1,0 +1,96 @@
+module Bits = Psm_bits.Bits
+module Signal = Psm_trace.Signal
+module Interface = Psm_trace.Interface
+
+let word_count = 256
+let word_bits = 32
+
+(* Activity weights (register-bit-toggle equivalents). The write path is
+   dominated by the input-bus term so that power correlates strongly with
+   the Hamming distance of consecutive inputs — the property the paper
+   reports for RAM and exploits via linear regression. *)
+let w_bus = 3.0
+let w_addr = 3.0
+let w_cell = 0.1
+let w_read = 0.05
+let base_idle = 2.0
+let base_read = 30.0
+let base_write = 40.0
+
+type state = {
+  mem : Bits.t array;
+  mutable rdata : Bits.t;
+  mutable prev_wdata : Bits.t;
+  mutable prev_addr : Bits.t;
+}
+
+let interface =
+  Interface.create
+    [ Signal.input "ce" 1;
+      Signal.input "we" 1;
+      Signal.input "addr" 10;
+      Signal.input "wdata" 32;
+      Signal.output "rdata" 32 ]
+
+let create_with_peek () =
+  let st =
+    { mem = Array.make word_count (Bits.zero word_bits);
+      rdata = Bits.zero word_bits;
+      prev_wdata = Bits.zero word_bits;
+      prev_addr = Bits.zero 10 }
+  in
+  let reset () =
+    Array.fill st.mem 0 word_count (Bits.zero word_bits);
+    st.rdata <- Bits.zero word_bits;
+    st.prev_wdata <- Bits.zero word_bits;
+    st.prev_addr <- Bits.zero 10
+  in
+  let rec ip =
+    { Ip.name = "RAM";
+      interface;
+      memory_elements = (word_count * word_bits) + word_bits;
+      reset;
+      step =
+        (fun pis ->
+          Ip.check_step ip pis;
+          (* Registered (Moore) read port: rdata returned for this cycle is
+             the register content entering it. *)
+          let out = st.rdata in
+          let ce = Bits.get pis.(0) 0 in
+          let we = Bits.get pis.(1) 0 in
+          let addr = Bits.to_int pis.(2) lsr 2 land (word_count - 1) in
+          let wdata = pis.(3) in
+          (* Address decoder and wordline drivers switch with the address
+             bus on every enabled access. *)
+          let addr_flips = Bits.hamming_distance pis.(2) st.prev_addr in
+          let activity =
+            if not ce then base_idle
+            else if we then begin
+              let bus_flips = Bits.hamming_distance wdata st.prev_wdata in
+              let cell_flips = Bits.hamming_distance st.mem.(addr) wdata in
+              st.mem.(addr) <- wdata;
+              base_write
+              +. (w_bus *. float_of_int bus_flips)
+              +. (w_addr *. float_of_int addr_flips)
+              +. (w_cell *. float_of_int cell_flips)
+            end
+            else begin
+              let next = st.mem.(addr) in
+              let out_flips = Bits.hamming_distance st.rdata next in
+              st.rdata <- next;
+              base_read
+              +. (w_addr *. float_of_int addr_flips)
+              +. (w_read *. float_of_int out_flips)
+            end
+          in
+          st.prev_wdata <- wdata;
+          st.prev_addr <- pis.(2);
+          ([| out |], activity)) }
+  in
+  let peek i =
+    if i < 0 || i >= word_count then invalid_arg "Ram.peek: word index out of range";
+    st.mem.(i)
+  in
+  (ip, peek)
+
+let create () = fst (create_with_peek ())

@@ -1,0 +1,22 @@
+(** 1 KB synchronous single-port RAM (256 words × 32 bits).
+
+    Interface (PIs: 44 bits, POs: 32 bits, as in the paper's Table I):
+    - [ce]    (1)  chip enable; when 0 the RAM holds state and only clock
+                   activity is consumed;
+    - [we]    (1)  write enable (qualified by [ce]);
+    - [addr]  (10) byte address; bits [9:2] select the word;
+    - [wdata] (32) write data;
+    - [rdata] (32) registered read data (unchanged during writes).
+
+    Power behaviour: the RAM is data-dependent in write mode — bus and
+    write-driver switching is proportional to the Hamming distance between
+    consecutive [wdata] values, plus a cell-flip term. This is the IP on
+    which the paper's linear-regression calibration shines (MRE 0.30%). *)
+
+val create : unit -> Ip.t
+
+val create_with_peek : unit -> Ip.t * (int -> Psm_bits.Bits.t)
+(** Also returns a test hook reading the backing store by word index. *)
+
+val word_count : int
+val word_bits : int

@@ -1,0 +1,44 @@
+open Psm_rtl
+module Bits = Psm_bits.Bits
+
+let netlist () =
+  let nl = Netlist.create "RAM" in
+  let ce = Netlist.input nl "ce" 1 in
+  let we = Netlist.input nl "we" 1 in
+  let addr = Netlist.input nl "addr" 10 in
+  let wdata = Netlist.input nl "wdata" 32 in
+  let word_sel = Array.sub addr 2 8 in
+  let write_access = Netlist.gate nl Netlist.And [| ce.(0); we.(0) |] in
+  let read_access =
+    Netlist.gate nl Netlist.And [| ce.(0); Netlist.gate nl Netlist.Not [| we.(0) |] |]
+  in
+  let decode = Comb.decoder nl word_sel in
+  (* The cell array: per word, 32 DFFs sampling wdata when selected. *)
+  let words =
+    Array.init Ram.word_count (fun w ->
+        let en = Netlist.gate nl Netlist.And [| decode.(w); write_access |] in
+        Gates_util.enabled_reg nl ~enable:en wdata)
+  in
+  (* Registered read port. *)
+  let read_data = Comb.mux_tree nl ~sel:word_sel words in
+  let rdata = Gates_util.enabled_reg nl ~enable:read_access read_data in
+  Netlist.output nl "rdata" rdata;
+  nl
+
+let create () =
+  let sim = Sim.create (netlist ()) in
+  let rec ip =
+    { Ip.name = "RAM-gates";
+      interface = Sim.interface sim;
+      memory_elements = Sim.memory_elements sim;
+      reset = (fun () -> Sim.reset sim);
+      step =
+        (fun pis ->
+          Ip.check_step ip pis;
+          let outs =
+            Sim.step sim
+              [ ("ce", pis.(0)); ("we", pis.(1)); ("addr", pis.(2)); ("wdata", pis.(3)) ]
+          in
+          ([| List.assoc "rdata" outs |], float_of_int (Sim.last_toggles sim))) }
+  in
+  ip

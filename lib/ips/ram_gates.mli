@@ -1,0 +1,10 @@
+(** Gate-level structural netlist of the 1 KB RAM — 256 × 32 DFF cells with
+    write-enable decoding and a registered read port, functionally
+    equivalent to {!Ram} cycle for cycle. Provides the RAM's Table I
+    synthesis columns and the gate-level power reference. *)
+
+val netlist : unit -> Psm_rtl.Netlist.t
+
+val create : unit -> Ip.t
+(** IP wrapper over the netlist simulation; activity = per-cycle net
+    toggles. *)

@@ -1,0 +1,17 @@
+let builders =
+  [ ("RAM", Ram_gates.netlist);
+    ("MultSum", Multsum.structural_netlist);
+    ("AES", Aes_gates.netlist);
+    ("Camellia", Camellia_gates.netlist) ]
+
+let netlist_for name = List.assoc_opt name builders
+
+let available = List.map fst builders
+
+let ip_builders =
+  [ ("RAM", Ram_gates.create);
+    ("MultSum", Multsum.create_structural);
+    ("AES", Aes_gates.create);
+    ("Camellia", Camellia_gates.create) ]
+
+let create_for name = List.assoc_opt name ip_builders

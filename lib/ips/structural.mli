@@ -1,0 +1,19 @@
+(** Gate-level structural netlists of the benchmark IPs.
+
+    These play the role of the synthesized netlists in the paper's setup:
+    they provide (i) elaboration times and gate counts for Table I's
+    synthesis columns, (ii) genuine gate-level switching activity — the
+    PrimeTime-PX-grade power reference — where tractable, and (iii) the
+    structural-vs-behavioural ablation. *)
+
+val netlist_for : string -> (unit -> Psm_rtl.Netlist.t) option
+(** Builder for the named IP's structural netlist, when one exists. *)
+
+val create_for : string -> (unit -> Ip.t) option
+(** Gate-level IP model (netlist simulation; activity = net toggles). The
+    cipher variants are cycle-exact against their behavioural models;
+    Camellia's omits the hidden scrubber (a power-only artifact). *)
+
+val available : string list
+(** Names accepted by {!netlist_for} / {!create_for}: the four benchmark
+    IPs. *)

@@ -1,0 +1,385 @@
+module Bits = Psm_bits.Bits
+module Prng = Psm_stats.Prng
+
+type stimulus = Bits.t array array
+
+let paper_short_length = function
+  | "RAM" -> 34130
+  | "FIFO" -> 12000 (* not in the paper; a convenient suite size *)
+  | "MultSum" | "MultSum-gates" -> 12002
+  | "AES" -> 16504
+  | "Camellia" | "Camellia-noscrub" -> 78004
+  | name -> invalid_arg ("Workloads.paper_short_length: unknown IP " ^ name)
+
+let default_long_length = 500_000
+
+(* Growable sample buffer; generators emit into it until the target length
+   is reached, then it is truncated exactly. *)
+module Vec = struct
+  type t = { mutable rev : Bits.t array list; mutable n : int; target : int }
+
+  let create target = { rev = []; n = 0; target }
+  let full v = v.n >= v.target
+  let push v sample = if not (full v) then begin v.rev <- sample :: v.rev; v.n <- v.n + 1 end
+
+  let finish v =
+    let out = Array.make v.n [||] in
+    List.iteri (fun i s -> out.(v.n - 1 - i) <- s) v.rev;
+    out
+end
+
+let b1 b = Bits.of_bool b
+let i w n = Bits.of_int ~width:w n
+
+(* ---------- RAM ---------- *)
+
+(* The testbench mimics a bus master: between operations the address and
+   write-data buses HOLD their last driven values rather than being forced
+   to zero. Gratuitous bus clears would charge the RAM's power model with
+   switching the operation never asked for and decorrelate power from the
+   Hamming distance of consecutive inputs. *)
+type ram_bus = { mutable addr : int; mutable wdata : Bits.t }
+
+let ram_bus () = { addr = 0; wdata = Bits.zero 32 }
+
+let ram_sample bus ~ce ~we = [| b1 ce; b1 we; i 10 (bus.addr land 0x3FF); bus.wdata |]
+
+let ram_idle bus v cycles =
+  for _ = 1 to cycles do
+    Vec.push v (ram_sample bus ~ce:false ~we:false)
+  done
+
+let ram_write bus v ~addr ~wdata =
+  bus.addr <- addr;
+  bus.wdata <- wdata;
+  Vec.push v (ram_sample bus ~ce:true ~we:true)
+
+let ram_read bus v ~addr =
+  bus.addr <- addr;
+  Vec.push v (ram_sample bus ~ce:true ~we:false)
+
+let ram_patterns w =
+  [ Bits.zero 32; Bits.ones 32; i 32 0xAAAA5555; i 32 (1 lsl (w mod 32)) ]
+
+let ram_directed bus v =
+  ram_idle bus v 32;
+  (* Write walk over the whole array with corner patterns, then read back. *)
+  List.iteri
+    (fun pass _ ->
+      for w = 0 to Ram.word_count - 1 do
+        ram_write bus v ~addr:(w lsl 2) ~wdata:(List.nth (ram_patterns w) pass)
+      done)
+    (ram_patterns 0);
+  for pass = 0 to 3 do
+    ignore pass;
+    for w = 0 to Ram.word_count - 1 do
+      ram_read bus v ~addr:(w lsl 2)
+    done
+  done;
+  ram_idle bus v 16
+
+let ram_mixed bus v rng =
+  (* Bursts of sequential writes then reads (memcpy-like), with idle
+     gaps. *)
+  while not (Vec.full v) do
+    let base = Prng.int rng Ram.word_count in
+    let burst = 8 + Prng.int rng 24 in
+    for k = 0 to burst - 1 do
+      let addr = (base + k) mod Ram.word_count lsl 2 in
+      ram_write bus v ~addr ~wdata:(Prng.bits rng ~width:32)
+    done;
+    for k = 0 to burst - 1 do
+      let addr = (base + k) mod Ram.word_count lsl 2 in
+      ram_read bus v ~addr
+    done;
+    ram_idle bus v (1 + Prng.int rng 8)
+  done
+
+let ram_short ?(length = paper_short_length "RAM") ?(seed = 0x5241_4D00L) () =
+  let v = Vec.create length in
+  let bus = ram_bus () in
+  ram_directed bus v;
+  ram_mixed bus v (Prng.create ~seed);
+  Vec.finish v
+
+let ram_long ?(length = default_long_length) ?(seed = 0x5241_4D01L) () =
+  let v = Vec.create length in
+  let bus = ram_bus () in
+  ram_directed bus v;
+  ram_mixed bus v (Prng.create ~seed);
+  Vec.finish v
+
+(* ---------- MultSum ---------- *)
+
+let multsum_sample ~a ~b ~c ~en = [| a; b; c; b1 en |]
+
+let multsum_idle v cycles =
+  for _ = 1 to cycles do
+    Vec.push v (multsum_sample ~a:(Bits.zero 16) ~b:(Bits.zero 16) ~c:(Bits.zero 16) ~en:false)
+  done
+
+let multsum_corners =
+  let z = Bits.zero 16 and o = Bits.ones 16 and one = Bits.of_int ~width:16 1 in
+  let h = Bits.of_int ~width:16 0x8000 in
+  [ (z, z, z); (o, o, o); (one, o, z); (o, one, o); (h, h, z); (h, one, h);
+    (one, one, one); (z, o, o) ]
+
+let multsum_directed v =
+  multsum_idle v 16;
+  List.iter
+    (fun (a, b, c) ->
+      for _ = 1 to 2 do
+        Vec.push v (multsum_sample ~a ~b ~c ~en:true)
+      done)
+    multsum_corners;
+  (* Walking-ones sweep (diagonal): enough to exercise every operand bit
+     without dominating the suite with atypically low-activity vectors. *)
+  for bit = 0 to 15 do
+    Vec.push v
+      (multsum_sample
+         ~a:(i 16 (1 lsl bit))
+         ~b:(i 16 (1 lsl ((bit + 5) mod 16)))
+         ~c:(i 16 (bit lor (bit lsl 8)))
+         ~en:true)
+  done;
+  multsum_idle v 8
+
+let multsum_mixed v rng =
+  while not (Vec.full v) do
+    let burst = 16 + Prng.int rng 48 in
+    for _ = 1 to burst do
+      Vec.push v
+        (multsum_sample ~a:(Prng.bits rng ~width:16) ~b:(Prng.bits rng ~width:16)
+           ~c:(Prng.bits rng ~width:16) ~en:true)
+    done;
+    multsum_idle v (1 + Prng.int rng 6)
+  done
+
+let multsum_short ?(length = paper_short_length "MultSum") ?(seed = 0x4D41_4300L) () =
+  let v = Vec.create length in
+  multsum_directed v;
+  multsum_mixed v (Prng.create ~seed);
+  Vec.finish v
+
+let multsum_long ?(length = default_long_length) ?(seed = 0x4D41_4301L) () =
+  let v = Vec.create length in
+  multsum_directed v;
+  multsum_mixed v (Prng.create ~seed);
+  Vec.finish v
+
+(* ---------- FIFO ---------- *)
+
+type fifo_bus = { mutable wdata : Bits.t }
+
+let fifo_sample bus ~wr ~rd = [| b1 wr; b1 rd; bus.wdata |]
+
+let fifo_idle bus v cycles =
+  for _ = 1 to cycles do
+    Vec.push v (fifo_sample bus ~wr:false ~rd:false)
+  done
+
+let fifo_push bus v rng =
+  bus.wdata <- Prng.bits rng ~width:32;
+  Vec.push v (fifo_sample bus ~wr:true ~rd:false)
+
+let fifo_pop bus v = Vec.push v (fifo_sample bus ~wr:false ~rd:true)
+
+let fifo_stream bus v rng cycles =
+  (* Balanced producer/consumer: push and pop in the same cycle. *)
+  for _ = 1 to cycles do
+    bus.wdata <- Prng.bits rng ~width:32;
+    Vec.push v (fifo_sample bus ~wr:true ~rd:true)
+  done
+
+let fifo_directed bus v rng =
+  fifo_idle bus v 16;
+  (* Fill to full (plus attempted overflow), drain to empty (plus
+     attempted underflow). *)
+  for _ = 1 to Fifo.depth + 4 do
+    fifo_push bus v rng
+  done;
+  for _ = 1 to Fifo.depth + 4 do
+    fifo_pop bus v
+  done;
+  fifo_idle bus v 8;
+  fifo_stream bus v rng 64;
+  fifo_idle bus v 8
+
+let fifo_mixed bus v rng =
+  while not (Vec.full v) do
+    (match Prng.int rng 4 with
+    | 0 ->
+        (* Producer burst. *)
+        for _ = 1 to 4 + Prng.int rng 12 do
+          fifo_push bus v rng
+        done
+    | 1 ->
+        for _ = 1 to 4 + Prng.int rng 12 do
+          fifo_pop bus v
+        done
+    | 2 -> fifo_stream bus v rng (8 + Prng.int rng 24)
+    | _ -> fifo_idle bus v (1 + Prng.int rng 8));
+    ()
+  done
+
+let fifo_short ?(length = 12000) ?(seed = 0x4649_464FL) () =
+  let v = Vec.create length in
+  let bus = { wdata = Bits.zero 32 } in
+  let rng = Prng.create ~seed in
+  fifo_directed bus v rng;
+  fifo_mixed bus v rng;
+  Vec.finish v
+
+let fifo_long ?(length = default_long_length) ?(seed = 0x4649_4650L) () =
+  let v = Vec.create length in
+  let bus = { wdata = Bits.zero 32 } in
+  let rng = Prng.create ~seed in
+  fifo_directed bus v rng;
+  fifo_mixed bus v rng;
+  Vec.finish v
+
+(* ---------- Block ciphers (shared shape) ---------- *)
+
+type cipher_spec = {
+  pad_inputs : Bits.t array -> Bits.t array;
+      (** Extend (key, data, start, decrypt, enable, rst) with any extra
+          trailing inputs (Camellia's [mode]). *)
+  block_cycles : int;  (** Cycles from start to done, inclusive. *)
+  directed_vectors : (string * string) list;  (** (key, data) hex pairs. *)
+}
+
+let cipher_sample spec ~key ~data ~start ~decrypt ~enable ~rst =
+  spec.pad_inputs [| key; data; b1 start; b1 decrypt; b1 enable; b1 rst |]
+
+let cipher_idle spec v ~enable cycles =
+  let z = Bits.zero 128 in
+  for _ = 1 to cycles do
+    Vec.push v (cipher_sample spec ~key:z ~data:z ~start:false ~decrypt:false ~enable ~rst:false)
+  done
+
+let cipher_block spec v ~key ~data ~decrypt =
+  Vec.push v (cipher_sample spec ~key ~data ~start:true ~decrypt ~enable:true ~rst:false);
+  (* Buses realistically hold their values while the core runs. *)
+  for _ = 2 to spec.block_cycles do
+    Vec.push v (cipher_sample spec ~key ~data ~start:false ~decrypt ~enable:true ~rst:false)
+  done
+
+let cipher_reset spec v =
+  let z = Bits.zero 128 in
+  Vec.push v (cipher_sample spec ~key:z ~data:z ~start:false ~decrypt:false ~enable:true ~rst:true)
+
+let cipher_directed spec v =
+  cipher_reset spec v;
+  (* The core stays clock-gated until first use: a freshly reset datapath
+     is indistinguishable from a computing one at the interface (all flags
+     low), so a realistic testbench keeps it disabled. *)
+  cipher_idle spec v ~enable:false 8;
+  List.iter
+    (fun (key_hex, data_hex) ->
+      let key = Bits.of_hex_string ~width:128 key_hex in
+      let data = Bits.of_hex_string ~width:128 data_hex in
+      cipher_block spec v ~key ~data ~decrypt:false;
+      cipher_idle spec v ~enable:true 3;
+      cipher_block spec v ~key ~data ~decrypt:true;
+      cipher_idle spec v ~enable:false 2;
+      cipher_idle spec v ~enable:true 2)
+    spec.directed_vectors
+
+let cipher_mixed spec v rng =
+  while not (Vec.full v) do
+    let key = Prng.bits rng ~width:128 in
+    (* Several blocks under the same key, as a real session would. *)
+    let blocks = 1 + Prng.int rng 6 in
+    for _ = 1 to blocks do
+      let data = Prng.bits rng ~width:128 in
+      cipher_block spec v ~key ~data ~decrypt:(Prng.bool rng)
+    done;
+    cipher_idle spec v ~enable:true (Prng.int rng 6);
+    if Prng.int rng 4 = 0 then cipher_idle spec v ~enable:false (1 + Prng.int rng 4)
+  done
+
+let cipher_vectors =
+  [ ("000102030405060708090a0b0c0d0e0f", "00112233445566778899aabbccddeeff");
+    ("00000000000000000000000000000000", "00000000000000000000000000000000");
+    ("ffffffffffffffffffffffffffffffff", "ffffffffffffffffffffffffffffffff");
+    ("0123456789abcdeffedcba9876543210", "0123456789abcdeffedcba9876543210");
+    ("00000000000000000000000000000000", "80000000000000000000000000000000");
+    ("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "55555555555555555555555555555555") ]
+
+let aes_spec =
+  { pad_inputs = (fun a -> a);
+    block_cycles = Aes.cycles_per_block;
+    directed_vectors = cipher_vectors }
+
+let camellia_spec =
+  { pad_inputs = (fun a -> Array.append a [| Bits.zero 2 |]);
+    block_cycles = Camellia.cycles_per_block;
+    directed_vectors = cipher_vectors }
+
+let cipher_short spec ~length ~seed =
+  let v = Vec.create length in
+  cipher_directed spec v;
+  cipher_mixed spec v (Prng.create ~seed);
+  Vec.finish v
+
+let cipher_long spec ~length ~seed =
+  let v = Vec.create length in
+  cipher_reset spec v;
+  cipher_idle spec v ~enable:false 4;
+  cipher_mixed spec v (Prng.create ~seed);
+  Vec.finish v
+
+let aes_short ?(length = paper_short_length "AES") ?(seed = 0x4145_5300L) () =
+  cipher_short aes_spec ~length ~seed
+
+let aes_long ?(length = default_long_length) ?(seed = 0x4145_5301L) () =
+  cipher_long aes_spec ~length ~seed
+
+let camellia_short ?(length = paper_short_length "Camellia") ?(seed = 0x4341_4D00L) () =
+  cipher_short camellia_spec ~length ~seed
+
+let camellia_long ?(length = default_long_length) ?(seed = 0x4341_4D01L) () =
+  cipher_long camellia_spec ~length ~seed
+
+(* ---------- Dispatch ---------- *)
+
+let generator_for name ~long =
+  let pick short long_gen = if long then long_gen else short in
+  match name with
+  | "RAM" -> pick (fun ~length ~seed -> ram_short ~length ~seed ())
+               (fun ~length ~seed -> ram_long ~length ~seed ())
+  | "FIFO" -> pick (fun ~length ~seed -> fifo_short ~length ~seed ())
+                (fun ~length ~seed -> fifo_long ~length ~seed ())
+  | "MultSum" | "MultSum-gates" ->
+      pick (fun ~length ~seed -> multsum_short ~length ~seed ())
+        (fun ~length ~seed -> multsum_long ~length ~seed ())
+  | "AES" -> pick (fun ~length ~seed -> aes_short ~length ~seed ())
+               (fun ~length ~seed -> aes_long ~length ~seed ())
+  | "Camellia" | "Camellia-noscrub" ->
+      pick (fun ~length ~seed -> camellia_short ~length ~seed ())
+        (fun ~length ~seed -> camellia_long ~length ~seed ())
+  | name -> invalid_arg ("Workloads.suite: unknown IP " ^ name)
+
+let suite ?(parts = 4) ~total_length ~long name =
+  if parts <= 0 then invalid_arg "Workloads.suite: parts must be positive";
+  let gen = generator_for name ~long in
+  let base = max 1 (total_length / parts) in
+  List.init parts (fun k ->
+      let length = if k = parts - 1 then total_length - (base * (parts - 1)) else base in
+      gen ~length:(max 1 length) ~seed:(Int64.add 0x1234_5678L (Int64.of_int (k * 7919))))
+
+let short_for = function
+  | "RAM" -> ram_short ()
+  | "FIFO" -> fifo_short ()
+  | "MultSum" | "MultSum-gates" -> multsum_short ()
+  | "AES" -> aes_short ()
+  | "Camellia" | "Camellia-noscrub" -> camellia_short ()
+  | name -> invalid_arg ("Workloads.short_for: unknown IP " ^ name)
+
+let long_for ?(length = default_long_length) = function
+  | "RAM" -> ram_long ~length ()
+  | "FIFO" -> fifo_long ~length ()
+  | "MultSum" | "MultSum-gates" -> multsum_long ~length ()
+  | "AES" -> aes_long ~length ()
+  | "Camellia" | "Camellia-noscrub" -> camellia_long ~length ()
+  | name -> invalid_arg ("Workloads.long_for: unknown IP " ^ name)

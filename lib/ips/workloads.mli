@@ -1,0 +1,55 @@
+(** Deterministic workload (testbench) generators.
+
+    Two testbench families per IP, mirroring the paper's experimental
+    setup (Sec. VI):
+
+    - *short-TS*: directed functional-verification-style sequences — reset,
+      idle, every operating mode, corner data — sized by default to the
+      paper's Table II trace lengths (RAM 34130, MultSum 12002, AES 16504,
+      Camellia 78004 instants);
+    - *long-TS*: the same phase structure repeated "several times with
+      different sets of data" (seeded pseudo-random), default 500000
+      instants.
+
+    All generators are pure functions of their parameters: same arguments,
+    same stimulus, bit for bit. *)
+
+type stimulus = Psm_bits.Bits.t array array
+(** One array of PI values (in interface input order) per cycle. *)
+
+val ram_short : ?length:int -> ?seed:int64 -> unit -> stimulus
+val ram_long : ?length:int -> ?seed:int64 -> unit -> stimulus
+
+val multsum_short : ?length:int -> ?seed:int64 -> unit -> stimulus
+val multsum_long : ?length:int -> ?seed:int64 -> unit -> stimulus
+
+val aes_short : ?length:int -> ?seed:int64 -> unit -> stimulus
+val aes_long : ?length:int -> ?seed:int64 -> unit -> stimulus
+
+val camellia_short : ?length:int -> ?seed:int64 -> unit -> stimulus
+val camellia_long : ?length:int -> ?seed:int64 -> unit -> stimulus
+
+val fifo_short : ?length:int -> ?seed:int64 -> unit -> stimulus
+(** For the extra (non-paper) FIFO IP: fill/drain/stream directed phases
+    plus mixed producer/consumer traffic. *)
+
+val fifo_long : ?length:int -> ?seed:int64 -> unit -> stimulus
+
+val suite : ?parts:int -> total_length:int -> long:bool -> string -> stimulus list
+(** [suite ~total_length ~long name] builds a verification suite of
+    [parts] (default 4) independent testbenches for the named IP — each a
+    complete, well-formed stimulus starting from reset, with its own data
+    seed — totalling [total_length] instants. [long] selects the long-TS
+    phase structure (random data repetition) over the short-TS one
+    (directed phases first). This mirrors the paper's "set of test
+    sequences": one PSM chain is generated per element. *)
+
+val short_for : string -> stimulus
+(** Dispatch by IP name ("RAM", "MultSum", "AES", "Camellia"; the
+    structural and ablation variants map to their base IP). Raises
+    [Invalid_argument] for an unknown name. *)
+
+val long_for : ?length:int -> string -> stimulus
+
+val paper_short_length : string -> int
+(** The Table II short-TS trace length for the IP. *)

@@ -1,0 +1,31 @@
+(** Atomic propositions (paper Def. 1): logic formulas over the PIs/POs of
+    the model with no logic connectives — relations between one signal and
+    a constant, or between two signals of equal width (e.g. the paper's
+    Fig. 3 atoms [v1 = true], [v2 = false], [v3 > v4]). *)
+
+type comparison = Eq | Lt | Gt
+
+type operand =
+  | Const of Psm_bits.Bits.t
+  | Sig of int  (** Interface signal index. *)
+
+type t = {
+  lhs : int;  (** Interface signal index. *)
+  cmp : comparison;
+  rhs : operand;
+}
+
+val eq_const : int -> Psm_bits.Bits.t -> t
+val compare_signals : comparison -> int -> int -> t
+
+val eval : t -> Psm_bits.Bits.t array -> bool
+(** Truth of the atom on one functional-trace sample (unsigned
+    comparisons). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Psm_trace.Interface.t -> Format.formatter -> t -> unit
+(** Renders like [we = 1] or [wdata > rdata]. *)
+
+val to_string : Psm_trace.Interface.t -> t -> string

@@ -1,0 +1,234 @@
+module Bits = Psm_bits.Bits
+module Functional_trace = Psm_trace.Functional_trace
+module Interface = Psm_trace.Interface
+module Signal = Psm_trace.Signal
+
+type config = {
+  min_support : float;
+  min_mean_run : float;
+  max_consts_per_signal : int;
+  max_short_run_fraction : float;
+  max_const_signal_width : int;
+  mine_pairs : bool;
+  max_pair_signal_width : int;
+}
+
+let default =
+  { min_support = 0.01;
+    min_mean_run = 4.0;
+    max_consts_per_signal = 4;
+    max_short_run_fraction = 0.25;
+    max_const_signal_width = 32;
+    mine_pairs = true;
+    max_pair_signal_width = 64 }
+
+type atom_stats = {
+  atom : Atomic.t;
+  support : float;
+  mean_run : float;
+  occurrences : int;
+  runs : int;
+  short_runs : int;
+}
+
+let check_traces traces =
+  match traces with
+  | [] -> invalid_arg "Miner: no training traces"
+  | first :: rest ->
+      let iface = Functional_trace.interface first in
+      List.iter
+        (fun t ->
+          if not (Interface.equal (Functional_trace.interface t) iface) then
+            invalid_arg "Miner: traces with different interfaces")
+        rest;
+      iface
+
+(* Occurrence and run counting for one signal's values, with periodic
+   pruning of hapax values so wide random buses cannot blow up memory. *)
+module Value_counter = struct
+  type cell = {
+    mutable occ : int;
+    mutable runs : int;
+    mutable short_runs : int;
+    mutable run_len : int;
+    mutable last : int;
+  }
+
+  type t = {
+    table : (Bits.t, cell) Hashtbl.t;
+    short_below : int;
+    mutable seen : int;
+    prune_at : int;
+  }
+
+  let create ~short_below =
+    { table = Hashtbl.create 256; short_below; seen = 0; prune_at = 100_000 }
+
+  let close_run t c = if c.run_len < t.short_below then c.short_runs <- c.short_runs + 1
+
+  let observe t time v =
+    (match Hashtbl.find_opt t.table v with
+    | Some c ->
+        c.occ <- c.occ + 1;
+        if c.last <> time - 1 then begin
+          close_run t c;
+          c.runs <- c.runs + 1;
+          c.run_len <- 1
+        end
+        else c.run_len <- c.run_len + 1;
+        c.last <- time
+    | None ->
+        Hashtbl.add t.table v { occ = 1; runs = 1; short_runs = 0; run_len = 1; last = time });
+    t.seen <- t.seen + 1;
+    if Hashtbl.length t.table > t.prune_at then begin
+      (* Values seen once so far can never dominate a long trace; dropping
+         them only risks losing atoms far below any sane support level. *)
+      let doomed =
+        Hashtbl.fold (fun v c acc -> if c.occ <= 1 then v :: acc else acc) t.table []
+      in
+      List.iter (Hashtbl.remove t.table) doomed
+    end
+
+  let fold f t init =
+    (* Account for each value's still-open final run. *)
+    Hashtbl.iter (fun _ c -> close_run t c; c.run_len <- max_int) t.table;
+    Hashtbl.fold f t.table init
+end
+
+let total_length traces =
+  List.fold_left (fun acc t -> acc + Functional_trace.length t) 0 traces
+
+(* Run/occurrence stats of an arbitrary predicate over the traces; runs do
+   not continue across trace boundaries. *)
+let predicate_stats ~short_below traces pred =
+  let occ = ref 0 and runs = ref 0 and short_runs = ref 0 and run_len = ref 0 in
+  let close () = if !run_len > 0 && !run_len < short_below then incr short_runs in
+  List.iter
+    (fun trace ->
+      let prev = ref false in
+      Functional_trace.iter
+        (fun _ sample ->
+          let holds = pred sample in
+          if holds then begin
+            incr occ;
+            if not !prev then begin
+              close ();
+              incr runs;
+              run_len := 1
+            end
+            else incr run_len
+          end;
+          prev := holds)
+        trace;
+      (* Trace boundary ends any open run. *)
+      if !prev then begin close (); run_len := 0 end)
+    traces;
+  close ();
+  (!occ, !runs, !short_runs)
+
+let stats_of ~total atom occ runs short_runs =
+  { atom;
+    support = float_of_int occ /. float_of_int total;
+    mean_run = (if runs = 0 then 0. else float_of_int occ /. float_of_int runs);
+    occurrences = occ;
+    runs;
+    short_runs }
+
+let const_candidates config traces iface total =
+  let arity = Interface.arity iface in
+  let short_below = int_of_float (ceil config.min_mean_run) in
+  let counters = Array.init arity (fun _ -> Value_counter.create ~short_below) in
+  let narrow s = (Interface.signal iface s).Signal.width <= config.max_const_signal_width in
+  (* Offset the per-trace times so that runs cannot bridge traces. *)
+  let offset = ref 0 in
+  List.iter
+    (fun trace ->
+      Functional_trace.iter
+        (fun time sample ->
+          Array.iteri
+            (fun s v -> if narrow s then Value_counter.observe counters.(s) (!offset + time) v)
+            sample)
+        trace;
+      offset := !offset + Functional_trace.length trace + 2)
+    traces;
+  let candidates = ref [] in
+  Array.iteri
+    (fun s counter ->
+      Value_counter.fold
+        (fun v (c : Value_counter.cell) () ->
+          candidates :=
+            stats_of ~total (Atomic.eq_const s v) c.occ c.runs c.short_runs :: !candidates)
+        counter ())
+    counters;
+  !candidates
+
+let pair_candidates config traces iface total =
+  let signals = Interface.signals iface in
+  let pairs = ref [] in
+  Array.iteri
+    (fun a (sa : Signal.t) ->
+      Array.iteri
+        (fun b (sb : Signal.t) ->
+          if a < b && sa.width = sb.width && sa.width > 1
+             && sa.width <= config.max_pair_signal_width
+          then pairs := (a, b) :: !pairs)
+        signals)
+    signals;
+  let short_below = int_of_float (ceil config.min_mean_run) in
+  List.concat_map
+    (fun (a, b) ->
+      List.map
+        (fun cmp ->
+          let atom = Atomic.compare_signals cmp a b in
+          let occ, runs, short_runs =
+            predicate_stats ~short_below traces (fun s -> Atomic.eval atom s)
+          in
+          stats_of ~total atom occ runs short_runs)
+        [ Atomic.Eq; Atomic.Lt; Atomic.Gt ])
+    !pairs
+
+let candidate_stats ?(config = default) traces =
+  let iface = check_traces traces in
+  let total = total_length traces in
+  if total = 0 then invalid_arg "Miner: empty training traces";
+  let consts = const_candidates config traces iface total in
+  let pairs = if config.mine_pairs then pair_candidates config traces iface total else [] in
+  consts @ pairs
+
+let passes config s =
+  s.support >= config.min_support
+  && s.mean_run >= config.min_mean_run
+  && (s.runs = 0
+     || float_of_int s.short_runs /. float_of_int s.runs
+        <= config.max_short_run_fraction)
+
+let mine_vocabulary ?(config = default) traces =
+  let iface = check_traces traces in
+  let all = candidate_stats ~config traces in
+  let kept = List.filter (passes config) all in
+  (* Cap the per-signal constant atoms at the top-k by support. *)
+  let by_signal = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match s.atom.Atomic.rhs with
+      | Atomic.Const _ ->
+          let key = s.atom.Atomic.lhs in
+          let existing = Option.value ~default:[] (Hashtbl.find_opt by_signal key) in
+          Hashtbl.replace by_signal key (s :: existing)
+      | Atomic.Sig _ -> ())
+    kept;
+  let capped_consts =
+    Hashtbl.fold
+      (fun _ entries acc ->
+        let sorted =
+          List.sort (fun x y -> Float.compare y.support x.support) entries
+        in
+        List.filteri (fun i _ -> i < config.max_consts_per_signal) sorted @ acc)
+      by_signal []
+  in
+  let pair_atoms =
+    List.filter
+      (fun s -> match s.atom.Atomic.rhs with Atomic.Sig _ -> true | Atomic.Const _ -> false)
+      kept
+  in
+  Vocabulary.create iface (List.map (fun s -> s.atom) (capped_consts @ pair_atoms))

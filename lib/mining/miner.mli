@@ -1,0 +1,61 @@
+(** Phase 1 of the mining procedure (paper Sec. III-A, after [9]): extract
+    atomic propositions that hold frequently — and stably, i.e. over
+    subtraces rather than flickering — on a set of functional traces.
+
+    Candidates are
+    - [signal = constant] for every value a signal exhibits, and
+    - [signal ⋈ signal] (=, <, >) for same-width signal pairs,
+
+    filtered by three criteria over the training traces:
+    - *support*: the fraction of instants where the atom holds must be at
+      least [min_support];
+    - *stability*: the mean length of its runs of consecutive true instants
+      must be at least [min_mean_run];
+    - *uniform stability*: at most [max_short_run_fraction] of its runs may
+      be shorter than [min_mean_run]. Mean run length alone is fooled by an
+      atom that is rock-stable in one workload phase and flickers every
+      cycle in another (e.g. a comparison between a random data bus and a
+      registered output); the short-run fraction catches exactly that.
+
+    Together the stability criteria are what "holds in a set of subtraces"
+    (paper Sec. III-A) means operationally.
+
+    The [support] of the *false* polarity needs no separate atom: the
+    proposition construction of {!Prop_trace} works on complete truth rows,
+    so a single atom distinguishes both polarities. *)
+
+type config = {
+  min_support : float;  (** In (0, 1]; default 0.01. *)
+  min_mean_run : float;  (** Default 4.0. *)
+  max_consts_per_signal : int;  (** Top-k by support; default 4. *)
+  max_short_run_fraction : float;  (** Default 0.25. *)
+  max_const_signal_width : int;
+      (** Signals wider than this never produce [signal = constant] atoms:
+          enumerating the values of a wide data bus both explodes the
+          proposition space and encodes workload data into the PSM
+          structure. Default 32. *)
+  mine_pairs : bool;  (** Default true. *)
+  max_pair_signal_width : int;  (** Default 64. *)
+}
+
+val default : config
+
+val mine_vocabulary :
+  ?config:config -> Psm_trace.Functional_trace.t list -> Vocabulary.t
+(** One shared vocabulary over all training traces (they must share an
+    interface). Raises [Invalid_argument] on an empty list or mismatched
+    interfaces. *)
+
+type atom_stats = {
+  atom : Atomic.t;
+  support : float;
+  mean_run : float;
+  occurrences : int;
+  runs : int;
+  short_runs : int;  (** Runs shorter than [min_mean_run]. *)
+}
+
+val candidate_stats :
+  ?config:config -> Psm_trace.Functional_trace.t list -> atom_stats list
+(** The scored candidate list before filtering — kept for inspection and
+    for the mining-threshold ablation. *)

@@ -1,0 +1,136 @@
+module Functional_trace = Psm_trace.Functional_trace
+
+module Table = struct
+  type t = {
+    vocabulary : Vocabulary.t;
+    index : (string, int) Hashtbl.t; (* packed truth row -> prop id *)
+    mutable rows : bool array array; (* prop id -> truth row *)
+    mutable count : int;
+  }
+
+  let create vocabulary =
+    { vocabulary; index = Hashtbl.create 64; rows = Array.make 16 [||]; count = 0 }
+
+  let vocabulary t = t.vocabulary
+  let prop_count t = t.count
+
+  let add_row t row key =
+    if t.count = Array.length t.rows then begin
+      let bigger = Array.make (2 * t.count) [||] in
+      Array.blit t.rows 0 bigger 0 t.count;
+      t.rows <- bigger
+    end;
+    t.rows.(t.count) <- Array.copy row;
+    Hashtbl.add t.index key t.count;
+    t.count <- t.count + 1;
+    t.count - 1
+
+  let classify_or_add t sample =
+    let row = Vocabulary.eval_sample t.vocabulary sample in
+    let key = Vocabulary.row_key row in
+    match Hashtbl.find_opt t.index key with
+    | Some id -> id
+    | None -> add_row t row key
+
+  let classify t sample =
+    let row = Vocabulary.eval_sample t.vocabulary sample in
+    Hashtbl.find_opt t.index (Vocabulary.row_key row)
+
+  let intern_row t row =
+    if Array.length row <> Vocabulary.size t.vocabulary then
+      invalid_arg "Prop_trace.Table.intern_row: row size mismatch";
+    let key = Vocabulary.row_key row in
+    match Hashtbl.find_opt t.index key with
+    | Some id -> id
+    | None -> add_row t row key
+
+  let check_id t id =
+    if id < 0 || id >= t.count then invalid_arg "Prop_trace.Table: unknown proposition id"
+
+  let row t id =
+    check_id t id;
+    Array.copy t.rows.(id)
+
+  let true_atoms t id =
+    check_id t id;
+    let atoms = ref [] in
+    Array.iteri
+      (fun i b -> if b then atoms := Vocabulary.atom t.vocabulary i :: !atoms)
+      t.rows.(id);
+    List.rev !atoms
+
+  (* p_a .. p_z, p_aa, p_ab, ... *)
+  let name t id =
+    check_id t id;
+    let rec letters n acc =
+      let acc = String.make 1 (Char.chr (Char.code 'a' + (n mod 26))) ^ acc in
+      if n < 26 then acc else letters ((n / 26) - 1) acc
+    in
+    "p_" ^ letters id ""
+
+  let pp_prop t fmt id =
+    check_id t id;
+    let iface = Vocabulary.interface t.vocabulary in
+    let positives = true_atoms t id in
+    Format.fprintf fmt "%s:" (name t id);
+    if positives = [] then Format.fprintf fmt " (all atoms false)"
+    else
+      List.iteri
+        (fun i a ->
+          Format.fprintf fmt "%s %a" (if i = 0 then "" else " &") (Atomic.pp iface) a)
+        positives
+end
+
+type t = { table : Table.t; ids : int array }
+
+let of_functional table trace =
+  let n = Functional_trace.length trace in
+  let ids = Array.make n 0 in
+  Functional_trace.iter (fun time sample -> ids.(time) <- Table.classify_or_add table sample) trace;
+  { table; ids }
+
+let table t = t.table
+let length t = Array.length t.ids
+
+let prop_at t i =
+  if i < 0 || i >= length t then invalid_arg "Prop_trace.prop_at: instant out of range";
+  t.ids.(i)
+
+let prop_ids t = Array.copy t.ids
+
+let segments t =
+  let n = length t in
+  let rec go acc start =
+    if start >= n then List.rev acc
+    else begin
+      let p = t.ids.(start) in
+      let stop = ref start in
+      while !stop + 1 < n && t.ids.(!stop + 1) = p do incr stop done;
+      go ((p, start, !stop) :: acc) (!stop + 1)
+    end
+  in
+  go [] 0
+
+let holds_exactly_one t trace =
+  length t = Functional_trace.length trace
+  && begin
+       let ok = ref true in
+       Functional_trace.iter
+         (fun time sample ->
+           match Table.classify t.table sample with
+           | Some id -> if id <> t.ids.(time) then ok := false
+           | None -> ok := false)
+         trace;
+       (* Mutual exclusion is structural: rows are complete conjunctions,
+          so a sample matches exactly the row of its own truth vector. *)
+       !ok
+     end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>proposition trace, %d instants, %d propositions:@,"
+    (length t) (Table.prop_count t.table);
+  List.iter
+    (fun (p, start, stop) ->
+      Format.fprintf fmt "  [%d,%d] %s@," start stop (Table.name t.table p))
+    (segments t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,22 @@
+(** The mined atomic-proposition vocabulary of an IP: the fixed, ordered
+    set of atoms over which the truth matrix [m] (paper Sec. III-A) and all
+    propositions are expressed. *)
+
+type t
+
+val create : Psm_trace.Interface.t -> Atomic.t list -> t
+(** Deduplicates and orders the atoms canonically. *)
+
+val interface : t -> Psm_trace.Interface.t
+val size : t -> int
+val atom : t -> int -> Atomic.t
+val atoms : t -> Atomic.t array
+
+val eval_sample : t -> Psm_bits.Bits.t array -> bool array
+(** One row of the truth matrix: the truth of every atom on the sample. *)
+
+val row_key : bool array -> string
+(** Packed representation of a truth row, usable as a hash key: two rows
+    have equal keys iff they are equal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+open Netlist
+module Bits = Psm_bits.Bits
+
+let const_vector t v =
+  Array.init (Bits.width v) (fun i -> const t (Bits.get v i))
+
+let check_same op a b =
+  if Array.length a <> Array.length b then
+    invalid_arg ("Comb." ^ op ^ ": width mismatch")
+
+let not_v t a = Array.map (fun n -> gate t Not [| n |]) a
+
+let map2 t op a b = Array.map2 (fun x y -> gate t op [| x; y |]) a b
+
+let and_v t a b = check_same "and_v" a b; map2 t And a b
+let or_v t a b = check_same "or_v" a b; map2 t Or a b
+let xor_v t a b = check_same "xor_v" a b; map2 t Xor a b
+
+let mux2 t ~sel a b =
+  check_same "mux2" a b;
+  Array.map2 (fun x y -> gate t Mux [| sel; x; y |]) a b
+
+let full_adder t a b cin =
+  let axb = gate t Xor [| a; b |] in
+  let sum = gate t Xor [| axb; cin |] in
+  let carry = gate t Or [| gate t And [| a; b |]; gate t And [| axb; cin |] |] in
+  (sum, carry)
+
+let adder t ?carry_in a b =
+  check_same "adder" a b;
+  let cin = match carry_in with Some c -> c | None -> const t false in
+  let w = Array.length a in
+  let sum = Array.make w (const t false) in
+  let carry = ref cin in
+  for i = 0 to w - 1 do
+    let s, c = full_adder t a.(i) b.(i) !carry in
+    sum.(i) <- s;
+    carry := c
+  done;
+  (sum, !carry)
+
+let subtractor t a b =
+  (* a − b = a + ~b + 1. *)
+  adder t ~carry_in:(const t true) a (not_v t b)
+
+let multiplier t a b =
+  let wa = Array.length a and wb = Array.length b in
+  if wa = 0 || wb = 0 then invalid_arg "Comb.multiplier: empty operand";
+  let w = wa + wb in
+  let zero = const t false in
+  let pad v = Array.init w (fun i -> if i < Array.length v then v.(i) else zero) in
+  (* Sum of shifted partial products, each gated by one multiplier bit. *)
+  let acc = ref (Array.make w zero) in
+  for j = 0 to wb - 1 do
+    let partial =
+      Array.init w (fun i ->
+          if i >= j && i - j < wa then gate t And [| a.(i - j); b.(j) |] else zero)
+    in
+    let sum, _ = adder t !acc (pad partial) in
+    acc := sum
+  done;
+  !acc
+
+let eq_const t a v =
+  if Array.length a <> Bits.width v then invalid_arg "Comb.eq_const: width mismatch";
+  let lits =
+    Array.mapi (fun i n -> if Bits.get v i then n else gate t Not [| n |]) a
+  in
+  Array.fold_left
+    (fun acc n -> gate t And [| acc; n |])
+    lits.(0)
+    (Array.sub lits 1 (Array.length lits - 1))
+
+let eq_v t a b =
+  check_same "eq_v" a b;
+  let bitwise = Array.map2 (fun x y -> gate t Not [| gate t Xor [| x; y |] |]) a b in
+  Array.fold_left
+    (fun acc n -> gate t And [| acc; n |])
+    bitwise.(0)
+    (Array.sub bitwise 1 (Array.length bitwise - 1))
+
+let decoder t a =
+  let w = Array.length a in
+  if w > 16 then invalid_arg "Comb.decoder: address too wide";
+  Array.init (1 lsl w) (fun v -> eq_const t a (Bits.of_int ~width:w v))
+
+let mux_tree t ~sel ways =
+  let w = Array.length sel in
+  if Array.length ways <> 1 lsl w then
+    invalid_arg "Comb.mux_tree: need exactly 2^|sel| ways";
+  (* Pair adjacent ways so that selection level [l] consumes sel bit [l]
+     (the LSB distinguishes even from odd indexes). *)
+  let rec reduce level ways =
+    match Array.length ways with
+    | 1 -> ways.(0)
+    | n ->
+        let next =
+          Array.init (n / 2) (fun i ->
+              mux2 t ~sel:sel.(level) ways.(2 * i) ways.((2 * i) + 1))
+        in
+        reduce (level + 1) next
+  in
+  reduce 0 ways
+
+let zero_extend t a w =
+  if w < Array.length a then invalid_arg "Comb.zero_extend: narrower than input";
+  let zero = const t false in
+  Array.init w (fun i -> if i < Array.length a then a.(i) else zero)

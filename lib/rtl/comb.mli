@@ -1,0 +1,41 @@
+(** Combinational building blocks over {!Netlist}: the word-level operators
+    a synthesis tool would map to gates. All vectors are LSB-first net
+    arrays; binary operators require equal widths. *)
+
+open Netlist
+
+val const_vector : t -> Psm_bits.Bits.t -> net array
+
+val not_v : t -> net array -> net array
+val and_v : t -> net array -> net array -> net array
+val or_v : t -> net array -> net array -> net array
+val xor_v : t -> net array -> net array -> net array
+
+val mux2 : t -> sel:net -> net array -> net array -> net array
+(** Bitwise 2:1 mux: selects the first vector when [sel] is 0. *)
+
+val adder : t -> ?carry_in:net -> net array -> net array -> net array * net
+(** Ripple-carry adder; returns (sum, carry-out). *)
+
+val subtractor : t -> net array -> net array -> net array * net
+(** Two's-complement subtraction a − b; returns (difference, borrow-free
+    carry-out). *)
+
+val multiplier : t -> net array -> net array -> net array
+(** Unsigned array multiplier; the product has width |a| + |b|. *)
+
+val eq_const : t -> net array -> Psm_bits.Bits.t -> net
+(** 1 when the vector equals the constant. *)
+
+val eq_v : t -> net array -> net array -> net
+
+val decoder : t -> net array -> net array
+(** [decoder t a] is the full one-hot decode of [a]: output [i] is 1 iff
+    the input vector's value is [i] (2^|a| outputs). *)
+
+val mux_tree : t -> sel:net array -> net array array -> net array
+(** [mux_tree t ~sel ways] selects [ways.(value of sel)]; [ways] must have
+    exactly [2^|sel|] entries of equal width. *)
+
+val zero_extend : t -> net array -> int -> net array
+(** Pad with constant-0 nets up to the requested width. *)

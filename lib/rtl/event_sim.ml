@@ -1,0 +1,180 @@
+module Bits = Psm_bits.Bits
+
+type t = {
+  netlist : Netlist.t;
+  gates : Netlist.gate array;
+  level : int array; (* per gate *)
+  max_level : int;
+  consumers : int list array; (* net -> consuming gate indexes *)
+  dffs : Netlist.dff array;
+  input_ports : (string * Netlist.net array) list;
+  output_ports : (string * Netlist.net array) list;
+  values : bool array;
+  state : bool array;
+  buckets : int list array; (* level -> dirty gates *)
+  in_bucket : bool array;
+  mutable force_full : bool; (* evaluate everything on the next step *)
+  mutable last_toggles : int;
+  mutable total_toggles : int;
+  mutable cycle : int;
+  mutable gate_evaluations : int;
+}
+
+let build_levels netlist =
+  let gates = Netlist.gates netlist in
+  let n_nets = Netlist.net_count netlist in
+  let driver = Array.make n_nets (-1) in
+  Array.iteri (fun i (g : Netlist.gate) -> driver.(g.Netlist.output) <- i) gates;
+  let level = Array.make (Array.length gates) (-1) in
+  let net_level = Array.make n_nets 0 in
+  (* Kahn order, assigning levels. *)
+  let indegree = Array.make (Array.length gates) 0 in
+  let consumers = Array.make n_nets [] in
+  Array.iteri
+    (fun i (g : Netlist.gate) ->
+      Array.iter
+        (fun input ->
+          consumers.(input) <- i :: consumers.(input);
+          if driver.(input) >= 0 then indegree.(i) <- indegree.(i) + 1)
+        g.Netlist.inputs)
+    gates;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indegree;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    incr processed;
+    let g = gates.(i) in
+    let l =
+      1 + Array.fold_left (fun acc input -> max acc net_level.(input)) 0 g.Netlist.inputs
+    in
+    level.(i) <- l;
+    net_level.(g.Netlist.output) <- l;
+    List.iter
+      (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j queue)
+      consumers.(g.Netlist.output)
+  done;
+  if !processed <> Array.length gates then
+    failwith
+      (Printf.sprintf "Event_sim.create: combinational cycle in netlist %s"
+         (Netlist.name netlist));
+  let max_level = Array.fold_left max 0 level in
+  (gates, level, max_level, consumers)
+
+let create netlist =
+  Netlist.validate netlist;
+  let gates, level, max_level, consumers = build_levels netlist in
+  let t =
+    { netlist;
+      gates;
+      level;
+      max_level;
+      consumers;
+      dffs = Netlist.dffs netlist;
+      input_ports = Netlist.inputs netlist;
+      output_ports = Netlist.outputs netlist;
+      values = Array.make (Netlist.net_count netlist) false;
+      state = Array.make (Netlist.memory_elements netlist) false;
+      buckets = Array.make (max_level + 1) [];
+      in_bucket = Array.make (Array.length gates) false;
+      force_full = true;
+      last_toggles = 0;
+      total_toggles = 0;
+      cycle = 0;
+      gate_evaluations = 0 }
+  in
+  Array.iteri (fun i (f : Netlist.dff) -> t.state.(i) <- f.Netlist.init) t.dffs;
+  List.iter (fun (n, b) -> t.values.(n) <- b) (Netlist.const_nets netlist);
+  t
+
+let reset t =
+  Array.iteri (fun i (f : Netlist.dff) -> t.state.(i) <- f.Netlist.init) t.dffs;
+  Array.fill t.values 0 (Array.length t.values) false;
+  List.iter (fun (n, b) -> t.values.(n) <- b) (Netlist.const_nets t.netlist);
+  Array.fill t.in_bucket 0 (Array.length t.in_bucket) false;
+  Array.fill t.buckets 0 (Array.length t.buckets) [];
+  t.force_full <- true;
+  t.last_toggles <- 0;
+  t.total_toggles <- 0;
+  t.cycle <- 0;
+  t.gate_evaluations <- 0
+
+let eval_gate values (g : Netlist.gate) =
+  let v i = values.(g.Netlist.inputs.(i)) in
+  match g.Netlist.op with
+  | Netlist.Buf -> v 0
+  | Netlist.Not -> not (v 0)
+  | Netlist.And -> v 0 && v 1
+  | Netlist.Or -> v 0 || v 1
+  | Netlist.Xor -> v 0 <> v 1
+  | Netlist.Nand -> not (v 0 && v 1)
+  | Netlist.Nor -> not (v 0 || v 1)
+  | Netlist.Mux -> if v 0 then v 2 else v 1
+
+let step t ins =
+  let toggles = ref 0 in
+  let enqueue i =
+    if not t.in_bucket.(i) then begin
+      t.in_bucket.(i) <- true;
+      let l = t.level.(i) in
+      t.buckets.(l) <- i :: t.buckets.(l)
+    end
+  in
+  let set_net n v =
+    if t.values.(n) <> v then begin
+      t.values.(n) <- v;
+      incr toggles;
+      List.iter enqueue t.consumers.(n)
+    end
+  in
+  (* Drive input ports. *)
+  List.iter
+    (fun (portname, nets) ->
+      match List.assoc_opt portname ins with
+      | None -> invalid_arg ("Event_sim.step: missing input " ^ portname)
+      | Some v ->
+          if Bits.width v <> Array.length nets then
+            invalid_arg ("Event_sim.step: width mismatch on input " ^ portname);
+          Array.iteri (fun i n -> set_net n (Bits.get v i)) nets)
+    t.input_ports;
+  if List.length ins <> List.length t.input_ports then
+    invalid_arg "Event_sim.step: unexpected extra inputs";
+  (* Present DFF state. *)
+  Array.iteri (fun i (f : Netlist.dff) -> set_net f.Netlist.q t.state.(i)) t.dffs;
+  if t.force_full then begin
+    (* First cycle after reset: every gate settles, as the levelized
+       simulator does. *)
+    Array.iteri (fun i _ -> enqueue i) t.gates;
+    t.force_full <- false
+  end;
+  (* Propagate by level. *)
+  for l = 1 to t.max_level do
+    let dirty = t.buckets.(l) in
+    t.buckets.(l) <- [];
+    List.iter
+      (fun i ->
+        t.in_bucket.(i) <- false;
+        t.gate_evaluations <- t.gate_evaluations + 1;
+        let g = t.gates.(i) in
+        set_net g.Netlist.output (eval_gate t.values g))
+      dirty
+  done;
+  t.last_toggles <- !toggles;
+  t.total_toggles <- t.total_toggles + !toggles;
+  t.cycle <- t.cycle + 1;
+  let outs =
+    List.map
+      (fun (portname, nets) ->
+        (portname, Bits.init ~width:(Array.length nets) (fun i -> t.values.(nets.(i)))))
+      t.output_ports
+  in
+  Array.iteri (fun i (f : Netlist.dff) -> t.state.(i) <- t.values.(f.Netlist.d)) t.dffs;
+  outs
+
+let last_toggles t = t.last_toggles
+let total_toggles t = t.total_toggles
+let cycle t = t.cycle
+let gate_evaluations t = t.gate_evaluations
+let interface t = Netlist.interface t.netlist

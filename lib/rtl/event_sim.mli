@@ -1,0 +1,33 @@
+(** Event-driven netlist simulation.
+
+    {!Sim} evaluates every gate every cycle (levelized full evaluation) —
+    robust, and the right cost model for a PrimeTime-PX-grade reference.
+    This simulator instead propagates only from *changed* nets through
+    their fan-out cones in levelized order, the classic event-driven
+    speed-up: cycles that touch little logic cost little.
+
+    Functionally identical to {!Sim} — same two-valued semantics, same
+    toggle counts — which the test suite checks by lockstep equivalence
+    on random circuits and on the benchmark netlists. The bench compares
+    their throughput on the RAM (where activity is sparse and
+    event-driven wins big). *)
+
+type t
+
+val create : Netlist.t -> t
+(** Validates and levelizes; raises like {!Sim.create}. *)
+
+val reset : t -> unit
+
+val step : t -> (string * Psm_bits.Bits.t) list -> (string * Psm_bits.Bits.t) list
+(** Same contract as {!Sim.step}. *)
+
+val last_toggles : t -> int
+val total_toggles : t -> int
+val cycle : t -> int
+
+val gate_evaluations : t -> int
+(** Total gate evaluations performed — the work metric the event queue
+    saves on (compare with [cycles × gate count] for {!Sim}). *)
+
+val interface : t -> Psm_trace.Interface.t

@@ -1,0 +1,186 @@
+type net = int
+
+type gate_op = Buf | Not | And | Or | Xor | Nand | Nor | Mux
+
+type gate = { op : gate_op; inputs : net array; output : net }
+
+type dff = { d : net; q : net; init : bool }
+
+(* Internal representation: [d] may be pending until [dff_loop]'s connect
+   function is called. *)
+type internal_dff = { mutable d_opt : net option; iq : net; iinit : bool }
+
+type t = {
+  nl_name : string;
+  mutable next_net : int;
+  mutable rev_gates : gate list;
+  mutable n_gates : int;
+  mutable rev_dffs : internal_dff list;
+  mutable rev_inputs : (string * net array) list;
+  mutable rev_outputs : (string * net array) list;
+  mutable const0 : net option;
+  mutable const1 : net option;
+}
+
+let create nl_name =
+  { nl_name;
+    next_net = 0;
+    rev_gates = [];
+    n_gates = 0;
+    rev_dffs = [];
+    rev_inputs = [];
+    rev_outputs = [];
+    const0 = None;
+    const1 = None }
+
+let name t = t.nl_name
+
+let fresh t =
+  let n = t.next_net in
+  t.next_net <- n + 1;
+  n
+
+let fresh_vector t w =
+  if w <= 0 then invalid_arg "Netlist.fresh_vector: width must be positive";
+  Array.init w (fun _ -> fresh t)
+
+let const t b =
+  match (b, t.const0, t.const1) with
+  | false, Some n, _ | true, _, Some n -> n
+  | false, None, _ ->
+      let n = fresh t in
+      t.const0 <- Some n;
+      n
+  | true, _, None ->
+      let n = fresh t in
+      t.const1 <- Some n;
+      n
+
+let arity = function Buf | Not -> 1 | Mux -> 3 | And | Or | Xor | Nand | Nor -> 2
+
+let gate t op inputs =
+  if Array.length inputs <> arity op then
+    invalid_arg "Netlist.gate: wrong arity for gate";
+  Array.iter
+    (fun n -> if n < 0 || n >= t.next_net then invalid_arg "Netlist.gate: unknown input net")
+    inputs;
+  let output = fresh t in
+  t.rev_gates <- { op; inputs = Array.copy inputs; output } :: t.rev_gates;
+  t.n_gates <- t.n_gates + 1;
+  output
+
+let dff t ?(init = false) d =
+  if d < 0 || d >= t.next_net then invalid_arg "Netlist.dff: unknown d net";
+  let q = fresh t in
+  t.rev_dffs <- { d_opt = Some d; iq = q; iinit = init } :: t.rev_dffs;
+  q
+
+let dff_loop t ?(init = false) () =
+  let q = fresh t in
+  let cell = { d_opt = None; iq = q; iinit = init } in
+  t.rev_dffs <- cell :: t.rev_dffs;
+  let connect d =
+    if d < 0 || d >= t.next_net then invalid_arg "Netlist.dff_loop: unknown d net";
+    match cell.d_opt with
+    | Some _ -> invalid_arg "Netlist.dff_loop: d already connected"
+    | None -> cell.d_opt <- Some d
+  in
+  (q, connect)
+
+let dff_vector t ?init d =
+  let module Bits = Psm_bits.Bits in
+  (match init with
+  | Some v when Bits.width v <> Array.length d ->
+      invalid_arg "Netlist.dff_vector: init width mismatch"
+  | _ -> ());
+  Array.mapi
+    (fun i di ->
+      let init = match init with None -> false | Some v -> Bits.get v i in
+      dff t ~init di)
+    d
+
+let dff_loop_vector t ?init width =
+  let module Bits = Psm_bits.Bits in
+  (match init with
+  | Some v when Bits.width v <> width ->
+      invalid_arg "Netlist.dff_loop_vector: init width mismatch"
+  | _ -> ());
+  let cells =
+    Array.init width (fun i ->
+        let init = match init with None -> false | Some v -> Bits.get v i in
+        dff_loop t ~init ())
+  in
+  let qs = Array.map fst cells in
+  let connect ds =
+    if Array.length ds <> width then
+      invalid_arg "Netlist.dff_loop_vector: connect width mismatch";
+    Array.iteri (fun i d -> (snd cells.(i)) d) ds
+  in
+  (qs, connect)
+
+let check_port_name t portname =
+  let taken =
+    List.exists (fun (n, _) -> n = portname) t.rev_inputs
+    || List.exists (fun (n, _) -> n = portname) t.rev_outputs
+  in
+  if taken then invalid_arg ("Netlist: duplicate port name " ^ portname)
+
+let input t portname w =
+  check_port_name t portname;
+  let nets = fresh_vector t w in
+  t.rev_inputs <- (portname, nets) :: t.rev_inputs;
+  nets
+
+let output t portname nets =
+  check_port_name t portname;
+  if Array.length nets = 0 then invalid_arg "Netlist.output: empty port";
+  Array.iter
+    (fun n -> if n < 0 || n >= t.next_net then invalid_arg "Netlist.output: unknown net")
+    nets;
+  t.rev_outputs <- (portname, Array.copy nets) :: t.rev_outputs
+
+let net_count t = t.next_net
+let gate_count t = t.n_gates
+let memory_elements t = List.length t.rev_dffs
+
+let gates t = Array.of_list (List.rev t.rev_gates)
+
+let freeze_dff (f : internal_dff) =
+  match f.d_opt with
+  | Some d -> { d; q = f.iq; init = f.iinit }
+  | None -> invalid_arg "Netlist: dff_loop left unconnected"
+
+(* rev_dffs is newest-first; rev_map restores creation order. *)
+let dffs t = Array.of_list (List.rev_map freeze_dff t.rev_dffs)
+
+let inputs t = List.rev t.rev_inputs
+let outputs t = List.rev t.rev_outputs
+
+let const_nets t =
+  (match t.const0 with None -> [] | Some n -> [ (n, false) ])
+  @ (match t.const1 with None -> [] | Some n -> [ (n, true) ])
+
+let interface t =
+  let ins =
+    List.map (fun (n, nets) -> Psm_trace.Signal.input n (Array.length nets)) (inputs t)
+  in
+  let outs =
+    List.map (fun (n, nets) -> Psm_trace.Signal.output n (Array.length nets)) (outputs t)
+  in
+  Psm_trace.Interface.create (ins @ outs)
+
+let validate t =
+  let drivers = Array.make t.next_net 0 in
+  let drive what n =
+    drivers.(n) <- drivers.(n) + 1;
+    if drivers.(n) > 1 then
+      invalid_arg (Printf.sprintf "Netlist.validate: net %d driven more than once (%s)" n what)
+  in
+  List.iter (fun (n, _) -> drive "const" n) (const_nets t);
+  List.iter (fun g -> drive "gate" g.output) (List.rev t.rev_gates);
+  List.iter (fun f -> drive "dff" (freeze_dff f).q) (List.rev t.rev_dffs);
+  List.iter (fun (_, nets) -> Array.iter (drive "input") nets) (inputs t);
+  Array.iteri
+    (fun n c ->
+      if c = 0 then invalid_arg (Printf.sprintf "Netlist.validate: net %d undriven" n))
+    drivers

@@ -1,0 +1,93 @@
+(** Structural gate-level netlists.
+
+    This is the reproduction's stand-in for a synthesized design: a flat
+    network of primitive gates and D flip-flops identified by integer nets.
+    It supplies (i) genuine gate-level switching activity for the reference
+    power model, (ii) the "memory elements" and "synthesis (elaboration)
+    time" columns of Table I, and (iii) a structural-vs-behavioural ablation
+    for MultSum.
+
+    Netlists are built imperatively through this module and then frozen into
+    a {!Sim.t} for simulation. *)
+
+type net = int
+(** Nets are dense non-negative integers, suitable as array indexes. *)
+
+type gate_op =
+  | Buf
+  | Not
+  | And
+  | Or
+  | Xor
+  | Nand
+  | Nor
+  | Mux  (** [inputs = [| sel; a; b |]]: output is [a] when [sel] is 0, [b] when 1. *)
+
+type gate = { op : gate_op; inputs : net array; output : net }
+
+type dff = { d : net; q : net; init : bool }
+
+type t
+
+val create : string -> t
+(** [create name] is an empty netlist. *)
+
+val name : t -> string
+
+(** {1 Building} *)
+
+val const : t -> bool -> net
+(** Constant driver (deduplicated: at most two constant nets exist). *)
+
+val fresh : t -> net
+(** A new undriven net. Every net must end up driven by exactly one of:
+    a constant, a gate output, a DFF q, or an input port bit. *)
+
+val fresh_vector : t -> int -> net array
+(** [fresh_vector t w]: bit 0 of the array is the LSB. *)
+
+val gate : t -> gate_op -> net array -> net
+(** [gate t op inputs] creates a gate driving a fresh net, returned.
+    Arities are checked: 1 for [Buf]/[Not], 3 for [Mux], 2 otherwise. *)
+
+val dff : t -> ?init:bool -> net -> net
+(** [dff t d] registers [d]; returns the [q] net. *)
+
+val dff_vector : t -> ?init:Psm_bits.Bits.t -> net array -> net array
+
+val dff_loop : t -> ?init:bool -> unit -> net * (net -> unit)
+(** [dff_loop t ()] allocates a DFF whose [d] is connected later: returns
+    the [q] net and a one-shot connect function. Enables feedback
+    structures (enable recirculation, FSM state registers). {!validate}
+    fails on a DFF left unconnected. *)
+
+val dff_loop_vector : t -> ?init:Psm_bits.Bits.t -> int -> net array * (net array -> unit)
+
+val input : t -> string -> int -> net array
+(** Declare an input port of the given width; returns its nets (LSB
+    first). Port names must be unique across inputs and outputs. *)
+
+val output : t -> string -> net array -> unit
+(** Declare an output port made of existing nets. *)
+
+(** {1 Observation} *)
+
+val net_count : t -> int
+val gate_count : t -> int
+
+val memory_elements : t -> int
+(** Number of DFF bits — the Table I "memory elements" figure. *)
+
+val gates : t -> gate array
+val dffs : t -> dff array
+val inputs : t -> (string * net array) list
+val outputs : t -> (string * net array) list
+val const_nets : t -> (net * bool) list
+
+val interface : t -> Psm_trace.Interface.t
+(** The PI/PO view of the netlist, in declaration order. *)
+
+val validate : t -> unit
+(** Checks that every net is driven exactly once and every gate/DFF input
+    refers to an existing net. Raises [Invalid_argument] describing the
+    first violation. *)

@@ -1,0 +1,112 @@
+type t = {
+  gates_total : int;
+  gates_by_op : (Netlist.gate_op * int) list;
+  dff_bits : int;
+  nets : int;
+  logic_depth : int;
+  max_fanout : int;
+  average_fanout : float;
+}
+
+let op_name = function
+  | Netlist.Buf -> "BUF"
+  | Netlist.Not -> "NOT"
+  | Netlist.And -> "AND"
+  | Netlist.Or -> "OR"
+  | Netlist.Xor -> "XOR"
+  | Netlist.Nand -> "NAND"
+  | Netlist.Nor -> "NOR"
+  | Netlist.Mux -> "MUX"
+
+let analyze nl =
+  Netlist.validate nl;
+  let gates = Netlist.gates nl in
+  let n_nets = Netlist.net_count nl in
+  (* Histogram. *)
+  let histogram = Hashtbl.create 8 in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      Hashtbl.replace histogram g.Netlist.op
+        (1 + Option.value ~default:0 (Hashtbl.find_opt histogram g.Netlist.op)))
+    gates;
+  let gates_by_op =
+    Hashtbl.fold (fun op c acc -> (op, c) :: acc) histogram []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  (* Depth: longest path through gates, computed over the topological
+     order (a net driven by a gate has depth = 1 + max input depth). *)
+  let driver = Array.make n_nets (-1) in
+  Array.iteri (fun i (g : Netlist.gate) -> driver.(g.Netlist.output) <- i) gates;
+  let depth_of_net = Array.make n_nets 0 in
+  let order =
+    (* Reuse Sim's levelization through a throwaway simulator; cheaper to
+       recompute topological order locally via Kahn over gate deps. *)
+    let indegree = Array.make (Array.length gates) 0 in
+    let consumers = Array.make n_nets [] in
+    Array.iteri
+      (fun i (g : Netlist.gate) ->
+        Array.iter
+          (fun input ->
+            if driver.(input) >= 0 then begin
+              indegree.(i) <- indegree.(i) + 1;
+              consumers.(input) <- i :: consumers.(input)
+            end)
+          g.Netlist.inputs)
+      gates;
+    let queue = Queue.create () in
+    Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indegree;
+    let order = Queue.create () in
+    while not (Queue.is_empty queue) do
+      let i = Queue.take queue in
+      Queue.add i order;
+      List.iter
+        (fun j ->
+          indegree.(j) <- indegree.(j) - 1;
+          if indegree.(j) = 0 then Queue.add j queue)
+        consumers.(gates.(i).Netlist.output)
+    done;
+    if Queue.length order <> Array.length gates then
+      failwith "Netlist_stats.analyze: combinational cycle";
+    order
+  in
+  let logic_depth = ref 0 in
+  Queue.iter
+    (fun i ->
+      let g = gates.(i) in
+      let d =
+        1
+        + Array.fold_left
+            (fun acc input -> max acc depth_of_net.(input))
+            0 g.Netlist.inputs
+      in
+      depth_of_net.(g.Netlist.output) <- d;
+      if d > !logic_depth then logic_depth := d)
+    order;
+  (* Fanout: how many gate/DFF inputs each net feeds. *)
+  let fanout = Array.make n_nets 0 in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      Array.iter (fun input -> fanout.(input) <- fanout.(input) + 1) g.Netlist.inputs)
+    gates;
+  Array.iter
+    (fun (f : Netlist.dff) -> fanout.(f.Netlist.d) <- fanout.(f.Netlist.d) + 1)
+    (Netlist.dffs nl);
+  let max_fanout = Array.fold_left max 0 fanout in
+  let total_fanout = Array.fold_left ( + ) 0 fanout in
+  { gates_total = Array.length gates;
+    gates_by_op;
+    dff_bits = Netlist.memory_elements nl;
+    nets = n_nets;
+    logic_depth = !logic_depth;
+    max_fanout;
+    average_fanout =
+      (if n_nets = 0 then 0. else float_of_int total_fanout /. float_of_int n_nets) }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>gates: %d  dffs: %d  nets: %d@," t.gates_total t.dff_bits t.nets;
+  Format.fprintf fmt "logic depth: %d  max fanout: %d  avg fanout: %.2f@," t.logic_depth
+    t.max_fanout t.average_fanout;
+  List.iter
+    (fun (op, c) -> Format.fprintf fmt "  %-4s %8d@," (op_name op) c)
+    t.gates_by_op;
+  Format.fprintf fmt "@]"

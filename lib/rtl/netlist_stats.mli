@@ -1,0 +1,23 @@
+(** Synthesis-report-style statistics over a {!Netlist}: gate histograms,
+    combinational logic depth and fan-out — the numbers a DesignCompiler
+    report would show next to Table I's area/timing columns. *)
+
+type t = {
+  gates_total : int;
+  gates_by_op : (Netlist.gate_op * int) list;  (** Descending by count. *)
+  dff_bits : int;
+  nets : int;
+  logic_depth : int;
+      (** Longest combinational path, in gates, between a source (port,
+          constant or DFF output) and a sink (DFF input or output port). *)
+  max_fanout : int;
+  average_fanout : float;
+}
+
+val analyze : Netlist.t -> t
+(** Validates and levelizes; raises like {!Sim.create} on malformed
+    netlists. *)
+
+val pp : Format.formatter -> t -> unit
+
+val op_name : Netlist.gate_op -> string

@@ -1,0 +1,141 @@
+module Bits = Psm_bits.Bits
+
+type t = {
+  netlist : Netlist.t;
+  order : Netlist.gate array; (* topological order *)
+  dffs : Netlist.dff array;
+  input_ports : (string * Netlist.net array) list;
+  output_ports : (string * Netlist.net array) list;
+  values : bool array;
+  prev : bool array; (* settled values of the previous cycle *)
+  state : bool array; (* q value per dff, latched at the end of step *)
+  mutable last_toggles : int;
+  mutable total_toggles : int;
+  mutable cycle : int;
+}
+
+let levelize netlist =
+  let gates = Netlist.gates netlist in
+  let n_nets = Netlist.net_count netlist in
+  (* consumers.(net) = indexes of gates reading it; indegree counts only
+     inputs driven by other gates (DFF outputs, ports and constants are
+     already available when a cycle starts). *)
+  let driver = Array.make n_nets (-1) in
+  Array.iteri (fun i (g : Netlist.gate) -> driver.(g.output) <- i) gates;
+  let indegree = Array.make (Array.length gates) 0 in
+  let consumers = Array.make n_nets [] in
+  Array.iteri
+    (fun i (g : Netlist.gate) ->
+      Array.iter
+        (fun input ->
+          if driver.(input) >= 0 then begin
+            indegree.(i) <- indegree.(i) + 1;
+            consumers.(input) <- i :: consumers.(input)
+          end)
+        g.inputs)
+    gates;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indegree;
+  let order = Array.make (Array.length gates) gates.(0) in
+  let filled = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    order.(!filled) <- gates.(i);
+    incr filled;
+    List.iter
+      (fun j ->
+        indegree.(j) <- indegree.(j) - 1;
+        if indegree.(j) = 0 then Queue.add j queue)
+      consumers.(gates.(i).output)
+  done;
+  if !filled <> Array.length gates then
+    failwith
+      (Printf.sprintf "Sim.create: combinational cycle in netlist %s"
+         (Netlist.name netlist));
+  order
+
+let create netlist =
+  Netlist.validate netlist;
+  let n_nets = Netlist.net_count netlist in
+  let order = if Netlist.gate_count netlist = 0 then [||] else levelize netlist in
+  let t =
+    { netlist;
+      order;
+      dffs = Netlist.dffs netlist;
+      input_ports = Netlist.inputs netlist;
+      output_ports = Netlist.outputs netlist;
+      values = Array.make n_nets false;
+      prev = Array.make n_nets false;
+      state = Array.make (Netlist.memory_elements netlist) false;
+      last_toggles = 0;
+      total_toggles = 0;
+      cycle = 0 }
+  in
+  Array.iteri (fun i (f : Netlist.dff) -> t.state.(i) <- f.init) t.dffs;
+  List.iter (fun (n, b) -> t.values.(n) <- b; t.prev.(n) <- b) (Netlist.const_nets netlist);
+  t
+
+let reset t =
+  Array.iteri (fun i (f : Netlist.dff) -> t.state.(i) <- f.init) t.dffs;
+  Array.fill t.values 0 (Array.length t.values) false;
+  Array.fill t.prev 0 (Array.length t.prev) false;
+  List.iter (fun (n, b) -> t.values.(n) <- b; t.prev.(n) <- b) (Netlist.const_nets t.netlist);
+  t.last_toggles <- 0;
+  t.total_toggles <- 0;
+  t.cycle <- 0
+
+let eval_gate values (g : Netlist.gate) =
+  let v i = values.(g.inputs.(i)) in
+  match g.op with
+  | Netlist.Buf -> v 0
+  | Netlist.Not -> not (v 0)
+  | Netlist.And -> v 0 && v 1
+  | Netlist.Or -> v 0 || v 1
+  | Netlist.Xor -> v 0 <> v 1
+  | Netlist.Nand -> not (v 0 && v 1)
+  | Netlist.Nor -> not (v 0 || v 1)
+  | Netlist.Mux -> if v 0 then v 2 else v 1
+
+let step t ins =
+  (* Drive input ports. *)
+  let drive (portname, nets) =
+    match List.assoc_opt portname ins with
+    | None -> invalid_arg ("Sim.step: missing input " ^ portname)
+    | Some v ->
+        if Bits.width v <> Array.length nets then
+          invalid_arg ("Sim.step: width mismatch on input " ^ portname);
+        Array.iteri (fun i n -> t.values.(n) <- Bits.get v i) nets
+  in
+  List.iter drive t.input_ports;
+  if List.length ins <> List.length t.input_ports then
+    invalid_arg "Sim.step: unexpected extra inputs";
+  (* Present DFF state. *)
+  Array.iteri (fun i (f : Netlist.dff) -> t.values.(f.q) <- t.state.(i)) t.dffs;
+  (* Settle combinational logic in topological order. *)
+  Array.iter (fun g -> t.values.(g.Netlist.output) <- eval_gate t.values g) t.order;
+  (* Switching activity vs the previous settled cycle. *)
+  let toggles = ref 0 in
+  for n = 0 to Array.length t.values - 1 do
+    if t.values.(n) <> t.prev.(n) then incr toggles;
+    t.prev.(n) <- t.values.(n)
+  done;
+  t.last_toggles <- !toggles;
+  t.total_toggles <- t.total_toggles + !toggles;
+  t.cycle <- t.cycle + 1;
+  (* Sample outputs before the clock edge. *)
+  let outs =
+    List.map
+      (fun (portname, nets) ->
+        (portname, Bits.init ~width:(Array.length nets) (fun i -> t.values.(nets.(i)))))
+      t.output_ports
+  in
+  (* Clock edge: latch next state. *)
+  Array.iteri (fun i (f : Netlist.dff) -> t.state.(i) <- t.values.(f.d)) t.dffs;
+  outs
+
+let last_toggles t = t.last_toggles
+let total_toggles t = t.total_toggles
+let cycle t = t.cycle
+let net_count t = Array.length t.values
+let memory_elements t = Array.length t.state
+let interface t = Netlist.interface t.netlist

@@ -1,0 +1,35 @@
+(** Cycle-accurate two-valued simulation of a {!Netlist} with per-cycle
+    toggle counting.
+
+    The netlist is frozen and its combinational gates levelized once
+    (topological order); each [step] then evaluates every gate in order,
+    captures the outputs and counts how many nets changed value with respect
+    to the previous settled cycle — the switching activity α(t) consumed by
+    {!Power_model}. *)
+
+type t
+
+val create : Netlist.t -> t
+(** Validates and levelizes. Raises [Invalid_argument] on an undriven or
+    multiply-driven net, or [Failure] on a combinational cycle. *)
+
+val reset : t -> unit
+(** Restore every DFF to its init value and clear toggle statistics. *)
+
+val step : t -> (string * Psm_bits.Bits.t) list -> (string * Psm_bits.Bits.t) list
+(** [step t ins] applies one clock cycle: drive the input ports from [ins]
+    (every input port must be given exactly once, with the right width),
+    settle the combinational logic, return the output-port values, then
+    latch the DFFs. *)
+
+val last_toggles : t -> int
+(** Nets that changed during the most recent [step] — the activity α(t). *)
+
+val total_toggles : t -> int
+
+val cycle : t -> int
+(** Number of steps since the last [reset] (or creation). *)
+
+val net_count : t -> int
+val memory_elements : t -> int
+val interface : t -> Psm_trace.Interface.t

@@ -1,0 +1,16 @@
+(** Structural Verilog export of a {!Netlist}.
+
+    The reproduction substitutes OCaml netlists for the paper's
+    synthesized Verilog; this module closes the loop in the other
+    direction, emitting a synthesizable structural Verilog-2001 module
+    (continuous assignments for gates, one always-block per DFF with a
+    synchronous init via initial block) so the generated designs can be
+    fed to standard simulators and synthesis tools.
+
+    Net [n] becomes wire [n_<n>]; ports keep their declared names. *)
+
+val to_string : Netlist.t -> string
+(** Raises [Invalid_argument] (via {!Netlist.validate}) on malformed
+    netlists. *)
+
+val write_file : string -> Netlist.t -> unit

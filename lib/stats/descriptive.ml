@@ -1,0 +1,78 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty array")
+
+let sum a = Array.fold_left ( +. ) 0. a
+
+let mean a =
+  check_nonempty "mean" a;
+  sum a /. float_of_int (Array.length a)
+
+let check_slice name a ~start ~stop =
+  if start < 0 || stop >= Array.length a || stop < start then
+    invalid_arg
+      (Printf.sprintf "Descriptive.%s: bad range [%d..%d] for length %d" name
+         start stop (Array.length a))
+
+let mean_slice a ~start ~stop =
+  check_slice "mean_slice" a ~start ~stop;
+  let acc = ref 0. in
+  for i = start to stop do acc := !acc +. a.(i) done;
+  !acc /. float_of_int (stop - start + 1)
+
+let variance_slice a ~start ~stop =
+  check_slice "variance_slice" a ~start ~stop;
+  let n = stop - start + 1 in
+  if n < 2 then 0.
+  else begin
+    let m = mean_slice a ~start ~stop in
+    let acc = ref 0. in
+    for i = start to stop do
+      let d = a.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    !acc /. float_of_int (n - 1)
+  end
+
+let variance a =
+  check_nonempty "variance" a;
+  variance_slice a ~start:0 ~stop:(Array.length a - 1)
+
+let stddev a = sqrt (variance a)
+
+let stddev_slice a ~start ~stop = sqrt (variance_slice a ~start ~stop)
+
+let min_max a =
+  check_nonempty "min_max" a;
+  Array.fold_left
+    (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+    (a.(0), a.(0)) a
+
+module Online = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+
+  let merge a b =
+    if a.n = 0 then { n = b.n; mean = b.mean; m2 = b.m2 }
+    else if b.n = 0 then { n = a.n; mean = a.mean; m2 = a.m2 }
+    else begin
+      let na = float_of_int a.n and nb = float_of_int b.n in
+      let delta = b.mean -. a.mean in
+      let n = a.n + b.n in
+      let nf = na +. nb in
+      { n;
+        mean = a.mean +. (delta *. nb /. nf);
+        m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. nf) }
+    end
+end

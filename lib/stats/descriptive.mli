@@ -1,0 +1,43 @@
+(** Descriptive statistics over float arrays and an online accumulator.
+
+    Variances are the unbiased sample variances (divisor [n - 1]), matching
+    the inputs expected by Welch's t-test in {!Ttest}. *)
+
+val mean : float array -> float
+(** Raises [Invalid_argument] on the empty array. *)
+
+val mean_slice : float array -> start:int -> stop:int -> float
+(** Mean of the inclusive index range [start..stop]. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; [0.] when fewer than two samples. *)
+
+val stddev : float array -> float
+
+val stddev_slice : float array -> start:int -> stop:int -> float
+(** Sample standard deviation of the inclusive range [start..stop]. *)
+
+val sum : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on the empty array. *)
+
+(** Welford's online algorithm: numerically stable single-pass mean and
+    variance. Power attributes ⟨μ, σ, n⟩ of PSM states are accumulated with
+    this as traces stream by. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  (** Unbiased; [0.] when fewer than two samples. *)
+
+  val stddev : t -> float
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if all their samples had been added to a
+      single one (parallel-variance formula). Neither input is mutated. *)
+end

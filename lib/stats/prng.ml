@@ -1,0 +1,40 @@
+(* splitmix64 (Steele, Lea, Flood 2014): tiny state, excellent statistical
+   quality for simulation workloads, trivially seedable and splittable. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create ~seed:(next_int64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible because
+     bound << 2^63 in every call site. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  if bound <= 0. then invalid_arg "Prng.float: bound must be positive";
+  let mantissa = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float mantissa /. 9007199254740992. *. bound
+
+let bits t ~width =
+  (* Build from 64-bit chunks rather than per-bit draws: one PRNG step per
+     64 bits keeps wide-vector workload generation fast. *)
+  if width <= 0 then invalid_arg "Prng.bits: width must be positive";
+  let nchunks = ((width - 1) / 64) + 1 in
+  let chunks = Array.init nchunks (fun _ -> next_int64 t) in
+  Psm_bits.Bits.init ~width (fun i ->
+      let c = chunks.(i / 64) in
+      Int64.logand (Int64.shift_right_logical c (i mod 64)) 1L = 1L)

@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic element of the reproduction — workload data, HMM
+    tie-breaking — draws from an explicitly seeded [Prng.t], so all
+    experiments are bit-for-bit repeatable. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** An independent stream derived from (and advancing) [t]. *)
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound > 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bits : t -> width:int -> Psm_bits.Bits.t
+(** A uniformly random bit vector. *)

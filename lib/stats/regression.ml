@@ -1,0 +1,49 @@
+type fit = { slope : float; intercept : float; r : float; r2 : float; n : int }
+
+let check_pair name x y =
+  let n = Array.length x in
+  if n <> Array.length y then
+    invalid_arg ("Regression." ^ name ^ ": arrays of different lengths");
+  if n < 2 then invalid_arg ("Regression." ^ name ^ ": need at least 2 points");
+  n
+
+(* One pass computing the five sums needed by both Pearson and LSQ. *)
+let sums x y =
+  let n = Array.length x in
+  let sx = ref 0. and sy = ref 0. and sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+  for i = 0 to n - 1 do
+    sx := !sx +. x.(i);
+    sy := !sy +. y.(i);
+    sxx := !sxx +. (x.(i) *. x.(i));
+    syy := !syy +. (y.(i) *. y.(i));
+    sxy := !sxy +. (x.(i) *. y.(i))
+  done;
+  (float_of_int n, !sx, !sy, !sxx, !syy, !sxy)
+
+let pearson x y =
+  let _ = check_pair "pearson" x y in
+  let nf, sx, sy, sxx, syy, sxy = sums x y in
+  let cov = (nf *. sxy) -. (sx *. sy) in
+  let vx = (nf *. sxx) -. (sx *. sx) in
+  let vy = (nf *. syy) -. (sy *. sy) in
+  if vx <= 0. || vy <= 0. then 0. else cov /. sqrt (vx *. vy)
+
+let fit ~x ~y =
+  let n = check_pair "fit" x y in
+  let nf, sx, sy, sxx, _, sxy = sums x y in
+  let vx = (nf *. sxx) -. (sx *. sx) in
+  if vx <= 0. then
+    { slope = 0.; intercept = sy /. nf; r = 0.; r2 = 0.; n }
+  else begin
+    let slope = ((nf *. sxy) -. (sx *. sy)) /. vx in
+    let intercept = (sy -. (slope *. sx)) /. nf in
+    let r = pearson x y in
+    { slope; intercept; r; r2 = r *. r; n }
+  end
+
+let predict f x = (f.slope *. x) +. f.intercept
+
+let residual_stddev f ~x ~y =
+  let n = check_pair "residual_stddev" x y in
+  let residuals = Array.init n (fun i -> y.(i) -. predict f x.(i)) in
+  Descriptive.stddev residuals

@@ -1,0 +1,28 @@
+(** Simple linear regression and correlation.
+
+    Used by the data-dependent-state optimization (paper Sec. IV): the power
+    of a high-σ state is re-expressed as an affine function of the Hamming
+    distance between consecutive primary-input values, provided the Pearson
+    correlation is strong enough. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r : float;  (** Pearson correlation coefficient. *)
+  r2 : float;  (** Coefficient of determination. *)
+  n : int;
+}
+
+val pearson : float array -> float array -> float
+(** Pearson correlation of two equal-length arrays ([n >= 2]). Returns [0.]
+    when either side has zero variance. *)
+
+val fit : x:float array -> y:float array -> fit
+(** Least-squares fit of [y = slope * x + intercept]. Requires equal lengths
+    and [n >= 2]. A zero-variance [x] yields slope [0.] and intercept
+    [mean y]. *)
+
+val predict : fit -> float -> float
+
+val residual_stddev : fit -> x:float array -> y:float array -> float
+(** Sample standard deviation of the residuals [y - predict fit x]. *)

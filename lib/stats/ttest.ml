@@ -1,0 +1,45 @@
+type result = {
+  t_statistic : float;
+  degrees_of_freedom : float;
+  p_value : float;
+}
+
+let degenerate_equal mean1 mean2 =
+  (* No variance on either side: the test reduces to exact comparison. *)
+  if mean1 = mean2 then { t_statistic = 0.; degrees_of_freedom = 1.; p_value = 1. }
+  else { t_statistic = infinity; degrees_of_freedom = 1.; p_value = 0. }
+
+let welch ~mean1 ~stddev1 ~n1 ~mean2 ~stddev2 ~n2 =
+  if n1 < 2 || n2 < 2 then invalid_arg "Ttest.welch: both samples need n >= 2";
+  let v1 = stddev1 *. stddev1 and v2 = stddev2 *. stddev2 in
+  let nf1 = float_of_int n1 and nf2 = float_of_int n2 in
+  let se2 = (v1 /. nf1) +. (v2 /. nf2) in
+  if se2 <= 0. then degenerate_equal mean1 mean2
+  else begin
+    let t = (mean1 -. mean2) /. sqrt se2 in
+    let df =
+      se2 *. se2
+      /. ((v1 *. v1 /. (nf1 *. nf1 *. (nf1 -. 1.)))
+         +. (v2 *. v2 /. (nf2 *. nf2 *. (nf2 -. 1.))))
+    in
+    { t_statistic = t;
+      degrees_of_freedom = df;
+      p_value = Distribution.student_t_sf_two_sided ~df t }
+  end
+
+let one_sample ~mean ~stddev ~n ~value =
+  if n < 2 then invalid_arg "Ttest.one_sample: population needs n >= 2";
+  let nf = float_of_int n in
+  if stddev <= 0. then degenerate_equal mean value
+  else begin
+    let se = stddev *. sqrt (1. +. (1. /. nf)) in
+    let t = (value -. mean) /. se in
+    let df = nf -. 1. in
+    { t_statistic = t;
+      degrees_of_freedom = df;
+      p_value = Distribution.student_t_sf_two_sided ~df t }
+  end
+
+let equal_means ?(alpha = 0.05) r =
+  if alpha <= 0. || alpha >= 1. then invalid_arg "Ttest.equal_means: alpha in (0,1)";
+  r.p_value >= alpha

@@ -1,0 +1,33 @@
+(** Significance tests used to decide mergeability of power states
+    (paper Sec. IV-A).
+
+    All tests work from summary statistics ⟨μ, σ, n⟩ — the power attributes
+    stored on PSM states — so no raw samples need to be retained. *)
+
+type result = {
+  t_statistic : float;
+  degrees_of_freedom : float;
+  p_value : float;  (** Two-sided. *)
+}
+
+val welch : mean1:float -> stddev1:float -> n1:int -> mean2:float -> stddev2:float -> n2:int -> result
+(** Welch's unequal-variances two-sample t-test (paper Case 2: two
+    until-pattern states). Degrees of freedom follow the Welch–Satterthwaite
+    approximation. Requires [n1 >= 2] and [n2 >= 2].
+
+    When both sample variances are zero the test degenerates: the p-value is
+    [1.] if the means are equal and [0.] otherwise. *)
+
+val one_sample : mean:float -> stddev:float -> n:int -> value:float -> result
+(** One-sample t-test of a single observation [value] against a population
+    summarized by ⟨mean, stddev, n⟩ (paper Case 3: merging a next-pattern
+    state, n = 1, into an until-pattern state). Requires [n >= 2].
+
+    The statistic is the prediction-flavoured form
+    t = (value − mean) / (s·√(1 + 1/n)), which asks whether the single
+    sample is plausible as one more draw from the population. *)
+
+val equal_means : ?alpha:float -> result -> bool
+(** [equal_means ~alpha r] is [true] when the test fails to reject equality
+    of means at significance level [alpha] (default [0.05]), i.e. when
+    [r.p_value >= alpha]. This is the paper's "mergeable" verdict. *)

@@ -1,0 +1,42 @@
+(** IP + PSM co-simulation on the {!Kernel} — the paper's deployment
+    scenario: the functional model and the PSM power model run as two
+    modules of one discrete-event simulation, connected by signals.
+
+    Structure (mirroring the SystemC setup of the paper's Fig. 1 output):
+
+    - a testbench process drives the IP's primary-input signals on the
+      falling clock edge;
+    - the IP module samples its inputs on the rising edge, steps the
+      cycle-accurate model, and drives the primary-output signals plus an
+      analysis port carrying the joint PI/PO sample (and, for validation
+      only, the reference energy);
+    - the PSM module listens on the analysis port and publishes its power
+      estimate one delta later — fully decoupled from the IP's internals,
+      as a black-box power monitor must be. *)
+
+type t
+
+val build :
+  Kernel.t ->
+  clock:Kernel.Clock.t ->
+  ip:Psm_ips.Ip.t ->
+  hmm:Psm_hmm.Hmm.t ->
+  stimulus:Psm_ips.Workloads.stimulus ->
+  t
+(** Instantiate the three modules and wire them. The IP is reset. Run the
+    kernel for [Array.length stimulus] clock periods to exhaust the
+    stimulus. *)
+
+val pi_signals : t -> Psm_bits.Bits.t Kernel.Signal.t list
+val po_signals : t -> Psm_bits.Bits.t Kernel.Signal.t list
+
+val power_estimate : t -> float Kernel.Signal.t
+(** The PSM module's output signal (joules for the current cycle). *)
+
+val cycles_done : t -> int
+
+val estimates : t -> float array
+(** Per-cycle PSM estimates collected so far. *)
+
+val references : t -> float array
+(** Per-cycle reference energies (from the IP model's activity). *)

@@ -1,0 +1,129 @@
+module IntMap = Map.Make (Int)
+
+type t = {
+  mutable time : int;
+  mutable agenda : (unit -> unit) Queue.t IntMap.t; (* timed events *)
+  runnable : (unit -> unit) Queue.t; (* processes for the current delta *)
+  mutable updates : (unit -> unit) list; (* pending signal publications *)
+  mutable deltas : int;
+}
+
+let create () =
+  { time = 0; agenda = IntMap.empty; runnable = Queue.create (); updates = []; deltas = 0 }
+
+let now t = t.time
+
+let schedule t ~delay thunk =
+  if delay < 0 then invalid_arg "Kernel.schedule: negative delay";
+  let at = t.time + delay in
+  let queue =
+    match IntMap.find_opt at t.agenda with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        t.agenda <- IntMap.add at q t.agenda;
+        q
+  in
+  Queue.add thunk queue
+
+let max_deltas_per_instant = 10_000
+
+(* One delta cycle: run every runnable process, then publish every pending
+   signal write (which may enqueue more runnables for the next delta). *)
+let settle t =
+  let rounds = ref 0 in
+  while (not (Queue.is_empty t.runnable)) || t.updates <> [] do
+    incr rounds;
+    if !rounds > max_deltas_per_instant then
+      failwith
+        (Printf.sprintf "Kernel: delta loop did not settle at time %d (oscillation?)"
+           t.time);
+    t.deltas <- t.deltas + 1;
+    (* Evaluate phase. *)
+    while not (Queue.is_empty t.runnable) do
+      (Queue.take t.runnable) ()
+    done;
+    (* Update phase. *)
+    let pending = List.rev t.updates in
+    t.updates <- [];
+    List.iter (fun publish -> publish ()) pending
+  done
+
+let run t ~until =
+  if until < t.time then invalid_arg "Kernel.run: until is in the past";
+  let continue = ref true in
+  while !continue do
+    settle t;
+    match IntMap.min_binding_opt t.agenda with
+    | Some (at, queue) when at <= until ->
+        t.agenda <- IntMap.remove at t.agenda;
+        t.time <- at;
+        Queue.transfer queue t.runnable;
+        settle t
+    | Some _ | None ->
+        t.time <- until;
+        continue := false
+  done
+
+let delta_count t = t.deltas
+
+module Signal = struct
+  type kernel = t
+
+  type 'a t = {
+    kernel : kernel;
+    sig_name : string;
+    equal : 'a -> 'a -> bool;
+    mutable current : 'a;
+    mutable next : 'a option;
+    mutable listeners : (unit -> unit) list;
+  }
+
+  let create (kernel : kernel) ?(equal = ( = )) ~name initial =
+    { kernel; sig_name = name; equal; current = initial; next = None; listeners = [] }
+
+  let name s = s.sig_name
+  let read s = s.current
+
+  let publish s () =
+    match s.next with
+    | None -> ()
+    | Some v ->
+        s.next <- None;
+        if not (s.equal s.current v) then begin
+          s.current <- v;
+          List.iter (fun p -> Queue.add p s.kernel.runnable) s.listeners
+        end
+
+  let write s v =
+    (* Last write in a delta wins (SystemC semantics). Register the
+       publication only once per delta. *)
+    let fresh = s.next = None in
+    s.next <- Some v;
+    if fresh then s.kernel.updates <- publish s :: s.kernel.updates
+
+  let on_change s p = s.listeners <- p :: s.listeners
+end
+
+module Clock = struct
+  type kernel = t
+
+  type t = { signal : bool Signal.t }
+
+  let create (kernel : kernel) ?(name = "clk") ~period () =
+    if period < 2 || period mod 2 <> 0 then
+      invalid_arg "Clock.create: period must be even and >= 2";
+    let signal = Signal.create kernel ~name false in
+    let half = period / 2 in
+    let rec toggle value () =
+      Signal.write signal value;
+      schedule kernel ~delay:half (toggle (not value))
+    in
+    schedule kernel ~delay:half (toggle true);
+    { signal }
+
+  let signal t = t.signal
+
+  let on_posedge t p =
+    Signal.on_change t.signal (fun () -> if Signal.read t.signal then p ())
+end

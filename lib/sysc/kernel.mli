@@ -1,0 +1,69 @@
+(** A miniature SystemC-like discrete-event simulation kernel.
+
+    The paper delivers its PSMs "implemented into a SystemC module … to
+    allow their efficient and effective simulation concurrently with the
+    simulation of the IP functional model"; this kernel is the
+    reproduction's stand-in for that substrate: signals with
+    evaluate/update (delta-cycle) semantics, processes with sensitivity
+    lists, and timed events — enough to wire an IP module and a PSM
+    observer to the same clock and let them run concurrently.
+
+    Semantics (the SystemC evaluate/update subset):
+    - [Signal.write] does not change the visible value immediately; the
+      new value is published at the end of the current delta cycle, and
+      processes sensitive to the signal run in the next delta cycle iff
+      the published value differs from the old one.
+    - Timed events fire in timestamp order; all events at one timestamp
+      execute before delta propagation settles, and time only advances
+      once no delta work remains. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulation time in ticks. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Run a thunk [delay] ticks from now ([delay] ≥ 0; 0 = this timestamp's
+    next delta). *)
+
+val run : t -> until:int -> unit
+(** Advance simulation time up to and including tick [until]. Raises
+    [Failure] if a delta loop fails to settle within 10000 iterations
+    (a combinational oscillation). *)
+
+val delta_count : t -> int
+(** Total delta cycles executed — exposed for tests. *)
+
+(** Typed signals with evaluate/update semantics. *)
+module Signal : sig
+  type kernel := t
+  type 'a t
+
+  val create : kernel -> ?equal:('a -> 'a -> bool) -> name:string -> 'a -> 'a t
+  (** [equal] defaults to structural equality; it decides whether a
+      published write counts as a change. *)
+
+  val name : 'a t -> string
+  val read : 'a t -> 'a
+  val write : 'a t -> 'a -> unit
+
+  val on_change : 'a t -> (unit -> unit) -> unit
+  (** Register a process triggered whenever the published value changes. *)
+end
+
+(** A periodic boolean clock built on the kernel. *)
+module Clock : sig
+  type kernel := t
+  type t
+
+  val create : kernel -> ?name:string -> period:int -> unit -> t
+  (** Starts low; rises at period/2, falls at period, … ([period] ≥ 2 and
+      even). *)
+
+  val signal : t -> bool Signal.t
+
+  val on_posedge : t -> (unit -> unit) -> unit
+  (** Convenience: trigger only on the rising edge. *)
+end

@@ -1,0 +1,137 @@
+module Bits = Psm_bits.Bits
+
+exception Parse_error of string
+
+let power_column = "power"
+
+let header ?power iface =
+  let cols =
+    Interface.signals iface
+    |> Array.to_list
+    |> List.map (fun (s : Signal.t) ->
+           Printf.sprintf "%s:%d:%s" s.name s.width
+             (if Signal.is_input s then "in" else "out"))
+  in
+  let cols = ("time" :: cols) @ (if power = None then [] else [ power_column ]) in
+  String.concat "," cols
+
+let to_string ?power trace =
+  let iface = Functional_trace.interface trace in
+  (match power with
+  | Some p when Power_trace.length p <> Functional_trace.length trace ->
+      invalid_arg "Csv.to_string: power trace length differs from functional trace"
+  | _ -> ());
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ?power iface);
+  Buffer.add_char buf '\n';
+  Functional_trace.iter
+    (fun t sample ->
+      Buffer.add_string buf (string_of_int t);
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (Bits.to_hex_string v))
+        sample;
+      (match power with
+      | Some p -> Buffer.add_string buf (Printf.sprintf ",%.17g" (Power_trace.get p t))
+      | None -> ());
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let write_file ?power path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?power trace))
+
+let parse_column_title title =
+  match String.split_on_char ':' title with
+  | [ name; w; dir ] -> (
+      let width =
+        match int_of_string_opt w with
+        | Some w when w > 0 -> w
+        | _ -> raise (Parse_error ("bad width in column " ^ title))
+      in
+      match dir with
+      | "in" -> Signal.input name width
+      | "out" -> Signal.output name width
+      | _ -> raise (Parse_error ("bad direction in column " ^ title)))
+  | _ -> raise (Parse_error ("bad column title " ^ title))
+
+let parse text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> raise (Parse_error "empty CSV")
+  | header :: rows ->
+      let cols = String.split_on_char ',' header in
+      (match cols with
+      | "time" :: rest ->
+          let has_power =
+            match List.rev rest with last :: _ -> last = power_column | [] -> false
+          in
+          let signal_cols =
+            if has_power then List.filteri (fun i _ -> i < List.length rest - 1) rest
+            else rest
+          in
+          if signal_cols = [] then raise (Parse_error "no signal columns");
+          let iface = Interface.create (List.map parse_column_title signal_cols) in
+          let builder = Functional_trace.Builder.create iface in
+          let powers = ref [] in
+          List.iter
+            (fun row ->
+              let cells = String.split_on_char ',' row in
+              let expect = 1 + List.length rest in
+              if List.length cells <> expect then
+                raise
+                  (Parse_error
+                     (Printf.sprintf "row has %d cells, expected %d"
+                        (List.length cells) expect));
+              let cells = Array.of_list cells in
+              let sample =
+                Array.init (Interface.arity iface) (fun i ->
+                    let s = Interface.signal iface i in
+                    try Bits.of_hex_string ~width:s.Signal.width cells.(i + 1)
+                    with Invalid_argument m -> raise (Parse_error m))
+              in
+              Functional_trace.Builder.append builder sample;
+              if has_power then begin
+                match float_of_string_opt cells.(Array.length cells - 1) with
+                | Some f -> powers := f :: !powers
+                | None -> raise (Parse_error "bad power value")
+              end)
+            rows;
+          let trace = Functional_trace.Builder.finish builder in
+          let power =
+            if has_power then
+              Some (Power_trace.of_array (Array.of_list (List.rev !powers)))
+            else None
+          in
+          (trace, power)
+      | _ -> raise (Parse_error "first column must be 'time'"))
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      parse (really_input_string ic len))
+
+let power_to_string p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time,energy\n";
+  for t = 0 to Power_trace.length p - 1 do
+    Buffer.add_string buf (Printf.sprintf "%d,%.17g\n" t (Power_trace.get p t))
+  done;
+  Buffer.contents buf
+
+let power_write_file path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (power_to_string p))

@@ -1,0 +1,22 @@
+(** CSV import/export of functional and power traces.
+
+    Layout: a header row [time,<sig>,...,<sig>[,power]] where each signal
+    column is titled [name:width:dir] (dir ∈ {in, out}); one row per
+    instant; signal values rendered as hexadecimal. This gives a
+    spreadsheet-friendly counterpart to the VCD format. *)
+
+val to_string : ?power:Power_trace.t -> Functional_trace.t -> string
+
+val write_file : ?power:Power_trace.t -> string -> Functional_trace.t -> unit
+
+exception Parse_error of string
+
+val parse : string -> Functional_trace.t * Power_trace.t option
+(** Raises [Parse_error] on malformed input. *)
+
+val parse_file : string -> Functional_trace.t * Power_trace.t option
+
+val power_to_string : Power_trace.t -> string
+(** Two columns, [time,energy]. *)
+
+val power_write_file : string -> Power_trace.t -> unit

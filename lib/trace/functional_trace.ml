@@ -1,0 +1,101 @@
+module Bits = Psm_bits.Bits
+
+type t = {
+  interface : Interface.t;
+  samples : Bits.t array array; (* time-major *)
+}
+
+let check_sample iface sample =
+  let n = Interface.arity iface in
+  if Array.length sample <> n then
+    invalid_arg
+      (Printf.sprintf "Functional_trace: sample arity %d, interface arity %d"
+         (Array.length sample) n);
+  Array.iteri
+    (fun i v ->
+      let s = Interface.signal iface i in
+      if Bits.width v <> s.Signal.width then
+        invalid_arg
+          (Printf.sprintf
+             "Functional_trace: signal %s has width %d, sample value width %d"
+             s.Signal.name s.Signal.width (Bits.width v)))
+    sample
+
+module Builder = struct
+  type trace = t
+
+  type t = { iface : Interface.t; mutable rev : Bits.t array list; mutable n : int }
+
+  let create iface = { iface; rev = []; n = 0 }
+
+  let append b sample =
+    check_sample b.iface sample;
+    b.rev <- Array.copy sample :: b.rev;
+    b.n <- b.n + 1
+
+  let length b = b.n
+
+  let finish b : trace =
+    let samples = Array.make b.n [||] in
+    List.iteri (fun i s -> samples.(b.n - 1 - i) <- s) b.rev;
+    { interface = b.iface; samples }
+end
+
+let of_samples iface samples =
+  Array.iter (check_sample iface) samples;
+  { interface = iface; samples = Array.map Array.copy samples }
+
+let interface t = t.interface
+let length t = Array.length t.samples
+
+let check_time t time =
+  if time < 0 || time >= length t then
+    invalid_arg (Printf.sprintf "Functional_trace: instant %d outside [0,%d)" time (length t))
+
+let value t ~time ~signal =
+  check_time t time;
+  t.samples.(time).(signal)
+
+let value_by_name t ~time name =
+  value t ~time ~signal:(Interface.index t.interface name)
+
+let sample t ~time =
+  check_time t time;
+  Array.copy t.samples.(time)
+
+let iter f t = Array.iteri f t.samples
+
+let sub t ~start ~stop =
+  check_time t start;
+  check_time t stop;
+  if stop < start then invalid_arg "Functional_trace.sub: stop < start";
+  { interface = t.interface; samples = Array.sub t.samples start (stop - start + 1) }
+
+let append a b =
+  if not (Interface.equal a.interface b.interface) then
+    invalid_arg "Functional_trace.append: different interfaces";
+  { interface = a.interface; samples = Array.append a.samples b.samples }
+
+let input_hamming_series t =
+  let input_idx = List.map fst (Interface.inputs t.interface) in
+  let n = length t in
+  let series = Array.make (max n 0) 0. in
+  for time = 1 to n - 1 do
+    let d =
+      List.fold_left
+        (fun acc i ->
+          acc + Bits.hamming_distance t.samples.(time).(i) t.samples.(time - 1).(i))
+        0 input_idx
+    in
+    series.(time) <- float_of_int d
+  done;
+  series
+
+let equal a b =
+  Interface.equal a.interface b.interface
+  && Array.length a.samples = Array.length b.samples
+  && Array.for_all2 (fun x y -> Array.for_all2 Bits.equal x y) a.samples b.samples
+
+let pp_summary fmt t =
+  Format.fprintf fmt "trace of %d instants over %d signals" (length t)
+    (Interface.arity t.interface)

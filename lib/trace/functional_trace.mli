@@ -1,0 +1,56 @@
+(** Functional traces (paper Def. 2): the evaluation of every interface
+    signal at each simulation instant. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type trace := t
+  type t
+
+  val create : Interface.t -> t
+
+  val append : t -> Psm_bits.Bits.t array -> unit
+  (** Append one sample; the array must be aligned with the interface
+      (length and per-signal widths are checked). The array is copied. *)
+
+  val length : t -> int
+  val finish : t -> trace
+end
+
+val of_samples : Interface.t -> Psm_bits.Bits.t array array -> t
+(** Validates every sample as {!Builder.append} does. *)
+
+(** {1 Observation} *)
+
+val interface : t -> Interface.t
+
+val length : t -> int
+(** Number of simulation instants. *)
+
+val value : t -> time:int -> signal:int -> Psm_bits.Bits.t
+(** Value of signal index [signal] at instant [time]. *)
+
+val value_by_name : t -> time:int -> string -> Psm_bits.Bits.t
+
+val sample : t -> time:int -> Psm_bits.Bits.t array
+(** Copy of the full sample at [time]. *)
+
+val iter : (int -> Psm_bits.Bits.t array -> unit) -> t -> unit
+(** [iter f t] calls [f time sample] in time order; the sample array must
+    not be mutated. *)
+
+val sub : t -> start:int -> stop:int -> t
+(** Inclusive time window as a new trace. *)
+
+val append : t -> t -> t
+(** Concatenate two traces over the same interface. *)
+
+val input_hamming_series : t -> float array
+(** Element [i] is the Hamming distance between the concatenated
+    primary-input values at instants [i] and [i - 1]; element 0 is 0.
+    This is the regressor of the data-dependent-state calibration. *)
+
+val equal : t -> t -> bool
+val pp_summary : Format.formatter -> t -> unit

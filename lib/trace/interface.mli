@@ -1,0 +1,31 @@
+(** The ordered set of observable signals of an IP.
+
+    Signal order is significant: functional-trace samples are arrays aligned
+    with it, and signals are addressed by index on hot paths. *)
+
+type t
+
+val create : Signal.t list -> t
+(** Raises [Invalid_argument] on duplicate signal names or an empty list. *)
+
+val signals : t -> Signal.t array
+val arity : t -> int
+
+val index : t -> string -> int
+(** Raises [Not_found] for an unknown signal name. *)
+
+val signal : t -> int -> Signal.t
+
+val inputs : t -> (int * Signal.t) list
+(** Indexes and declarations of the primary inputs, in declaration order. *)
+
+val outputs : t -> (int * Signal.t) list
+
+val total_input_width : t -> int
+(** Sum of PI widths — the denominator of input switching density and the
+    "PIs" column of the paper's Table I. *)
+
+val total_output_width : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

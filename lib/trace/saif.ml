@@ -1,0 +1,53 @@
+module Bits = Psm_bits.Bits
+
+type counters = { t0 : int; t1 : int; tc : int }
+
+let bit_counters trace ~signal ~bit =
+  let n = Functional_trace.length trace in
+  let t1 = ref 0 and tc = ref 0 in
+  let prev = ref None in
+  for time = 0 to n - 1 do
+    let v = Bits.get (Functional_trace.value trace ~time ~signal) bit in
+    if v then incr t1;
+    (match !prev with Some p when p <> v -> incr tc | Some _ | None -> ());
+    prev := Some v
+  done;
+  { t0 = n - !t1; t1 = !t1; tc = !tc }
+
+(* SAIF identifiers escape brackets in bit selects. *)
+let bit_name (s : Signal.t) bit =
+  if s.Signal.width = 1 then s.Signal.name
+  else Printf.sprintf "%s\\[%d\\]" s.Signal.name bit
+
+let to_string ?(design = "dut") ?(timescale = "1 ns") trace =
+  let iface = Functional_trace.interface trace in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "(SAIFILE\n";
+  addf "  (SAIFVERSION \"2.0\")\n";
+  addf "  (DIRECTION \"backward\")\n";
+  addf "  (DESIGN \"%s\")\n" design;
+  addf "  (VENDOR \"psm-repro\")\n";
+  addf "  (DIVIDER / )\n";
+  addf "  (TIMESCALE %s)\n" timescale;
+  addf "  (DURATION %d)\n" (Functional_trace.length trace);
+  addf "  (INSTANCE %s\n" design;
+  addf "    (NET\n";
+  Array.iteri
+    (fun signal (s : Signal.t) ->
+      for bit = 0 to s.Signal.width - 1 do
+        let c = bit_counters trace ~signal ~bit in
+        addf "      (%s\n" (bit_name s bit);
+        addf "        (T0 %d) (T1 %d) (TX 0)\n" c.t0 c.t1;
+        addf "        (TC %d) (IG 0)\n" c.tc;
+        addf "      )\n"
+      done)
+    (Interface.signals iface);
+  addf "    )\n  )\n)\n";
+  Buffer.contents buf
+
+let write_file ?design ?timescale path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?design ?timescale trace))

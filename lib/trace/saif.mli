@@ -1,0 +1,23 @@
+(** SAIF (Switching Activity Interchange Format) backward-annotation
+    writer.
+
+    SAIF is what real gate-level power flows (Synopsys PrimeTime PX,
+    DesignCompiler) consume as their switching-activity input; emitting it
+    from a functional trace closes the loop with the EDA ecosystem this
+    reproduction substitutes for. For every bit of every interface signal
+    the writer reports the standard counters over the trace:
+
+    - [T0]/[T1] — simulation time (in cycles) spent at 0 / at 1;
+    - [TC] — number of 0↔1 transitions;
+    - [TX]/[IG] — always 0 (two-valued simulation, no glitches).  *)
+
+val to_string :
+  ?design:string -> ?timescale:string -> Functional_trace.t -> string
+
+val write_file :
+  ?design:string -> ?timescale:string -> string -> Functional_trace.t -> unit
+
+type counters = { t0 : int; t1 : int; tc : int }
+
+val bit_counters : Functional_trace.t -> signal:int -> bit:int -> counters
+(** The counters the writer emits for one bit — exposed for tests. *)

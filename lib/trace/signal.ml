@@ -1,0 +1,21 @@
+type direction = Input | Output
+
+type t = { name : string; width : int; direction : direction }
+
+let make direction name width =
+  if width <= 0 then invalid_arg "Signal: width must be positive";
+  if name = "" then invalid_arg "Signal: name must be non-empty";
+  { name; width; direction }
+
+let input name width = make Input name width
+let output name width = make Output name width
+
+let is_input s = s.direction = Input
+let is_output s = s.direction = Output
+
+let equal a b = a.name = b.name && a.width = b.width && a.direction = b.direction
+
+let pp fmt s =
+  Format.fprintf fmt "%s %s[%d]"
+    (match s.direction with Input -> "in" | Output -> "out")
+    s.name s.width

@@ -1,0 +1,21 @@
+(** Signal declarations: the observable variables of an IP.
+
+    Per the paper (Def. 2), the mining procedure predicates only over the
+    primary inputs (PIs) and primary outputs (POs) of the model under
+    analysis — no instrumentation of internals is required. *)
+
+type direction = Input | Output
+
+type t = { name : string; width : int; direction : direction }
+
+val input : string -> int -> t
+(** [input name width]. Raises [Invalid_argument] on non-positive width or
+    empty name. *)
+
+val output : string -> int -> t
+
+val is_input : t -> bool
+val is_output : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

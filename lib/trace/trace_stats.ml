@@ -1,0 +1,58 @@
+module Bits = Psm_bits.Bits
+
+type signal_activity = {
+  signal : Signal.t;
+  toggles : int;
+  toggle_rate : float;
+}
+
+let per_signal trace =
+  let iface = Functional_trace.interface trace in
+  let n = Functional_trace.length trace in
+  let counters = Array.make (Interface.arity iface) 0 in
+  for t = 1 to n - 1 do
+    for i = 0 to Interface.arity iface - 1 do
+      counters.(i) <-
+        counters.(i)
+        + Bits.hamming_distance
+            (Functional_trace.value trace ~time:t ~signal:i)
+            (Functional_trace.value trace ~time:(t - 1) ~signal:i)
+    done
+  done;
+  Array.mapi
+    (fun i toggles ->
+      let s = Interface.signal iface i in
+      let cycles = max (n - 1) 1 in
+      { signal = s;
+        toggles;
+        toggle_rate = float_of_int toggles /. float_of_int (s.Signal.width * cycles) })
+    counters
+
+let total_toggles trace =
+  Array.fold_left (fun acc a -> acc + a.toggles) 0 (per_signal trace)
+
+let switching_density trace =
+  let iface = Functional_trace.interface trace in
+  let bits = Interface.total_input_width iface + Interface.total_output_width iface in
+  let cycles = max (Functional_trace.length trace - 1) 1 in
+  float_of_int (total_toggles trace) /. float_of_int (bits * cycles)
+
+let distinct_samples trace =
+  let seen = Hashtbl.create 1024 in
+  Functional_trace.iter
+    (fun _ sample ->
+      let key = Array.map Bits.to_hex_string sample |> Array.to_list |> String.concat "," in
+      Hashtbl.replace seen key ())
+    trace;
+  Hashtbl.length seen
+
+let pp_report fmt trace =
+  Format.fprintf fmt "@[<v>%a@,distinct samples: %d@,switching density: %.4f@,"
+    Functional_trace.pp_summary trace (distinct_samples trace)
+    (switching_density trace);
+  Array.iter
+    (fun a ->
+      Format.fprintf fmt "  %-24s toggles %8d  rate %.4f@," (a.signal.Signal.name)
+        a.toggles a.toggle_rate)
+    (per_signal trace);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,23 @@
+(** Descriptive statistics over traces: per-signal toggle activity and
+    interface-level switching density. Used for workload sanity checks and
+    by the experiment reports. *)
+
+type signal_activity = {
+  signal : Signal.t;
+  toggles : int;  (** Total bit flips across the trace. *)
+  toggle_rate : float;  (** Toggles / (width × (length − 1)). *)
+}
+
+val per_signal : Functional_trace.t -> signal_activity array
+
+val total_toggles : Functional_trace.t -> int
+
+val switching_density : Functional_trace.t -> float
+(** Fraction of observable bits that flip per cycle, averaged over the
+    trace. *)
+
+val distinct_samples : Functional_trace.t -> int
+(** Number of distinct full interface valuations — an upper bound on how
+    many propositions the miner can distinguish. *)
+
+val pp_report : Format.formatter -> Functional_trace.t -> unit

@@ -1,0 +1,46 @@
+(** Value Change Dump (IEEE 1364) writer and reader.
+
+    The writer emits a standard four-state-free (two-state) VCD with one
+    [$var] per interface signal, plus an optional [real] variable carrying
+    the per-cycle dynamic energy, so a functional trace and its power trace
+    travel in a single artifact that standard waveform viewers can open.
+
+    The reader accepts the subset the writer emits (scalar and vector [wire]
+    and [real] variables, [#]-timestamped change records, [$dumpvars]
+    blocks) — enough to round-trip our own traces and to import traces
+    produced by other tools that stick to common VCD. *)
+
+val write :
+  ?timescale:string ->
+  ?power:Power_trace.t ->
+  Buffer.t ->
+  Functional_trace.t ->
+  unit
+(** [write buf trace] appends the VCD text to [buf]. [timescale] defaults to
+    ["1ns"]. When [power] is given it must have the same length as the
+    trace. Only value *changes* are dumped after the initial [$dumpvars]
+    block, per the VCD convention. *)
+
+val to_string : ?timescale:string -> ?power:Power_trace.t -> Functional_trace.t -> string
+
+val write_file :
+  ?timescale:string -> ?power:Power_trace.t -> string -> Functional_trace.t -> unit
+
+type parsed = {
+  trace : Functional_trace.t;
+  power : Power_trace.t option;
+  timescale : string;
+}
+
+exception Parse_error of string
+
+val parse : string -> parsed
+(** Parses VCD text. The signal directions cannot be recovered from VCD
+    (which has no port-direction concept), so every wire is declared as an
+    input unless its name carries the writer's [" $direction"]-free
+    convention: the writer stores directions in a [$comment] block that the
+    parser honours when present. The real variable named [__power__] (if
+    any) becomes the power trace. Raises [Parse_error] on malformed
+    input. *)
+
+val parse_file : string -> parsed

@@ -1,0 +1,169 @@
+(* Tests for the hierarchical-PSM extension (the paper's future work) and
+   the baseline power models. *)
+
+module Bits = Psm_bits.Bits
+module Decomposed = Psm_ips.Decomposed
+module Hier = Psm_flow.Hier
+module Baselines = Psm_flow.Baselines
+module Workloads = Psm_ips.Workloads
+module FT = Psm_trace.Functional_trace
+module PT = Psm_trace.Power_trace
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let camellia_suite () = Workloads.suite ~parts:3 ~total_length:15000 ~long:false "Camellia"
+
+(* ---------- decomposed model ---------- *)
+
+let test_decomposed_activity_sums_to_flat () =
+  (* The decomposed Camellia's component activities must sum to the flat
+     model's activity, cycle for cycle. *)
+  let flat = Psm_ips.Camellia.create () in
+  let d = Psm_ips.Camellia.create_decomposed () in
+  let stim = Workloads.camellia_short ~length:500 () in
+  flat.Psm_ips.Ip.reset ();
+  d.Decomposed.reset ();
+  Array.iteri
+    (fun t pis ->
+      let _, flat_activity = flat.Psm_ips.Ip.step pis in
+      let _, parts = d.Decomposed.step pis in
+      let summed = List.fold_left (fun acc (_, a) -> acc +. a) 0. parts in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "cycle %d" t) flat_activity summed)
+    stim
+
+let test_decomposed_outputs_match_flat () =
+  let flat = Psm_ips.Camellia.create () in
+  let d = Psm_ips.Camellia.create_decomposed () in
+  let stim = Workloads.camellia_short ~length:300 () in
+  flat.Psm_ips.Ip.reset ();
+  d.Decomposed.reset ();
+  Array.iter
+    (fun pis ->
+      let flat_out, _ = flat.Psm_ips.Ip.step pis in
+      let dec_out, _ = d.Decomposed.step pis in
+      check_bool "outputs equal" true
+        (Array.for_all2 Bits.equal flat_out dec_out))
+    stim
+
+let test_decomposed_component_shapes () =
+  let d = Psm_ips.Camellia.create_decomposed () in
+  check_int "two components" 2 (List.length d.Decomposed.components);
+  let names = List.map (fun c -> c.Decomposed.comp_name) d.Decomposed.components in
+  Alcotest.(check (list string)) "names" [ "datapath"; "scrubber" ] names;
+  (* Samples align with the declared interfaces. *)
+  let stim = Workloads.camellia_short ~length:50 () in
+  d.Decomposed.reset ();
+  Array.iter
+    (fun pis ->
+      let _, parts = d.Decomposed.step pis in
+      List.iter2
+        (fun (c : Decomposed.component) (sample, activity) ->
+          check_int
+            (c.Decomposed.comp_name ^ " arity")
+            (Psm_trace.Interface.arity c.Decomposed.comp_interface)
+            (Array.length sample);
+          check_bool "activity non-negative" true (activity >= 0.))
+        d.Decomposed.components parts)
+    stim
+
+(* ---------- hierarchical capture/train/evaluate ---------- *)
+
+let test_hier_capture_shapes () =
+  let d = Psm_ips.Camellia.create_decomposed () in
+  let stim = Workloads.camellia_short ~length:400 () in
+  let pairs, total = Hier.capture d stim in
+  check_int "two pairs" 2 (List.length pairs);
+  check_int "total length" 400 (PT.length total);
+  List.iter
+    (fun (trace, power) ->
+      check_int "lengths" 400 (FT.length trace);
+      check_int "power lengths" 400 (PT.length power))
+    pairs;
+  (* Per-instant: component powers sum to the total. *)
+  for t = 0 to 399 do
+    let summed = List.fold_left (fun acc (_, p) -> acc +. PT.get p t) 0. pairs in
+    Alcotest.(check (float 1e-18)) "sums" (PT.get total t) summed
+  done
+
+let test_hier_beats_flat_on_camellia () =
+  (* The headline future-work claim: subcomponent visibility restores
+     accuracy. *)
+  let suite = camellia_suite () in
+  let long = Workloads.camellia_long ~length:15000 () in
+  let ip = Psm_ips.Camellia.create () in
+  let flat = Psm_flow.Flow.train_on_ip ip suite in
+  let flat_report, _ = Psm_flow.Flow.evaluate_on_ip flat ip long in
+  let d = Psm_ips.Camellia.create_decomposed () in
+  let hier = Hier.train d suite in
+  let hier_report = Hier.evaluate hier d long in
+  check_bool
+    (Printf.sprintf "hier %.1f%% much better than flat %.1f%%"
+       (100. *. hier_report.Psm_hmm.Accuracy.mre)
+       (100. *. flat_report.Psm_hmm.Accuracy.mre))
+    true
+    (hier_report.Psm_hmm.Accuracy.mre < flat_report.Psm_hmm.Accuracy.mre /. 2.);
+  check_bool "hier in single digits" true (hier_report.Psm_hmm.Accuracy.mre < 0.10)
+
+let test_hier_part_per_component () =
+  let d = Psm_ips.Camellia.create_decomposed () in
+  let hier = Hier.train d (camellia_suite ()) in
+  Alcotest.(check (list string)) "parts" [ "datapath"; "scrubber" ]
+    (List.map fst hier.Hier.parts);
+  check_bool "states counted" true (Hier.total_states hier >= 4)
+
+(* ---------- baselines ---------- *)
+
+let test_constant_baseline () =
+  let p1 = PT.of_array [| 1.; 3. |] and p2 = PT.of_array [| 5. |] in
+  let c = Baselines.Constant.train [ p1; p2 ] in
+  Alcotest.(check (float 1e-9)) "mean" 3. (Baselines.Constant.power c);
+  let report = Baselines.Constant.evaluate c ~reference:(PT.of_array [| 3.; 3. |]) in
+  Alcotest.(check (float 1e-9)) "exact when constant" 0. report.Psm_hmm.Accuracy.mre
+
+let test_two_state_baseline () =
+  let iface =
+    Psm_trace.Interface.create
+      [ Psm_trace.Signal.input "en" 1; Psm_trace.Signal.output "q" 1 ]
+  in
+  let sample en = [| Bits.of_bool en; Bits.of_bool false |] in
+  let trace =
+    FT.of_samples iface [| sample false; sample true; sample true; sample false |]
+  in
+  let power = PT.of_array [| 1.; 10.; 12.; 3. |] in
+  let t2 = Baselines.Two_state.train ~control:"en" [ (trace, power) ] in
+  Alcotest.(check (float 1e-9)) "idle" 2. (Baselines.Two_state.idle_power t2);
+  Alcotest.(check (float 1e-9)) "active" 11. (Baselines.Two_state.active_power t2);
+  Alcotest.(check (array (float 1e-9))) "estimate" [| 2.; 11.; 11.; 2. |]
+    (Baselines.Two_state.estimate t2 trace)
+
+let test_mined_beats_baselines_on_ram () =
+  let ip = Psm_ips.Ram.create () in
+  let suite = Workloads.suite ~parts:3 ~total_length:12000 ~long:false "RAM" in
+  let pairs = List.map (Psm_ips.Capture.run ip) suite in
+  let constant = Baselines.Constant.train (List.map snd pairs) in
+  let two_state = Baselines.Two_state.train ~control:"ce" pairs in
+  let trained =
+    Psm_flow.Flow.train ~traces:(List.map fst pairs) ~powers:(List.map snd pairs) ()
+  in
+  let long = Workloads.ram_long ~length:15000 () in
+  let trace, reference = Psm_ips.Capture.run ip long in
+  let c = Baselines.Constant.evaluate constant ~reference in
+  let t2 = Baselines.Two_state.evaluate two_state trace ~reference in
+  let mined, _ = Psm_flow.Flow.evaluate trained trace ~reference in
+  check_bool "mined < two-state" true
+    (mined.Psm_hmm.Accuracy.mre < t2.Psm_hmm.Accuracy.mre);
+  check_bool "two-state < constant" true
+    (t2.Psm_hmm.Accuracy.mre < c.Psm_hmm.Accuracy.mre)
+
+let suite =
+  ( "hier",
+    [ Alcotest.test_case "activities sum to flat" `Quick test_decomposed_activity_sums_to_flat;
+      Alcotest.test_case "outputs match flat" `Quick test_decomposed_outputs_match_flat;
+      Alcotest.test_case "component shapes" `Quick test_decomposed_component_shapes;
+      Alcotest.test_case "capture shapes" `Quick test_hier_capture_shapes;
+      Alcotest.test_case "hier beats flat (Camellia)" `Slow test_hier_beats_flat_on_camellia;
+      Alcotest.test_case "one part per component" `Slow test_hier_part_per_component;
+      Alcotest.test_case "constant baseline" `Quick test_constant_baseline;
+      Alcotest.test_case "two-state baseline" `Quick test_two_state_baseline;
+      Alcotest.test_case "mined beats baselines" `Slow test_mined_beats_baselines_on_ram ] )

@@ -1,0 +1,416 @@
+(* Tests for Psm_ips: cipher cores against published vectors, IP model
+   behaviour, behavioural/structural equivalence, workloads and capture. *)
+
+module Bits = Psm_bits.Bits
+module Aes_core = Psm_ips.Aes_core
+module Camellia_core = Psm_ips.Camellia_core
+module Ip = Psm_ips.Ip
+module Workloads = Psm_ips.Workloads
+module Capture = Psm_ips.Capture
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- AES core (FIPS-197) ---------- *)
+
+let test_aes_sbox_known_entries () =
+  check_int "sbox[0]" 0x63 Aes_core.sbox.(0);
+  check_int "sbox[0x53]" 0xED Aes_core.sbox.(0x53);
+  check_int "sbox[0xff]" 0x16 Aes_core.sbox.(0xFF);
+  check_int "inv_sbox[0x63]" 0 Aes_core.inv_sbox.(0x63)
+
+let test_aes_sbox_bijective () =
+  let seen = Array.make 256 false in
+  Array.iter (fun v -> seen.(v) <- true) Aes_core.sbox;
+  check_bool "bijective" true (Array.for_all Fun.id seen);
+  Array.iteri
+    (fun i v -> check_int "inverse" i Aes_core.inv_sbox.(v))
+    Aes_core.sbox
+
+let fips_key = "000102030405060708090a0b0c0d0e0f"
+let fips_pt = "00112233445566778899aabbccddeeff"
+let fips_ct = "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+let test_aes_fips_vector () =
+  let key = Aes_core.block_of_hex fips_key in
+  let ct = Aes_core.encrypt_block ~key (Aes_core.block_of_hex fips_pt) in
+  check_string "encrypt" fips_ct (Aes_core.hex_of_block ct);
+  let pt = Aes_core.decrypt_block ~key ct in
+  check_string "decrypt" fips_pt (Aes_core.hex_of_block pt)
+
+let test_aes_appendix_b_vector () =
+  (* FIPS-197 Appendix B: a different key/plaintext pair. *)
+  let key = Aes_core.block_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let ct = Aes_core.encrypt_block ~key (Aes_core.block_of_hex "3243f6a8885a308d313198a2e0370734") in
+  check_string "appendix b" "3925841d02dc09fbdc118597196a0b32" (Aes_core.hex_of_block ct)
+
+let test_aes_key_expansion () =
+  (* FIPS-197 A.1: the last round key for the Appendix-A cipher key. *)
+  let key = Aes_core.block_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let rks = Aes_core.expand_key key in
+  check_int "11 round keys" 11 (Array.length rks);
+  check_string "round key 10" "d014f9a8c9ee2589e13f0cc8b6630ca6"
+    (Aes_core.hex_of_block rks.(10))
+
+let test_aes_block_of_bits_roundtrip () =
+  let v = Bits.of_hex_string ~width:128 fips_pt in
+  check_bool "roundtrip" true (Bits.equal v (Aes_core.bits_of_block (Aes_core.block_of_bits v)))
+
+(* ---------- Camellia core (RFC 3713) ---------- *)
+
+let rfc_key = "0123456789abcdeffedcba9876543210"
+let rfc_ct = "67673138549669730857065648eabe43"
+
+let test_camellia_rfc_vector () =
+  let key = Camellia_core.halves_of_hex rfc_key in
+  let ct = Camellia_core.encrypt_block ~key (Camellia_core.halves_of_hex rfc_key) in
+  check_string "encrypt" rfc_ct (Camellia_core.hex_of_halves ct);
+  let pt = Camellia_core.decrypt_block ~key ct in
+  check_string "decrypt" rfc_key (Camellia_core.hex_of_halves pt)
+
+let test_camellia_sbox_relations () =
+  check_int "sbox1[0]" 0x70 Camellia_core.sbox1.(0);
+  check_int "sbox1[255]" 0x9e Camellia_core.sbox1.(255);
+  check_int "table size" 256 (Array.length Camellia_core.sbox1)
+
+let test_camellia_fl_flinv_inverse () =
+  let ke = 0x0123456789ABCDEFL in
+  List.iter
+    (fun x ->
+      Alcotest.(check int64) "flinv . fl = id" x
+        (Camellia_core.flinv (Camellia_core.fl x ke) ke))
+    [ 0L; 0xFFFFFFFFFFFFFFFFL; 0xDEADBEEF01234567L ]
+
+let test_camellia_decryption_subkeys_involution () =
+  let sk = Camellia_core.expand_key (Camellia_core.halves_of_hex rfc_key) in
+  let dsk = Camellia_core.decryption_subkeys (Camellia_core.decryption_subkeys sk) in
+  check_bool "kw restored" true (sk.Camellia_core.kw = dsk.Camellia_core.kw);
+  check_bool "k restored" true (sk.Camellia_core.k = dsk.Camellia_core.k);
+  check_bool "ke restored" true (sk.Camellia_core.ke = dsk.Camellia_core.ke)
+
+(* ---------- the IP models ---------- *)
+
+let interface_widths ip expect_pi expect_po =
+  check_int "PI bits" expect_pi (Ip.pi_bits ip);
+  check_int "PO bits" expect_po (Ip.po_bits ip)
+
+let test_table1_interface_widths () =
+  (* The paper's Table I PI/PO widths. *)
+  interface_widths (Psm_ips.Ram.create ()) 44 32;
+  interface_widths (Psm_ips.Multsum.create ()) 49 32;
+  interface_widths (Psm_ips.Aes.create ()) 260 129;
+  interface_widths (Psm_ips.Camellia.create ()) 262 129
+
+let ram_op ~ce ~we ~addr ~wdata =
+  [| Bits.of_bool ce; Bits.of_bool we; Bits.of_int ~width:10 addr;
+     Bits.of_int ~width:32 wdata |]
+
+let test_ram_write_read () =
+  let ip, peek = Psm_ips.Ram.create_with_peek () in
+  let step pis = fst (ip.Ip.step pis) in
+  ignore (step (ram_op ~ce:true ~we:true ~addr:(5 lsl 2) ~wdata:0xDEAD));
+  check_int "stored" 0xDEAD (Bits.to_int (peek 5));
+  (* Read is registered: data appears one cycle after the access. *)
+  ignore (step (ram_op ~ce:true ~we:false ~addr:(5 lsl 2) ~wdata:0));
+  let out = step (ram_op ~ce:false ~we:false ~addr:0 ~wdata:0) in
+  check_int "read back" 0xDEAD (Bits.to_int out.(0))
+
+let test_ram_write_data_dependence () =
+  (* Writing alternating data costs more than rewriting the same value:
+     the data-dependent behaviour the regression must capture. *)
+  let ip = Psm_ips.Ram.create () in
+  let energy pis = snd (ip.Ip.step pis) in
+  ignore (energy (ram_op ~ce:true ~we:true ~addr:0 ~wdata:0));
+  let same = energy (ram_op ~ce:true ~we:true ~addr:0 ~wdata:0) in
+  ignore (energy (ram_op ~ce:true ~we:true ~addr:0 ~wdata:0));
+  let flip = energy (ram_op ~ce:true ~we:true ~addr:0 ~wdata:0xFFFFFFFF) in
+  check_bool "toggling data costs more" true (flip > same +. 10.)
+
+let test_ram_idle_cheapest () =
+  let ip = Psm_ips.Ram.create () in
+  let idle = snd (ip.Ip.step (ram_op ~ce:false ~we:false ~addr:0 ~wdata:0)) in
+  let read = snd (ip.Ip.step (ram_op ~ce:true ~we:false ~addr:0 ~wdata:0)) in
+  check_bool "idle < read" true (idle < read)
+
+let test_ram_reset () =
+  let ip, peek = Psm_ips.Ram.create_with_peek () in
+  ignore (ip.Ip.step (ram_op ~ce:true ~we:true ~addr:(3 lsl 2) ~wdata:42));
+  ip.Ip.reset ();
+  check_bool "cleared" true (Bits.is_zero (peek 3))
+
+let multsum_op ~a ~b ~c ~en =
+  [| Bits.of_int ~width:16 a; Bits.of_int ~width:16 b; Bits.of_int ~width:16 c;
+     Bits.of_bool en |]
+
+let multsum_latency ip ~a ~b ~c =
+  (* Feed the operation, then flush the pipeline; return the first
+     result. *)
+  ignore (ip.Ip.step (multsum_op ~a ~b ~c ~en:true));
+  ignore (ip.Ip.step (multsum_op ~a:0 ~b:0 ~c:0 ~en:true));
+  ignore (ip.Ip.step (multsum_op ~a:0 ~b:0 ~c:0 ~en:true));
+  let out = fst (ip.Ip.step (multsum_op ~a:0 ~b:0 ~c:0 ~en:true)) in
+  Bits.to_int out.(0)
+
+let test_multsum_computes () =
+  let ip = Psm_ips.Multsum.create () in
+  check_int "3*4+5" 17 (multsum_latency ip ~a:3 ~b:4 ~c:5);
+  ip.Ip.reset ();
+  check_int "max*max+max"
+    (Psm_ips.Multsum.model ~a:0xFFFF ~b:0xFFFF ~c:0xFFFF)
+    (multsum_latency ip ~a:0xFFFF ~b:0xFFFF ~c:0xFFFF)
+
+let test_multsum_behavioural_equals_structural () =
+  (* Lockstep equivalence over a mixed workload. *)
+  let behavioural = Psm_ips.Multsum.create () in
+  let structural = Psm_ips.Multsum.create_structural () in
+  let stim = Workloads.multsum_short ~length:400 () in
+  behavioural.Ip.reset ();
+  structural.Ip.reset ();
+  Array.iteri
+    (fun t pis ->
+      let out_b = fst (behavioural.Ip.step pis) in
+      let out_s = fst (structural.Ip.step pis) in
+      Alcotest.(check string)
+        (Printf.sprintf "cycle %d" t)
+        (Bits.to_hex_string out_b.(0))
+        (Bits.to_hex_string out_s.(0)))
+    stim
+
+let cipher_op ?(mode = false) ~key ~data ~start ~decrypt ~enable ~rst () =
+  let base =
+    [| key; data; Bits.of_bool start; Bits.of_bool decrypt; Bits.of_bool enable;
+       Bits.of_bool rst |]
+  in
+  if mode then Array.append base [| Bits.zero 2 |] else base
+
+let run_cipher_block ip ~cycles ~mode ~key ~data ~decrypt =
+  ignore
+    (ip.Ip.step (cipher_op ~mode ~key ~data ~start:true ~decrypt ~enable:true ~rst:false ()));
+  let result = ref None in
+  (* The done flag is registered: allow one extra cycle for it to appear. *)
+  for _ = 2 to cycles + 1 do
+    let out =
+      fst
+        (ip.Ip.step
+           (cipher_op ~mode ~key ~data ~start:false ~decrypt ~enable:true ~rst:false ()))
+    in
+    if Bits.get out.(1) 0 && !result = None then result := Some out.(0)
+  done;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "block never completed"
+
+let test_aes_ip_matches_core () =
+  let ip = Psm_ips.Aes.create () in
+  let key = Bits.of_hex_string ~width:128 fips_key in
+  let data = Bits.of_hex_string ~width:128 fips_pt in
+  let ct =
+    run_cipher_block ip ~cycles:Psm_ips.Aes.cycles_per_block ~mode:false ~key ~data
+      ~decrypt:false
+  in
+  check_string "ip encrypt" fips_ct (Bits.to_hex_string ct);
+  let pt =
+    run_cipher_block ip ~cycles:Psm_ips.Aes.cycles_per_block ~mode:false ~key ~data:ct
+      ~decrypt:true
+  in
+  check_string "ip decrypt" fips_pt (Bits.to_hex_string pt)
+
+let test_camellia_ip_matches_core () =
+  let ip = Psm_ips.Camellia.create () in
+  let key = Bits.of_hex_string ~width:128 rfc_key in
+  let ct =
+    run_cipher_block ip ~cycles:Psm_ips.Camellia.cycles_per_block ~mode:true ~key
+      ~data:key ~decrypt:false
+  in
+  check_string "ip encrypt" rfc_ct (Bits.to_hex_string ct);
+  let pt =
+    run_cipher_block ip ~cycles:Psm_ips.Camellia.cycles_per_block ~mode:true ~key
+      ~data:ct ~decrypt:true
+  in
+  check_string "ip decrypt" rfc_key (Bits.to_hex_string pt)
+
+let test_cipher_hold_freezes () =
+  (* With enable low mid-block, the computation must not advance. *)
+  let ip = Psm_ips.Aes.create () in
+  let key = Bits.of_hex_string ~width:128 fips_key in
+  let data = Bits.of_hex_string ~width:128 fips_pt in
+  ignore (ip.Ip.step (cipher_op ~key ~data ~start:true ~decrypt:false ~enable:true ~rst:false ()));
+  (* 5 wasted cycles with enable low... *)
+  for _ = 1 to 5 do
+    ignore (ip.Ip.step (cipher_op ~key ~data ~start:false ~decrypt:false ~enable:false ~rst:false ()))
+  done;
+  (* ...then the block still completes correctly. *)
+  let result = ref None in
+  for _ = 1 to Psm_ips.Aes.cycles_per_block + 1 do
+    let out =
+      fst (ip.Ip.step (cipher_op ~key ~data ~start:false ~decrypt:false ~enable:true ~rst:false ()))
+    in
+    if Bits.get out.(1) 0 && !result = None then result := Some out.(0)
+  done;
+  match !result with
+  | Some ct -> check_string "completes after hold" fips_ct (Bits.to_hex_string ct)
+  | None -> Alcotest.fail "block lost during hold"
+
+let test_camellia_scrubber_increases_variance () =
+  let measure make =
+    let ip = make () in
+    let stim = Workloads.camellia_short ~length:3000 () in
+    let _trace, power = Capture.run ip stim in
+    let values = Psm_trace.Power_trace.to_array power in
+    Psm_stats.Descriptive.stddev values
+  in
+  let with_scrub = measure Psm_ips.Camellia.create in
+  let without = measure Psm_ips.Camellia.create_without_scrubber in
+  check_bool "scrubber adds variance" true (with_scrub > without *. 1.05)
+
+let fifo_op ~wr ~rd ~wdata =
+  [| Bits.of_bool wr; Bits.of_bool rd; Bits.of_int ~width:32 wdata |]
+
+let test_fifo_order_and_flags () =
+  let ip = Psm_ips.Fifo.create () in
+  let step pis = fst (ip.Ip.step pis) in
+  (* Initially empty. *)
+  let out = step (fifo_op ~wr:false ~rd:false ~wdata:0) in
+  check_bool "empty at reset" true (Bits.get out.(2) 0);
+  check_bool "not full at reset" false (Bits.get out.(1) 0);
+  (* Push 1, 2, 3; pop them back in order (registered outputs: the value
+     appears the cycle after the pop). *)
+  ignore (step (fifo_op ~wr:true ~rd:false ~wdata:1));
+  ignore (step (fifo_op ~wr:true ~rd:false ~wdata:2));
+  ignore (step (fifo_op ~wr:true ~rd:false ~wdata:3));
+  ignore (step (fifo_op ~wr:false ~rd:true ~wdata:0));
+  let out = step (fifo_op ~wr:false ~rd:true ~wdata:0) in
+  check_int "first out" 1 (Bits.to_int out.(0));
+  let out = step (fifo_op ~wr:false ~rd:true ~wdata:0) in
+  check_int "second out" 2 (Bits.to_int out.(0));
+  let out = step (fifo_op ~wr:false ~rd:false ~wdata:0) in
+  check_int "third out" 3 (Bits.to_int out.(0));
+  check_bool "empty again" true (Bits.get out.(2) 0)
+
+let test_fifo_full_backpressure () =
+  let ip = Psm_ips.Fifo.create () in
+  let step pis = fst (ip.Ip.step pis) in
+  for i = 1 to Psm_ips.Fifo.depth do
+    ignore (step (fifo_op ~wr:true ~rd:false ~wdata:i))
+  done;
+  let out = step (fifo_op ~wr:false ~rd:false ~wdata:0) in
+  check_bool "full" true (Bits.get out.(1) 0);
+  (* Overflow attempt is dropped: drain everything and count. *)
+  ignore (step (fifo_op ~wr:true ~rd:false ~wdata:999));
+  let popped = ref 0 in
+  for _ = 1 to Psm_ips.Fifo.depth + 4 do
+    let out = step (fifo_op ~wr:false ~rd:true ~wdata:0) in
+    if not (Bits.get out.(2) 0) then incr popped
+  done;
+  check_int "depth values retained" Psm_ips.Fifo.depth !popped
+
+let test_fifo_flow_accuracy () =
+  let ip = Psm_ips.Fifo.create () in
+  let suite = Workloads.suite ~parts:3 ~total_length:12000 ~long:false "FIFO" in
+  let trained = Psm_flow.Flow.train_on_ip ip suite in
+  let long = Workloads.fifo_long ~length:20000 () in
+  let report, _ = Psm_flow.Flow.evaluate_on_ip trained ip long in
+  check_bool
+    (Printf.sprintf "MRE %.2f%% < 8%%" (100. *. report.Psm_hmm.Accuracy.mre))
+    true
+    (report.Psm_hmm.Accuracy.mre < 0.08)
+
+(* ---------- workloads & capture ---------- *)
+
+let test_workload_lengths () =
+  check_int "ram" 1000 (Array.length (Workloads.ram_short ~length:1000 ()));
+  check_int "aes" 1234 (Array.length (Workloads.aes_long ~length:1234 ()));
+  check_int "paper ram" 34130 (Workloads.paper_short_length "RAM");
+  check_int "paper camellia" 78004 (Workloads.paper_short_length "Camellia")
+
+let test_workload_deterministic () =
+  let a = Workloads.multsum_long ~length:500 ~seed:3L () in
+  let b = Workloads.multsum_long ~length:500 ~seed:3L () in
+  Alcotest.(check bool) "same stimulus" true
+    (Array.for_all2 (fun x y -> Array.for_all2 Bits.equal x y) a b);
+  let c = Workloads.multsum_long ~length:500 ~seed:4L () in
+  Alcotest.(check bool) "different seed differs" false
+    (Array.for_all2 (fun x y -> Array.for_all2 Bits.equal x y) a c)
+
+let test_suite_shape () =
+  let parts = Workloads.suite ~parts:3 ~total_length:1000 ~long:false "RAM" in
+  check_int "3 parts" 3 (List.length parts);
+  check_int "total" 1000 (List.fold_left (fun acc p -> acc + Array.length p) 0 parts)
+
+let test_capture_shapes () =
+  let ip = Psm_ips.Ram.create () in
+  let stim = Workloads.ram_short ~length:300 () in
+  let trace, power = Capture.run ip stim in
+  check_int "trace length" 300 (Psm_trace.Functional_trace.length trace);
+  check_int "power length" 300 (Psm_trace.Power_trace.length power);
+  check_int "signals" 5 (Psm_trace.Interface.arity (Psm_trace.Functional_trace.interface trace))
+
+let test_capture_deterministic () =
+  let stim = Workloads.aes_short ~length:300 () in
+  let run () =
+    let ip = Psm_ips.Aes.create () in
+    snd (Capture.run ip stim)
+  in
+  let p1 = Psm_trace.Power_trace.to_array (run ()) in
+  let p2 = Psm_trace.Power_trace.to_array (run ()) in
+  Alcotest.(check (array (float 1e-24))) "same power" p1 p2
+
+(* ---------- properties ---------- *)
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:40 ~name arb f)
+
+let arb_block =
+  QCheck.make
+    QCheck.Gen.(map (fun l -> Array.of_list l) (list_size (return 16) (int_bound 255)))
+
+let arb_halves =
+  QCheck.make QCheck.Gen.(pair (map Int64.of_int (int_bound max_int)) (map Int64.of_int (int_bound max_int)))
+
+let properties =
+  [ prop "aes decrypt inverts encrypt" (QCheck.pair arb_block arb_block)
+      (fun (key, pt) ->
+        Aes_core.decrypt_block ~key (Aes_core.encrypt_block ~key pt) = pt);
+    prop "camellia decrypt inverts encrypt" (QCheck.pair arb_halves arb_halves)
+      (fun (key, pt) ->
+        Camellia_core.decrypt_block ~key (Camellia_core.encrypt_block ~key pt) = pt);
+    prop "aes changes every block it sees" (QCheck.pair arb_block arb_block)
+      (fun (key, pt) -> Aes_core.encrypt_block ~key pt <> pt);
+    prop "multsum model matches int arithmetic"
+      (QCheck.triple (QCheck.int_bound 0xFFFF) (QCheck.int_bound 0xFFFF) (QCheck.int_bound 0xFFFF))
+      (fun (a, b, c) -> Psm_ips.Multsum.model ~a ~b ~c = ((a * b) + c) land 0xFFFFFFFF) ]
+
+let suite =
+  ( "ips",
+    [ Alcotest.test_case "aes sbox entries" `Quick test_aes_sbox_known_entries;
+      Alcotest.test_case "aes sbox bijective" `Quick test_aes_sbox_bijective;
+      Alcotest.test_case "aes FIPS vector" `Quick test_aes_fips_vector;
+      Alcotest.test_case "aes appendix B" `Quick test_aes_appendix_b_vector;
+      Alcotest.test_case "aes key expansion" `Quick test_aes_key_expansion;
+      Alcotest.test_case "aes block/bits roundtrip" `Quick test_aes_block_of_bits_roundtrip;
+      Alcotest.test_case "camellia RFC vector" `Quick test_camellia_rfc_vector;
+      Alcotest.test_case "camellia sbox" `Quick test_camellia_sbox_relations;
+      Alcotest.test_case "camellia FL inverse" `Quick test_camellia_fl_flinv_inverse;
+      Alcotest.test_case "camellia subkey involution" `Quick test_camellia_decryption_subkeys_involution;
+      Alcotest.test_case "Table I interface widths" `Quick test_table1_interface_widths;
+      Alcotest.test_case "ram write/read" `Quick test_ram_write_read;
+      Alcotest.test_case "ram data dependence" `Quick test_ram_write_data_dependence;
+      Alcotest.test_case "ram idle cheapest" `Quick test_ram_idle_cheapest;
+      Alcotest.test_case "ram reset" `Quick test_ram_reset;
+      Alcotest.test_case "multsum computes" `Quick test_multsum_computes;
+      Alcotest.test_case "multsum behavioural == structural" `Quick
+        test_multsum_behavioural_equals_structural;
+      Alcotest.test_case "aes IP matches core" `Quick test_aes_ip_matches_core;
+      Alcotest.test_case "camellia IP matches core" `Quick test_camellia_ip_matches_core;
+      Alcotest.test_case "cipher hold freezes" `Quick test_cipher_hold_freezes;
+      Alcotest.test_case "camellia scrubber variance" `Quick
+        test_camellia_scrubber_increases_variance;
+      Alcotest.test_case "fifo order/flags" `Quick test_fifo_order_and_flags;
+      Alcotest.test_case "fifo backpressure" `Quick test_fifo_full_backpressure;
+      Alcotest.test_case "fifo flow accuracy" `Slow test_fifo_flow_accuracy;
+      Alcotest.test_case "workload lengths" `Quick test_workload_lengths;
+      Alcotest.test_case "workload determinism" `Quick test_workload_deterministic;
+      Alcotest.test_case "suite shape" `Quick test_suite_shape;
+      Alcotest.test_case "capture shapes" `Quick test_capture_shapes;
+      Alcotest.test_case "capture determinism" `Quick test_capture_deterministic ]
+    @ properties )

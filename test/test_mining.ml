@@ -1,0 +1,347 @@
+(* Tests for Psm_mining: atomic propositions, the vocabulary, the frequent
+   miner and proposition traces — including the paper's Fig. 3 worked
+   example recovered by the actual miner. *)
+
+module Bits = Psm_bits.Bits
+module Signal = Psm_trace.Signal
+module Interface = Psm_trace.Interface
+module FT = Psm_trace.Functional_trace
+module Atomic = Psm_mining.Atomic
+module Vocabulary = Psm_mining.Vocabulary
+module Miner = Psm_mining.Miner
+module Prop_trace = Psm_mining.Prop_trace
+module Table = Prop_trace.Table
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The paper's Fig. 3 trace. *)
+let fig3_interface () =
+  Interface.create
+    [ Signal.input "v1" 1; Signal.input "v2" 1; Signal.input "v3" 3;
+      Signal.output "v4" 3 ]
+
+let fig3_trace () =
+  let row v1 v2 v3 v4 =
+    [| Bits.of_bool v1; Bits.of_bool v2; Bits.of_int ~width:3 v3; Bits.of_int ~width:3 v4 |]
+  in
+  FT.of_samples (fig3_interface ())
+    [| row true false 3 1; row true false 3 1; row true false 3 1;
+       row false true 3 3; row false true 4 4; row false true 2 2;
+       row true true 0 0; row true true 3 1 |]
+
+(* ---------- atomic propositions ---------- *)
+
+let test_atomic_eval_const () =
+  let sample = [| Bits.of_bool true; Bits.of_int ~width:4 7 |] in
+  check_bool "v0 = 1" true (Atomic.eval (Atomic.eq_const 0 (Bits.of_bool true)) sample);
+  check_bool "v1 = 7" true (Atomic.eval (Atomic.eq_const 1 (Bits.of_int ~width:4 7)) sample);
+  check_bool "v1 = 3" false (Atomic.eval (Atomic.eq_const 1 (Bits.of_int ~width:4 3)) sample)
+
+let test_atomic_eval_pairs () =
+  let sample = [| Bits.of_int ~width:4 3; Bits.of_int ~width:4 9 |] in
+  check_bool "lt" true (Atomic.eval (Atomic.compare_signals Atomic.Lt 0 1) sample);
+  check_bool "gt" true (Atomic.eval (Atomic.compare_signals Atomic.Gt 1 0) sample);
+  check_bool "eq" false (Atomic.eval (Atomic.compare_signals Atomic.Eq 0 1) sample)
+
+let test_atomic_self_compare_rejected () =
+  Alcotest.check_raises "self compare"
+    (Invalid_argument "Atomic.compare_signals: signal compared to itself")
+    (fun () -> ignore (Atomic.compare_signals Atomic.Eq 2 2))
+
+let test_atomic_pp () =
+  let iface = fig3_interface () in
+  Alcotest.(check string) "const" "v1 = 1"
+    (Atomic.to_string iface (Atomic.eq_const 0 (Bits.of_bool true)));
+  Alcotest.(check string) "pair" "v3 > v4"
+    (Atomic.to_string iface (Atomic.compare_signals Atomic.Gt 2 3))
+
+(* ---------- vocabulary ---------- *)
+
+let test_vocabulary_dedup_and_order () =
+  let iface = fig3_interface () in
+  let a = Atomic.eq_const 0 (Bits.of_bool true) in
+  let b = Atomic.compare_signals Atomic.Gt 2 3 in
+  let v = Vocabulary.create iface [ b; a; a; b ] in
+  check_int "deduplicated" 2 (Vocabulary.size v)
+
+let test_vocabulary_eval_row () =
+  let iface = fig3_interface () in
+  let v =
+    Vocabulary.create iface
+      [ Atomic.eq_const 0 (Bits.of_bool true); Atomic.compare_signals Atomic.Gt 2 3 ]
+  in
+  let trace = fig3_trace () in
+  let row = Vocabulary.eval_sample v (FT.sample trace ~time:0) in
+  Alcotest.(check (array bool)) "t0 row" [| true; true |] row;
+  let row3 = Vocabulary.eval_sample v (FT.sample trace ~time:3) in
+  Alcotest.(check (array bool)) "t3 row" [| false; false |] row3
+
+let test_row_key_injective_on_rows () =
+  let a = [| true; false; true |] and b = [| true; false; true |] in
+  Alcotest.(check string) "equal rows equal keys" (Vocabulary.row_key a) (Vocabulary.row_key b);
+  check_bool "different rows differ" false
+    (Vocabulary.row_key a = Vocabulary.row_key [| true; true; true |])
+
+(* ---------- miner ---------- *)
+
+(* min_mean_run sits just above 2.5 so that marginal value atoms (v3 = 3
+   holds 5 instants in 2 runs, mean 2.5) are excluded while v2's stable
+   atoms (runs of 3 and 5) survive — the vocabulary the paper chose. *)
+let fig3_config =
+  { Miner.default with
+    Miner.min_support = 0.1;
+    min_mean_run = 2.6;
+    max_short_run_fraction = 1.0 }
+
+let test_miner_fig3_segmentation () =
+  (* With Fig. 3's trace the miner must produce a vocabulary whose
+     proposition trace has exactly the paper's segmentation: p_a [0,2],
+     p_b [3,5], p_c [6,6], p_d [7,7]. *)
+  let trace = fig3_trace () in
+  let vocabulary = Miner.mine_vocabulary ~config:fig3_config [ trace ] in
+  let table = Table.create vocabulary in
+  let gamma = Prop_trace.of_functional table trace in
+  let segments = Prop_trace.segments gamma in
+  check_int "4 segments" 4 (List.length segments);
+  Alcotest.(check (list (triple int int int)))
+    "intervals"
+    [ (0, 0, 2); (1, 3, 5); (2, 6, 6); (3, 7, 7) ]
+    (List.map (fun (p, a, b) -> (p, a, b)) segments)
+
+let test_miner_support_filter () =
+  (* With an extreme support threshold nothing survives except atoms that
+     hold on most of the trace. *)
+  let trace = fig3_trace () in
+  let vocabulary =
+    Miner.mine_vocabulary
+      ~config:{ fig3_config with Miner.min_support = 0.9 }
+      [ trace ]
+  in
+  check_int "nothing frequent enough" 0 (Vocabulary.size vocabulary)
+
+let test_miner_stability_filter () =
+  (* A fast-flickering atom is rejected even with high support. *)
+  let iface = Interface.create [ Signal.input "x" 1; Signal.output "y" 1 ] in
+  let samples =
+    Array.init 64 (fun i -> [| Bits.of_bool (i mod 2 = 0); Bits.of_bool (i < 32) |])
+  in
+  let trace = FT.of_samples iface samples in
+  let vocabulary =
+    Miner.mine_vocabulary
+      ~config:{ Miner.default with Miner.min_support = 0.1; min_mean_run = 4. }
+      [ trace ]
+  in
+  let names =
+    Array.to_list (Vocabulary.atoms vocabulary)
+    |> List.map (Atomic.to_string iface)
+  in
+  check_bool "x atoms rejected" true
+    (not (List.exists (fun n -> String.length n >= 1 && n.[0] = 'x') names));
+  check_bool "y atom kept" true
+    (List.exists (fun n -> String.length n >= 1 && n.[0] = 'y') names)
+
+let test_miner_short_run_fraction () =
+  (* An atom stable in one phase and flickering in another is caught by
+     the short-run-fraction criterion. *)
+  let iface = Interface.create [ Signal.input "x" 1; Signal.output "c" 1 ] in
+  let samples =
+    Array.init 120 (fun i ->
+        let x = if i < 40 then true else i mod 2 = 0 in
+        [| Bits.of_bool x; Bits.of_bool true |])
+  in
+  let trace = FT.of_samples iface samples in
+  let atoms config =
+    Miner.mine_vocabulary ~config [ trace ]
+    |> Vocabulary.atoms |> Array.to_list
+    |> List.map (Atomic.to_string iface)
+  in
+  let strict =
+    atoms { Miner.default with Miner.min_support = 0.05; min_mean_run = 2.;
+            max_short_run_fraction = 0.25 }
+  in
+  check_bool "flicker-in-phase rejected" true
+    (not (List.mem "x = 1" strict));
+  let lax =
+    atoms { Miner.default with Miner.min_support = 0.05; min_mean_run = 2.;
+            max_short_run_fraction = 1.0 }
+  in
+  check_bool "kept when criterion disabled" true (List.mem "x = 1" lax)
+
+let test_miner_width_caps () =
+  let iface = Interface.create [ Signal.input "wide" 128; Signal.output "y" 1 ] in
+  let v = Bits.of_hex_string ~width:128 "0123456789abcdeffedcba9876543210" in
+  let samples = Array.make 50 [| v; Bits.of_bool true |] in
+  let trace = FT.of_samples iface samples in
+  let vocabulary = Miner.mine_vocabulary [ trace ] in
+  let has_wide_atom =
+    Array.exists
+      (fun (a : Atomic.t) -> a.Atomic.lhs = 0)
+      (Vocabulary.atoms vocabulary)
+  in
+  check_bool "no atoms on 128-bit buses" false has_wide_atom
+
+let test_candidate_stats () =
+  let trace = fig3_trace () in
+  let stats = Miner.candidate_stats ~config:fig3_config [ trace ] in
+  let v1_true =
+    List.find
+      (fun s ->
+        s.Miner.atom.Atomic.lhs = 0
+        && Atomic.equal s.Miner.atom (Atomic.eq_const 0 (Bits.of_bool true)))
+      stats
+  in
+  check_int "occurrences" 5 v1_true.Miner.occurrences;
+  check_int "runs" 2 v1_true.Miner.runs;
+  Alcotest.(check (float 1e-9)) "support" (5. /. 8.) v1_true.Miner.support;
+  Alcotest.(check (float 1e-9)) "mean run" 2.5 v1_true.Miner.mean_run
+
+(* ---------- proposition traces ---------- *)
+
+let test_table_interning () =
+  let trace = fig3_trace () in
+  let vocabulary = Miner.mine_vocabulary ~config:fig3_config [ trace ] in
+  let table = Table.create vocabulary in
+  let s0 = FT.sample trace ~time:0 in
+  let id0 = Table.classify_or_add table s0 in
+  check_int "same row same id" id0 (Table.classify_or_add table s0);
+  Alcotest.(check (option int)) "classify finds it" (Some id0) (Table.classify table s0);
+  check_int "count" 1 (Table.prop_count table)
+
+let test_classify_unknown () =
+  let trace = fig3_trace () in
+  let vocabulary = Miner.mine_vocabulary ~config:fig3_config [ trace ] in
+  let table = Table.create vocabulary in
+  ignore (Prop_trace.of_functional table trace);
+  (* A sample whose truth row never occurred: v1=0, v2=0. *)
+  let unknown =
+    [| Bits.of_bool false; Bits.of_bool false; Bits.of_int ~width:3 1;
+       Bits.of_int ~width:3 5 |]
+  in
+  Alcotest.(check (option int)) "unknown row" None (Table.classify table unknown)
+
+let test_prop_names () =
+  let trace = fig3_trace () in
+  let vocabulary = Miner.mine_vocabulary ~config:fig3_config [ trace ] in
+  let table = Table.create vocabulary in
+  ignore (Prop_trace.of_functional table trace);
+  Alcotest.(check string) "p_a" "p_a" (Table.name table 0);
+  Alcotest.(check string) "p_b" "p_b" (Table.name table 1)
+
+let test_holds_exactly_one () =
+  let trace = fig3_trace () in
+  let vocabulary = Miner.mine_vocabulary ~config:fig3_config [ trace ] in
+  let table = Table.create vocabulary in
+  let gamma = Prop_trace.of_functional table trace in
+  check_bool "invariant" true (Prop_trace.holds_exactly_one gamma trace)
+
+let test_segments_cover () =
+  let trace = fig3_trace () in
+  let vocabulary = Miner.mine_vocabulary ~config:fig3_config [ trace ] in
+  let table = Table.create vocabulary in
+  let gamma = Prop_trace.of_functional table trace in
+  let segments = Prop_trace.segments gamma in
+  (* Segments tile [0, n-1] without gaps or overlaps. *)
+  let _ =
+    List.fold_left
+      (fun expected (_, start, stop) ->
+        check_int "contiguous" expected start;
+        check_bool "ordered" true (stop >= start);
+        stop + 1)
+      0 segments
+  in
+  ()
+
+(* ---------- properties ---------- *)
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:40 ~name arb f)
+
+let arb_small_trace =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 60 in
+      let iface = Interface.create [ Signal.input "a" 1; Signal.input "b" 4; Signal.output "c" 4 ] in
+      let* samples =
+        list_size (return n)
+          (map2
+             (fun a b -> [| Bits.of_bool a; Bits.of_int ~width:4 (b land 15); Bits.of_int ~width:4 ((b / 3) land 15) |])
+             bool (int_bound 40))
+      in
+      return (FT.of_samples iface (Array.of_list samples)))
+  in
+  QCheck.make gen
+
+let lax_config =
+  { Miner.default with Miner.min_support = 0.05; min_mean_run = 1.;
+    max_short_run_fraction = 1.0 }
+
+let properties =
+  [ prop "exactly-one-holds for any trace" arb_small_trace (fun trace ->
+        let vocabulary = Miner.mine_vocabulary ~config:lax_config [ trace ] in
+        if Vocabulary.size vocabulary = 0 then true
+        else begin
+          let table = Table.create vocabulary in
+          let gamma = Prop_trace.of_functional table trace in
+          Prop_trace.holds_exactly_one gamma trace
+        end);
+    prop "segments tile the trace" arb_small_trace (fun trace ->
+        let vocabulary = Miner.mine_vocabulary ~config:lax_config [ trace ] in
+        if Vocabulary.size vocabulary = 0 then true
+        else begin
+          let table = Table.create vocabulary in
+          let gamma = Prop_trace.of_functional table trace in
+          let segments = Prop_trace.segments gamma in
+          let covered =
+            List.fold_left
+              (fun acc (_, start, stop) ->
+                match acc with
+                | Some expected when start = expected -> Some (stop + 1)
+                | _ -> None)
+              (Some 0) segments
+          in
+          covered = Some (FT.length trace)
+        end);
+    prop "every training sample classifies" arb_small_trace (fun trace ->
+        let vocabulary = Miner.mine_vocabulary ~config:lax_config [ trace ] in
+        if Vocabulary.size vocabulary = 0 then true
+        else begin
+          let table = Table.create vocabulary in
+          ignore (Prop_trace.of_functional table trace);
+          let ok = ref true in
+          FT.iter
+            (fun _ sample ->
+              if Table.classify table sample = None then ok := false)
+            trace;
+          !ok
+        end);
+    prop "classification stable across re-runs" arb_small_trace (fun trace ->
+        let vocabulary = Miner.mine_vocabulary ~config:lax_config [ trace ] in
+        if Vocabulary.size vocabulary = 0 then true
+        else begin
+          let table = Table.create vocabulary in
+          let g1 = Prop_trace.of_functional table trace in
+          let g2 = Prop_trace.of_functional table trace in
+          Prop_trace.prop_ids g1 = Prop_trace.prop_ids g2
+        end) ]
+
+let suite =
+  ( "mining",
+    [ Alcotest.test_case "atomic const eval" `Quick test_atomic_eval_const;
+      Alcotest.test_case "atomic pair eval" `Quick test_atomic_eval_pairs;
+      Alcotest.test_case "atomic self-compare" `Quick test_atomic_self_compare_rejected;
+      Alcotest.test_case "atomic printing" `Quick test_atomic_pp;
+      Alcotest.test_case "vocabulary dedup" `Quick test_vocabulary_dedup_and_order;
+      Alcotest.test_case "vocabulary rows" `Quick test_vocabulary_eval_row;
+      Alcotest.test_case "row keys" `Quick test_row_key_injective_on_rows;
+      Alcotest.test_case "Fig.3 segmentation" `Quick test_miner_fig3_segmentation;
+      Alcotest.test_case "support filter" `Quick test_miner_support_filter;
+      Alcotest.test_case "stability filter" `Quick test_miner_stability_filter;
+      Alcotest.test_case "short-run fraction" `Quick test_miner_short_run_fraction;
+      Alcotest.test_case "width caps" `Quick test_miner_width_caps;
+      Alcotest.test_case "candidate stats" `Quick test_candidate_stats;
+      Alcotest.test_case "interning" `Quick test_table_interning;
+      Alcotest.test_case "unknown row" `Quick test_classify_unknown;
+      Alcotest.test_case "prop names" `Quick test_prop_names;
+      Alcotest.test_case "exactly-one invariant" `Quick test_holds_exactly_one;
+      Alcotest.test_case "segments cover" `Quick test_segments_cover ]
+    @ properties )

@@ -1,0 +1,116 @@
+(* Tests for model persistence: save/load round-trips and format
+   robustness. *)
+
+module Persist = Psm_flow.Persist
+module Flow = Psm_flow.Flow
+module Workloads = Psm_ips.Workloads
+module Psm = Psm_core.Psm
+module Table = Psm_mining.Prop_trace.Table
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let train_ip name make total =
+  let ip = make () in
+  let suite = Workloads.suite ~parts:3 ~total_length:total ~long:false name in
+  (ip, Flow.train_on_ip ip suite)
+
+let roundtrip_case name make total eval =
+  let ip, trained = train_ip name make total in
+  let model = Persist.load (Persist.save trained) in
+  check_int "states" (Psm.state_count trained.Flow.optimized)
+    (Psm.state_count model.Persist.psm);
+  check_int "transitions"
+    (Psm.transition_count trained.Flow.optimized)
+    (Psm.transition_count model.Persist.psm);
+  check_int "props" (Table.prop_count trained.Flow.table)
+    (Table.prop_count model.Persist.table);
+  check_int "initial multiplicity"
+    (List.length (Psm.initial trained.Flow.optimized))
+    (List.length (Psm.initial model.Persist.psm));
+  (* Estimates over an unseen workload must be bit-identical. *)
+  let long = Workloads.long_for ~length:eval name in
+  let trace, _ = Psm_ips.Capture.run ip long in
+  let original = Psm_hmm.Multi_sim.simulate trained.Flow.hmm trace in
+  (* Classification uses the table captured inside each PSM, so the trace
+     must be re-captured for the reloaded model's table. *)
+  let ip2 = make () in
+  let trace2, _ = Psm_ips.Capture.run ip2 long in
+  let reloaded = Psm_hmm.Multi_sim.simulate model.Persist.hmm trace2 in
+  Alcotest.(check (array (float 0.))) "identical estimates"
+    original.Psm_hmm.Multi_sim.estimate reloaded.Psm_hmm.Multi_sim.estimate;
+  check_int "identical wrong instants" original.Psm_hmm.Multi_sim.wrong_instants
+    reloaded.Psm_hmm.Multi_sim.wrong_instants
+
+let test_roundtrip_ram () = roundtrip_case "RAM" Psm_ips.Ram.create 12000 8000
+let test_roundtrip_multsum () = roundtrip_case "MultSum" Psm_ips.Multsum.create 9000 6000
+let test_roundtrip_aes () = roundtrip_case "AES" Psm_ips.Aes.create 9000 6000
+
+let test_roundtrip_preserves_regression_outputs () =
+  let _, trained = train_ip "RAM" Psm_ips.Ram.create 20000 in
+  let model = Persist.load (Persist.save trained) in
+  let affine p =
+    List.filter
+      (fun (s : Psm.state) -> match s.Psm.output with Psm.Affine _ -> true | _ -> false)
+      (Psm.states p)
+    |> List.length
+  in
+  check_bool "has regression states" true (affine trained.Flow.optimized > 0);
+  check_int "regression outputs preserved" (affine trained.Flow.optimized)
+    (affine model.Persist.psm)
+
+let test_save_is_stable () =
+  (* Two independent trainings of the same suite serialize identically:
+     the whole flow is deterministic. *)
+  let _, trained1 = train_ip "MultSum" Psm_ips.Multsum.create 6000 in
+  let _, trained2 = train_ip "MultSum" Psm_ips.Multsum.create 6000 in
+  Alcotest.(check string) "deterministic flow" (Persist.save trained1)
+    (Persist.save trained2);
+  let model = Persist.load (Persist.save trained1) in
+  check_int "reload state count" (Psm.state_count trained1.Flow.optimized)
+    (Psm.state_count model.Persist.psm)
+
+let test_hier_roundtrip () =
+  let d = Psm_ips.Camellia.create_decomposed () in
+  let suite = Workloads.suite ~parts:2 ~total_length:10000 ~long:false "Camellia" in
+  let hier = Psm_flow.Hier.train d suite in
+  let parts = Psm_flow.Hier.load (Psm_flow.Hier.save hier) in
+  Alcotest.(check (list string)) "part names" [ "datapath"; "scrubber" ]
+    (List.map (fun p -> p.Psm_flow.Hier.part_name) parts);
+  (* Reloaded hierarchical model scores like the original. *)
+  let long = Workloads.camellia_long ~length:12000 () in
+  let original = Psm_flow.Hier.evaluate hier d long in
+  let reloaded = Psm_flow.Hier.evaluate_loaded parts d long in
+  Alcotest.(check (float 1e-9)) "same MRE" original.Psm_hmm.Accuracy.mre
+    reloaded.Psm_hmm.Accuracy.mre
+
+let expect_parse_error text =
+  try
+    ignore (Persist.load text);
+    false
+  with Persist.Parse_error _ -> true
+
+let test_rejects_garbage () =
+  check_bool "empty" true (expect_parse_error "");
+  check_bool "wrong header" true (expect_parse_error "not a model\nfoo");
+  check_bool "truncated" true
+    (expect_parse_error "psm-repro-model 1\ninterface 2\nin a 1")
+
+let test_rejects_tampered () =
+  let _, trained = train_ip "MultSum" Psm_ips.Multsum.create 6000 in
+  let text = Persist.save trained in
+  (* Chop off the end marker and some lines. *)
+  let truncated = String.sub text 0 (String.length text - 40) in
+  check_bool "tampered rejected" true (expect_parse_error truncated)
+
+let suite =
+  ( "persist",
+    [ Alcotest.test_case "roundtrip RAM" `Slow test_roundtrip_ram;
+      Alcotest.test_case "roundtrip MultSum" `Slow test_roundtrip_multsum;
+      Alcotest.test_case "roundtrip AES" `Slow test_roundtrip_aes;
+      Alcotest.test_case "regression outputs preserved" `Slow
+        test_roundtrip_preserves_regression_outputs;
+      Alcotest.test_case "deterministic save" `Quick test_save_is_stable;
+      Alcotest.test_case "hierarchical roundtrip" `Slow test_hier_roundtrip;
+      Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+      Alcotest.test_case "rejects tampered" `Quick test_rejects_tampered ] )

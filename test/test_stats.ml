@@ -1,0 +1,302 @@
+(* Tests for Psm_stats: descriptive statistics, special functions,
+   distributions, t-tests, regression and the PRNG. *)
+
+module D = Psm_stats.Descriptive
+module Special = Psm_stats.Special
+module Dist = Psm_stats.Distribution
+module Ttest = Psm_stats.Ttest
+module Reg = Psm_stats.Regression
+module Prng = Psm_stats.Prng
+
+let close ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* ---------- descriptive ---------- *)
+
+let test_mean_variance () =
+  let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  close "mean" 5. (D.mean a);
+  (* Known dataset: population variance 4, sample variance 32/7. *)
+  close "variance" (32. /. 7.) (D.variance a);
+  close "stddev" (sqrt (32. /. 7.)) (D.stddev a)
+
+let test_slices () =
+  let a = [| 100.; 1.; 2.; 3.; 100. |] in
+  close "mean_slice" 2. (D.mean_slice a ~start:1 ~stop:3);
+  close "stddev_slice" 1. (D.stddev_slice a ~start:1 ~stop:3)
+
+let test_min_max () =
+  let lo, hi = D.min_max [| 3.; -1.; 7.; 0. |] in
+  close "min" (-1.) lo;
+  close "max" 7. hi
+
+let test_online_matches_two_pass () =
+  let data = Array.init 1000 (fun i -> sin (float_of_int i) *. 10.) in
+  let online = D.Online.create () in
+  Array.iter (D.Online.add online) data;
+  close ~eps:1e-9 "mean" (D.mean data) (D.Online.mean online);
+  close ~eps:1e-9 "variance" (D.variance data) (D.Online.variance online)
+
+let test_online_merge () =
+  let a = Array.init 100 (fun i -> float_of_int i) in
+  let b = Array.init 57 (fun i -> float_of_int (i * i)) in
+  let oa = D.Online.create () and ob = D.Online.create () in
+  Array.iter (D.Online.add oa) a;
+  Array.iter (D.Online.add ob) b;
+  let merged = D.Online.merge oa ob in
+  let both = Array.append a b in
+  close ~eps:1e-9 "merged mean" (D.mean both) (D.Online.mean merged);
+  close ~eps:1e-9 "merged variance" (D.variance both) (D.Online.variance merged);
+  Alcotest.(check int) "merged count" 157 (D.Online.count merged)
+
+(* ---------- special functions ---------- *)
+
+let test_log_gamma () =
+  (* Γ(n) = (n-1)! *)
+  close ~eps:1e-10 "gamma(5)" (log 24.) (Special.log_gamma 5.);
+  close ~eps:1e-10 "gamma(1)" 0. (Special.log_gamma 1.);
+  close ~eps:1e-10 "gamma(0.5)" (log (sqrt Float.pi)) (Special.log_gamma 0.5);
+  (* recurrence Γ(x+1) = xΓ(x) *)
+  close ~eps:1e-9 "recurrence" (Special.log_gamma 3.7)
+    (Special.log_gamma 4.7 -. log 3.7)
+
+let test_beta () =
+  (* B(a,b) = Γ(a)Γ(b)/Γ(a+b); B(2,3) = 1/12. *)
+  close ~eps:1e-10 "beta(2,3)" (1. /. 12.) (Special.beta 2. 3.)
+
+let test_incomplete_beta () =
+  (* I_x(1,1) = x. *)
+  close ~eps:1e-9 "I_x(1,1)" 0.42 (Special.regularized_incomplete_beta ~a:1. ~b:1. ~x:0.42);
+  (* I_x(2,2) = x^2 (3 - 2x). *)
+  let x = 0.3 in
+  close ~eps:1e-9 "I_x(2,2)" (x *. x *. (3. -. (2. *. x)))
+    (Special.regularized_incomplete_beta ~a:2. ~b:2. ~x);
+  (* symmetry: I_x(a,b) = 1 - I_(1-x)(b,a). *)
+  close ~eps:1e-9 "symmetry"
+    (1. -. Special.regularized_incomplete_beta ~a:5. ~b:3. ~x:0.6)
+    (Special.regularized_incomplete_beta ~a:3. ~b:5. ~x:0.4)
+
+(* ---------- distributions ---------- *)
+
+let test_student_t_cdf () =
+  (* Known quantiles: t with 1 df is Cauchy: CDF(1) = 0.75. *)
+  close ~eps:1e-8 "cauchy" 0.75 (Dist.student_t_cdf ~df:1. 1.);
+  close ~eps:1e-8 "symmetric" 0.5 (Dist.student_t_cdf ~df:7. 0.);
+  (* Classical table value: t_{0.975, 10} = 2.228. *)
+  close ~eps:2e-4 "97.5% df=10" 0.975 (Dist.student_t_cdf ~df:10. 2.228139);
+  (* Large df approaches the normal distribution. *)
+  close ~eps:1e-3 "normal limit" (Dist.normal_cdf 1.96)
+    (Dist.student_t_cdf ~df:10000. 1.96)
+
+let test_two_sided () =
+  close ~eps:2e-4 "two-sided df=10" 0.05 (Dist.student_t_sf_two_sided ~df:10. 2.228139);
+  close ~eps:1e-8 "two-sided symmetric" (Dist.student_t_sf_two_sided ~df:5. 1.3)
+    (Dist.student_t_sf_two_sided ~df:5. (-1.3))
+
+let test_normal_cdf () =
+  close ~eps:1e-6 "median" 0.5 (Dist.normal_cdf 0.);
+  close ~eps:1e-6 "sigma" 0.8413447 (Dist.normal_cdf 1.);
+  close ~eps:1e-6 "mu/sigma params" 0.8413447 (Dist.normal_cdf ~mu:10. ~sigma:2. 12.)
+
+(* ---------- t-tests ---------- *)
+
+let test_welch_identical () =
+  let r = Ttest.welch ~mean1:5. ~stddev1:1. ~n1:50 ~mean2:5. ~stddev2:1. ~n2:50 in
+  close "t = 0" 0. r.Ttest.t_statistic;
+  close "p = 1" 1. r.Ttest.p_value;
+  Alcotest.(check bool) "mergeable" true (Ttest.equal_means r)
+
+let test_welch_distinct () =
+  let r = Ttest.welch ~mean1:5. ~stddev1:0.5 ~n1:100 ~mean2:9. ~stddev2:0.5 ~n2:100 in
+  Alcotest.(check bool) "p tiny" true (r.Ttest.p_value < 1e-6);
+  Alcotest.(check bool) "not mergeable" false (Ttest.equal_means r)
+
+let test_welch_textbook () =
+  (* Welch's 1947 example-style check against scipy.stats.ttest_ind
+     (equal_var=False): a = mean 20.0, sd 2.0, n 12; b = mean 22.5,
+     sd 3.2, n 18: se² = 4/12 + 10.24/18, t = -2.5/0.9499 = -2.632,
+     Welch–Satterthwaite df ≈ 27.93. *)
+  let r = Ttest.welch ~mean1:20. ~stddev1:2.0 ~n1:12 ~mean2:22.5 ~stddev2:3.2 ~n2:18 in
+  close ~eps:1e-3 "t" (-2.632) r.Ttest.t_statistic;
+  close ~eps:0.05 "df" 27.93 r.Ttest.degrees_of_freedom
+
+let test_welch_symmetry () =
+  let r1 = Ttest.welch ~mean1:3. ~stddev1:1. ~n1:30 ~mean2:4. ~stddev2:2. ~n2:40 in
+  let r2 = Ttest.welch ~mean1:4. ~stddev1:2. ~n1:40 ~mean2:3. ~stddev2:1. ~n2:30 in
+  close "t antisymmetric" (-.r1.Ttest.t_statistic) r2.Ttest.t_statistic;
+  close "p symmetric" r1.Ttest.p_value r2.Ttest.p_value
+
+let test_welch_degenerate () =
+  let equal = Ttest.welch ~mean1:2. ~stddev1:0. ~n1:10 ~mean2:2. ~stddev2:0. ~n2:10 in
+  close "degenerate equal p" 1. equal.Ttest.p_value;
+  let diff = Ttest.welch ~mean1:2. ~stddev1:0. ~n1:10 ~mean2:3. ~stddev2:0. ~n2:10 in
+  close "degenerate distinct p" 0. diff.Ttest.p_value
+
+let test_one_sample () =
+  (* A value far outside the population is rejected... *)
+  let far = Ttest.one_sample ~mean:10. ~stddev:1. ~n:50 ~value:20. in
+  Alcotest.(check bool) "far not mergeable" false (Ttest.equal_means far);
+  (* ...one near the mean is not. *)
+  let near = Ttest.one_sample ~mean:10. ~stddev:1. ~n:50 ~value:10.2 in
+  Alcotest.(check bool) "near mergeable" true (Ttest.equal_means near)
+
+let test_alpha_monotonicity () =
+  let r = Ttest.welch ~mean1:5. ~stddev1:1. ~n1:20 ~mean2:5.8 ~stddev2:1. ~n2:20 in
+  (* p ≈ 0.017: mergeable at alpha = 0.005, not at alpha = 0.05. *)
+  Alcotest.(check bool) "strict alpha merges" true (Ttest.equal_means ~alpha:0.005 r);
+  Alcotest.(check bool) "loose alpha rejects" false (Ttest.equal_means ~alpha:0.05 r)
+
+(* ---------- regression ---------- *)
+
+let test_fit_exact_line () =
+  let x = Array.init 50 (fun i -> float_of_int i) in
+  let y = Array.map (fun v -> (3.5 *. v) -. 7.) x in
+  let fit = Reg.fit ~x ~y in
+  close ~eps:1e-9 "slope" 3.5 fit.Reg.slope;
+  close ~eps:1e-7 "intercept" (-7.) fit.Reg.intercept;
+  close ~eps:1e-9 "r" 1. fit.Reg.r;
+  close ~eps:1e-9 "residuals" 0. (Reg.residual_stddev fit ~x ~y)
+
+let test_fit_negative_correlation () =
+  let x = Array.init 20 (fun i -> float_of_int i) in
+  let y = Array.map (fun v -> 100. -. (2. *. v)) x in
+  let fit = Reg.fit ~x ~y in
+  close ~eps:1e-9 "slope" (-2.) fit.Reg.slope;
+  close ~eps:1e-9 "r" (-1.) fit.Reg.r
+
+let test_pearson_independent () =
+  (* Orthogonal patterns have zero correlation. *)
+  let x = [| 1.; -1.; 1.; -1. |] and y = [| 1.; 1.; -1.; -1. |] in
+  close ~eps:1e-12 "r = 0" 0. (Reg.pearson x y)
+
+let test_fit_constant_x () =
+  let x = Array.make 10 4. and y = Array.init 10 float_of_int in
+  let fit = Reg.fit ~x ~y in
+  close "slope 0" 0. fit.Reg.slope;
+  close "intercept = mean y" 4.5 fit.Reg.intercept
+
+(* ---------- PRNG ---------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L and b = Prng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0. && f < 2.5)
+  done
+
+let test_prng_bits_width () =
+  let rng = Prng.create ~seed:9L in
+  List.iter
+    (fun w ->
+      Alcotest.(check int) "width" w (Psm_bits.Bits.width (Prng.bits rng ~width:w)))
+    [ 1; 31; 32; 64; 65; 128; 200 ]
+
+let test_prng_bits_balanced () =
+  (* A 128-bit draw averages ~64 set bits; over 200 draws the mean should
+     land well within 5 sigma. *)
+  let rng = Prng.create ~seed:11L in
+  let total = ref 0 in
+  for _ = 1 to 200 do
+    total := !total + Psm_bits.Bits.popcount (Prng.bits rng ~width:128)
+  done;
+  let mean = float_of_int !total /. 200. in
+  Alcotest.(check bool) "balanced" true (abs_float (mean -. 64.) < 2.)
+
+let test_prng_split_independent () =
+  let rng = Prng.create ~seed:5L in
+  let s1 = Prng.split rng in
+  let s2 = Prng.split rng in
+  Alcotest.(check bool) "split streams differ" true
+    (Prng.next_int64 s1 <> Prng.next_int64 s2)
+
+(* ---------- properties ---------- *)
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:100 ~name arb f)
+
+let arb_floats =
+  QCheck.(list_of_size Gen.(int_range 2 60) (float_range (-1000.) 1000.))
+
+let properties =
+  [ prop "welford equals two-pass" arb_floats (fun l ->
+        let a = Array.of_list l in
+        let online = D.Online.create () in
+        Array.iter (D.Online.add online) a;
+        abs_float (D.mean a -. D.Online.mean online) < 1e-6
+        && abs_float (D.variance a -. D.Online.variance online) < 1e-4);
+    prop "merge equals append"
+      (QCheck.pair arb_floats arb_floats)
+      (fun (l1, l2) ->
+        let a = Array.of_list l1 and b = Array.of_list l2 in
+        let oa = D.Online.create () and ob = D.Online.create () in
+        Array.iter (D.Online.add oa) a;
+        Array.iter (D.Online.add ob) b;
+        let merged = D.Online.merge oa ob in
+        let whole = D.Online.create () in
+        Array.iter (D.Online.add whole) (Array.append a b);
+        abs_float (D.Online.mean merged -. D.Online.mean whole) < 1e-6
+        && abs_float (D.Online.variance merged -. D.Online.variance whole) < 1e-4);
+    prop "t cdf monotone" (QCheck.pair (QCheck.float_range (-5.) 5.) (QCheck.float_range (-5.) 5.))
+      (fun (a, b) ->
+        let lo = Float.min a b and hi = Float.max a b in
+        Dist.student_t_cdf ~df:7. lo <= Dist.student_t_cdf ~df:7. hi +. 1e-12);
+    prop "t cdf complement" (QCheck.float_range (-6.) 6.) (fun t ->
+        abs_float (Dist.student_t_cdf ~df:9. t +. Dist.student_t_cdf ~df:9. (-.t) -. 1.)
+        < 1e-9);
+    prop "pearson bounded" (QCheck.pair arb_floats arb_floats) (fun (l1, l2) ->
+        let n = min (List.length l1) (List.length l2) in
+        QCheck.assume (n >= 2);
+        let x = Array.of_list (List.filteri (fun i _ -> i < n) l1) in
+        let y = Array.of_list (List.filteri (fun i _ -> i < n) l2) in
+        let r = Reg.pearson x y in
+        r >= -1.0000001 && r <= 1.0000001);
+    prop "regression recovers affine data"
+      (QCheck.triple (QCheck.float_range (-5.) 5.) (QCheck.float_range (-100.) 100.) arb_floats)
+      (fun (slope, intercept, xs) ->
+        QCheck.assume (List.length xs >= 3);
+        let x = Array.of_list xs in
+        QCheck.assume (D.variance x > 1e-6);
+        let y = Array.map (fun v -> (slope *. v) +. intercept) x in
+        let fit = Reg.fit ~x ~y in
+        abs_float (fit.Reg.slope -. slope) < 1e-4
+        && abs_float (fit.Reg.intercept -. intercept) < 1e-2) ]
+
+let suite =
+  ( "stats",
+    [ Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+      Alcotest.test_case "slices" `Quick test_slices;
+      Alcotest.test_case "min/max" `Quick test_min_max;
+      Alcotest.test_case "online matches two-pass" `Quick test_online_matches_two_pass;
+      Alcotest.test_case "online merge" `Quick test_online_merge;
+      Alcotest.test_case "log_gamma" `Quick test_log_gamma;
+      Alcotest.test_case "beta" `Quick test_beta;
+      Alcotest.test_case "incomplete beta" `Quick test_incomplete_beta;
+      Alcotest.test_case "student t cdf" `Quick test_student_t_cdf;
+      Alcotest.test_case "two-sided p" `Quick test_two_sided;
+      Alcotest.test_case "normal cdf" `Quick test_normal_cdf;
+      Alcotest.test_case "welch identical" `Quick test_welch_identical;
+      Alcotest.test_case "welch distinct" `Quick test_welch_distinct;
+      Alcotest.test_case "welch textbook values" `Quick test_welch_textbook;
+      Alcotest.test_case "welch symmetry" `Quick test_welch_symmetry;
+      Alcotest.test_case "welch degenerate" `Quick test_welch_degenerate;
+      Alcotest.test_case "one-sample" `Quick test_one_sample;
+      Alcotest.test_case "alpha monotonicity" `Quick test_alpha_monotonicity;
+      Alcotest.test_case "fit exact line" `Quick test_fit_exact_line;
+      Alcotest.test_case "fit negative" `Quick test_fit_negative_correlation;
+      Alcotest.test_case "pearson independent" `Quick test_pearson_independent;
+      Alcotest.test_case "fit constant x" `Quick test_fit_constant_x;
+      Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+      Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+      Alcotest.test_case "prng bits width" `Quick test_prng_bits_width;
+      Alcotest.test_case "prng bits balanced" `Quick test_prng_bits_balanced;
+      Alcotest.test_case "prng split" `Quick test_prng_split_independent ]
+    @ properties )

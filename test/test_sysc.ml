@@ -1,0 +1,155 @@
+(* Tests for the discrete-event kernel and the IP+PSM co-simulation. *)
+
+module Kernel = Psm_sysc.Kernel
+module Cosim = Psm_sysc.Cosim
+module Workloads = Psm_ips.Workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------- kernel semantics ---------- *)
+
+let test_timed_events_in_order () =
+  let k = Kernel.create () in
+  let log = ref [] in
+  Kernel.schedule k ~delay:30 (fun () -> log := 30 :: !log);
+  Kernel.schedule k ~delay:10 (fun () -> log := 10 :: !log);
+  Kernel.schedule k ~delay:20 (fun () -> log := 20 :: !log);
+  Kernel.run k ~until:100;
+  Alcotest.(check (list int)) "order" [ 10; 20; 30 ] (List.rev !log);
+  check_int "time advanced" 100 (Kernel.now k)
+
+let test_run_stops_at_until () =
+  let k = Kernel.create () in
+  let fired = ref false in
+  Kernel.schedule k ~delay:50 (fun () -> fired := true);
+  Kernel.run k ~until:49;
+  check_bool "not yet" false !fired;
+  Kernel.run k ~until:50;
+  check_bool "now" true !fired
+
+let test_signal_update_is_deferred () =
+  let k = Kernel.create () in
+  let s = Kernel.Signal.create k ~name:"s" 0 in
+  let seen_during_write = ref (-1) in
+  Kernel.schedule k ~delay:5 (fun () ->
+      Kernel.Signal.write s 7;
+      (* Evaluate/update: the write is not visible inside this delta. *)
+      seen_during_write := Kernel.Signal.read s);
+  Kernel.run k ~until:10;
+  check_int "old value during delta" 0 !seen_during_write;
+  check_int "published after" 7 (Kernel.Signal.read s)
+
+let test_signal_triggers_only_on_change () =
+  let k = Kernel.create () in
+  let s = Kernel.Signal.create k ~name:"s" 0 in
+  let triggers = ref 0 in
+  Kernel.Signal.on_change s (fun () -> incr triggers);
+  Kernel.schedule k ~delay:1 (fun () -> Kernel.Signal.write s 1);
+  Kernel.schedule k ~delay:2 (fun () -> Kernel.Signal.write s 1);
+  Kernel.schedule k ~delay:3 (fun () -> Kernel.Signal.write s 2);
+  Kernel.run k ~until:5;
+  check_int "two real changes" 2 !triggers
+
+let test_last_write_wins () =
+  let k = Kernel.create () in
+  let s = Kernel.Signal.create k ~name:"s" 0 in
+  Kernel.schedule k ~delay:1 (fun () ->
+      Kernel.Signal.write s 5;
+      Kernel.Signal.write s 9);
+  Kernel.run k ~until:2;
+  check_int "last wins" 9 (Kernel.Signal.read s)
+
+let test_delta_chain () =
+  (* a -> b -> c propagation takes delta cycles, not simulated time. *)
+  let k = Kernel.create () in
+  let a = Kernel.Signal.create k ~name:"a" 0 in
+  let b = Kernel.Signal.create k ~name:"b" 0 in
+  let c = Kernel.Signal.create k ~name:"c" 0 in
+  Kernel.Signal.on_change a (fun () -> Kernel.Signal.write b (Kernel.Signal.read a + 1));
+  Kernel.Signal.on_change b (fun () -> Kernel.Signal.write c (Kernel.Signal.read b + 1));
+  Kernel.schedule k ~delay:4 (fun () -> Kernel.Signal.write a 10);
+  Kernel.run k ~until:4;
+  check_int "a" 10 (Kernel.Signal.read a);
+  check_int "b" 11 (Kernel.Signal.read b);
+  check_int "c" 12 (Kernel.Signal.read c);
+  check_int "no extra time" 4 (Kernel.now k)
+
+let test_oscillation_detected () =
+  let k = Kernel.create () in
+  let a = Kernel.Signal.create k ~name:"a" false in
+  (* A zero-delay inverter feeding itself oscillates forever. *)
+  Kernel.Signal.on_change a (fun () -> Kernel.Signal.write a (not (Kernel.Signal.read a)));
+  Kernel.schedule k ~delay:1 (fun () -> Kernel.Signal.write a true);
+  check_bool "raises" true
+    (try
+       Kernel.run k ~until:2;
+       false
+     with Failure _ -> true)
+
+let test_clock_edges () =
+  let k = Kernel.create () in
+  let clock = Kernel.Clock.create k ~period:10 () in
+  let posedges = ref 0 in
+  Kernel.Clock.on_posedge clock (fun () -> incr posedges);
+  Kernel.run k ~until:100;
+  (* Rising edges at 5, 15, ..., 95. *)
+  check_int "10 rising edges" 10 !posedges
+
+(* ---------- co-simulation ---------- *)
+
+let test_cosim_matches_direct () =
+  let ip = Psm_ips.Multsum.create () in
+  let suite = Workloads.suite ~parts:3 ~total_length:6000 ~long:false "MultSum" in
+  let trained = Psm_flow.Flow.train_on_ip ip suite in
+  let stim = Workloads.multsum_long ~length:1500 () in
+  (* DES run. *)
+  let kernel = Kernel.create () in
+  let clock = Kernel.Clock.create kernel ~period:10 () in
+  let des_ip = Psm_ips.Multsum.create () in
+  let cosim =
+    Cosim.build kernel ~clock ~ip:des_ip ~hmm:trained.Psm_flow.Flow.hmm ~stimulus:stim
+  in
+  Kernel.run kernel ~until:(10 * 1501);
+  check_int "all cycles" 1500 (Cosim.cycles_done cosim);
+  (* Direct run. *)
+  let trace, reference = Psm_ips.Capture.run ip stim in
+  let direct = Psm_hmm.Multi_sim.simulate trained.Psm_flow.Flow.hmm trace in
+  Alcotest.(check (array (float 1e-20))) "estimates equal"
+    direct.Psm_hmm.Multi_sim.estimate (Cosim.estimates cosim);
+  Alcotest.(check (array (float 1e-22))) "references equal"
+    (Psm_trace.Power_trace.to_array reference)
+    (Cosim.references cosim)
+
+let test_cosim_signals_observable () =
+  let ip = Psm_ips.Ram.create () in
+  let suite = Workloads.suite ~parts:2 ~total_length:4000 ~long:false "RAM" in
+  let trained = Psm_flow.Flow.train_on_ip ip suite in
+  let stim = Workloads.ram_long ~length:200 () in
+  let kernel = Kernel.create () in
+  let clock = Kernel.Clock.create kernel ~period:4 () in
+  let des_ip = Psm_ips.Ram.create () in
+  let cosim =
+    Cosim.build kernel ~clock ~ip:des_ip ~hmm:trained.Psm_flow.Flow.hmm ~stimulus:stim
+  in
+  check_int "4 PI signals" 4 (List.length (Cosim.pi_signals cosim));
+  check_int "1 PO signal" 1 (List.length (Cosim.po_signals cosim));
+  Kernel.run kernel ~until:(4 * 201);
+  (* The power-estimate signal holds the last cycle's estimate. *)
+  let last = Kernel.Signal.read (Cosim.power_estimate cosim) in
+  let collected = Cosim.estimates cosim in
+  Alcotest.(check (float 1e-20)) "signal = last estimate"
+    collected.(Array.length collected - 1) last
+
+let suite =
+  ( "sysc",
+    [ Alcotest.test_case "timed events" `Quick test_timed_events_in_order;
+      Alcotest.test_case "run boundary" `Quick test_run_stops_at_until;
+      Alcotest.test_case "deferred update" `Quick test_signal_update_is_deferred;
+      Alcotest.test_case "change-only triggers" `Quick test_signal_triggers_only_on_change;
+      Alcotest.test_case "last write wins" `Quick test_last_write_wins;
+      Alcotest.test_case "delta chain" `Quick test_delta_chain;
+      Alcotest.test_case "oscillation detected" `Quick test_oscillation_detected;
+      Alcotest.test_case "clock edges" `Quick test_clock_edges;
+      Alcotest.test_case "cosim == direct" `Slow test_cosim_matches_direct;
+      Alcotest.test_case "cosim signals" `Quick test_cosim_signals_observable ] )

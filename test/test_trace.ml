@@ -1,0 +1,384 @@
+(* Tests for Psm_trace: signals, interfaces, functional/power traces,
+   VCD and CSV round-trips, trace statistics. *)
+
+module Bits = Psm_bits.Bits
+module Signal = Psm_trace.Signal
+module Interface = Psm_trace.Interface
+module FT = Psm_trace.Functional_trace
+module PT = Psm_trace.Power_trace
+module Vcd = Psm_trace.Vcd
+module Csv = Psm_trace.Csv
+module Stats = Psm_trace.Trace_stats
+
+let iface () =
+  Interface.create
+    [ Signal.input "en" 1; Signal.input "data" 8; Signal.output "q" 8 ]
+
+let sample en data q =
+  [| Bits.of_bool en; Bits.of_int ~width:8 data; Bits.of_int ~width:8 q |]
+
+let simple_trace () =
+  FT.of_samples (iface ())
+    [| sample false 0 0; sample true 0x12 0; sample true 0x34 0x12;
+       sample true 0x34 0x34; sample false 0x34 0x34 |]
+
+(* ---------- signals / interface ---------- *)
+
+let test_signal_validation () =
+  Alcotest.check_raises "zero width" (Invalid_argument "Signal: width must be positive")
+    (fun () -> ignore (Signal.input "x" 0));
+  Alcotest.check_raises "empty name" (Invalid_argument "Signal: name must be non-empty")
+    (fun () -> ignore (Signal.output "" 4))
+
+let test_interface_lookup () =
+  let i = iface () in
+  Alcotest.(check int) "arity" 3 (Interface.arity i);
+  Alcotest.(check int) "index" 1 (Interface.index i "data");
+  Alcotest.(check string) "signal" "q" (Interface.signal i 2).Signal.name;
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Interface.index i "nope"))
+
+let test_interface_widths () =
+  let i = iface () in
+  Alcotest.(check int) "inputs" 9 (Interface.total_input_width i);
+  Alcotest.(check int) "outputs" 8 (Interface.total_output_width i);
+  Alcotest.(check int) "n inputs" 2 (List.length (Interface.inputs i));
+  Alcotest.(check int) "n outputs" 1 (List.length (Interface.outputs i))
+
+let test_interface_duplicate () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Interface.create: duplicate signal name x")
+    (fun () -> ignore (Interface.create [ Signal.input "x" 1; Signal.output "x" 2 ]))
+
+(* ---------- functional traces ---------- *)
+
+let test_trace_accessors () =
+  let t = simple_trace () in
+  Alcotest.(check int) "length" 5 (FT.length t);
+  Alcotest.(check int) "value" 0x34 (Bits.to_int (FT.value t ~time:2 ~signal:1));
+  Alcotest.(check int) "by name" 0x12 (Bits.to_int (FT.value_by_name t ~time:2 "q"))
+
+let test_builder_matches_of_samples () =
+  let t = simple_trace () in
+  let b = FT.Builder.create (iface ()) in
+  FT.iter (fun _ s -> FT.Builder.append b s) t;
+  Alcotest.(check bool) "equal" true (FT.equal t (FT.Builder.finish b))
+
+let test_builder_validates () =
+  let b = FT.Builder.create (iface ()) in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Functional_trace: sample arity 1, interface arity 3")
+    (fun () -> FT.Builder.append b [| Bits.zero 1 |]);
+  Alcotest.check_raises "width"
+    (Invalid_argument "Functional_trace: signal data has width 8, sample value width 7")
+    (fun () -> FT.Builder.append b [| Bits.zero 1; Bits.zero 7; Bits.zero 8 |])
+
+let test_sub_append () =
+  let t = simple_trace () in
+  let first = FT.sub t ~start:0 ~stop:1 and rest = FT.sub t ~start:2 ~stop:4 in
+  Alcotest.(check bool) "append inverse of sub" true (FT.equal t (FT.append first rest))
+
+let test_input_hamming () =
+  let t = simple_trace () in
+  let hd = FT.input_hamming_series t in
+  (* t0->t1: en flips (1) + data 0 -> 0x12 (2 bits) = 3.
+     t1->t2: data 0x12 -> 0x34 (HD of 0x26 = 3 bits) = 3.
+     t2->t3: nothing changes. t3->t4: en flips = 1. *)
+  Alcotest.(check (array (float 1e-9))) "series" [| 0.; 3.; 3.; 0.; 1. |] hd
+
+let test_wide_value_trace () =
+  (* 128-bit signals flow through traces unharmed. *)
+  let i = Interface.create [ Signal.input "k" 128; Signal.output "o" 1 ] in
+  let v = Bits.of_hex_string ~width:128 "0123456789abcdeffedcba9876543210" in
+  let t = FT.of_samples i [| [| v; Bits.of_bool true |] |] in
+  Alcotest.(check string) "roundtrip" "0123456789abcdeffedcba9876543210"
+    (Bits.to_hex_string (FT.value t ~time:0 ~signal:0))
+
+(* ---------- power traces ---------- *)
+
+let test_power_attributes () =
+  let p = PT.of_array [| 1.; 2.; 3.; 4.; 100. |] in
+  let mu, sigma, n = PT.attributes p ~start:0 ~stop:3 in
+  Alcotest.(check (float 1e-9)) "mu" 2.5 mu;
+  Alcotest.(check (float 1e-9)) "sigma" (sqrt (5. /. 3.)) sigma;
+  Alcotest.(check int) "n" 4 n
+
+let test_power_rejects_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Power_trace.of_array: energies must be non-negative")
+    (fun () -> ignore (PT.of_array [| 1.; -2. |]))
+
+let test_power_total_mean () =
+  let p = PT.of_array [| 1.; 2.; 3. |] in
+  Alcotest.(check (float 1e-9)) "total" 6. (PT.total_energy p);
+  Alcotest.(check (float 1e-9)) "mean" 2. (PT.mean p)
+
+let test_mre () =
+  let reference = PT.of_array [| 10.; 10.; 10.; 10. |] in
+  let estimate = PT.of_array [| 11.; 9.; 10.; 10. |] in
+  Alcotest.(check (float 1e-9)) "mre" 0.05
+    (PT.mean_relative_error ~reference ~estimate);
+  Alcotest.(check (float 1e-9)) "perfect" 0.
+    (PT.mean_relative_error ~reference ~estimate:reference)
+
+let test_mre_zero_reference () =
+  (* Zero-reference instants are normalized by the trace mean. *)
+  let reference = PT.of_array [| 0.; 10. |] in
+  let estimate = PT.of_array [| 5.; 10. |] in
+  Alcotest.(check (float 1e-9)) "zero denominator handled" 0.5
+    (PT.mean_relative_error ~reference ~estimate)
+
+(* ---------- VCD ---------- *)
+
+let test_vcd_roundtrip () =
+  let t = simple_trace () in
+  let power = PT.of_array [| 0.5; 1.5; 2.5; 3.5; 4.5 |] in
+  let parsed = Vcd.parse (Vcd.to_string ~power t) in
+  Alcotest.(check bool) "functional" true (FT.equal t parsed.Vcd.trace);
+  (match parsed.Vcd.power with
+  | Some p ->
+      Alcotest.(check (array (float 1e-12))) "power" (PT.to_array power) (PT.to_array p)
+  | None -> Alcotest.fail "power trace lost");
+  Alcotest.(check string) "timescale" "1ns" parsed.Vcd.timescale
+
+let test_vcd_no_power () =
+  let t = simple_trace () in
+  let parsed = Vcd.parse (Vcd.to_string t) in
+  Alcotest.(check bool) "functional" true (FT.equal t parsed.Vcd.trace);
+  Alcotest.(check bool) "no power" true (parsed.Vcd.power = None)
+
+let test_vcd_preserves_directions () =
+  let t = simple_trace () in
+  let parsed = Vcd.parse (Vcd.to_string t) in
+  Alcotest.(check bool) "interface equal" true
+    (Interface.equal (FT.interface t) (FT.interface parsed.Vcd.trace))
+
+let test_vcd_foreign_input () =
+  (* A hand-written VCD in a style other tools emit: x values, $dumpvars,
+     sparse change records. *)
+  let text =
+    "$timescale 10 ps $end\n\
+     $scope module top $end\n\
+     $var wire 4 ! count $end\n\
+     $var wire 1 \" clk $end\n\
+     $upscope $end\n\
+     $enddefinitions $end\n\
+     #0\n$dumpvars\nbxxxx !\n0\"\n$end\n\
+     #1\nb101 !\n1\"\n\
+     #2\n0\"\n"
+  in
+  let parsed = Vcd.parse text in
+  Alcotest.(check int) "instants" 3 (FT.length parsed.Vcd.trace);
+  Alcotest.(check int) "x maps to 0" 0
+    (Bits.to_int (FT.value_by_name parsed.Vcd.trace ~time:0 "count"));
+  Alcotest.(check int) "padded vector" 5
+    (Bits.to_int (FT.value_by_name parsed.Vcd.trace ~time:1 "count"));
+  (* Unchanged values persist. *)
+  Alcotest.(check int) "carries forward" 5
+    (Bits.to_int (FT.value_by_name parsed.Vcd.trace ~time:2 "count"));
+  Alcotest.(check string) "timescale" "10ps" parsed.Vcd.timescale
+
+let test_vcd_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Vcd.parse "not a vcd at all");
+       false
+     with Vcd.Parse_error _ -> true)
+
+let test_vcd_file_io () =
+  let t = simple_trace () in
+  let path = Filename.temp_file "psm" ".vcd" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Vcd.write_file path t;
+      let parsed = Vcd.parse_file path in
+      Alcotest.(check bool) "roundtrip" true (FT.equal t parsed.Vcd.trace))
+
+(* ---------- CSV ---------- *)
+
+let test_csv_roundtrip () =
+  let t = simple_trace () in
+  let power = PT.of_array [| 0.25; 1.; 2.; 3.; 4. |] in
+  let trace', power' = Csv.parse (Csv.to_string ~power t) in
+  Alcotest.(check bool) "functional" true (FT.equal t trace');
+  (match power' with
+  | Some p ->
+      Alcotest.(check (array (float 1e-12))) "power" (PT.to_array power) (PT.to_array p)
+  | None -> Alcotest.fail "power lost")
+
+let test_csv_no_power () =
+  let t = simple_trace () in
+  let trace', power' = Csv.parse (Csv.to_string t) in
+  Alcotest.(check bool) "functional" true (FT.equal t trace');
+  Alcotest.(check bool) "no power" true (power' = None)
+
+let test_csv_rejects_bad_header () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Csv.parse "a,b,c\n1,2,3\n");
+       false
+     with Csv.Parse_error _ -> true)
+
+(* ---------- SAIF ---------- *)
+
+let test_saif_counters () =
+  let t = simple_trace () in
+  (* en: 0 1 1 1 0 -> T1 = 3, TC = 2. *)
+  let c = Psm_trace.Saif.bit_counters t ~signal:0 ~bit:0 in
+  Alcotest.(check int) "T0" 2 c.Psm_trace.Saif.t0;
+  Alcotest.(check int) "T1" 3 c.Psm_trace.Saif.t1;
+  Alcotest.(check int) "TC" 2 c.Psm_trace.Saif.tc
+
+let test_saif_document () =
+  let t = simple_trace () in
+  let saif = Psm_trace.Saif.to_string ~design:"demo" t in
+  let contains needle =
+    let n = String.length needle and h = String.length saif in
+    let rec go i = i + n <= h && (String.sub saif i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (contains "(SAIFILE");
+  Alcotest.(check bool) "design" true (contains "(DESIGN \"demo\")");
+  Alcotest.(check bool) "duration" true (contains "(DURATION 5)");
+  Alcotest.(check bool) "bit select" true (contains "data\\[7\\]");
+  Alcotest.(check bool) "balanced parens" true
+    (String.fold_left (fun acc c -> acc + (match c with '(' -> 1 | ')' -> -1 | _ -> 0)) 0 saif
+     = 0)
+
+let test_saif_t0_t1_sum () =
+  let t = simple_trace () in
+  let iface = FT.interface t in
+  for signal = 0 to Interface.arity iface - 1 do
+    let s = Interface.signal iface signal in
+    for bit = 0 to s.Signal.width - 1 do
+      let c = Psm_trace.Saif.bit_counters t ~signal ~bit in
+      Alcotest.(check int) "T0+T1 = duration" (FT.length t)
+        (c.Psm_trace.Saif.t0 + c.Psm_trace.Saif.t1)
+    done
+  done
+
+(* ---------- trace stats ---------- *)
+
+let test_per_signal_toggles () =
+  let t = simple_trace () in
+  let stats = Stats.per_signal t in
+  let by_name name =
+    Array.to_list stats
+    |> List.find (fun (a : Stats.signal_activity) -> a.signal.Signal.name = name)
+  in
+  Alcotest.(check int) "en toggles" 2 (by_name "en").Stats.toggles;
+  Alcotest.(check int) "data toggles" 5 (by_name "data").Stats.toggles;
+  Alcotest.(check int) "q toggles" 5 (by_name "q").Stats.toggles
+
+let test_distinct_samples () =
+  let t = simple_trace () in
+  Alcotest.(check int) "distinct" 5 (Stats.distinct_samples t);
+  let constant =
+    FT.of_samples (iface ()) (Array.make 10 (sample true 1 1))
+  in
+  Alcotest.(check int) "constant" 1 (Stats.distinct_samples constant)
+
+let test_switching_density () =
+  let t = simple_trace () in
+  (* 12 toggles over 4 cycle-pairs x 17 bits. *)
+  Alcotest.(check (float 1e-9)) "density" (12. /. (17. *. 4.)) (Stats.switching_density t)
+
+(* ---------- properties ---------- *)
+
+let arb_trace =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 40 in
+      let* samples =
+        list_size (return n)
+          (map2
+             (fun en data ->
+               [| Bits.of_bool en;
+                  Bits.of_int ~width:8 (data land 0xFF);
+                  Bits.of_int ~width:8 ((data * 7) land 0xFF) |])
+             bool (int_bound 255))
+      in
+      return (FT.of_samples (iface ()) (Array.of_list samples)))
+  in
+  QCheck.make gen
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:50 ~name arb f)
+
+let properties =
+  [ prop "vcd parser total on junk" (QCheck.make QCheck.Gen.(string_size ~gen:printable (int_range 0 400)))
+      (fun junk ->
+        (* Any input either parses or raises Parse_error — never crashes
+           with an unexpected exception. *)
+        try
+          ignore (Vcd.parse junk);
+          true
+        with
+        | Vcd.Parse_error _ -> true
+        | _ -> false);
+    prop "csv parser total on junk" (QCheck.make QCheck.Gen.(string_size ~gen:printable (int_range 0 400)))
+      (fun junk ->
+        try
+          ignore (Csv.parse junk);
+          true
+        with
+        | Csv.Parse_error _ -> true
+        | _ -> false);
+    prop "saif TC equals trace_stats toggles" arb_trace (fun t ->
+        (* Summing SAIF per-bit toggle counts over a signal reproduces the
+           Trace_stats per-signal toggle count. *)
+        let iface = FT.interface t in
+        let stats = Stats.per_signal t in
+        Array.for_all
+          (fun i ->
+            let s = Interface.signal iface i in
+            let saif_total = ref 0 in
+            for bit = 0 to s.Signal.width - 1 do
+              saif_total := !saif_total + (Psm_trace.Saif.bit_counters t ~signal:i ~bit).Psm_trace.Saif.tc
+            done;
+            !saif_total = stats.(i).Stats.toggles)
+          (Array.init (Interface.arity iface) Fun.id));
+    prop "vcd roundtrip" arb_trace (fun t ->
+        FT.equal t (Vcd.parse (Vcd.to_string t)).Vcd.trace);
+    prop "csv roundtrip" arb_trace (fun t -> FT.equal t (fst (Csv.parse (Csv.to_string t))));
+    prop "hamming series bounded by interface width" arb_trace (fun t ->
+        Array.for_all (fun h -> h >= 0. && h <= 9.) (FT.input_hamming_series t));
+    prop "sub+append identity" arb_trace (fun t ->
+        let n = FT.length t in
+        QCheck.assume (n >= 2);
+        let k = n / 2 in
+        FT.equal t
+          (FT.append (FT.sub t ~start:0 ~stop:(k - 1)) (FT.sub t ~start:k ~stop:(n - 1)))) ]
+
+let suite =
+  ( "trace",
+    [ Alcotest.test_case "signal validation" `Quick test_signal_validation;
+      Alcotest.test_case "interface lookup" `Quick test_interface_lookup;
+      Alcotest.test_case "interface widths" `Quick test_interface_widths;
+      Alcotest.test_case "interface duplicates" `Quick test_interface_duplicate;
+      Alcotest.test_case "trace accessors" `Quick test_trace_accessors;
+      Alcotest.test_case "builder" `Quick test_builder_matches_of_samples;
+      Alcotest.test_case "builder validates" `Quick test_builder_validates;
+      Alcotest.test_case "sub/append" `Quick test_sub_append;
+      Alcotest.test_case "input hamming series" `Quick test_input_hamming;
+      Alcotest.test_case "wide values" `Quick test_wide_value_trace;
+      Alcotest.test_case "power attributes" `Quick test_power_attributes;
+      Alcotest.test_case "power rejects negative" `Quick test_power_rejects_negative;
+      Alcotest.test_case "power total/mean" `Quick test_power_total_mean;
+      Alcotest.test_case "MRE" `Quick test_mre;
+      Alcotest.test_case "MRE zero reference" `Quick test_mre_zero_reference;
+      Alcotest.test_case "vcd roundtrip" `Quick test_vcd_roundtrip;
+      Alcotest.test_case "vcd without power" `Quick test_vcd_no_power;
+      Alcotest.test_case "vcd directions" `Quick test_vcd_preserves_directions;
+      Alcotest.test_case "vcd foreign input" `Quick test_vcd_foreign_input;
+      Alcotest.test_case "vcd rejects garbage" `Quick test_vcd_rejects_garbage;
+      Alcotest.test_case "vcd file io" `Quick test_vcd_file_io;
+      Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+      Alcotest.test_case "csv without power" `Quick test_csv_no_power;
+      Alcotest.test_case "csv bad header" `Quick test_csv_rejects_bad_header;
+      Alcotest.test_case "saif counters" `Quick test_saif_counters;
+      Alcotest.test_case "saif document" `Quick test_saif_document;
+      Alcotest.test_case "saif t0+t1" `Quick test_saif_t0_t1_sum;
+      Alcotest.test_case "per-signal toggles" `Quick test_per_signal_toggles;
+      Alcotest.test_case "distinct samples" `Quick test_distinct_samples;
+      Alcotest.test_case "switching density" `Quick test_switching_density ]
+    @ properties )
