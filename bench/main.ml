@@ -4,10 +4,16 @@
 
    Usage:
      main.exe [table1|table2|table3|figs|ablations|micro|all] [--paper]
+              [--json FILE]
 
    Default (no arguments): everything, with the long-TS/evaluation lengths
    scaled down to 120k instants so the full run completes in minutes.
-   [--paper] restores the paper's 500000-instant workloads. *)
+   [--paper] restores the paper's 500000-instant workloads.
+
+   [--json FILE] additionally writes per-stage wall-clock timings to FILE;
+   when PSM_JOBS > 1 the requested stages are re-run (silenced) with the
+   domain pool forced to one job, so the file also records the measured
+   speedup of the parallel fan-out over the sequential baseline. *)
 
 module Experiment = Psm_flow.Experiment
 module Report = Psm_flow.Report
@@ -88,7 +94,7 @@ let ablation_flow ?(config = Flow.default) name ~make ~eval_length =
 let run_ablation_epsilon ~eval_length () =
   section "Ablation: merge tolerance epsilon (RAM)";
   let rows =
-    List.map
+    Psm_par.parallel_map
       (fun epsilon ->
         let config =
           { Flow.default with
@@ -107,29 +113,32 @@ let run_ablation_epsilon ~eval_length () =
 
 let run_ablation_regression ~eval_length () =
   section "Ablation: data-dependent-state regression on/off (RAM, MultSum)";
-  let rows =
+  let cases =
     List.concat_map
       (fun (name, make) ->
         List.map
-          (fun (label, sigma_threshold) ->
-            let config =
-              { Flow.default with
-                optimize = { Psm_core.Optimize.default with sigma_threshold } }
-            in
-            let _, report, _ = ablation_flow ~config name ~make ~eval_length in
-            [ name; label; Report.percent report.Psm_hmm.Accuracy.mre ])
+          (fun (label, sigma_threshold) -> (name, make, label, sigma_threshold))
           [ ("on (sigma/mu > 0.05)", 0.05); ("off", infinity) ])
       [ ("RAM", Psm_ips.Ram.create); ("MultSum", Psm_ips.Multsum.create) ]
+  in
+  let rows =
+    Psm_par.parallel_map
+      (fun (name, make, label, sigma_threshold) ->
+        let config =
+          { Flow.default with
+            optimize = { Psm_core.Optimize.default with sigma_threshold } }
+        in
+        let _, report, _ = ablation_flow ~config name ~make ~eval_length in
+        [ name; label; Report.percent report.Psm_hmm.Accuracy.mre ])
+      cases
   in
   print_string (Report.render_table ~header:[ "IP"; "Regression"; "MRE" ] rows)
 
 let run_ablation_scrubber ~eval_length () =
   section "Ablation: Camellia hidden-subcomponent scrubber";
   let rows =
-    List.map
+    Psm_par.parallel_map
       (fun (label, make) ->
-        let name = if label = "on" then "Camellia" else "Camellia-noscrub" in
-        ignore name;
         let _, report, result =
           ablation_flow "Camellia" ~make ~eval_length
         in
@@ -184,10 +193,12 @@ let run_ablation_structural ~eval_length () =
       (if upgraded then "yes" else "no") ]
   in
   let rows =
-    [ case "MultSum" "behavioural activity model" Psm_ips.Multsum.create;
-      case "MultSum" "gate-level net toggles" Psm_ips.Multsum.create_structural;
-      case "RAM" "behavioural activity model" Psm_ips.Ram.create;
-      case "RAM" "gate-level net toggles" Psm_ips.Ram_gates.create ]
+    Psm_par.parallel_map
+      (fun (ip_name, label, make) -> case ip_name label make)
+      [ ("MultSum", "behavioural activity model", Psm_ips.Multsum.create);
+        ("MultSum", "gate-level net toggles", Psm_ips.Multsum.create_structural);
+        ("RAM", "behavioural activity model", Psm_ips.Ram.create);
+        ("RAM", "gate-level net toggles", Psm_ips.Ram_gates.create) ]
   in
   print_string
     (Report.render_table ~header:[ "IP"; "Reference"; "MRE"; "Regression fired" ] rows);
@@ -201,7 +212,7 @@ let run_ablation_structural ~eval_length () =
 let run_decoders ~eval_length () =
   section "Extension: online filtering vs offline Viterbi decoding";
   let rows =
-    List.map
+    Psm_par.parallel_map
       (fun (name, make) ->
         let ip : Psm_ips.Ip.t = make () in
         let suite =
@@ -224,7 +235,7 @@ let run_decoders ~eval_length () =
 let run_baselines ~eval_length () =
   section "Baselines: constant power and hand-written two-state PSM vs mined PSMs";
   let rows =
-    List.map
+    Psm_par.parallel_map
       (fun (name, make, control) ->
         let ip : Psm_ips.Ip.t = make () in
         let suite =
@@ -383,32 +394,130 @@ let run_micro () =
 
 (* ---------- Driver ---------- *)
 
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* Run [f] with stdout redirected to /dev/null — the jobs=1 baseline of
+   [--json] re-runs whole stages and their table printing would otherwise
+   appear twice. *)
+let silenced f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let stages_of ~long_length ~eval_length ~ablation_eval what =
+  let table1 = ("table1", run_table1) in
+  let table2 = ("table2", run_table2 ~long_length) in
+  let table3 = ("table3", run_table3 ~eval_length) in
+  let figs = ("figs", run_figs) in
+  let ablations = ("ablations", run_ablations ~eval_length:ablation_eval) in
+  let micro = ("micro", run_micro) in
+  match what with
+  | "table1" -> Some [ table1 ]
+  | "table2" -> Some [ table2 ]
+  | "table3" -> Some [ table3 ]
+  | "figs" -> Some [ figs ]
+  | "ablations" -> Some [ ablations ]
+  | "micro" -> Some [ micro ]
+  | "all" -> Some [ table1; table2; table3; figs; ablations; micro ]
+  | _ -> None
+
+let write_json file ~command ~paper ~jobs ~timings ~baseline =
+  let oc = open_out file in
+  let out fmt = Printf.fprintf oc fmt in
+  let baseline_of name =
+    Option.bind baseline (fun b -> List.assoc_opt name b)
+  in
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0. timings in
+  let baseline_total =
+    Option.map (List.fold_left (fun acc (_, s) -> acc +. s) 0.) baseline
+  in
+  out "{\n";
+  out "  \"schema\": 1,\n";
+  out "  \"command\": %S,\n" command;
+  out "  \"paper_scale\": %b,\n" paper;
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  out "  \"stages\": [\n";
+  List.iteri
+    (fun i (name, seconds) ->
+      out "    { \"name\": %S, \"seconds\": %.3f" name seconds;
+      (match baseline_of name with
+      | Some base ->
+          out ", \"jobs1_seconds\": %.3f, \"speedup_vs_jobs1\": %.3f" base
+            (if seconds > 0. then base /. seconds else 0.)
+      | None -> ());
+      out " }%s\n" (if i = List.length timings - 1 then "" else ","))
+    timings;
+  out "  ],\n";
+  out "  \"total_seconds\": %.3f" total;
+  (match baseline_total with
+  | Some base ->
+      out ",\n  \"jobs1_total_seconds\": %.3f,\n  \"speedup_vs_jobs1\": %.3f\n" base
+        (if total > 0. then base /. total else 0.)
+  | None -> out "\n");
+  out "}\n";
+  close_out oc
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let paper = List.mem "--paper" args in
   let args = List.filter (fun a -> a <> "--paper") args in
+  let rec take_json acc = function
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | "--json" :: [] ->
+        Printf.eprintf "--json requires a file argument\n";
+        exit 2
+    | a :: rest -> take_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_file, args = take_json [] args in
   let long_length = if paper then 500_000 else 120_000 in
   let eval_length = if paper then 500_000 else 120_000 in
   let ablation_eval = if paper then 100_000 else 40_000 in
   let what = match args with [] -> "all" | w :: _ -> w in
   let t0 = Unix.gettimeofday () in
-  (match what with
-  | "table1" -> run_table1 ()
-  | "table2" -> run_table2 ~long_length ()
-  | "table3" -> run_table3 ~eval_length ()
-  | "figs" -> run_figs ()
-  | "ablations" -> run_ablations ~eval_length:ablation_eval ()
-  | "micro" -> run_micro ()
-  | "all" ->
-      run_table1 ();
-      run_table2 ~long_length ();
-      run_table3 ~eval_length ();
-      run_figs ();
-      run_ablations ~eval_length:ablation_eval ();
-      run_micro ()
-  | other ->
-      Printf.eprintf
-        "unknown command %s (expected table1|table2|table3|figs|ablations|micro|all)\n"
-        other;
-      exit 2);
+  let stages =
+    match stages_of ~long_length ~eval_length ~ablation_eval what with
+    | Some stages -> stages
+    | None ->
+        Printf.eprintf
+          "unknown command %s (expected table1|table2|table3|figs|ablations|micro|all)\n"
+          what;
+        exit 2
+  in
+  let jobs = Psm_par.default_jobs () in
+  let timings = List.map (fun (name, f) -> (name, timed f)) stages in
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let baseline =
+        if jobs <= 1 then None
+        else begin
+          (* Re-run the same stages with the pool forced to one job to
+             measure the fan-out's speedup on this machine. *)
+          Printf.printf "\n[--json: re-running %s with PSM_JOBS=1 for the baseline]\n%!"
+            what;
+          let baseline =
+            silenced (fun () ->
+                Psm_par.set_jobs 1;
+                Fun.protect
+                  ~finally:(fun () -> Psm_par.set_jobs jobs)
+                  (fun () -> List.map (fun (name, f) -> (name, timed f)) stages))
+          in
+          Some baseline
+        end
+      in
+      write_json file ~command:what ~paper ~jobs ~timings ~baseline;
+      Printf.printf "[--json: wrote %s]\n" file);
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -99,7 +99,7 @@ let table1_row spec =
       Option.map (fun (_, s) -> s.Psm_rtl.Netlist_stats.logic_depth) elaboration;
     memory_elements = ip.Ip.memory_elements }
 
-let table1 () = List.map table1_row benchmark_ips
+let table1 () = Psm_par.parallel_map table1_row benchmark_ips
 
 (* ---------- Table II ---------- *)
 
@@ -131,19 +131,20 @@ let px_gate_seconds ?(sample = 6000) spec ~cycles ~long =
       seconds *. (float_of_int cycles /. float_of_int measured)
 
 let table2_row ?(config = Flow.default) ~total_length ~long spec =
-  let ip = spec.make () in
   let suite = Workloads.suite ~total_length ~long spec.ip_name in
   let px_s = px_gate_seconds spec ~cycles:total_length ~long in
-  let captures, capture_s =
-    List.fold_left
-      (fun (acc, elapsed) stimulus ->
-        let pair, seconds =
-          timed (fun () -> Capture.run ~config:config.Flow.power ip stimulus)
-        in
-        (pair :: acc, elapsed +. seconds))
-      ([], 0.) suite
+  (* One IP instance per workload so captures can run on separate domains
+     (the behavioural models are stateful); [Capture.run] resets the IP,
+     so a fresh instance observes exactly what a reused one would. *)
+  let timed_captures =
+    Psm_par.parallel_map
+      (fun stimulus ->
+        let ip = spec.make () in
+        timed (fun () -> Capture.run ~config:config.Flow.power ip stimulus))
+      suite
   in
-  let captures = List.rev captures in
+  let capture_s = List.fold_left (fun acc (_, s) -> acc +. s) 0. timed_captures in
+  let captures = List.map fst timed_captures in
   let traces = List.map fst captures and powers = List.map snd captures in
   let trained = Flow.train ~config ~traces ~powers () in
   (* Accuracy on the training testset, as Table II reports. *)
@@ -165,19 +166,22 @@ let table2_row ?(config = Flow.default) ~total_length ~long spec =
     mre = errsum /. float_of_int total }
 
 let table2 ?(short_lengths = true) ?(long_length = 500_000) () =
-  let shorts =
+  (* Fan the whole (benchmark x workload-length) grid out at once: eight
+     independent end-to-end flows, each worth seconds to minutes of
+     gate-level simulation, mining and training. *)
+  let cases =
     List.map
       (fun spec ->
         let total_length =
           if short_lengths then Workloads.paper_short_length spec.ip_name else 8000
         in
-        table2_row ~total_length ~long:false spec)
+        (spec, total_length, false))
       benchmark_ips
+    @ List.map (fun spec -> (spec, long_length, true)) benchmark_ips
   in
-  let longs =
-    List.map (fun spec -> table2_row ~total_length:long_length ~long:true spec) benchmark_ips
-  in
-  shorts @ longs
+  Psm_par.parallel_map
+    (fun (spec, total_length, long) -> table2_row ~total_length ~long spec)
+    cases
 
 (* ---------- Table III ---------- *)
 
@@ -214,7 +218,7 @@ let table3_row ?(config = Flow.default) ~eval_length spec =
     wsp = result.Psm_hmm.Multi_sim.wsp }
 
 let table3 ?(eval_length = 500_000) () =
-  List.map (fun spec -> table3_row ~eval_length spec) benchmark_ips
+  Psm_par.parallel_map (fun spec -> table3_row ~eval_length spec) benchmark_ips
 
 (* ---------- Fig. 2 ---------- *)
 

@@ -57,21 +57,18 @@ module Value_counter = struct
   type t = {
     table : (Bits.t, cell) Hashtbl.t;
     short_below : int;
-    mutable seen : int;
     prune_at : int;
   }
 
-  let create ~short_below =
-    { table = Hashtbl.create 256; short_below; seen = 0; prune_at = 100_000 }
-
-  let close_run t c = if c.run_len < t.short_below then c.short_runs <- c.short_runs + 1
+  let create ?(prune_at = 100_000) ~short_below () =
+    { table = Hashtbl.create 256; short_below; prune_at }
 
   let observe t time v =
     (match Hashtbl.find_opt t.table v with
     | Some c ->
         c.occ <- c.occ + 1;
         if c.last <> time - 1 then begin
-          close_run t c;
+          if c.run_len < t.short_below then c.short_runs <- c.short_runs + 1;
           c.runs <- c.runs + 1;
           c.run_len <- 1
         end
@@ -79,7 +76,6 @@ module Value_counter = struct
         c.last <- time
     | None ->
         Hashtbl.add t.table v { occ = 1; runs = 1; short_runs = 0; run_len = 1; last = time });
-    t.seen <- t.seen + 1;
     if Hashtbl.length t.table > t.prune_at then begin
       (* Values seen once so far can never dominate a long trace; dropping
          them only risks losing atoms far below any sane support level. *)
@@ -90,41 +86,21 @@ module Value_counter = struct
     end
 
   let fold f t init =
-    (* Account for each value's still-open final run. *)
-    Hashtbl.iter (fun _ c -> close_run t c; c.run_len <- max_int) t.table;
-    Hashtbl.fold f t.table init
+    (* Each value's final run is still open; close it into a snapshot
+       cell rather than mutating the live one, so folding is reentrant
+       (folding twice gives identical results) and observation may
+       continue correctly afterwards. *)
+    Hashtbl.fold
+      (fun v c acc ->
+        let short_runs =
+          if c.run_len < t.short_below then c.short_runs + 1 else c.short_runs
+        in
+        f v { c with short_runs } acc)
+      t.table init
 end
 
 let total_length traces =
   List.fold_left (fun acc t -> acc + Functional_trace.length t) 0 traces
-
-(* Run/occurrence stats of an arbitrary predicate over the traces; runs do
-   not continue across trace boundaries. *)
-let predicate_stats ~short_below traces pred =
-  let occ = ref 0 and runs = ref 0 and short_runs = ref 0 and run_len = ref 0 in
-  let close () = if !run_len > 0 && !run_len < short_below then incr short_runs in
-  List.iter
-    (fun trace ->
-      let prev = ref false in
-      Functional_trace.iter
-        (fun _ sample ->
-          let holds = pred sample in
-          if holds then begin
-            incr occ;
-            if not !prev then begin
-              close ();
-              incr runs;
-              run_len := 1
-            end
-            else incr run_len
-          end;
-          prev := holds)
-        trace;
-      (* Trace boundary ends any open run. *)
-      if !prev then begin close (); run_len := 0 end)
-    traces;
-  close ();
-  (!occ, !runs, !short_runs)
 
 let stats_of ~total atom occ runs short_runs =
   { atom;
@@ -137,7 +113,7 @@ let stats_of ~total atom occ runs short_runs =
 let const_candidates config traces iface total =
   let arity = Interface.arity iface in
   let short_below = int_of_float (ceil config.min_mean_run) in
-  let counters = Array.init arity (fun _ -> Value_counter.create ~short_below) in
+  let counters = Array.init arity (fun _ -> Value_counter.create ~short_below ()) in
   let narrow s = (Interface.signal iface s).Signal.width <= config.max_const_signal_width in
   (* Offset the per-trace times so that runs cannot bridge traces. *)
   let offset = ref 0 in
@@ -162,7 +138,83 @@ let const_candidates config traces iface total =
     counters;
   !candidates
 
-let pair_candidates config traces iface total =
+(* Mutable run accumulator mirroring [predicate_stats]'s counters, one per
+   atom, so a single trace pass can score many atoms at once. *)
+module Run_acc = struct
+  type t = {
+    mutable occ : int;
+    mutable runs : int;
+    mutable short_runs : int;
+    mutable run_len : int;
+    mutable prev : bool;
+  }
+
+  let create () = { occ = 0; runs = 0; short_runs = 0; run_len = 0; prev = false }
+
+  let close_pending ~short_below a =
+    if a.run_len > 0 && a.run_len < short_below then a.short_runs <- a.short_runs + 1
+
+  let step ~short_below a holds =
+    if holds then begin
+      a.occ <- a.occ + 1;
+      if a.prev then a.run_len <- a.run_len + 1
+      else begin
+        close_pending ~short_below a;
+        a.runs <- a.runs + 1;
+        a.run_len <- 1
+      end
+    end;
+    a.prev <- holds
+
+  (* Trace boundary: an open run ends here and must not bridge traces. *)
+  let boundary ~short_below a =
+    if a.prev then begin
+      close_pending ~short_below a;
+      a.run_len <- 0;
+      a.prev <- false
+    end
+end
+
+(* One fused pass over all traces scoring every (pair x {=,<,>}) atom of
+   [pairs]: each sample costs one three-way [Bits.compare] per pair
+   instead of three predicate evaluations in three separate trace
+   passes. Produces exactly [predicate_stats]'s counts per atom. *)
+let pair_chunk_stats ~short_below ~total traces (pairs : (int * int) array) =
+  let k = Array.length pairs in
+  let eqs = Array.init k (fun _ -> Run_acc.create ()) in
+  let lts = Array.init k (fun _ -> Run_acc.create ()) in
+  let gts = Array.init k (fun _ -> Run_acc.create ()) in
+  List.iter
+    (fun trace ->
+      Functional_trace.iter
+        (fun _ sample ->
+          for j = 0 to k - 1 do
+            let a, b = Array.unsafe_get pairs j in
+            let c = Bits.compare (Array.unsafe_get sample a) (Array.unsafe_get sample b) in
+            Run_acc.step ~short_below (Array.unsafe_get eqs j) (c = 0);
+            Run_acc.step ~short_below (Array.unsafe_get lts j) (c < 0);
+            Run_acc.step ~short_below (Array.unsafe_get gts j) (c > 0)
+          done)
+        trace;
+      Array.iter (Run_acc.boundary ~short_below) eqs;
+      Array.iter (Run_acc.boundary ~short_below) lts;
+      Array.iter (Run_acc.boundary ~short_below) gts)
+    traces;
+  Array.iter (Run_acc.close_pending ~short_below) eqs;
+  Array.iter (Run_acc.close_pending ~short_below) lts;
+  Array.iter (Run_acc.close_pending ~short_below) gts;
+  List.concat
+    (Array.to_list
+       (Array.mapi
+          (fun j (a, b) ->
+            List.map
+              (fun (cmp, (acc : Run_acc.t)) ->
+                stats_of ~total (Atomic.compare_signals cmp a b) acc.Run_acc.occ
+                  acc.Run_acc.runs acc.Run_acc.short_runs)
+              [ (Atomic.Eq, eqs.(j)); (Atomic.Lt, lts.(j)); (Atomic.Gt, gts.(j)) ])
+          pairs))
+
+let pair_candidates ?pool config traces iface total =
   let signals = Interface.signals iface in
   let pairs = ref [] in
   Array.iteri
@@ -174,25 +226,33 @@ let pair_candidates config traces iface total =
           then pairs := (a, b) :: !pairs)
         signals)
     signals;
-  let short_below = int_of_float (ceil config.min_mean_run) in
-  List.concat_map
-    (fun (a, b) ->
-      List.map
-        (fun cmp ->
-          let atom = Atomic.compare_signals cmp a b in
-          let occ, runs, short_runs =
-            predicate_stats ~short_below traces (fun s -> Atomic.eval atom s)
-          in
-          stats_of ~total atom occ runs short_runs)
-        [ Atomic.Eq; Atomic.Lt; Atomic.Gt ])
-    !pairs
+  let pair_arr = Array.of_list !pairs in
+  let npairs = Array.length pair_arr in
+  if npairs = 0 then []
+  else begin
+    let short_below = int_of_float (ceil config.min_mean_run) in
+    (* Parallelize by chunking the pair set across domains; every chunk
+       makes its own fused trace pass, and chunk results concatenate in
+       pair order, so the output is identical at any job count. *)
+    let jobs = min (Psm_par.effective_jobs ?pool ()) npairs in
+    let chunk = (npairs + jobs - 1) / jobs in
+    let nchunks = (npairs + chunk - 1) / chunk in
+    let chunks =
+      Array.init nchunks (fun c ->
+          Array.sub pair_arr (c * chunk) (min chunk (npairs - (c * chunk))))
+    in
+    Psm_par.parallel_map_array ?pool (pair_chunk_stats ~short_below ~total traces) chunks
+    |> Array.to_list |> List.concat
+  end
 
-let candidate_stats ?(config = default) traces =
+let candidate_stats ?pool ?(config = default) traces =
   let iface = check_traces traces in
   let total = total_length traces in
   if total = 0 then invalid_arg "Miner: empty training traces";
   let consts = const_candidates config traces iface total in
-  let pairs = if config.mine_pairs then pair_candidates config traces iface total else [] in
+  let pairs =
+    if config.mine_pairs then pair_candidates ?pool config traces iface total else []
+  in
   consts @ pairs
 
 let passes config s =
@@ -202,9 +262,9 @@ let passes config s =
      || float_of_int s.short_runs /. float_of_int s.runs
         <= config.max_short_run_fraction)
 
-let mine_vocabulary ?(config = default) traces =
+let mine_vocabulary ?pool ?(config = default) traces =
   let iface = check_traces traces in
-  let all = candidate_stats ~config traces in
+  let all = candidate_stats ?pool ~config traces in
   let kept = List.filter (passes config) all in
   (* Cap the per-signal constant atoms at the top-k by support. *)
   let by_signal = Hashtbl.create 16 in

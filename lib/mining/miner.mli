@@ -41,10 +41,20 @@ type config = {
 val default : config
 
 val mine_vocabulary :
-  ?config:config -> Psm_trace.Functional_trace.t list -> Vocabulary.t
+  ?pool:Psm_par.Pool.t ->
+  ?config:config ->
+  Psm_trace.Functional_trace.t list ->
+  Vocabulary.t
 (** One shared vocabulary over all training traces (they must share an
     interface). Raises [Invalid_argument] on an empty list or mismatched
-    interfaces. *)
+    interfaces.
+
+    Pair mining is a single fused pass per chunk of signal pairs —
+    every sample pays one three-way comparison per pair, scoring the
+    [=], [<] and [>] atoms at once — and chunks are fanned out over
+    [pool] (default: the global {!Psm_par} pool). Chunk results merge
+    in pair order, so the mined vocabulary is identical at any job
+    count. *)
 
 type atom_stats = {
   atom : Atomic.t;
@@ -56,6 +66,37 @@ type atom_stats = {
 }
 
 val candidate_stats :
-  ?config:config -> Psm_trace.Functional_trace.t list -> atom_stats list
+  ?pool:Psm_par.Pool.t ->
+  ?config:config ->
+  Psm_trace.Functional_trace.t list ->
+  atom_stats list
 (** The scored candidate list before filtering — kept for inspection and
     for the mining-threshold ablation. *)
+
+(** Occurrence and run counting for one signal's values, with periodic
+    pruning of hapax values so wide random buses cannot blow up memory.
+    Exposed for testing; {!mine_vocabulary} is the real entry point. *)
+module Value_counter : sig
+  type cell = {
+    mutable occ : int;
+    mutable runs : int;
+    mutable short_runs : int;
+    mutable run_len : int;
+    mutable last : int;
+  }
+
+  type t
+
+  val create : ?prune_at:int -> short_below:int -> unit -> t
+  (** [prune_at] (default 100_000) caps the number of distinct tracked
+      values: when exceeded, values observed only once are dropped. *)
+
+  val observe : t -> int -> Psm_bits.Bits.t -> unit
+  (** [observe t time v]: the signal held value [v] at [time]. Times must
+      be strictly increasing across calls. *)
+
+  val fold : (Psm_bits.Bits.t -> cell -> 'a -> 'a) -> t -> 'a -> 'a
+  (** Folds over snapshot cells with each value's still-open final run
+      closed; never mutates the counter, so folding is reentrant and
+      [observe] may continue afterwards. *)
+end

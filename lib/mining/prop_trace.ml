@@ -1,62 +1,81 @@
 module Functional_trace = Psm_trace.Functional_trace
 
 module Table = struct
+  (* Truth rows are stored packed (one bit per atom, {!Vocabulary.row_key}
+     layout): the interning key and the stored row are the same string.
+     Classification evaluates atoms straight into a per-table scratch
+     buffer, so classifying an already-interned sample allocates
+     nothing — on a 500k-instant trace the previous representation
+     allocated a [bool array] and a key string per instant. The scratch
+     buffer makes a table single-domain; parallel classification goes
+     through {!Vocabulary.key_of_sample} (fresh buffers) and the
+     sequential interning loop of {!of_functional}. *)
   type t = {
     vocabulary : Vocabulary.t;
     index : (string, int) Hashtbl.t; (* packed truth row -> prop id *)
-    mutable rows : bool array array; (* prop id -> truth row *)
+    mutable rows : string array; (* prop id -> packed truth row *)
     mutable count : int;
+    scratch : Bytes.t;
   }
 
   let create vocabulary =
-    { vocabulary; index = Hashtbl.create 64; rows = Array.make 16 [||]; count = 0 }
+    { vocabulary;
+      index = Hashtbl.create 64;
+      rows = Array.make 16 "";
+      count = 0;
+      scratch = Bytes.create (Vocabulary.packed_size vocabulary) }
 
   let vocabulary t = t.vocabulary
   let prop_count t = t.count
 
-  let add_row t row key =
+  let add_key t key =
     if t.count = Array.length t.rows then begin
-      let bigger = Array.make (2 * t.count) [||] in
+      let bigger = Array.make (2 * t.count) "" in
       Array.blit t.rows 0 bigger 0 t.count;
       t.rows <- bigger
     end;
-    t.rows.(t.count) <- Array.copy row;
+    t.rows.(t.count) <- key;
     Hashtbl.add t.index key t.count;
     t.count <- t.count + 1;
     t.count - 1
 
-  let classify_or_add t sample =
-    let row = Vocabulary.eval_sample t.vocabulary sample in
-    let key = Vocabulary.row_key row in
+  let intern_key t key =
     match Hashtbl.find_opt t.index key with
     | Some id -> id
-    | None -> add_row t row key
+    | None -> add_key t key
+
+  let classify_or_add t sample =
+    Vocabulary.eval_into t.vocabulary t.scratch sample;
+    (* Ephemeral unsafe view: used only for the lookup below, never
+       retained, and [scratch] is not mutated while it is live. *)
+    match Hashtbl.find_opt t.index (Bytes.unsafe_to_string t.scratch) with
+    | Some id -> id
+    | None -> add_key t (Bytes.to_string t.scratch)
 
   let classify t sample =
-    let row = Vocabulary.eval_sample t.vocabulary sample in
-    Hashtbl.find_opt t.index (Vocabulary.row_key row)
+    Vocabulary.eval_into t.vocabulary t.scratch sample;
+    Hashtbl.find_opt t.index (Bytes.unsafe_to_string t.scratch)
 
   let intern_row t row =
     if Array.length row <> Vocabulary.size t.vocabulary then
       invalid_arg "Prop_trace.Table.intern_row: row size mismatch";
-    let key = Vocabulary.row_key row in
-    match Hashtbl.find_opt t.index key with
-    | Some id -> id
-    | None -> add_row t row key
+    intern_key t (Vocabulary.row_key row)
 
   let check_id t id =
     if id < 0 || id >= t.count then invalid_arg "Prop_trace.Table: unknown proposition id"
 
   let row t id =
     check_id t id;
-    Array.copy t.rows.(id)
+    Vocabulary.unpack_key t.vocabulary t.rows.(id)
 
   let true_atoms t id =
     check_id t id;
+    let key = t.rows.(id) in
     let atoms = ref [] in
-    Array.iteri
-      (fun i b -> if b then atoms := Vocabulary.atom t.vocabulary i :: !atoms)
-      t.rows.(id);
+    for i = 0 to Vocabulary.size t.vocabulary - 1 do
+      if Char.code key.[i lsr 3] land (1 lsl (i land 7)) <> 0 then
+        atoms := Vocabulary.atom t.vocabulary i :: !atoms
+    done;
     List.rev !atoms
 
   (* p_a .. p_z, p_aa, p_ab, ... *)
@@ -83,10 +102,44 @@ end
 
 type t = { table : Table.t; ids : int array }
 
-let of_functional table trace =
+(* Parallelism threshold: below this many instants the fan-out overhead
+   is not worth paying. Kept low so the determinism tests exercise the
+   parallel path on modest traces. *)
+let min_parallel_length = 64
+
+let of_functional ?pool table trace =
   let n = Functional_trace.length trace in
   let ids = Array.make n 0 in
-  Functional_trace.iter (fun time sample -> ids.(time) <- Table.classify_or_add table sample) trace;
+  let jobs = Psm_par.effective_jobs ?pool () in
+  if jobs <= 1 || n < min_parallel_length then
+    Functional_trace.iter
+      (fun time sample -> ids.(time) <- Table.classify_or_add table sample)
+      trace
+  else begin
+    (* Phase 1 (parallel, pure): pack every instant's truth row into a
+       key. Phase 2 (sequential): intern the keys in time order, so ids
+       are assigned in first-occurrence order exactly as the sequential
+       path assigns them. *)
+    let vocabulary = Table.vocabulary table in
+    let keys = Array.make n "" in
+    let chunk = max 32 ((n + (4 * jobs) - 1) / (4 * jobs)) in
+    let chunks = (n + chunk - 1) / chunk in
+    ignore
+      (Psm_par.parallel_map_array ?pool
+         (fun c ->
+           let start = c * chunk in
+           let stop = min n (start + chunk) - 1 in
+           for time = start to stop do
+             keys.(time) <-
+               Vocabulary.key_of_sample vocabulary
+                 (Functional_trace.sample trace ~time)
+           done)
+         (Array.init chunks Fun.id)
+        : unit array);
+    for time = 0 to n - 1 do
+      ids.(time) <- Table.intern_key table keys.(time)
+    done
+  end;
   { table; ids }
 
 let table t = t.table

@@ -15,6 +15,27 @@ let atoms t = Array.copy t.atoms
 
 let eval_sample t sample = Array.map (fun a -> Atomic.eval a sample) t.atoms
 
+let packed_size t = (Array.length t.atoms + 7) / 8
+
+let eval_into t buf sample =
+  let n = Array.length t.atoms in
+  if Bytes.length buf <> (n + 7) / 8 then
+    invalid_arg "Vocabulary.eval_into: buffer size mismatch";
+  Bytes.fill buf 0 (Bytes.length buf) '\000';
+  for i = 0 to n - 1 do
+    if Atomic.eval (Array.unsafe_get t.atoms i) sample then begin
+      let j = i lsr 3 in
+      Bytes.unsafe_set buf j
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get buf j) lor (1 lsl (i land 7))))
+    end
+  done
+
+let key_of_sample t sample =
+  let buf = Bytes.create (packed_size t) in
+  eval_into t buf sample;
+  (* [buf] is uniquely owned and never mutated again. *)
+  Bytes.unsafe_to_string buf
+
 let row_key row =
   let n = Array.length row in
   let bytes = Bytes.make ((n + 7) / 8) '\000' in
@@ -25,6 +46,12 @@ let row_key row =
           (Char.chr (Char.code (Bytes.get bytes (i / 8)) lor (1 lsl (i mod 8)))))
     row;
   Bytes.unsafe_to_string bytes
+
+let unpack_key t key =
+  if String.length key <> packed_size t then
+    invalid_arg "Vocabulary.unpack_key: key size mismatch";
+  Array.init (Array.length t.atoms) (fun i ->
+      Char.code key.[i lsr 3] land (1 lsl (i land 7)) <> 0)
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>vocabulary of %d atoms:@," (size t);

@@ -15,8 +15,25 @@ val atoms : t -> Atomic.t array
 val eval_sample : t -> Psm_bits.Bits.t array -> bool array
 (** One row of the truth matrix: the truth of every atom on the sample. *)
 
+val packed_size : t -> int
+(** Bytes needed to pack one truth row: [ceil (size / 8)]. *)
+
+val eval_into : t -> Bytes.t -> Psm_bits.Bits.t array -> unit
+(** [eval_into t buf sample] evaluates every atom on the sample directly
+    into the packed row buffer [buf] (bit [i] of the row is bit
+    [i mod 8] of byte [i / 8], as in {!row_key}), without allocating.
+    [buf] must be exactly [packed_size t] bytes. *)
+
+val key_of_sample : t -> Psm_bits.Bits.t array -> string
+(** The packed truth row of a sample as a fresh key:
+    [key_of_sample t s = row_key (eval_sample t s)], with a single
+    allocation. *)
+
 val row_key : bool array -> string
 (** Packed representation of a truth row, usable as a hash key: two rows
     have equal keys iff they are equal. *)
+
+val unpack_key : t -> string -> bool array
+(** Inverse of {!row_key} for keys of this vocabulary's size. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,251 @@
+(* A work-sharing domain pool. One [batch] is submitted per parallel call;
+   workers and the submitting caller race over the batch's task indices via
+   an atomic cursor, so no per-task queueing or locking happens on the hot
+   path. The pool mutex only guards the batch queue and completion counts. *)
+
+(* True on domains spawned by a pool: nested parallel calls from worker
+   tasks run sequentially instead of deadlocking on a saturated pool. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+module Pool = struct
+  type batch = {
+    run : int -> unit; (* never raises; exceptions are captured by callers *)
+    size : int;
+    cursor : int Atomic.t;
+    mutable pending : int; (* guarded by the pool mutex *)
+    finished : Condition.t; (* signalled when [pending] reaches 0 *)
+  }
+
+  type t = {
+    mutex : Mutex.t;
+    work : Condition.t;
+    mutable queue : batch list; (* FIFO of batches with unclaimed tasks *)
+    mutable stop : bool;
+    mutable domains : unit Domain.t list;
+    jobs : int;
+  }
+
+  let jobs t = t.jobs
+
+  (* With the mutex held: claim a task index, dropping exhausted batches
+     from the queue, or block until work arrives or the pool stops. *)
+  let rec claim t =
+    match t.queue with
+    | [] -> if t.stop then None else begin Condition.wait t.work t.mutex; claim t end
+    | b :: rest ->
+        let i = Atomic.fetch_and_add b.cursor 1 in
+        if i < b.size then Some (b, i)
+        else begin
+          t.queue <- rest;
+          claim t
+        end
+
+  let finish_task t b =
+    Mutex.lock t.mutex;
+    b.pending <- b.pending - 1;
+    if b.pending = 0 then Condition.broadcast b.finished;
+    Mutex.unlock t.mutex
+
+  let worker t () =
+    Domain.DLS.set in_worker true;
+    let rec loop () =
+      Mutex.lock t.mutex;
+      match claim t with
+      | None -> Mutex.unlock t.mutex
+      | Some (b, i) ->
+          Mutex.unlock t.mutex;
+          b.run i;
+          finish_task t b;
+          loop ()
+    in
+    loop ()
+
+  let create ~jobs =
+    let jobs = max 1 jobs in
+    let t =
+      { mutex = Mutex.create ();
+        work = Condition.create ();
+        queue = [];
+        stop = false;
+        domains = [];
+        jobs }
+    in
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (worker t));
+    t
+
+  let check_alive t = if t.stop then invalid_arg "Psm_par.Pool: pool is shut down"
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    let was_stopped = t.stop in
+    t.stop <- true;
+    Condition.broadcast t.work;
+    let domains = t.domains in
+    t.domains <- [];
+    Mutex.unlock t.mutex;
+    if not was_stopped then List.iter Domain.join domains
+
+  (* Run [size] tasks to completion. The caller participates: it claims
+     indices alongside the workers, then blocks until in-flight tasks
+     finish. Safe to call with batches already queued (nested submission
+     from the caller's domain): the caller drains its own batch. *)
+  let run_batch t ~size run =
+    if size > 0 then begin
+      let b =
+        { run;
+          size;
+          cursor = Atomic.make 0;
+          pending = size;
+          finished = Condition.create () }
+      in
+      Mutex.lock t.mutex;
+      check_alive t;
+      t.queue <- t.queue @ [ b ];
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add b.cursor 1 in
+        if i < size then begin
+          run i;
+          finish_task t b
+        end
+        else continue := false
+      done;
+      Mutex.lock t.mutex;
+      (* The batch is exhausted; drop it if a worker has not already. *)
+      t.queue <- List.filter (fun b' -> b' != b) t.queue;
+      while b.pending > 0 do
+        Condition.wait b.finished t.mutex
+      done;
+      Mutex.unlock t.mutex
+    end
+end
+
+(* ---------- the global pool ---------- *)
+
+let jobs_override = ref None
+
+let env_jobs () =
+  match Sys.getenv_opt "PSM_JOBS" with
+  | None -> None
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n -> Some (max 1 n)
+    | None -> None)
+
+let default_jobs () =
+  match !jobs_override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+let global : Pool.t option ref = ref None
+let global_mutex = Mutex.create ()
+let exit_hook_installed = ref false
+
+let shutdown_global () =
+  Mutex.lock global_mutex;
+  let pool = !global in
+  global := None;
+  Mutex.unlock global_mutex;
+  Option.iter Pool.shutdown pool
+
+let get_pool () =
+  Mutex.lock global_mutex;
+  let pool =
+    match !global with
+    | Some p -> p
+    | None ->
+        let p = Pool.create ~jobs:(default_jobs ()) in
+        global := Some p;
+        if not !exit_hook_installed then begin
+          exit_hook_installed := true;
+          at_exit shutdown_global
+        end;
+        p
+  in
+  Mutex.unlock global_mutex;
+  pool
+
+let set_jobs n =
+  jobs_override := Some (max 1 n);
+  shutdown_global ()
+
+(* ---------- parallel combinators ---------- *)
+
+let resolve = function Some pool -> pool | None -> get_pool ()
+
+let effective_jobs ?pool () =
+  if Domain.DLS.get in_worker then 1
+  else match pool with Some p -> Pool.jobs p | None -> default_jobs ()
+
+(* Evaluate [f i] for every i in [0, n), in parallel, storing results in
+   order and re-raising the lowest-index exception as the sequential run
+   would have. *)
+let run_indexed pool n (f : int -> 'b) : 'b array =
+  let results : 'b option array = Array.make n None in
+  let errors : (exn * Printexc.raw_backtrace) option array = Array.make n None in
+  Pool.run_batch pool ~size:n (fun i ->
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  Array.map (function Some v -> v | None -> assert false) results
+
+let sequential pool n = Pool.jobs pool <= 1 || n <= 1 || Domain.DLS.get in_worker
+
+let parallel_map_array ?pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let pool = resolve pool in
+    if sequential pool n then Array.map f arr
+    else run_indexed pool n (fun i -> f arr.(i))
+  end
+
+let parallel_map ?pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ ->
+      let pool = resolve pool in
+      if sequential pool 2 then List.map f xs
+      else begin
+        let arr = Array.of_list xs in
+        Array.to_list (run_indexed pool (Array.length arr) (fun i -> f arr.(i)))
+      end
+
+let parallel_fold ?pool ?chunk ~init ~fold ~merge arr =
+  let n = Array.length arr in
+  let pool = resolve pool in
+  if n = 0 then init ()
+  else if sequential pool n then Array.fold_left fold (init ()) arr
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (n / (4 * Pool.jobs pool))
+    in
+    let chunks = (n + chunk - 1) / chunk in
+    let partials =
+      run_indexed pool chunks (fun c ->
+          let start = c * chunk in
+          let stop = min n (start + chunk) - 1 in
+          let acc = ref (init ()) in
+          for i = start to stop do
+            acc := fold !acc arr.(i)
+          done;
+          !acc)
+    in
+    let acc = ref partials.(0) in
+    for c = 1 to chunks - 1 do
+      acc := merge !acc partials.(c)
+    done;
+    !acc
+  end

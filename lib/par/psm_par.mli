@@ -1,0 +1,97 @@
+(** A small, dependency-free domain pool for the OCaml 5 runtime.
+
+    The pool fans work out over [Domain]s coordinated with [Mutex] and
+    [Condition] — no Domainslib. It exists for the embarrassingly parallel
+    stages of the PSM flow (per-benchmark experiments, per-atom-chunk
+    mining passes, per-trace-chunk proposition classification), so the
+    API is deliberately tiny: ordered map over lists and arrays plus a
+    chunked fold.
+
+    {2 Determinism}
+
+    Every function returns results in input order, independent of worker
+    scheduling: [parallel_map f xs] is observably [List.map f xs]
+    whenever [f] is pure. With [jobs = 1] no domains are spawned at all
+    and the sequential code path runs — [PSM_JOBS=1] therefore gives the
+    exact allocation and evaluation order of a build without this
+    library. [parallel_fold] is deterministic provided [merge] is
+    associative over chunk results (chunks are merged left-to-right in
+    chunk order).
+
+    {2 Exceptions}
+
+    If one or more applications of [f] raise, the exception of the
+    {e lowest input index} is re-raised in the caller (with its
+    backtrace), matching what the sequential run would have reported.
+    Unlike the sequential run, later elements may already have been
+    evaluated when the exception surfaces.
+
+    {2 Nesting}
+
+    Calls made from inside a worker task run sequentially instead of
+    deadlocking or oversubscribing: the outer fan-out already owns the
+    cores. Calls nested on the caller's own domain are safe too — the
+    submitting domain always helps drain its own batch. *)
+
+val default_jobs : unit -> int
+(** The parallelism the global pool will use: [set_jobs]'s override if
+    any, else the [PSM_JOBS] environment variable (clamped to >= 1), else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_jobs : int -> unit
+(** Override the job count (clamped to >= 1) and shut down the current
+    global pool so the next parallel call rebuilds it at the new width.
+    Intended for the bench harness's jobs=1 baseline runs and for tests;
+    not serialized against concurrent parallel calls. *)
+
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** A pool of [max 1 jobs] workers. [jobs - 1] domains are spawned
+      eagerly; the caller of each batch acts as the remaining worker. *)
+
+  val jobs : t -> int
+
+  val shutdown : t -> unit
+  (** Join all worker domains. Idempotent; using the pool afterwards
+      raises [Invalid_argument]. *)
+end
+
+val get_pool : unit -> Pool.t
+(** The global pool, created on first use with [default_jobs ()] and
+    shut down automatically at exit. *)
+
+val effective_jobs : ?pool:Pool.t -> unit -> int
+(** The parallelism a parallel call would actually get right now: 1 when
+    called from inside a pool worker (nested calls run sequentially),
+    otherwise [pool]'s — or the global configuration's — job count.
+    Never spawns domains; use it to size work chunks before fanning
+    out. *)
+
+val parallel_map : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** Ordered parallel map. Uses [pool] (default: the global pool); falls
+    back to [List.map] when the pool has one job, the list has fewer
+    than two elements, or the caller is itself a pool worker. *)
+
+val parallel_map_array : ?pool:Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!parallel_map}. *)
+
+val parallel_fold :
+  ?pool:Pool.t ->
+  ?chunk:int ->
+  init:(unit -> 'acc) ->
+  fold:('acc -> 'a -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  'a array ->
+  'acc
+(** [parallel_fold ~init ~fold ~merge xs] folds [xs] in chunks of
+    [chunk] elements (default: array length / (4 * jobs), at least 1):
+    each chunk is folded left-to-right from a fresh [init ()], and chunk
+    accumulators are [merge]d left-to-right in chunk order. On the
+    sequential path this is exactly
+    [Array.fold_left fold (init ()) xs] — so parallel and sequential
+    runs agree whenever [merge (fold a x) b = fold (merge a b) x]-style
+    associativity holds, which it does for the independent-accumulator
+    folds this library is used for. [init] must return a fresh
+    accumulator on every call. *)

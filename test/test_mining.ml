@@ -196,6 +196,62 @@ let test_candidate_stats () =
   Alcotest.(check (float 1e-9)) "support" (5. /. 8.) v1_true.Miner.support;
   Alcotest.(check (float 1e-9)) "mean run" 2.5 v1_true.Miner.mean_run
 
+(* ---------- value counter ---------- *)
+
+let counter_snapshot counter =
+  Miner.Value_counter.fold
+    (fun v (c : Miner.Value_counter.cell) acc ->
+      (Bits.to_int v, (c.occ, c.runs, c.short_runs)) :: acc)
+    counter []
+  |> List.sort compare
+
+let test_value_counter_fold_reentrant () =
+  (* Regression: [fold] used to close each value's open run by mutating
+     the live cells, corrupting any later [fold] or [observe]. *)
+  let counter = Miner.Value_counter.create ~short_below:5 () in
+  let v = Bits.of_int ~width:4 3 in
+  Miner.Value_counter.observe counter 0 v;
+  Miner.Value_counter.observe counter 1 v;
+  Miner.Value_counter.observe counter 2 v;
+  let first = counter_snapshot counter in
+  Alcotest.(check (list (pair int (triple int int int))))
+    "closed run visible" [ (3, (3, 1, 1)) ] first;
+  Alcotest.(check (list (pair int (triple int int int))))
+    "second fold identical" first (counter_snapshot counter)
+
+let test_value_counter_observe_after_fold () =
+  let counter = Miner.Value_counter.create ~short_below:5 () in
+  let v = Bits.of_int ~width:4 3 in
+  Miner.Value_counter.observe counter 0 v;
+  Miner.Value_counter.observe counter 1 v;
+  Miner.Value_counter.observe counter 2 v;
+  ignore (counter_snapshot counter);
+  (* The run continues at time 3: still one run, now of length 4. *)
+  Miner.Value_counter.observe counter 3 v;
+  Alcotest.(check (list (pair int (triple int int int))))
+    "run continued, not double-counted"
+    [ (3, (4, 1, 1)) ]
+    (counter_snapshot counter)
+
+let test_value_counter_pruning () =
+  (* Hapax values are dropped once the table outgrows [prune_at];
+     repeated values survive with their full statistics. *)
+  let counter = Miner.Value_counter.create ~prune_at:3 ~short_below:1 () in
+  let value i = Bits.of_int ~width:8 i in
+  let frequent = value 100 in
+  Miner.Value_counter.observe counter 0 frequent;
+  Miner.Value_counter.observe counter 1 (value 1);
+  Miner.Value_counter.observe counter 2 (value 2);
+  Miner.Value_counter.observe counter 3 frequent;
+  (* 4th distinct value pushes the table over prune_at = 3: every value
+     seen once (1, 2 and 3) is dropped. *)
+  Miner.Value_counter.observe counter 4 (value 3);
+  Miner.Value_counter.observe counter 5 (value 4);
+  Alcotest.(check (list (pair int (triple int int int))))
+    "hapaxes pruned, frequent value intact"
+    [ (4, (1, 1, 0)); (100, (2, 2, 0)) ]
+    (counter_snapshot counter)
+
 (* ---------- proposition traces ---------- *)
 
 let test_table_interning () =
@@ -339,6 +395,11 @@ let suite =
       Alcotest.test_case "short-run fraction" `Quick test_miner_short_run_fraction;
       Alcotest.test_case "width caps" `Quick test_miner_width_caps;
       Alcotest.test_case "candidate stats" `Quick test_candidate_stats;
+      Alcotest.test_case "value counter fold reentrant" `Quick
+        test_value_counter_fold_reentrant;
+      Alcotest.test_case "value counter observe after fold" `Quick
+        test_value_counter_observe_after_fold;
+      Alcotest.test_case "value counter pruning" `Quick test_value_counter_pruning;
       Alcotest.test_case "interning" `Quick test_table_interning;
       Alcotest.test_case "unknown row" `Quick test_classify_unknown;
       Alcotest.test_case "prop names" `Quick test_prop_names;

@@ -1,0 +1,195 @@
+(* Tests for Psm_par — the domain pool behind the parallel mining and
+   experiment fan-outs — and for the determinism guarantee: parallel
+   vocabulary mining and proposition-trace classification must produce
+   exactly the sequential results. *)
+
+module Par = Psm_par
+module Bits = Psm_bits.Bits
+module Signal = Psm_trace.Signal
+module Interface = Psm_trace.Interface
+module FT = Psm_trace.Functional_trace
+module Atomic = Psm_mining.Atomic
+module Vocabulary = Psm_mining.Vocabulary
+module Miner = Psm_mining.Miner
+module Prop_trace = Psm_mining.Prop_trace
+module Table = Prop_trace.Table
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A shared wide pool: the machine may have a single core, but domains
+   still interleave, which is exactly what the determinism tests need. *)
+let pool4 = lazy (Par.Pool.create ~jobs:4)
+let pool1 = lazy (Par.Pool.create ~jobs:1)
+
+(* ---------- pool mechanics ---------- *)
+
+let test_map_order () =
+  let xs = List.init 500 Fun.id in
+  Alcotest.(check (list int))
+    "ordered" (List.map (fun x -> x * x) xs)
+    (Par.parallel_map ~pool:(Lazy.force pool4) (fun x -> x * x) xs)
+
+let test_map_array_order () =
+  let xs = Array.init 1000 (fun i -> 1000 - i) in
+  Alcotest.(check (array int))
+    "ordered" (Array.map (fun x -> x + 7) xs)
+    (Par.parallel_map_array ~pool:(Lazy.force pool4) (fun x -> x + 7) xs)
+
+let test_jobs1_equals_sequential () =
+  let xs = List.init 200 (fun i -> i * 3) in
+  Alcotest.(check (list int))
+    "jobs=1" (List.map succ xs)
+    (Par.parallel_map ~pool:(Lazy.force pool1) succ xs)
+
+let test_exception_propagation () =
+  Alcotest.check_raises "lowest-index exception" (Failure "boom 37") (fun () ->
+      ignore
+        (Par.parallel_map ~pool:(Lazy.force pool4)
+           (fun x ->
+             if x = 37 || x = 101 then failwith (Printf.sprintf "boom %d" x) else x)
+           (List.init 200 Fun.id)))
+
+let test_exception_leaves_pool_usable () =
+  let pool = Lazy.force pool4 in
+  (try
+     ignore (Par.parallel_map ~pool (fun _ -> failwith "die") (List.init 50 Fun.id))
+   with Failure _ -> ());
+  Alcotest.(check (list int))
+    "pool survives" [ 2; 4; 6 ]
+    (Par.parallel_map ~pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_pool_lifecycle () =
+  let pool = Par.Pool.create ~jobs:3 in
+  check_int "jobs" 3 (Par.Pool.jobs pool);
+  Alcotest.(check (list int))
+    "usable" [ 1; 4; 9; 16 ]
+    (Par.parallel_map ~pool (fun x -> x * x) [ 1; 2; 3; 4 ]);
+  Par.Pool.shutdown pool;
+  Par.Pool.shutdown pool;
+  (* Idempotent. *)
+  Alcotest.check_raises "dead pool rejected"
+    (Invalid_argument "Psm_par.Pool: pool is shut down") (fun () ->
+      ignore (Par.parallel_map ~pool (fun x -> x) (List.init 10 Fun.id)))
+
+let test_nested_calls () =
+  (* Nested parallel calls from worker tasks run sequentially instead of
+     deadlocking; the fan-out still returns correct ordered results. *)
+  let outer = List.init 8 Fun.id in
+  let expected =
+    List.map (fun i -> List.fold_left ( + ) 0 (List.init 100 (fun j -> i + j))) outer
+  in
+  Alcotest.(check (list int))
+    "nested" expected
+    (Par.parallel_map ~pool:(Lazy.force pool4)
+       (fun i ->
+         List.fold_left ( + ) 0
+           (Par.parallel_map ~pool:(Lazy.force pool4) (fun j -> i + j)
+              (List.init 100 Fun.id)))
+       outer)
+
+let test_parallel_fold () =
+  let xs = Array.init 1001 Fun.id in
+  let sum =
+    Par.parallel_fold ~pool:(Lazy.force pool4) ~chunk:7
+      ~init:(fun () -> 0)
+      ~fold:( + ) ~merge:( + ) xs
+  in
+  check_int "sum" (1000 * 1001 / 2) sum;
+  let seq =
+    Par.parallel_fold ~pool:(Lazy.force pool1)
+      ~init:(fun () -> 0)
+      ~fold:( + ) ~merge:( + ) xs
+  in
+  check_int "sequential path" sum seq
+
+let test_default_jobs_env () =
+  check_bool "positive" true (Par.default_jobs () >= 1)
+
+(* ---------- determinism of the parallel mining paths ---------- *)
+
+let arb_trace =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 80 220 in
+      let iface =
+        Interface.create
+          [ Signal.input "a" 1; Signal.input "b" 4; Signal.input "c" 4;
+            Signal.output "d" 4 ]
+      in
+      let* samples =
+        list_size (return n)
+          (map3
+             (fun a b c ->
+               [| Bits.of_bool a;
+                  Bits.of_int ~width:4 (b land 15);
+                  Bits.of_int ~width:4 (c land 15);
+                  Bits.of_int ~width:4 ((b + c) land 15) |])
+             bool (int_bound 40) (int_bound 9))
+      in
+      return (FT.of_samples iface (Array.of_list samples)))
+  in
+  QCheck.make gen
+
+let lax_config =
+  { Miner.default with
+    Miner.min_support = 0.02;
+    min_mean_run = 1.;
+    max_short_run_fraction = 1.0 }
+
+let prop name f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:25 ~name arb_trace f)
+
+let properties =
+  [ prop "parallel mine_vocabulary = sequential" (fun trace ->
+        let seq =
+          Miner.mine_vocabulary ~pool:(Lazy.force pool1) ~config:lax_config [ trace ]
+        in
+        let par =
+          Miner.mine_vocabulary ~pool:(Lazy.force pool4) ~config:lax_config [ trace ]
+        in
+        let a = Vocabulary.atoms seq and b = Vocabulary.atoms par in
+        Array.length a = Array.length b
+        && Array.for_all2 Atomic.equal a b);
+    prop "parallel candidate_stats = sequential" (fun trace ->
+        let strip (s : Miner.atom_stats) =
+          (s.Miner.occurrences, s.Miner.runs, s.Miner.short_runs)
+        in
+        let seq =
+          Miner.candidate_stats ~pool:(Lazy.force pool1) ~config:lax_config [ trace ]
+        in
+        let par =
+          Miner.candidate_stats ~pool:(Lazy.force pool4) ~config:lax_config [ trace ]
+        in
+        List.length seq = List.length par
+        && List.for_all2
+             (fun x y -> Atomic.equal x.Miner.atom y.Miner.atom && strip x = strip y)
+             seq par);
+    prop "parallel classification = sequential" (fun trace ->
+        let vocabulary =
+          Miner.mine_vocabulary ~pool:(Lazy.force pool1) ~config:lax_config [ trace ]
+        in
+        if Vocabulary.size vocabulary = 0 then true
+        else begin
+          let t_seq = Table.create vocabulary in
+          let g_seq = Prop_trace.of_functional ~pool:(Lazy.force pool1) t_seq trace in
+          let t_par = Table.create vocabulary in
+          let g_par = Prop_trace.of_functional ~pool:(Lazy.force pool4) t_par trace in
+          Prop_trace.prop_ids g_seq = Prop_trace.prop_ids g_par
+          && Table.prop_count t_seq = Table.prop_count t_par
+          && List.for_all
+               (fun id -> Table.row t_seq id = Table.row t_par id)
+               (List.init (Table.prop_count t_seq) Fun.id)
+        end) ]
+
+let suite =
+  ( "par",
+    [ Alcotest.test_case "map order" `Quick test_map_order;
+      Alcotest.test_case "map_array order" `Quick test_map_array_order;
+      Alcotest.test_case "jobs=1 sequential" `Quick test_jobs1_equals_sequential;
+      Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+      Alcotest.test_case "pool survives exception" `Quick test_exception_leaves_pool_usable;
+      Alcotest.test_case "pool lifecycle" `Quick test_pool_lifecycle;
+      Alcotest.test_case "nested calls" `Quick test_nested_calls;
+      Alcotest.test_case "parallel fold" `Quick test_parallel_fold;
+      Alcotest.test_case "default jobs" `Quick test_default_jobs_env ]
+    @ properties )
