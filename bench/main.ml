@@ -3,7 +3,7 @@
    DESIGN.md, and micro-benchmarks the core operations with Bechamel.
 
    Usage:
-     main.exe [table1|table2|table3|figs|ablations|micro|all] [--paper]
+     main.exe [table1|table2|table3|figs|ablations|ingest|micro|all] [--paper]
               [--json FILE]
 
    Default (no arguments): everything, with the long-TS/evaluation lengths
@@ -298,6 +298,97 @@ let run_ablations ~eval_length () =
   run_decoders ~eval_length ();
   run_hierarchical ~eval_length ()
 
+(* ---------- Ingestion throughput and memory ---------- *)
+
+(* Filled by [run_ingest], folded into the --json report. *)
+let ingest_metrics : (string * float) list ref = ref []
+
+let run_ingest () =
+  section "Ingestion: streaming VCD reader throughput and memory";
+  (* Fixtures: the same RAM workload at two lengths, written to disk and
+     the in-RAM capture dropped, so the parser is the only thing holding
+     trace data. *)
+  let fixture cycles =
+    let ip = Psm_ips.Ram.create () in
+    let stim = Workloads.ram_short ~length:cycles () in
+    let trace, power = Psm_ips.Capture.run ip stim in
+    let path = Filename.temp_file (Printf.sprintf "ingest%d" cycles) ".vcd" in
+    Psm_trace.Vcd.write_file ~power path trace;
+    path
+  in
+  let small_cycles = 10_000 and large_cycles = 100_000 in
+  let small_path = fixture small_cycles in
+  let large_path = fixture large_cycles in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove small_path;
+      Sys.remove large_path)
+  @@ fun () ->
+  Gc.compact ();
+  (* Throughput: channel-streamed full parse of the 100k-cycle fixture. *)
+  let t0 = Unix.gettimeofday () in
+  let parsed = Psm_trace.Vcd.parse_file large_path in
+  let parse_s = Unix.gettimeofday () -. t0 in
+  let bytes = parsed.Psm_trace.Vcd.stats.Psm_trace.Reader.bytes in
+  let mib = float_of_int bytes /. (1024. *. 1024.) in
+  let mb_s = mib /. parse_s in
+  assert (Psm_trace.Functional_trace.length parsed.Psm_trace.Vcd.trace = large_cycles);
+  Printf.printf "parse_file %d cycles: %.2f MiB in %.3f s = %.1f MiB/s\n" large_cycles
+    mib parse_s mb_s;
+  (* Parallel in-memory parse: same result, chunked across the pool. *)
+  let text =
+    let ic = open_in large_path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let t0 = Unix.gettimeofday () in
+  let par = Psm_trace.Vcd.parse ~parallel:true text in
+  let par_s = Unix.gettimeofday () -. t0 in
+  let par_mb_s = mib /. par_s in
+  assert (
+    Psm_trace.Functional_trace.equal parsed.Psm_trace.Vcd.trace
+      par.Psm_trace.Vcd.trace);
+  Printf.printf "parse ~parallel:true (%d jobs): %.3f s = %.1f MiB/s\n"
+    (Psm_par.effective_jobs ()) par_s par_mb_s;
+  (* Memory: peak live heap while push-streaming (nothing retained by the
+     consumer), sampled every 16k samples. Constant-memory ingestion
+     means the peak is independent of the trace length. *)
+  let peak_live path =
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    Gc.compact ();
+    let peak = ref 0 and count = ref 0 in
+    let sample ~time:_ _values ~power:_ =
+      incr count;
+      if !count land 0x7FF = 0 then begin
+        let live = (Gc.stat ()).Gc.live_words in
+        if live > !peak then peak := live
+      end
+    in
+    let stats =
+      Psm_trace.Vcd.stream (Psm_trace.Reader.of_channel ic) ~init:(fun _ -> ()) ~sample
+    in
+    ignore stats;
+    max !peak 1
+  in
+  let small_peak = peak_live small_path in
+  let large_peak = peak_live large_path in
+  let ratio = float_of_int large_peak /. float_of_int small_peak in
+  Printf.printf
+    "stream peak live heap: %d words at %d cycles, %d words at %d cycles (x%.2f)\n"
+    small_peak small_cycles large_peak large_cycles ratio;
+  ingest_metrics :=
+    [ ("vcd_bytes", float_of_int bytes);
+      ("cycles", float_of_int large_cycles);
+      ("parse_file_seconds", parse_s);
+      ("parse_file_mib_per_s", mb_s);
+      ("parallel_parse_seconds", par_s);
+      ("parallel_parse_mib_per_s", par_mb_s);
+      ("stream_peak_live_words_10k", float_of_int small_peak);
+      ("stream_peak_live_words_100k", float_of_int large_peak);
+      ("stream_peak_ratio_100k_vs_10k", ratio) ]
+
 (* ---------- Micro-benchmarks ---------- *)
 
 let micro_tests () =
@@ -421,6 +512,7 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   let table3 = ("table3", run_table3 ~eval_length) in
   let figs = ("figs", run_figs) in
   let ablations = ("ablations", run_ablations ~eval_length:ablation_eval) in
+  let ingest = ("ingest", run_ingest) in
   let micro = ("micro", run_micro) in
   match what with
   | "table1" -> Some [ table1 ]
@@ -428,8 +520,9 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   | "table3" -> Some [ table3 ]
   | "figs" -> Some [ figs ]
   | "ablations" -> Some [ ablations ]
+  | "ingest" -> Some [ ingest ]
   | "micro" -> Some [ micro ]
-  | "all" -> Some [ table1; table2; table3; figs; ablations; micro ]
+  | "all" -> Some [ table1; table2; table3; figs; ablations; ingest; micro ]
   | _ -> None
 
 let write_json file ~command ~paper ~jobs ~timings ~baseline =
@@ -460,6 +553,15 @@ let write_json file ~command ~paper ~jobs ~timings ~baseline =
       out " }%s\n" (if i = List.length timings - 1 then "" else ","))
     timings;
   out "  ],\n";
+  (match !ingest_metrics with
+  | [] -> ()
+  | metrics ->
+      out "  \"ingest\": {\n";
+      List.iteri
+        (fun i (k, v) ->
+          out "    %S: %.3f%s\n" k v (if i = List.length metrics - 1 then "" else ","))
+        metrics;
+      out "  },\n");
   out "  \"total_seconds\": %.3f" total;
   (match baseline_total with
   | Some base ->
@@ -492,7 +594,7 @@ let () =
     | Some stages -> stages
     | None ->
         Printf.eprintf
-          "unknown command %s (expected table1|table2|table3|figs|ablations|micro|all)\n"
+          "unknown command %s (expected table1|table2|table3|figs|ablations|ingest|micro|all)\n"
           what;
         exit 2
   in

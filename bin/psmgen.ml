@@ -200,30 +200,53 @@ let trace_cmd =
 
 (* ---- train-vcd: the black-box path on external traces ---- *)
 
-let train_vcd files dot =
-  let pairs =
-    List.map
-      (fun file ->
-        let parsed = Psm_trace.Vcd.parse_file file in
-        match parsed.Psm_trace.Vcd.power with
-        | Some power -> (parsed.Psm_trace.Vcd.trace, power)
-        | None ->
-            Printf.eprintf "%s carries no __power__ real variable\n" file;
-            exit 1)
-      files
+let unknowns_arg =
+  let policies =
+    [ ("zero", Psm_trace.Reader.Zero);
+      ("error", Psm_trace.Reader.Reject);
+      ("count", Psm_trace.Reader.Count) ]
   in
+  Arg.(value & opt (enum policies) Psm_trace.Reader.Count
+       & info [ "unknowns" ] ~docv:"POLICY"
+           ~doc:"What to do with x/z bits: zero (coerce silently), error \
+                 (reject the trace), count (coerce and report; default).")
+
+let period_arg =
+  Arg.(value & opt (some int) None
+       & info [ "period" ] ~docv:"N"
+           ~doc:"Sampling period in timescale units (default: GCD of the \
+                 timestamp deltas).")
+
+let print_ingest path (stats : Psm_trace.Reader.stats) =
+  Format.printf "ingested %s: %a@." path Psm_trace.Reader.pp_stats stats
+
+let train_vcd files dot unknowns period =
+  let ingested =
+    try Psm_par.parallel_map (Flow.load_vcd ~unknowns ?period) files
+    with
+    | Psm_trace.Vcd.Parse_error e ->
+        Printf.eprintf "parse error: %s\n" (Psm_trace.Reader.error_to_string e);
+        exit 1
+    | Invalid_argument m ->
+        Printf.eprintf "%s\n" m;
+        exit 1
+  in
+  List.iter (fun (i : Flow.ingested) -> print_ingest i.Flow.path i.Flow.ingest) ingested;
   let trained =
-    Flow.train ~traces:(List.map fst pairs) ~powers:(List.map snd pairs) ()
+    Flow.train
+      ~traces:(List.map (fun (i : Flow.ingested) -> i.Flow.functional) ingested)
+      ~powers:(List.map (fun (i : Flow.ingested) -> i.Flow.power) ingested)
+      ()
   in
   Format.printf "%a@." Psm.pp trained.Flow.optimized;
   (* Training-set accuracy, for a quick sanity read. *)
   List.iter
-    (fun (trace, reference) ->
-      let report, _ = Flow.evaluate trained trace ~reference in
+    (fun (i : Flow.ingested) ->
+      let report, _ = Flow.evaluate trained i.Flow.functional ~reference:i.Flow.power in
       Format.printf "training trace (%d instants): %a@."
-        (Psm_trace.Functional_trace.length trace)
+        (Psm_trace.Functional_trace.length i.Flow.functional)
         Psm_hmm.Accuracy.pp report)
-    pairs;
+    ingested;
   Option.iter
     (fun path ->
       Psm_core.Dot.write_file path trained.Flow.optimized;
@@ -238,11 +261,11 @@ let train_vcd_cmd =
   Cmd.v
     (Cmd.info "train-vcd"
        ~doc:"Mine PSMs from externally captured VCD traces (black-box mode)")
-    Term.(const train_vcd $ files $ dot_arg)
+    Term.(const train_vcd $ files $ dot_arg $ unknowns_arg $ period_arg)
 
 (* ---- apply: run a persisted model over recorded traces ---- *)
 
-let apply model_path vcds =
+let apply model_path vcds unknowns period =
   let model = Psm_flow.Persist.load_file model_path in
   Printf.printf "Loaded model: %d states, %d transitions, %d propositions\n"
     (Psm.state_count model.Psm_flow.Persist.psm)
@@ -250,7 +273,14 @@ let apply model_path vcds =
     (Psm_mining.Prop_trace.Table.prop_count model.Psm_flow.Persist.table);
   List.iter
     (fun file ->
-      let parsed = Psm_trace.Vcd.parse_file file in
+      let parsed =
+        try Psm_trace.Vcd.parse_file ~unknowns ?period file
+        with Psm_trace.Vcd.Parse_error e ->
+          Printf.eprintf "%s: parse error: %s\n" file
+            (Psm_trace.Reader.error_to_string e);
+          exit 1
+      in
+      print_ingest file parsed.Psm_trace.Vcd.stats;
       let trace = parsed.Psm_trace.Vcd.trace in
       let result = Psm_hmm.Multi_sim.simulate model.Psm_flow.Persist.hmm trace in
       let estimate = result.Psm_hmm.Multi_sim.estimate in
@@ -278,7 +308,7 @@ let apply_cmd =
   in
   Cmd.v
     (Cmd.info "apply" ~doc:"Estimate power for recorded traces with a persisted model")
-    Term.(const apply $ model $ vcds)
+    Term.(const apply $ model $ vcds $ unknowns_arg $ period_arg)
 
 (* ---- netlist: export / report the structural netlists ---- *)
 

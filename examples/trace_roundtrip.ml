@@ -36,6 +36,25 @@ let () =
   | None -> assert false);
   Printf.printf "VCD round-trip lossless: %s (%d bytes)\n" vcd_path
     (Unix.stat vcd_path).Unix.st_size;
+  Format.printf "  ingestion: %a@." Psm_trace.Reader.pp_stats parsed.Vcd.stats;
+
+  (* Foreign VCD: timestamp gaps and 4-state values. The parser holds
+     values across the gaps (stride = GCD of the deltas = 5 here) and
+     coerces the x under the default Count policy, reporting it in the
+     stats instead of silently mis-sampling. *)
+  let foreign =
+    "$timescale 1ns $end\n\
+     $var wire 4 ! data $end\n\
+     $enddefinitions $end\n\
+     #0 b1x01 !\n\
+     #5 b111 !\n\
+     #20 b0 !\n"
+  in
+  let p = Vcd.parse foreign in
+  assert (FT.length p.Vcd.trace = 5) (* #0 #5 (#10 #15 held) #20 *);
+  assert (p.Vcd.stats.Psm_trace.Reader.unknowns_coerced = 1);
+  Format.printf "Foreign VCD with gaps + x bits: %d instants, %a@.@."
+    (FT.length p.Vcd.trace) Psm_trace.Reader.pp_stats p.Vcd.stats;
 
   (* CSV round-trip. *)
   let csv_path = Filename.temp_file "multsum" ".csv" in

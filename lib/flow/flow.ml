@@ -157,6 +157,40 @@ let split_stimulus stimulus ~parts =
         let len = if k = parts - 1 then n - start else base in
         Array.sub stimulus start len)
 
+type ingested = {
+  path : string;
+  functional : Functional_trace.t;
+  power : Power_trace.t;
+  ingest : Psm_trace.Reader.stats;
+}
+
+let load_vcd ?unknowns ?period path =
+  let parsed = Psm_trace.Vcd.parse_file ?unknowns ?period path in
+  match parsed.Psm_trace.Vcd.power with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Flow.load_vcd: %s carries no %s real variable" path
+           Psm_trace.Vcd.power_var_name)
+  | Some power ->
+      Log.info (fun m ->
+          m "ingested %s: %a" path Psm_trace.Reader.pp_stats
+            parsed.Psm_trace.Vcd.stats);
+      { path;
+        functional = parsed.Psm_trace.Vcd.trace;
+        power;
+        ingest = parsed.Psm_trace.Vcd.stats }
+
+let train_on_vcd_files ?config ?unknowns ?period paths =
+  if paths = [] then invalid_arg "Flow.train_on_vcd_files: no files";
+  let ingested = Psm_par.parallel_map (load_vcd ?unknowns ?period) paths in
+  let trained =
+    train ?config
+      ~traces:(List.map (fun i -> i.functional) ingested)
+      ~powers:(List.map (fun i -> i.power) ingested)
+      ()
+  in
+  (trained, ingested)
+
 let train_on_ip ?(config = default) ip stimuli =
   let pairs =
     List.map (fun stimulus -> Psm_ips.Capture.run ~config:config.power ip stimulus) stimuli

@@ -51,6 +51,34 @@ val train :
 (** All traces must share one interface; traces and powers are paired
     positionally and must have matching lengths. *)
 
+(** {1 Training straight from VCD files} *)
+
+type ingested = {
+  path : string;
+  functional : Psm_trace.Functional_trace.t;
+  power : Psm_trace.Power_trace.t;
+  ingest : Psm_trace.Reader.stats;  (** per-file ingestion statistics *)
+}
+
+val load_vcd :
+  ?unknowns:Psm_trace.Reader.unknown_policy ->
+  ?period:int ->
+  string ->
+  ingested
+(** Stream one VCD (which must carry the [__power__] real variable) into
+    a functional/power trace pair. Raises [Psm_trace.Vcd.Parse_error] on
+    malformed input and [Invalid_argument] when the power variable is
+    missing. *)
+
+val train_on_vcd_files :
+  ?config:config ->
+  ?unknowns:Psm_trace.Reader.unknown_policy ->
+  ?period:int ->
+  string list ->
+  trained * ingested list
+(** Ingest every file (fanned out across the {!Psm_par} pool) and train
+    on the result. The ingested list is returned in input order. *)
+
 val train_on_ip :
   ?config:config ->
   Psm_ips.Ip.t ->

@@ -1,6 +1,7 @@
 module Bits = Psm_bits.Bits
 module Signal = Psm_trace.Signal
 module Interface = Psm_trace.Interface
+module Reader = Psm_trace.Reader
 module Atomic = Psm_mining.Atomic
 module Vocabulary = Psm_mining.Vocabulary
 module Table = Psm_mining.Prop_trace.Table
@@ -187,18 +188,20 @@ let save_file path trained =
 
 (* ---------- load ---------- *)
 
-type cursor = { mutable lines : string list; mutable lineno : int }
-
+(* The cursor is a streaming [Reader.t]: one line of the model file is
+   live at a time. *)
 let next cursor =
-  match cursor.lines with
-  | [] -> raise (Parse_error "unexpected end of model file")
-  | line :: rest ->
-      cursor.lines <- rest;
-      cursor.lineno <- cursor.lineno + 1;
-      line
+  let rec go () =
+    match Reader.next_line cursor with
+    | None -> raise (Parse_error "unexpected end of model file")
+    | Some line ->
+        let line = String.trim line in
+        if line = "" then go () else line
+  in
+  go ()
 
 let fail cursor msg =
-  raise (Parse_error (Printf.sprintf "line %d: %s" cursor.lineno msg))
+  raise (Parse_error (Printf.sprintf "line %d: %s" (Reader.line cursor) msg))
 
 let words line = String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
 
@@ -216,12 +219,7 @@ let int_word cursor w =
 let float_word cursor w =
   match float_of_string_opt w with Some v -> v | None -> fail cursor ("bad float " ^ w)
 
-let load text =
-  let cursor =
-    { lines = String.split_on_char '\n' text |> List.map (fun l -> String.trim l)
-              |> List.filter (fun l -> l <> "");
-      lineno = 0 }
-  in
+let read cursor =
   if next cursor <> version_line then raise (Parse_error "bad version header");
   (* Interface. *)
   let n_signals = expect_count cursor "interface" in
@@ -362,10 +360,8 @@ let load text =
   let hmm = Hmm.build ~transition_counts ~emission_counts psm in
   { table; psm; hmm }
 
+let load text = read (Reader.of_string text)
+
 let load_file path =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      load (really_input_string ic len))
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read (Reader.of_channel ic))

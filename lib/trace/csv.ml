@@ -1,6 +1,11 @@
 module Bits = Psm_bits.Bits
 
-exception Parse_error of string
+exception Parse_error of Reader.error
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error e -> Some ("Csv.Parse_error: " ^ Reader.error_to_string e)
+    | _ -> None)
 
 let power_column = "power"
 
@@ -45,31 +50,43 @@ let write_file ?power path trace =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string ?power trace))
 
-let parse_column_title title =
+type parsed = {
+  trace : Functional_trace.t;
+  power : Power_trace.t option;
+  stats : Reader.stats;
+}
+
+let fail_at r msg = raise (Parse_error (Reader.error_at r msg))
+
+let parse_column_title r title =
   match String.split_on_char ':' title with
   | [ name; w; dir ] -> (
       let width =
         match int_of_string_opt w with
         | Some w when w > 0 -> w
-        | _ -> raise (Parse_error ("bad width in column " ^ title))
+        | _ -> fail_at r ("bad width in column " ^ title)
       in
       match dir with
       | "in" -> Signal.input name width
       | "out" -> Signal.output name width
-      | _ -> raise (Parse_error ("bad direction in column " ^ title)))
-  | _ -> raise (Parse_error ("bad column title " ^ title))
+      | _ -> fail_at r ("bad direction in column " ^ title))
+  | _ -> fail_at r ("bad column title " ^ title)
 
-let parse text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+(* Lines are consumed one at a time: live memory is one row plus the
+   trace being built. *)
+let read r =
+  let rec next_data_line () =
+    match Reader.next_line r with
+    | None -> None
+    | Some line ->
+        let line = String.trim line in
+        if line = "" then next_data_line () else Some line
   in
-  match lines with
-  | [] -> raise (Parse_error "empty CSV")
-  | header :: rows ->
+  match next_data_line () with
+  | None -> fail_at r "empty CSV"
+  | Some header -> (
       let cols = String.split_on_char ',' header in
-      (match cols with
+      match cols with
       | "time" :: rest ->
           let has_power =
             match List.rev rest with last :: _ -> last = power_column | [] -> false
@@ -78,49 +95,66 @@ let parse text =
             if has_power then List.filteri (fun i _ -> i < List.length rest - 1) rest
             else rest
           in
-          if signal_cols = [] then raise (Parse_error "no signal columns");
-          let iface = Interface.create (List.map parse_column_title signal_cols) in
+          if signal_cols = [] then fail_at r "no signal columns";
+          let iface = Interface.create (List.map (parse_column_title r) signal_cols) in
           let builder = Functional_trace.Builder.create iface in
           let powers = ref [] in
-          List.iter
-            (fun row ->
-              let cells = String.split_on_char ',' row in
-              let expect = 1 + List.length rest in
-              if List.length cells <> expect then
-                raise
-                  (Parse_error
-                     (Printf.sprintf "row has %d cells, expected %d"
-                        (List.length cells) expect));
-              let cells = Array.of_list cells in
-              let sample =
-                Array.init (Interface.arity iface) (fun i ->
-                    let s = Interface.signal iface i in
-                    try Bits.of_hex_string ~width:s.Signal.width cells.(i + 1)
-                    with Invalid_argument m -> raise (Parse_error m))
-              in
-              Functional_trace.Builder.append builder sample;
-              if has_power then begin
-                match float_of_string_opt cells.(Array.length cells - 1) with
-                | Some f -> powers := f :: !powers
-                | None -> raise (Parse_error "bad power value")
-              end)
-            rows;
+          let expect = 1 + List.length rest in
+          let changes = ref 0 in
+          let rec rows () =
+            match next_data_line () with
+            | None -> ()
+            | Some row ->
+                let cells = String.split_on_char ',' row in
+                if List.length cells <> expect then
+                  fail_at r
+                    (Printf.sprintf "row has %d cells, expected %d"
+                       (List.length cells) expect);
+                let cells = Array.of_list cells in
+                let sample =
+                  Array.init (Interface.arity iface) (fun i ->
+                      let s = Interface.signal iface i in
+                      try Bits.of_hex_string ~width:s.Signal.width cells.(i + 1)
+                      with Invalid_argument m -> fail_at r m)
+                in
+                changes := !changes + Interface.arity iface;
+                Functional_trace.Builder.append builder sample;
+                if has_power then begin
+                  match float_of_string_opt cells.(Array.length cells - 1) with
+                  | Some f ->
+                      incr changes;
+                      powers := f :: !powers
+                  | None -> fail_at r "bad power value"
+                end;
+                rows ()
+          in
+          rows ();
           let trace = Functional_trace.Builder.finish builder in
           let power =
             if has_power then
               Some (Power_trace.of_array (Array.of_list (List.rev !powers)))
             else None
           in
-          (trace, power)
-      | _ -> raise (Parse_error "first column must be 'time'"))
+          { trace;
+            power;
+            stats =
+              { Reader.bytes = Reader.bytes_read r;
+                samples = Functional_trace.length trace;
+                value_changes = !changes;
+                unknowns_coerced = 0 } }
+      | _ -> fail_at r "first column must be 'time'")
+
+let parse text =
+  let p = read (Reader.of_string text) in
+  (p.trace, p.power)
 
 let parse_file path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      let len = in_channel_length ic in
-      parse (really_input_string ic len))
+      let p = read (Reader.of_channel ic) in
+      (p.trace, p.power))
 
 let power_to_string p =
   let buf = Buffer.create 1024 in

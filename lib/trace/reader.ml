@@ -1,0 +1,180 @@
+type t = {
+  refill : bytes -> int;  (* refills [buf] from the start; 0 means EOF *)
+  buf : bytes;
+  mutable pos : int;  (* next unread byte in [buf] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+  mutable eof : bool;
+  mutable base : int;  (* bytes consumed in previous buffer fills *)
+  mutable cur_line : int;
+  mutable cur_column : int;
+  tok_buf : Buffer.t;
+  mutable tok_line : int;
+  mutable tok_column : int;
+  mutable last_lexeme : string;
+}
+
+let make ?(line = 1) ~buf ~pos ~len ~refill () =
+  { refill;
+    buf;
+    pos;
+    len;
+    eof = false;
+    base = -pos;
+    cur_line = line;
+    cur_column = 1;
+    tok_buf = Buffer.create 64;
+    tok_line = line;
+    tok_column = 1;
+    last_lexeme = "" }
+
+let of_channel ?(buffer = 65536) ic =
+  let buf = Bytes.create (max 1 buffer) in
+  make ~buf ~pos:0 ~len:0 ~refill:(fun b -> input ic b 0 (Bytes.length b)) ()
+
+let of_string s =
+  make ~buf:(Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+    ~refill:(fun _ -> 0) ()
+
+let of_substring ?(line = 1) s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Reader.of_substring";
+  make ~line ~buf:(Bytes.unsafe_of_string s) ~pos ~len:(pos + len)
+    ~refill:(fun _ -> 0) ()
+
+let peek t =
+  if t.pos < t.len then Some (Bytes.unsafe_get t.buf t.pos)
+  else if t.eof then None
+  else begin
+    t.base <- t.base + t.len;
+    t.pos <- 0;
+    let n = t.refill t.buf in
+    t.len <- n;
+    if n = 0 then begin
+      t.eof <- true;
+      None
+    end
+    else Some (Bytes.unsafe_get t.buf 0)
+  end
+
+let advance t c =
+  t.pos <- t.pos + 1;
+  if c = '\n' then begin
+    t.cur_line <- t.cur_line + 1;
+    t.cur_column <- 1
+  end
+  else t.cur_column <- t.cur_column + 1
+
+let is_space = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+
+let mark_token t =
+  t.tok_line <- t.cur_line;
+  t.tok_column <- t.cur_column;
+  Buffer.clear t.tok_buf
+
+let finish_token t =
+  let s = Buffer.contents t.tok_buf in
+  t.last_lexeme <- s;
+  Some s
+
+let next_token t =
+  let rec skip () =
+    match peek t with
+    | Some c when is_space c ->
+        advance t c;
+        skip ()
+    | other -> other
+  in
+  match skip () with
+  | None -> None
+  | Some _ ->
+      mark_token t;
+      let rec take () =
+        match peek t with
+        | Some c when not (is_space c) ->
+            Buffer.add_char t.tok_buf c;
+            advance t c;
+            take ()
+        | _ -> ()
+      in
+      take ();
+      finish_token t
+
+let next_sexp_token t =
+  let rec skip () =
+    match peek t with
+    | Some c when is_space c ->
+        advance t c;
+        skip ()
+    | other -> other
+  in
+  match skip () with
+  | None -> None
+  | Some (('(' | ')') as c) ->
+      mark_token t;
+      advance t c;
+      Buffer.add_char t.tok_buf c;
+      finish_token t
+  | Some _ ->
+      mark_token t;
+      let rec take () =
+        match peek t with
+        | Some c when (not (is_space c)) && c <> '(' && c <> ')' ->
+            Buffer.add_char t.tok_buf c;
+            advance t c;
+            take ()
+        | _ -> ()
+      in
+      take ();
+      finish_token t
+
+let next_line t =
+  match peek t with
+  | None -> None
+  | Some _ ->
+      mark_token t;
+      let rec take () =
+        match peek t with
+        | None -> ()
+        | Some '\n' -> advance t '\n'
+        | Some c ->
+            Buffer.add_char t.tok_buf c;
+            advance t c;
+            take ()
+      in
+      take ();
+      let n = Buffer.length t.tok_buf in
+      if n > 0 && Buffer.nth t.tok_buf (n - 1) = '\r' then
+        Buffer.truncate t.tok_buf (n - 1);
+      finish_token t
+
+let position t = (t.tok_line, t.tok_column)
+let line t = t.tok_line
+let bytes_read t = t.base + t.pos
+
+type error = { line : int; column : int; message : string; snippet : string }
+
+let error_at t message =
+  let snippet =
+    let s = t.last_lexeme in
+    if String.length s > 60 then String.sub s 0 57 ^ "..." else s
+  in
+  { line = t.tok_line; column = t.tok_column; message; snippet }
+
+let error_to_string e =
+  Printf.sprintf "line %d, column %d: %s%s" e.line e.column e.message
+    (if e.snippet = "" then "" else Printf.sprintf " (near %S)" e.snippet)
+
+type unknown_policy = Zero | Reject | Count
+
+type stats = {
+  bytes : int;
+  samples : int;
+  value_changes : int;
+  unknowns_coerced : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d samples, %d value changes, %d unknown bits coerced, %.2f MiB" s.samples
+    s.value_changes s.unknowns_coerced
+    (float_of_int s.bytes /. (1024. *. 1024.))

@@ -1,0 +1,85 @@
+(** Shared incremental lexer for the trace readers (VCD, CSV, SAIF) and
+    the model loader.
+
+    A {!t} pulls characters from an [in_channel] through a fixed-size
+    buffer (or walks an in-memory string without copying it), hands out
+    whitespace-separated tokens, s-expression tokens or whole lines, and
+    tracks the line/column position and the total byte count as it goes.
+    Live memory is the buffer plus the token being assembled — a reader
+    over a channel never materializes the file as a string or a token
+    list, so ingestion of arbitrarily long traces runs in O(#signals)
+    space on top of whatever the consumer itself retains.
+
+    The reader also owns the two pieces of policy every trace format
+    shares: structured {!error}s (position + snippet, wrapped by each
+    format's [Parse_error]) and the {!unknown_policy} for 4-state
+    values, together with the per-parse ingestion {!stats} record. *)
+
+type t
+
+val of_channel : ?buffer:int -> in_channel -> t
+(** Stream from a channel through a [buffer]-byte window (default
+    64 KiB). The channel stays owned by the caller. *)
+
+val of_string : string -> t
+(** Walk an in-memory string. No copy is made. *)
+
+val of_substring : ?line:int -> string -> pos:int -> len:int -> t
+(** Walk [len] bytes of [s] starting at [pos], reporting positions as if
+    the slice began on line [line] (default 1). Used by the parallel VCD
+    body lexer to lex one timestamp-aligned chunk. *)
+
+(** {1 Lexing} *)
+
+val next_token : t -> string option
+(** The next whitespace-delimited token, or [None] at end of input.
+    Never returns the empty string. *)
+
+val next_sexp_token : t -> string option
+(** Like {!next_token} but ['('] and [')'] are delimiters returned as
+    single-character tokens — the lexing mode of the SAIF reader. *)
+
+val next_line : t -> string option
+(** The next line (without the trailing newline; a trailing ['\r'] is
+    dropped), or [None] at end of input. *)
+
+(** {1 Positions, errors, totals} *)
+
+val position : t -> int * int
+(** Line and column (both 1-based) where the most recently returned
+    token or line started. *)
+
+val line : t -> int
+(** First component of {!position}. *)
+
+val bytes_read : t -> int
+(** Total bytes consumed so far; after the input is exhausted this is
+    the ingested size. *)
+
+type error = { line : int; column : int; message : string; snippet : string }
+(** A structured parse error: where it happened and the offending
+    lexeme. Each format wraps this in its own [Parse_error]. *)
+
+val error_at : t -> string -> error
+(** An {!error} at the position of the last token/line returned, with
+    that lexeme as the snippet. *)
+
+val error_to_string : error -> string
+(** ["line L, column C: message (near \"snippet\")"]. *)
+
+(** {1 Shared reader policy} *)
+
+type unknown_policy =
+  | Zero   (** coerce [x]/[z] to 0 silently (legacy behaviour) *)
+  | Reject (** raise the format's [Parse_error] on any [x]/[z] *)
+  | Count  (** coerce to 0 and tally the bits in {!stats} (default) *)
+
+type stats = {
+  bytes : int;  (** bytes ingested *)
+  samples : int;  (** simulation instants produced *)
+  value_changes : int;  (** value-change records applied *)
+  unknowns_coerced : int;  (** unknown ([x]/[z]) bits coerced to 0 *)
+}
+(** Per-parse ingestion statistics. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -51,3 +51,163 @@ let write_file ?design ?timescale path trace =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_string ?design ?timescale trace))
+
+(* ---------------------------------------------------------------- *)
+(* Reading: streaming s-expression walk over [Reader.t].             *)
+(* ---------------------------------------------------------------- *)
+
+exception Parse_error of Reader.error
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error e -> Some ("Saif.Parse_error: " ^ Reader.error_to_string e)
+    | _ -> None)
+
+type parsed = {
+  design : string option;
+  duration : int option;
+  nets : (string * counters) list;
+  stats : Reader.stats;
+}
+
+let fail_at r msg = raise (Parse_error (Reader.error_at r msg))
+
+let next r what =
+  match Reader.next_sexp_token r with
+  | Some tok -> tok
+  | None -> fail_at r ("unexpected end of input (expected " ^ what ^ ")")
+
+let expect r what =
+  let tok = next r what in
+  if tok <> what then fail_at r (Printf.sprintf "expected %s, got %s" what tok)
+
+(* Consume the rest of an already-open list, ignoring its contents. *)
+let rec skip_list r =
+  match next r "')'" with
+  | ")" -> ()
+  | "(" ->
+      skip_list r;
+      skip_list r
+  | _ -> skip_list r
+
+(* Iterate the elements of an already-open list: [onlist] runs with the
+   sub-list's head token already consumed and must consume its ")". *)
+let elements r ~onatom ~onlist =
+  let rec go () =
+    match next r "element or ')'" with
+    | ")" -> ()
+    | "(" ->
+        let key = next r "list head" in
+        if key = ")" then fail_at r "empty list"
+        else if key = "(" then begin
+          (* Headless nested list: nothing we model, skip it whole. *)
+          skip_list r;
+          skip_list r
+        end
+        else onlist key;
+        go ()
+    | atom ->
+        onatom atom;
+        go ()
+  in
+  go ()
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
+
+(* "data\[7\]" -> "data[7]" *)
+let unescape s =
+  if not (String.contains s '\\') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      (if s.[!i] = '\\' && !i + 1 < String.length s then begin
+         Buffer.add_char b s.[!i + 1];
+         incr i
+       end
+       else Buffer.add_char b s.[!i]);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+let int_atom r key =
+  match int_of_string_opt (next r ("integer after " ^ key)) with
+  | Some n -> n
+  | None -> fail_at r ("bad integer after " ^ key)
+
+(* One net entry: the head (its name) is consumed; read the counter
+   lists up to the closing ")". *)
+let net r ~path name =
+  let t0 = ref 0 and t1 = ref 0 and tc = ref 0 in
+  elements r
+    ~onatom:(fun a -> fail_at r ("unexpected atom " ^ a ^ " in net"))
+    ~onlist:(fun key ->
+      match key with
+      | "T0" ->
+          t0 := int_atom r key;
+          expect r ")"
+      | "T1" ->
+          t1 := int_atom r key;
+          expect r ")"
+      | "TC" ->
+          tc := int_atom r key;
+          expect r ")"
+      | _ -> skip_list r);
+  let full = String.concat "/" (List.rev (unescape name :: path)) in
+  (full, { t0 = !t0; t1 = !t1; tc = !tc })
+
+let read r =
+  expect r "(";
+  expect r "SAIFILE";
+  let design = ref None and duration = ref None in
+  let nets = ref [] in
+  let rec instance path =
+    elements r
+      ~onatom:(fun _ -> ())
+      ~onlist:(fun key ->
+        match key with
+        | "INSTANCE" ->
+            let name = next r "instance name" in
+            if name = "(" || name = ")" then fail_at r "bad INSTANCE name";
+            instance (name :: path)
+        | "NET" | "PORT" ->
+            elements r
+              ~onatom:(fun a -> fail_at r ("unexpected atom " ^ a ^ " in NET"))
+              ~onlist:(fun name -> nets := net r ~path name :: !nets)
+        | _ -> skip_list r)
+  in
+  elements r
+    ~onatom:(fun a -> fail_at r ("unexpected atom " ^ a ^ " in SAIFILE"))
+    ~onlist:(fun key ->
+      match key with
+      | "DESIGN" ->
+          design := Some (unquote (next r "design name"));
+          expect r ")"
+      | "DURATION" ->
+          duration := Some (int_atom r key);
+          expect r ")"
+      | "INSTANCE" ->
+          let name = next r "instance name" in
+          if name = "(" || name = ")" then fail_at r "bad INSTANCE name";
+          instance [ name ]
+      | _ -> skip_list r);
+  (match Reader.next_sexp_token r with
+  | None -> ()
+  | Some tok -> fail_at r ("trailing input " ^ tok ^ " after SAIFILE"));
+  { design = !design;
+    duration = !duration;
+    nets = List.rev !nets;
+    stats =
+      { Reader.bytes = Reader.bytes_read r;
+        samples = (match !duration with Some d -> d | None -> 0);
+        value_changes = List.fold_left (fun a (_, c) -> a + c.tc) 0 !nets;
+        unknowns_coerced = 0 } }
+
+let parse text = read (Reader.of_string text)
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read (Reader.of_channel ic))

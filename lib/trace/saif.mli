@@ -1,5 +1,5 @@
 (** SAIF (Switching Activity Interchange Format) backward-annotation
-    writer.
+    writer and reader.
 
     SAIF is what real gate-level power flows (Synopsys PrimeTime PX,
     DesignCompiler) consume as their switching-activity input; emitting it
@@ -9,7 +9,11 @@
 
     - [T0]/[T1] — simulation time (in cycles) spent at 0 / at 1;
     - [TC] — number of 0↔1 transitions;
-    - [TX]/[IG] — always 0 (two-valued simulation, no glitches).  *)
+    - [TX]/[IG] — always 0 (two-valued simulation, no glitches).
+
+    The reader is a streaming s-expression walk over {!Reader.t} that
+    recovers the per-net counters (ours or a third-party tool's),
+    skipping constructs it does not model. *)
 
 val to_string :
   ?design:string -> ?timescale:string -> Functional_trace.t -> string
@@ -21,3 +25,25 @@ type counters = { t0 : int; t1 : int; tc : int }
 
 val bit_counters : Functional_trace.t -> signal:int -> bit:int -> counters
 (** The counters the writer emits for one bit — exposed for tests. *)
+
+(** {1 Reading} *)
+
+exception Parse_error of Reader.error
+
+type parsed = {
+  design : string option;  (** the [DESIGN] header, unquoted *)
+  duration : int option;  (** the [DURATION] header *)
+  nets : (string * counters) list;
+      (** per-net counters in file order; names are instance-path
+          qualified ([inst/sub/net\[3\]] with SAIF escapes removed) *)
+  stats : Reader.stats;
+}
+
+val read : Reader.t -> parsed
+(** Raises {!Parse_error} (with position and snippet) on malformed
+    input. *)
+
+val parse : string -> parsed
+
+val parse_file : string -> parsed
+(** {!read} over a channel — constant-memory streaming. *)

@@ -8,6 +8,7 @@ module FT = Psm_trace.Functional_trace
 module PT = Psm_trace.Power_trace
 module Vcd = Psm_trace.Vcd
 module Csv = Psm_trace.Csv
+module Reader = Psm_trace.Reader
 module Stats = Psm_trace.Trace_stats
 
 let iface () =
@@ -194,6 +195,229 @@ let test_vcd_file_io () =
       let parsed = Vcd.parse_file path in
       Alcotest.(check bool) "roundtrip" true (FT.equal t parsed.Vcd.trace))
 
+(* ---------- VCD timestamp semantics ---------- *)
+
+let vcd_1bit body =
+  "$timescale 1ns $end\n$var wire 1 ! a $end\n$enddefinitions $end\n" ^ body
+
+let vcd_4bit body =
+  "$timescale 1ns $end\n$var wire 4 ! a $end\n$enddefinitions $end\n" ^ body
+
+let values_of parsed =
+  Array.init (FT.length parsed.Vcd.trace) (fun t ->
+      Bits.to_int (FT.value parsed.Vcd.trace ~time:t ~signal:0))
+
+let test_vcd_gap_gcd () =
+  (* #0/#5/#10: stride inferred as GCD 5, one sample per timestamp. *)
+  let p = Vcd.parse (vcd_1bit "#0\n1!\n#5\n0!\n#10\n1!\n") in
+  Alcotest.(check int) "uniform gaps" 3 (FT.length p.Vcd.trace);
+  Alcotest.(check (array int)) "values" [| 1; 0; 1 |] (values_of p);
+  (* #0/#5/#20: GCD still 5, held values fill the #10/#15 gap. *)
+  let p = Vcd.parse (vcd_1bit "#0\n1!\n#5\n0!\n#20\n1!\n") in
+  Alcotest.(check int) "held across gap" 5 (FT.length p.Vcd.trace);
+  Alcotest.(check (array int)) "held values" [| 1; 0; 0; 0; 1 |] (values_of p)
+
+let test_vcd_explicit_period () =
+  (* Timestamps 0/3/10 sampled on a period-5 grid: each grid point takes
+     the latest value at or before it, and the grid covers the last
+     change. *)
+  let text = vcd_1bit "#0\n1!\n#3\n0!\n#10\n1!\n" in
+  let p = Vcd.parse ~period:5 text in
+  Alcotest.(check (array int)) "period 5" [| 1; 0; 1 |] (values_of p);
+  (* The same text without a period: GCD(3,7) = 1, so every instant. *)
+  let p = Vcd.parse text in
+  Alcotest.(check int) "gcd 1" 11 (FT.length p.Vcd.trace);
+  Alcotest.(check (array int)) "gcd 1 values"
+    [| 1; 1; 1; 0; 0; 0; 0; 0; 0; 0; 1 |] (values_of p)
+
+let test_vcd_backwards_time () =
+  match Vcd.parse (vcd_1bit "#0\n1!\n#5\n0!\n#3\n1!\n") with
+  | _ -> Alcotest.fail "backwards time accepted"
+  | exception Vcd.Parse_error e ->
+      Alcotest.(check int) "line" 8 e.Reader.line;
+      Alcotest.(check bool) "message" true
+        (String.length e.Reader.message > 9
+        && String.sub e.Reader.message 0 9 = "timestamp")
+
+let test_vcd_equal_timestamps_merge () =
+  (* A repeated #t extends the same sample instead of duplicating it. *)
+  let p = Vcd.parse (vcd_1bit "#0\n1!\n#0\n0!\n#1\n1!\n") in
+  Alcotest.(check (array int)) "merged" [| 0; 1 |] (values_of p)
+
+(* ---------- VCD 4-state semantics ---------- *)
+
+let test_vcd_xz_left_extension () =
+  (* bx1 on a 4-bit var: leftmost digit x, so the missing upper bits
+     extend with x — 3 unknown bits in all, value 0001 after coercion. *)
+  let p = Vcd.parse (vcd_4bit "#0\nbx1 !\n") in
+  Alcotest.(check (array int)) "x-extended value" [| 1 |] (values_of p);
+  Alcotest.(check int) "x-extension counted" 3
+    p.Vcd.stats.Reader.unknowns_coerced;
+  (* bz: every bit of the variable is unknown. *)
+  let p = Vcd.parse (vcd_4bit "#0\nbz !\n") in
+  Alcotest.(check (array int)) "z value" [| 0 |] (values_of p);
+  Alcotest.(check int) "z-extension counted" 4 p.Vcd.stats.Reader.unknowns_coerced;
+  (* b01: leftmost digit 0, classic zero-extension, nothing unknown. *)
+  let p = Vcd.parse (vcd_4bit "#0\nb01 !\n") in
+  Alcotest.(check (array int)) "zero-extended" [| 1 |] (values_of p);
+  Alcotest.(check int) "no unknowns" 0 p.Vcd.stats.Reader.unknowns_coerced
+
+let test_vcd_unknown_policies () =
+  let text = vcd_4bit "#0\nbx1 !\n" in
+  let p = Vcd.parse ~unknowns:Reader.Zero text in
+  Alcotest.(check int) "zero policy silent" 0 p.Vcd.stats.Reader.unknowns_coerced;
+  Alcotest.(check (array int)) "zero policy value" [| 1 |] (values_of p);
+  Alcotest.(check bool) "reject policy raises" true
+    (match Vcd.parse ~unknowns:Reader.Reject text with
+    | _ -> false
+    | exception Vcd.Parse_error _ -> true);
+  (* Scalar unknowns go through the same policy. *)
+  Alcotest.(check bool) "scalar x rejected" true
+    (match Vcd.parse ~unknowns:Reader.Reject (vcd_1bit "#0\nx!\n") with
+    | _ -> false
+    | exception Vcd.Parse_error _ -> true)
+
+let test_vcd_trailing_vector_token () =
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  (match Vcd.parse (vcd_4bit "#0\nb10") with
+  | _ -> Alcotest.fail "trailing vector accepted"
+  | exception Vcd.Parse_error e ->
+      Alcotest.(check bool) "precise b error" true
+        (contains e.Reader.message "not followed by an identifier code"));
+  match Vcd.parse (vcd_4bit "#0\nb10 !\nr1.5") with
+  | _ -> Alcotest.fail "trailing real accepted"
+  | exception Vcd.Parse_error e ->
+      Alcotest.(check bool) "precise r error" true
+        (contains e.Reader.message "not followed by an identifier code")
+
+let test_vcd_oversized_vector () =
+  Alcotest.(check bool) "oversized rejected" true
+    (match Vcd.parse (vcd_1bit "#0\nb101 !\n") with
+    | _ -> false
+    | exception Vcd.Parse_error _ -> true)
+
+let test_vcd_error_position () =
+  (* The bad scalar sits on line 8, column 1. *)
+  match Vcd.parse (vcd_1bit "#0\n0!\n#1\n1!\nq!\n") with
+  | _ -> Alcotest.fail "garbage accepted"
+  | exception Vcd.Parse_error e ->
+      Alcotest.(check int) "line" 8 e.Reader.line;
+      Alcotest.(check int) "column" 1 e.Reader.column;
+      Alcotest.(check string) "snippet" "q!" e.Reader.snippet
+
+(* ---------- VCD streaming / parallel ---------- *)
+
+let test_vcd_stream () =
+  let text =
+    "$timescale 1ns $end\n\
+     $var wire 2 ! a $end\n\
+     $var real 64 \" __power__ $end\n\
+     $enddefinitions $end\n\
+     #0\nb10 !\nr1.5 \"\n#5\nb01 !\nr2.5 \"\n#20\nb11 !\nr0 \"\n"
+  in
+  let times = ref [] and vals = ref [] and pows = ref [] in
+  let stats =
+    Vcd.stream (Reader.of_string text)
+      ~init:(fun h ->
+        Alcotest.(check bool) "has power" true h.Vcd.has_power;
+        Alcotest.(check int) "arity" 1 (Interface.arity h.Vcd.interface);
+        Alcotest.(check string) "timescale" "1ns" h.Vcd.timescale)
+      ~sample:(fun ~time values ~power ->
+        times := time :: !times;
+        vals := Bits.to_int values.(0) :: !vals;
+        pows := power :: !pows)
+  in
+  (* Raw timestamps, no resampling: the stream caller owns gap policy. *)
+  Alcotest.(check (list int)) "raw times" [ 0; 5; 20 ] (List.rev !times);
+  Alcotest.(check (list int)) "values" [ 2; 1; 3 ] (List.rev !vals);
+  Alcotest.(check (list (float 0.))) "powers" [ 1.5; 2.5; 0. ] (List.rev !pows);
+  Alcotest.(check int) "samples" 3 stats.Reader.samples;
+  Alcotest.(check int) "bytes" (String.length text) stats.Reader.bytes
+
+let big_trace n =
+  let samples =
+    Array.init n (fun t ->
+        let data = (t * 7919) land 0xFF in
+        sample (t land 3 = 0) data ((data * 5 + t) land 0xFF))
+  in
+  FT.of_samples (iface ()) samples
+
+let with_jobs jobs f =
+  let saved = Psm_par.default_jobs () in
+  Psm_par.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Psm_par.set_jobs saved) f
+
+let test_vcd_parallel_matches_sequential () =
+  let n = 30_000 in
+  let t = big_trace n in
+  let power = PT.of_array (Array.init n (fun i -> float_of_int (i land 7))) in
+  let text = Vcd.to_string ~power t in
+  with_jobs 4 @@ fun () ->
+  let seq = Vcd.parse ~parallel:false text in
+  let par = Vcd.parse ~parallel:true text in
+  Alcotest.(check bool) "traces equal" true (FT.equal seq.Vcd.trace par.Vcd.trace);
+  Alcotest.(check bool) "roundtrip" true (FT.equal t par.Vcd.trace);
+  (match (seq.Vcd.power, par.Vcd.power) with
+  | Some a, Some b ->
+      Alcotest.(check (array (float 0.))) "powers equal" (PT.to_array a) (PT.to_array b)
+  | _ -> Alcotest.fail "power lost");
+  Alcotest.(check int) "unknowns equal" seq.Vcd.stats.Reader.unknowns_coerced
+    par.Vcd.stats.Reader.unknowns_coerced
+
+let test_vcd_parallel_error_order () =
+  (* Two injected errors: both paths must report the first, at the same
+     position, even though a later chunk hits its error "sooner". *)
+  let text = Vcd.to_string (big_trace 20_000) in
+  let lines = String.split_on_char '\n' text in
+  let nlines = List.length lines in
+  let inject = [ nlines * 2 / 5; nlines * 4 / 5 ] in
+  let text =
+    List.concat
+      (List.mapi (fun i l -> if List.mem i inject then [ "q!"; l ] else [ l ]) lines)
+    |> String.concat "\n"
+  in
+  with_jobs 4 @@ fun () ->
+  let err parallel =
+    match Vcd.parse ~parallel text with
+    | _ -> None
+    | exception Vcd.Parse_error e -> Some e
+  in
+  match (err false, err true) with
+  | Some a, Some b ->
+      Alcotest.(check int) "same line" a.Reader.line b.Reader.line;
+      Alcotest.(check int) "same column" a.Reader.column b.Reader.column;
+      Alcotest.(check string) "same message" a.Reader.message b.Reader.message
+  | _ -> Alcotest.fail "expected both paths to fail"
+
+let test_vcd_parallel_comment_fallback () =
+  (* A $comment block spanning chunk boundaries — full of decoy "#t"
+     lines — must not corrupt the parallel parse: the chunker either
+     avoids it or falls back to the sequential path. *)
+  let t = big_trace 20_000 in
+  let text = Vcd.to_string t in
+  let comment =
+    "$comment\n"
+    ^ String.concat "\n"
+        (List.init 4000 (fun i -> Printf.sprintf "#%d decoy decoy decoy" i))
+    ^ "\n$end"
+  in
+  let lines = String.split_on_char '\n' text in
+  let mid = List.length lines / 2 in
+  let text =
+    List.concat (List.mapi (fun i l -> if i = mid then [ comment; l ] else [ l ]) lines)
+    |> String.concat "\n"
+  in
+  with_jobs 4 @@ fun () ->
+  let seq = Vcd.parse ~parallel:false text in
+  let par = Vcd.parse ~parallel:true text in
+  Alcotest.(check bool) "comment spanning cuts" true
+    (FT.equal seq.Vcd.trace par.Vcd.trace);
+  Alcotest.(check bool) "roundtrip" true (FT.equal t par.Vcd.trace)
+
 (* ---------- CSV ---------- *)
 
 let test_csv_roundtrip () =
@@ -218,6 +442,14 @@ let test_csv_rejects_bad_header () =
        ignore (Csv.parse "a,b,c\n1,2,3\n");
        false
      with Csv.Parse_error _ -> true)
+
+let test_csv_error_position () =
+  (* The malformed cell sits on line 3 of the file. *)
+  match Csv.parse "time,a:4:in\n0,1\n1,zz\n" with
+  | _ -> Alcotest.fail "bad hex accepted"
+  | exception Csv.Parse_error e ->
+      Alcotest.(check int) "line" 3 e.Reader.line;
+      Alcotest.(check string) "snippet" "1,zz" e.Reader.snippet
 
 (* ---------- SAIF ---------- *)
 
@@ -244,6 +476,48 @@ let test_saif_document () =
   Alcotest.(check bool) "balanced parens" true
     (String.fold_left (fun acc c -> acc + (match c with '(' -> 1 | ')' -> -1 | _ -> 0)) 0 saif
      = 0)
+
+let test_saif_reader_roundtrip () =
+  let t = simple_trace () in
+  let p = Psm_trace.Saif.parse (Psm_trace.Saif.to_string ~design:"demo" t) in
+  Alcotest.(check (option string)) "design" (Some "demo") p.Psm_trace.Saif.design;
+  Alcotest.(check (option int)) "duration" (Some 5) p.Psm_trace.Saif.duration;
+  (* Nets come back in writer order, instance-qualified, unescaped, with
+     the counters the writer computed. *)
+  let iface = FT.interface t in
+  let expected =
+    List.concat_map
+      (fun signal ->
+        let s = Interface.signal iface signal in
+        List.init s.Signal.width (fun bit ->
+            let name =
+              if s.Signal.width = 1 then Printf.sprintf "demo/%s" s.Signal.name
+              else Printf.sprintf "demo/%s[%d]" s.Signal.name bit
+            in
+            (name, Psm_trace.Saif.bit_counters t ~signal ~bit)))
+      (List.init (Interface.arity iface) Fun.id)
+  in
+  Alcotest.(check int) "net count" (List.length expected)
+    (List.length p.Psm_trace.Saif.nets);
+  List.iter2
+    (fun (en, ec) (gn, (gc : Psm_trace.Saif.counters)) ->
+      Alcotest.(check string) "net name" en gn;
+      Alcotest.(check int) (en ^ " T0") ec.Psm_trace.Saif.t0 gc.Psm_trace.Saif.t0;
+      Alcotest.(check int) (en ^ " T1") ec.Psm_trace.Saif.t1 gc.Psm_trace.Saif.t1;
+      Alcotest.(check int) (en ^ " TC") ec.Psm_trace.Saif.tc gc.Psm_trace.Saif.tc)
+    expected p.Psm_trace.Saif.nets
+
+let test_saif_reader_rejects_garbage () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Psm_trace.Saif.parse "(NOTSAIF)");
+       false
+     with Psm_trace.Saif.Parse_error _ -> true);
+  Alcotest.(check bool) "unbalanced" true
+    (try
+       ignore (Psm_trace.Saif.parse "(SAIFILE (INSTANCE top (NET");
+       false
+     with Psm_trace.Saif.Parse_error _ -> true)
 
 let test_saif_t0_t1_sum () =
   let t = simple_trace () in
@@ -302,6 +576,108 @@ let arb_trace =
   in
   QCheck.make gen
 
+(* An interface wide enough to force multi-character VCD id codes
+   (id_code rolls over past 94 variables). *)
+let wide_iface =
+  Interface.create
+    (List.init 100 (fun i ->
+         let w = 1 + (i mod 8) in
+         let name = Printf.sprintf "s%d" i in
+         if i mod 3 = 0 then Signal.output name w else Signal.input name w))
+
+let arb_wide_trace =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 12 in
+      let* seeds = list_size (return n) (int_bound 0x3FFFFFF) in
+      let samples =
+        List.map
+          (fun seed ->
+            Array.init 100 (fun i ->
+                let w = 1 + (i mod 8) in
+                Bits.of_int ~width:w (seed * (i + 17) land ((1 lsl w) - 1))))
+          seeds
+      in
+      return (FT.of_samples wide_iface (Array.of_list samples)))
+  in
+  QCheck.make gen
+
+let is_ts l = String.length l > 1 && l.[0] = '#'
+
+(* Multiply the writer's per-cycle timestamps by [stride]; with [drop],
+   also erase timestamp lines whose change group is empty (except the
+   final one), simulating a tool that only dumps at change points. *)
+let scale_timestamps ?(drop = false) ~stride text =
+  let lines = String.split_on_char '\n' text in
+  let scaled =
+    List.map
+      (fun l ->
+        if is_ts l then
+          match int_of_string_opt (String.sub l 1 (String.length l - 1)) with
+          | Some t -> Printf.sprintf "#%d" (t * stride)
+          | None -> l
+        else l)
+      lines
+  in
+  let result =
+    if not drop then scaled
+    else begin
+      let last_ts =
+        List.fold_left
+          (fun (i, last) l -> (i + 1, if is_ts l then i else last))
+          (0, -1) scaled
+        |> snd
+      in
+      let rec keep i = function
+        | [] -> []
+        | l :: rest ->
+            let group_empty =
+              match rest with next :: _ -> is_ts next || next = "" | [] -> true
+            in
+            if is_ts l && i <> last_ts && group_empty then keep (i + 1) rest
+            else l :: keep (i + 1) rest
+      in
+      keep 0 scaled
+    end
+  in
+  String.concat "\n" result
+
+(* Replace 0-valued bits with x/z in the body of a writer-emitted VCD:
+   under the coercing policies the parse result must be unchanged. *)
+let inject_unknowns text =
+  let lines = String.split_on_char '\n' text in
+  let in_body = ref false in
+  let injected = ref 0 in
+  let out =
+    List.map
+      (fun l ->
+        if not !in_body then begin
+          if l = "$enddefinitions $end" then in_body := true;
+          l
+        end
+        else if l = "" || l.[0] = '#' || l.[0] = '$' then l
+        else
+          match l.[0] with
+          | '0' ->
+              incr injected;
+              "x" ^ String.sub l 1 (String.length l - 1)
+          | 'b' -> (
+              match String.index_opt l ' ' with
+              | Some sp ->
+                  String.mapi
+                    (fun i c ->
+                      if i > 0 && i < sp && c = '0' then begin
+                        incr injected;
+                        'z'
+                      end
+                      else c)
+                    l
+              | None -> l)
+          | _ -> l)
+      lines
+  in
+  (String.concat "\n" out, !injected)
+
 let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:50 ~name arb f)
 
 let properties =
@@ -339,6 +715,68 @@ let properties =
           (Array.init (Interface.arity iface) Fun.id));
     prop "vcd roundtrip" arb_trace (fun t ->
         FT.equal t (Vcd.parse (Vcd.to_string t)).Vcd.trace);
+    prop "vcd roundtrip >94 signals with power" arb_wide_trace (fun t ->
+        (* Multi-character id codes, an attached power trace, and the
+           directions comment all survive the trip. *)
+        let power =
+          PT.of_array
+            (Array.init (FT.length t) (fun i -> float_of_int (i mod 5) +. 0.25))
+        in
+        let parsed = Vcd.parse (Vcd.to_string ~power t) in
+        FT.equal t parsed.Vcd.trace
+        && Interface.equal wide_iface (FT.interface parsed.Vcd.trace)
+        && (match parsed.Vcd.power with
+           | Some p -> PT.to_array p = PT.to_array power
+           | None -> false));
+    prop "vcd gap expansion inverts change-only dumping"
+      (QCheck.pair arb_trace (QCheck.make QCheck.Gen.(int_range 2 7)))
+      (fun (t, stride) ->
+        (* Scale to a sparse change-only dump; parsing with the matching
+           period must reconstruct the original trace. *)
+        let text = scale_timestamps ~drop:true ~stride (Vcd.to_string t) in
+        FT.equal t (Vcd.parse ~period:stride text).Vcd.trace);
+    prop "vcd stride inference from uniform timestamps"
+      (QCheck.pair arb_trace (QCheck.make QCheck.Gen.(int_range 2 7)))
+      (fun (t, stride) ->
+        (* No period given: the GCD of the deltas recovers the stride. *)
+        let text = scale_timestamps ~stride (Vcd.to_string t) in
+        FT.equal t (Vcd.parse text).Vcd.trace);
+    prop "vcd x/z on zero bits is identity under coercion" arb_trace (fun t ->
+        let text, injected = inject_unknowns (Vcd.to_string t) in
+        let counted = Vcd.parse text in
+        let zeroed = Vcd.parse ~unknowns:Reader.Zero text in
+        FT.equal t counted.Vcd.trace
+        && FT.equal t zeroed.Vcd.trace
+        && zeroed.Vcd.stats.Reader.unknowns_coerced = 0
+        && (injected = 0 || counted.Vcd.stats.Reader.unknowns_coerced >= injected));
+    prop "vcd parallel parse equals sequential" arb_wide_trace (fun t ->
+        let text = Vcd.to_string t in
+        with_jobs 3 @@ fun () ->
+        let seq = Vcd.parse ~parallel:false text in
+        let par = Vcd.parse ~parallel:true text in
+        FT.equal seq.Vcd.trace par.Vcd.trace);
+    prop "saif reader inverts writer counters" arb_trace (fun t ->
+        let p = Psm_trace.Saif.parse (Psm_trace.Saif.to_string t) in
+        p.Psm_trace.Saif.duration = Some (FT.length t)
+        && List.for_all2
+             (fun (_, (a : Psm_trace.Saif.counters)) b ->
+               a.Psm_trace.Saif.t0 + a.Psm_trace.Saif.t1 = FT.length t && a = b)
+             p.Psm_trace.Saif.nets
+             (List.concat_map
+                (fun signal ->
+                  let s = Interface.signal (FT.interface t) signal in
+                  List.init s.Signal.width (fun bit ->
+                      Psm_trace.Saif.bit_counters t ~signal ~bit))
+                (List.init (Interface.arity (FT.interface t)) Fun.id)));
+    prop "saif parser total on junk"
+      (QCheck.make QCheck.Gen.(string_size ~gen:printable (int_range 0 400)))
+      (fun junk ->
+        try
+          ignore (Psm_trace.Saif.parse junk);
+          true
+        with
+        | Psm_trace.Saif.Parse_error _ -> true
+        | _ -> false);
     prop "csv roundtrip" arb_trace (fun t -> FT.equal t (fst (Csv.parse (Csv.to_string t))));
     prop "hamming series bounded by interface width" arb_trace (fun t ->
         Array.for_all (fun h -> h >= 0. && h <= 9.) (FT.input_hamming_series t));
@@ -372,11 +810,32 @@ let suite =
       Alcotest.test_case "vcd foreign input" `Quick test_vcd_foreign_input;
       Alcotest.test_case "vcd rejects garbage" `Quick test_vcd_rejects_garbage;
       Alcotest.test_case "vcd file io" `Quick test_vcd_file_io;
+      Alcotest.test_case "vcd timestamp gaps (gcd)" `Quick test_vcd_gap_gcd;
+      Alcotest.test_case "vcd explicit period" `Quick test_vcd_explicit_period;
+      Alcotest.test_case "vcd backwards time" `Quick test_vcd_backwards_time;
+      Alcotest.test_case "vcd equal timestamps" `Quick test_vcd_equal_timestamps_merge;
+      Alcotest.test_case "vcd x/z left-extension" `Quick test_vcd_xz_left_extension;
+      Alcotest.test_case "vcd unknown policies" `Quick test_vcd_unknown_policies;
+      Alcotest.test_case "vcd trailing vector token" `Quick
+        test_vcd_trailing_vector_token;
+      Alcotest.test_case "vcd oversized vector" `Quick test_vcd_oversized_vector;
+      Alcotest.test_case "vcd error position" `Quick test_vcd_error_position;
+      Alcotest.test_case "vcd stream" `Quick test_vcd_stream;
+      Alcotest.test_case "vcd parallel == sequential" `Quick
+        test_vcd_parallel_matches_sequential;
+      Alcotest.test_case "vcd parallel error order" `Quick
+        test_vcd_parallel_error_order;
+      Alcotest.test_case "vcd parallel comment fallback" `Quick
+        test_vcd_parallel_comment_fallback;
       Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
       Alcotest.test_case "csv without power" `Quick test_csv_no_power;
       Alcotest.test_case "csv bad header" `Quick test_csv_rejects_bad_header;
+      Alcotest.test_case "csv error position" `Quick test_csv_error_position;
       Alcotest.test_case "saif counters" `Quick test_saif_counters;
       Alcotest.test_case "saif document" `Quick test_saif_document;
+      Alcotest.test_case "saif reader roundtrip" `Quick test_saif_reader_roundtrip;
+      Alcotest.test_case "saif reader rejects garbage" `Quick
+        test_saif_reader_rejects_garbage;
       Alcotest.test_case "saif t0+t1" `Quick test_saif_t0_t1_sum;
       Alcotest.test_case "per-signal toggles" `Quick test_per_signal_toggles;
       Alcotest.test_case "distinct samples" `Quick test_distinct_samples;
