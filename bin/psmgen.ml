@@ -5,6 +5,7 @@
                 set, optionally dump Graphviz/VCD/CSV artifacts
      evaluate   train on short-TS, evaluate accuracy on long-TS
      trace      capture a training trace and write it as VCD and/or CSV
+     lint       statically analyze a persisted model
      info       list the benchmark IPs and their interfaces *)
 
 open Cmdliner
@@ -72,9 +73,17 @@ let save_arg =
        & info [ "save" ] ~docv:"FILE"
            ~doc:"Persist the trained model (reload with 'psmgen apply').")
 
+let lint_flag =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Print the static-analysis report for the model.")
+
+module Analyzer = Psm_analysis.Analyzer
+module Report = Psm_analysis.Report
+
 (* ---- generate ---- *)
 
-let generate name length parts epsilon dot save verbose =
+let generate name length parts epsilon dot save lint verbose =
   let length = if length = 0 then None else Some length in
   let _ip, trained = train ~name ~length ~parts ~epsilon in
   let psm = trained.Flow.optimized in
@@ -97,6 +106,10 @@ let generate name length parts epsilon dot save verbose =
   Printf.printf "\nTimings: mining %.3fs, generation %.3fs, combination %.3fs\n"
     trained.Flow.timings.Flow.mine_s trained.Flow.timings.Flow.generate_s
     trained.Flow.timings.Flow.combine_s;
+  if lint then begin
+    Printf.printf "\nStatic analysis (%s):\n" (Report.summary trained.Flow.analysis);
+    print_string (Report.text trained.Flow.analysis)
+  end;
   Option.iter
     (fun path ->
       Psm_core.Dot.write_file ~name path psm;
@@ -118,7 +131,7 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Mine PSMs for a benchmark IP")
     Term.(const (fun () -> generate) $ logs_arg $ ip_arg $ length $ parts_arg
-          $ epsilon_arg $ dot_arg $ save_arg $ verbose)
+          $ epsilon_arg $ dot_arg $ save_arg $ lint_flag $ verbose)
 
 (* ---- evaluate ---- *)
 
@@ -265,12 +278,18 @@ let train_vcd_cmd =
 
 (* ---- apply: run a persisted model over recorded traces ---- *)
 
-let apply model_path vcds unknowns period =
+let apply model_path vcds unknowns period lint =
   let model = Psm_flow.Persist.load_file model_path in
   Printf.printf "Loaded model: %d states, %d transitions, %d propositions\n"
     (Psm.state_count model.Psm_flow.Persist.psm)
     (Psm.transition_count model.Psm_flow.Persist.psm)
     (Psm_mining.Prop_trace.Table.prop_count model.Psm_flow.Persist.table);
+  if lint then begin
+    let findings =
+      Analyzer.analyze ~hmm:model.Psm_flow.Persist.hmm model.Psm_flow.Persist.psm
+    in
+    print_string (Report.text findings)
+  end;
   List.iter
     (fun file ->
       let parsed =
@@ -308,7 +327,55 @@ let apply_cmd =
   in
   Cmd.v
     (Cmd.info "apply" ~doc:"Estimate power for recorded traces with a persisted model")
-    Term.(const apply $ model $ vcds $ unknowns_arg $ period_arg)
+    Term.(const apply $ model $ vcds $ unknowns_arg $ period_arg $ lint_flag)
+
+(* ---- lint: static analysis of a persisted model ---- *)
+
+let lint_run model_path json strict rules =
+  let model =
+    try Psm_flow.Persist.load_file model_path
+    with Psm_flow.Persist.Parse_error msg ->
+      Printf.eprintf "%s: %s\n" model_path msg;
+      exit 2
+  in
+  let config =
+    { Analyzer.default with
+      Analyzer.rules = (match rules with [] -> None | names -> Some names) }
+  in
+  let findings =
+    try
+      Analyzer.analyze ~config ~hmm:model.Psm_flow.Persist.hmm
+        model.Psm_flow.Persist.psm
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  if json then print_string (Psm_analysis.Report.json findings)
+  else print_string (Psm_analysis.Report.text findings);
+  if strict && Psm_analysis.Finding.errors findings <> [] then exit 1
+
+let lint_cmd =
+  let model =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc:"Persisted model.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit with status 1 if any error-severity finding is reported.")
+  in
+  let rules =
+    Arg.(value & opt (list string) []
+         & info [ "rules" ] ~docv:"NAMES"
+             ~doc:"Run only these rules (comma-separated; default: all).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze a persisted model (determinism, reachability, \
+             power-attribute sanity, HMM stochasticity)")
+    Term.(const lint_run $ model $ json $ strict $ rules)
 
 (* ---- netlist: export / report the structural netlists ---- *)
 
@@ -365,5 +432,5 @@ let info_cmd =
 let () =
   let doc = "automatic generation of power state machines (DATE 2016 reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "psmgen" ~version:"1.0.0" ~doc)
-                    [ generate_cmd; evaluate_cmd; trace_cmd; train_vcd_cmd; apply_cmd; netlist_cmd;
-                      info_cmd ]))
+                    [ generate_cmd; evaluate_cmd; trace_cmd; train_vcd_cmd; apply_cmd;
+                      lint_cmd; netlist_cmd; info_cmd ]))

@@ -1,0 +1,44 @@
+type config = { strict : bool; epsilon : float; rules : string list option }
+
+let default = { strict = false; epsilon = 1e-6; rules = None }
+
+exception Strict_failure of Finding.t list
+
+(* Registration order is the run order; names are unique. *)
+let registry : Rule.t list ref = ref []
+
+let register (rule : Rule.t) =
+  if List.exists (fun (r : Rule.t) -> r.Rule.name = rule.Rule.name) !registry then
+    registry :=
+      List.map
+        (fun (r : Rule.t) -> if r.Rule.name = rule.Rule.name then rule else r)
+        !registry
+  else registry := !registry @ [ rule ]
+
+let () = List.iter register (Rules_psm.rules @ Rules_hmm.rules)
+
+let rules () = !registry
+
+let check_strict findings =
+  match Finding.errors findings with [] -> () | errors -> raise (Strict_failure errors)
+
+let run ?(config = default) ctx =
+  let enabled =
+    match config.rules with
+    | None -> !registry
+    | Some names ->
+        List.map
+          (fun name ->
+            match List.find_opt (fun (r : Rule.t) -> r.Rule.name = name) !registry with
+            | Some r -> r
+            | None -> invalid_arg ("Analyzer.run: unknown rule " ^ name))
+          names
+  in
+  let findings =
+    Finding.sort (List.concat_map (fun (r : Rule.t) -> r.Rule.check ctx) enabled)
+  in
+  if config.strict then check_strict findings;
+  findings
+
+let analyze ?(config = default) ?hmm ?gammas ?powers psm =
+  run ~config (Rule.context ?hmm ?gammas ?powers ~epsilon:config.epsilon psm)

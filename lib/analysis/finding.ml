@@ -1,0 +1,55 @@
+type severity = Error | Warning | Info
+
+type location =
+  | Model
+  | State of int
+  | Transition of { src : int; guard : int; dst : int }
+  | Hmm_row of int
+
+type t = {
+  rule : string;
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+let v ~rule ~severity ~location message = { rule; severity; location; message }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+let location_key = function
+  | Model -> (0, 0, 0, 0)
+  | State id -> (1, id, 0, 0)
+  | Transition { src; guard; dst } -> (2, src, guard, dst)
+  | Hmm_row row -> (3, row, 0, 0)
+
+let sort findings =
+  List.stable_sort
+    (fun a b ->
+      let c = compare_severity a.severity b.severity in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else compare (location_key a.location) (location_key b.location))
+    findings
+
+let errors findings = List.filter (fun f -> f.severity = Error) findings
+
+let count severity findings = List.length (List.filter (fun f -> f.severity = severity) findings)
+
+let pp_location fmt = function
+  | Model -> Format.fprintf fmt "model"
+  | State id -> Format.fprintf fmt "s%d" id
+  | Transition { src; guard; dst } -> Format.fprintf fmt "s%d --[p%d]--> s%d" src guard dst
+  | Hmm_row row -> Format.fprintf fmt "A-row %d" row
+
+let pp fmt f =
+  Format.fprintf fmt "%s[%s] %a: %s" (severity_to_string f.severity) f.rule pp_location
+    f.location f.message

@@ -1,0 +1,39 @@
+(** Diagnostics emitted by the static analyzer.
+
+    A finding pins one rule violation to one location of the model under
+    analysis — a state, a transition (with its guard proposition), an HMM
+    row, or the model as a whole — with a severity and a human-readable
+    message (propositions already rendered through the prop table by the
+    rule that produced the finding). *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Model  (** A whole-model property (e.g. instant-count conservation). *)
+  | State of int  (** A PSM state id. *)
+  | Transition of { src : int; guard : int; dst : int }
+  | Hmm_row of int  (** A dense HMM row index. *)
+
+type t = {
+  rule : string;  (** Name of the rule that fired. *)
+  severity : severity;
+  location : location;
+  message : string;
+}
+
+val v : rule:string -> severity:severity -> location:location -> string -> t
+(** [v ~rule ~severity ~location message] builds a finding. *)
+
+val severity_to_string : severity -> string
+
+val compare_severity : severity -> severity -> int
+(** Most severe first: [Error < Warning < Info]. *)
+
+val sort : t list -> t list
+(** Stable order: severity (errors first), then rule name, then location. *)
+
+val errors : t list -> t list
+val count : severity -> t list -> int
+
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+let plural n what = Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s")
+
+let summary findings =
+  if findings = [] then "clean"
+  else
+    let e = Finding.count Finding.Error findings in
+    let w = Finding.count Finding.Warning findings in
+    let i = Finding.count Finding.Info findings in
+    String.concat ", "
+      (List.filter_map
+         (fun (n, what) -> if n = 0 then None else Some (plural n what))
+         [ (e, "error"); (w, "warning"); (i, "info") ])
+
+let text findings =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (summary findings);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun f -> Buffer.add_string buf (Format.asprintf "  %a@." Finding.pp f))
+    (Finding.sort findings);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let location_json = function
+  | Finding.Model -> "{\"kind\":\"model\"}"
+  | Finding.State id -> Printf.sprintf "{\"kind\":\"state\",\"id\":%d}" id
+  | Finding.Transition { src; guard; dst } ->
+      Printf.sprintf "{\"kind\":\"transition\",\"src\":%d,\"guard\":%d,\"dst\":%d}" src
+        guard dst
+  | Finding.Hmm_row row -> Printf.sprintf "{\"kind\":\"hmm-row\",\"row\":%d}" row
+
+let json findings =
+  let findings = Finding.sort findings in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": 1,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"errors\": %d,\n  \"warnings\": %d,\n  \"infos\": %d,\n"
+       (Finding.count Finding.Error findings)
+       (Finding.count Finding.Warning findings)
+       (Finding.count Finding.Info findings));
+  Buffer.add_string buf "  \"findings\": [";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"severity\":\"%s\",\"rule\":\"%s\",\"location\":%s,\"message\":\"%s\"}"
+           (Finding.severity_to_string f.Finding.severity)
+           (json_escape f.Finding.rule)
+           (location_json f.Finding.location)
+           (json_escape f.Finding.message)))
+    findings;
+  Buffer.add_string buf (if findings = [] then "]\n}\n" else "\n  ]\n}\n");
+  Buffer.contents buf

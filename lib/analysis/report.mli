@@ -1,0 +1,16 @@
+(** Text and JSON rendering of analyzer findings. *)
+
+val summary : Finding.t list -> string
+(** One line: ["2 errors, 1 warning, 3 infos"] (or ["clean"]). *)
+
+val text : Finding.t list -> string
+(** The summary followed by one line per finding, most severe first. *)
+
+val json : Finding.t list -> string
+(** A stable machine-readable rendering:
+    [{ "schema": 1, "errors": n, "warnings": n, "infos": n,
+       "findings": [ { "severity", "rule", "location", "message" }, … ] }]
+    where ["location"] is one of
+    [{"kind":"model"}], [{"kind":"state","id":i}],
+    [{"kind":"transition","src":i,"guard":p,"dst":j}],
+    [{"kind":"hmm-row","row":i}]. *)

@@ -1,0 +1,148 @@
+module Psm = Psm_core.Psm
+module Hmm = Psm_hmm.Hmm
+module Assertion = Psm_core.Assertion
+module Table = Psm_mining.Prop_trace.Table
+
+let v = Finding.v
+
+let with_hmm (ctx : Rule.context) k =
+  match ctx.Rule.hmm with None -> [] | Some hmm -> k hmm
+
+(* ---------- consistency with the PSM ---------- *)
+
+let check_consistency ctx =
+  with_hmm ctx @@ fun hmm ->
+  let psm = ctx.Rule.psm in
+  let findings = ref [] in
+  let emit x = findings := x :: !findings in
+  if Hmm.state_count hmm <> Psm.state_count psm then
+    emit
+      (v ~rule:"hmm-consistency" ~severity:Finding.Error ~location:Finding.Model
+         (Printf.sprintf "HMM has %d hidden states but the PSM has %d"
+            (Hmm.state_count hmm) (Psm.state_count psm)));
+  List.iter
+    (fun (s : Psm.state) ->
+      match Hmm.row_of_state hmm s.Psm.id with
+      | _ -> ()
+      | exception Not_found ->
+          emit
+            (v ~rule:"hmm-consistency" ~severity:Finding.Error
+               ~location:(Finding.State s.Psm.id)
+               "PSM state has no HMM row"))
+    (Psm.states psm);
+  List.rev !findings
+
+(* ---------- stochasticity ---------- *)
+
+let check_stochastic_row ~eps ~location ~what row =
+  let findings = ref [] in
+  let emit severity msg =
+    findings := v ~rule:"hmm-stochastic" ~severity ~location msg :: !findings
+  in
+  let bad = ref false in
+  Array.iteri
+    (fun j x ->
+      if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then begin
+        bad := true;
+        emit Finding.Error (Printf.sprintf "%s[%d] = %g is not finite" what j x)
+      end
+      else if x < 0. then begin
+        bad := true;
+        emit Finding.Error (Printf.sprintf "%s[%d] = %g is negative" what j x)
+      end)
+    row;
+  if not !bad then begin
+    let total = Array.fold_left ( +. ) 0. row in
+    if total = 0. then
+      emit Finding.Warning (Printf.sprintf "%s is all-zero (no probability mass)" what)
+    else if abs_float (total -. 1.) > eps then
+      emit Finding.Error (Printf.sprintf "%s sums to %.17g, not 1" what total)
+  end;
+  List.rev !findings
+
+let check_stochastic ctx =
+  with_hmm ctx @@ fun hmm ->
+  let eps = ctx.Rule.epsilon in
+  let m = Hmm.state_count hmm in
+  let nprops = Table.prop_count (Psm.prop_table ctx.Rule.psm) in
+  let a_rows =
+    List.concat
+      (List.init m (fun i ->
+           let row = Array.init m (fun j -> Hmm.a hmm i j) in
+           let what = Printf.sprintf "A[s%d]" (Hmm.state_of_row hmm i) in
+           (* A rows must never be all-zero: build gives absorbing states a
+              self-loop, so promote the all-zero Warning to an Error. *)
+           check_stochastic_row ~eps ~location:(Finding.Hmm_row i) ~what row
+           |> List.map (fun (f : Finding.t) ->
+                  if f.Finding.severity = Finding.Warning then
+                    { f with Finding.severity = Finding.Error }
+                  else f)))
+  in
+  let pi_row =
+    check_stochastic_row ~eps ~location:Finding.Model ~what:"π" (Hmm.pi hmm)
+    |> List.map (fun (f : Finding.t) ->
+           if f.Finding.severity = Finding.Warning then
+             { f with Finding.severity = Finding.Error }
+           else f)
+  in
+  let b_rows =
+    List.concat
+      (List.init m (fun i ->
+           let state = Hmm.state_of_row hmm i in
+           let full = Array.init nprops (fun p -> Hmm.b_obs hmm i p) in
+           let entry = Array.init nprops (fun p -> Hmm.b_entry hmm i p) in
+           check_stochastic_row ~eps ~location:(Finding.Hmm_row i)
+             ~what:(Printf.sprintf "B[s%d]" state)
+             full
+           @ check_stochastic_row ~eps ~location:(Finding.Hmm_row i)
+               ~what:(Printf.sprintf "B-entry[s%d]" state)
+               entry))
+  in
+  a_rows @ pi_row @ b_rows
+
+(* ---------- emission support vs components ---------- *)
+
+let check_emission ctx =
+  with_hmm ctx @@ fun hmm ->
+  let psm = ctx.Rule.psm in
+  let nprops = Table.prop_count (Psm.prop_table psm) in
+  List.concat_map
+    (fun (s : Psm.state) ->
+      match Hmm.row_of_state hmm s.Psm.id with
+      | exception Not_found -> [] (* hmm-consistency reports it *)
+      | row ->
+          List.concat_map
+            (fun (assertion, _) ->
+              List.filter_map
+                (fun p ->
+                  if p < 0 || p >= nprops then
+                    Some
+                      (v ~rule:"hmm-emission" ~severity:Finding.Error
+                         ~location:(Finding.State s.Psm.id)
+                         (Printf.sprintf
+                            "component assertion enters through %s, which is not \
+                             an interned proposition"
+                            (Rule.prop_name ctx p)))
+                  else if Hmm.b_entry hmm row p <= 0. then
+                    Some
+                      (v ~rule:"hmm-emission" ~severity:Finding.Warning
+                         ~location:(Finding.State s.Psm.id)
+                         (Printf.sprintf
+                            "component entry proposition %s carries no emission \
+                             mass in B-entry"
+                            (Rule.prop_name ctx p)))
+                  else None)
+                (Assertion.entry_props assertion))
+            s.Psm.components)
+    (Psm.states psm)
+
+let rules =
+  [ { Rule.name = "hmm-consistency";
+      description = "the HMM's hidden states are exactly the PSM's states";
+      check = check_consistency };
+    { Rule.name = "hmm-stochastic";
+      description = "A rows, π and emission rows are probability distributions";
+      check = check_stochastic };
+    { Rule.name = "hmm-emission";
+      description = "emission support is consistent with the characterizing components";
+      check = check_emission } ]

@@ -1,0 +1,20 @@
+(** The built-in rules over {!Psm_hmm.Hmm.t} (all skipped when the
+    context carries no HMM):
+
+    - [hmm-consistency] — the HMM's hidden states are exactly the PSM's
+      states (Errors);
+    - [hmm-stochastic] — A rows, π and the emission rows are probability
+      distributions: finite, non-negative, summing to 1 within ε
+      (Errors); an all-zero emission row is a Warning;
+    - [hmm-emission] — emission support is consistent with the states'
+      characterizing components: every component's entry propositions are
+      interned (Error) and carry emission mass (Warning). *)
+
+val rules : Rule.t list
+
+val check_stochastic_row :
+  eps:float -> location:Finding.location -> what:string -> float array -> Finding.t list
+(** The row primitive behind [hmm-stochastic], exposed so tests (and
+    external tooling) can lint raw probability rows directly: Errors for
+    NaN/infinite/negative entries and for a row sum off 1 by more than
+    [eps]; an all-zero row yields a single Warning instead. *)

@@ -1,0 +1,23 @@
+(** The built-in structural rules over {!Psm_core.Psm.t}:
+
+    - [determinism] — dangling guard ids (Error), two guards out of one
+      state with bitwise-identical truth rows (Error: simultaneously
+      satisfiable), and same-guard fan-out to distinct states (Warning:
+      the join-induced nondeterminism the HMM resolves);
+    - [reachability] — empty S₀ (Error), states unreachable from any
+      initial state (Warning), sink states (Info: the HMM self-loops
+      them);
+    - [stall] — input-completeness against the training Γ: a state whose
+      activation is followed by a proposition no outgoing guard covers
+      (Error); needs [gammas];
+    - [attr-sanity] — σ ≥ 0, n ≥ 1, finite μ, well-formed non-overlapping
+      intervals whose lengths sum to n (Errors), negative μ or missing
+      components (Warnings);
+    - [conservation] — each state's pooled ⟨μ, σ, n⟩ equals
+      {!Psm_core.Power_attr.recompute} over its intervals, every training
+      instant is covered exactly once, and total n is conserved (Errors);
+      needs [powers]. *)
+
+val rules : Rule.t list
+(** In severity-relevant order: determinism, reachability, stall,
+    attr-sanity, conservation. *)

@@ -6,6 +6,10 @@ let escape s =
       | '"' -> Buffer.add_string buf "\\\""
       | '\\' -> Buffer.add_string buf "\\\\"
       | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 || Char.code c = 0x7f ->
+          (* CR, tab and the other control characters have no portable DOT
+             escape; a space keeps the quoted string well-formed. *)
+          Buffer.add_char buf ' '
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf

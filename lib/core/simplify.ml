@@ -1,5 +1,3 @@
-module IntMap = Map.Make (Int)
-
 (* One pass: collect disjoint maximal runs of adjacent mergeable states,
    merge them, and report whether anything changed. *)
 let pass config psm =

@@ -8,7 +8,6 @@ type t = {
   mutable run_start : int; (* first instant of the current lhs run *)
   mutable state : [ `X | `U ];
   mutable exhausted : bool;
-  mutable emitted : bool; (* at least one pattern was recognized *)
 }
 
 let initialize trace =
@@ -16,8 +15,7 @@ let initialize trace =
     pos = 0;
     run_start = 0;
     state = `X;
-    exhausted = false;
-    emitted = false }
+    exhausted = false }
 
 let prop_at t i = if i >= 0 && i < Array.length t.gamma then Some t.gamma.(i) else None
 
@@ -48,7 +46,6 @@ let get_assertion t =
               let result = (Next (f0, f1), t.run_start, t.pos) in
               t.pos <- t.pos + 1;
               t.run_start <- t.pos;
-              t.emitted <- true;
               Some result
             end
         | `U ->
@@ -61,7 +58,6 @@ let get_assertion t =
               t.state <- `X;
               t.pos <- t.pos + 1;
               t.run_start <- t.pos;
-              t.emitted <- true;
               Some result
             end)
   in

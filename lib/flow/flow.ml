@@ -11,20 +11,24 @@ module Hmm = Psm_hmm.Hmm
 module Multi_sim = Psm_hmm.Multi_sim
 module Accuracy = Psm_hmm.Accuracy
 
+module Analyzer = Psm_analysis.Analyzer
+
 type config = {
   miner : Miner.config;
   merge : Psm_core.Merge.config;
   optimize : Psm_core.Optimize.config;
   power : Psm_rtl.Power_model.config;
+  analysis : Analyzer.config;
 }
 
 let default =
   { miner = Miner.default;
     merge = Psm_core.Merge.default;
     optimize = Psm_core.Optimize.default;
-    power = Psm_rtl.Power_model.default }
+    power = Psm_rtl.Power_model.default;
+    analysis = Analyzer.default }
 
-type timings = { mine_s : float; generate_s : float; combine_s : float }
+type timings = { mine_s : float; generate_s : float; combine_s : float; analyze_s : float }
 
 let total_generation_s t = t.mine_s +. t.generate_s +. t.combine_s
 
@@ -39,6 +43,7 @@ type trained = {
   hmm : Hmm.t;
   transition_counts : ((int * int) * float) list;
   emission_counts : ((int * int) * float) list;
+  analysis : Psm_analysis.Finding.t list;
   timings : timings;
 }
 
@@ -134,6 +139,31 @@ let train ?(config = default) ~traces ~powers () =
         (Psm.state_count optimized) (Psm.transition_count optimized)
         (List.length (List.filter (fun r -> r.Psm_core.Optimize.upgraded) optimize_reports))
         combine_s);
+  (* Gate-check the model like a compiler pass: the raw chains first (a
+     generator bug must be blamed on the generator, not on simplify), then
+     the combined model with the full training context. *)
+  let analysis, analyze_s =
+    timed (fun () ->
+        let gammas = Array.of_list prop_traces in
+        let raw_findings =
+          Analyzer.analyze ~config:config.analysis ~gammas ~powers:powers_arr raw
+        in
+        (* Raw-chain findings are re-located on states that no longer
+           exist after combination; surface them but keep the combined
+           model's findings as the record of truth. *)
+        (match Psm_analysis.Finding.errors raw_findings with
+        | [] -> ()
+        | errors ->
+            Log.warn (fun m ->
+                m "analysis: raw chains have %d error finding(s): %a"
+                  (List.length errors)
+                  (Format.pp_print_list Psm_analysis.Finding.pp)
+                  errors));
+        Analyzer.analyze ~config:config.analysis ~hmm ~gammas ~powers:powers_arr
+          optimized)
+  in
+  Log.info (fun m ->
+      m "analysis: %s in %.3fs" (Psm_analysis.Report.summary analysis) analyze_s);
   { config;
     table;
     traces = traces_arr;
@@ -144,7 +174,15 @@ let train ?(config = default) ~traces ~powers () =
     hmm;
     transition_counts;
     emission_counts;
-    timings = { mine_s; generate_s; combine_s } }
+    analysis;
+    timings = { mine_s; generate_s; combine_s; analyze_s } }
+
+let lint trained =
+  let gammas =
+    Array.map (Prop_trace.of_functional trained.table) trained.traces
+  in
+  Analyzer.analyze ~config:trained.config.analysis ~hmm:trained.hmm ~gammas
+    ~powers:trained.powers trained.optimized
 
 let split_stimulus stimulus ~parts =
   if parts <= 0 then invalid_arg "Flow.split_stimulus: parts must be positive";

@@ -12,6 +12,12 @@ type config = {
   merge : Psm_core.Merge.config;
   optimize : Psm_core.Optimize.config;
   power : Psm_rtl.Power_model.config;
+  analysis : Psm_analysis.Analyzer.config;
+      (** The static analyzer gate-checks the model after generation and
+          again after combination; with [analysis.strict] set, an
+          [Error]-severity finding raises
+          {!Psm_analysis.Analyzer.Strict_failure} instead of silently
+          degrading simulation. *)
 }
 
 val default : config
@@ -20,6 +26,10 @@ type timings = {
   mine_s : float;  (** Vocabulary mining + proposition-trace extraction. *)
   generate_s : float;  (** PSMGenerator over all traces. *)
   combine_s : float;  (** simplify + join + optimize + HMM build. *)
+  analyze_s : float;
+      (** Static analysis of the raw chains and the combined model.
+          Deliberately excluded from {!total_generation_s}: Table II's
+          "PSMs gen." column predates the analyzer. *)
 }
 
 val total_generation_s : timings -> float
@@ -39,6 +49,10 @@ type trained = {
       (** Training transition frequencies the HMM's A was built from
           (persisted with the model). *)
   emission_counts : ((int * int) * float) list;
+  analysis : Psm_analysis.Finding.t list;
+      (** Findings of the post-combination analyzer run (full context:
+          PSM + HMM + training Γ and power traces), sorted by severity.
+          Empty means the model passed every registered rule. *)
   timings : timings;
 }
 
@@ -49,7 +63,16 @@ val train :
   unit ->
   trained
 (** All traces must share one interface; traces and powers are paired
-    positionally and must have matching lengths. *)
+    positionally and must have matching lengths. The static analyzer
+    runs after generation and after combination (see {!config.analysis});
+    with [analysis.strict] set it raises
+    [Psm_analysis.Analyzer.Strict_failure] on any [Error] finding. *)
+
+val lint : trained -> Psm_analysis.Finding.t list
+(** Re-run the analyzer over the trained model with the full training
+    context (the proposition traces are re-derived from the stored
+    functional traces). [trained.analysis] caches the result of the same
+    run at training time. *)
 
 (** {1 Training straight from VCD files} *)
 

@@ -181,6 +181,8 @@ let ban t ~src_row ~dst_row =
     done
   end
 
+let unsafe_set_a t ~row ~col v = t.a.(row).(col) <- v
+
 let reset_bans t =
   Array.iteri (fun i r -> Array.blit t.a_original.(i) 0 r 0 (Array.length r)) t.a
 

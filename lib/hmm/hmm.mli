@@ -81,3 +81,10 @@ val ban : t -> src_row:int -> dst_row:int -> unit
 val reset_bans : t -> unit
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+val unsafe_set_a : t -> row:int -> col:int -> float -> unit
+(** Fault injection for the analyzer tests: overwrite A[row][col] without
+    renormalizing. Never use outside tests — [build] and [ban] are the
+    only legitimate writers of A. *)

@@ -1,5 +1,4 @@
 open Psm_rtl
-module Bits = Psm_bits.Bits
 
 let netlist () =
   let nl = Netlist.create "RAM" in

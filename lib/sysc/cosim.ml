@@ -12,7 +12,6 @@ type t = {
   mutable cycle : int;
   est : float array;
   refs : float array;
-  total : int;
 }
 
 let build kernel ~clock ~ip ~hmm ~stimulus =
@@ -31,7 +30,7 @@ let build kernel ~clock ~ip ~hmm ~stimulus =
   in
   let total = Array.length stimulus in
   let t =
-    { pis; pos; power; cycle = 0; est = Array.make total 0.; refs = Array.make total 0.; total }
+    { pis; pos; power; cycle = 0; est = Array.make total 0.; refs = Array.make total 0. }
   in
   (* Testbench: drive PIs on the falling edge for the next rising edge. *)
   let drive_cycle = ref 0 in

@@ -595,6 +595,58 @@ let test_dot_renders () =
   check_bool "has edge" true (contains "->" dot);
   check_bool "labels guards" true (contains "label" dot)
 
+let test_dot_escapes_hostile_names () =
+  (* Quotes, backslashes, newlines, tabs and CRs in signal names (and the
+     graph name) must never leak into the DOT output unescaped. *)
+  let iface = Interface.create [ Signal.input "a\"b\\c\nd\te\rf" 1 ] in
+  let atoms = [ Psm_mining.Atomic.eq_const 0 (Bits.of_bool true) ] in
+  let table = Table.create (Vocabulary.create iface atoms) in
+  let p_hi = Table.intern_row table [| true |] in
+  let p_lo = Table.intern_row table [| false |] in
+  let psm = Psm.empty table in
+  let psm, s0 =
+    Psm.add_state psm (Assertion.Until (p_hi, p_lo))
+      { Power_attr.mu = 1e-6; sigma = 0.; n = 4; intervals = [] }
+  in
+  let psm, s1 =
+    Psm.add_state psm (Assertion.Until (p_lo, p_hi))
+      { Power_attr.mu = 2e-6; sigma = 0.; n = 4; intervals = [] }
+  in
+  let psm = Psm.add_transition psm ~src:s0 ~guard:p_lo ~dst:s1 in
+  let psm = Psm.add_initial psm s0 in
+  let dot = Psm_core.Dot.to_string ~name:"bad\"na\\me\r\nx\ty" psm in
+  String.iter
+    (fun c ->
+      check_bool "no raw control characters besides newline" true
+        (c = '\n' || Char.code c >= 0x20))
+    dot;
+  (* A raw newline or unescaped quote inside a label would leave a line
+     with an odd number of quote characters. *)
+  List.iter
+    (fun line ->
+      let quotes = ref 0 in
+      String.iteri
+        (fun i c ->
+          if c = '"' then begin
+            let backslashes = ref 0 in
+            let j = ref (i - 1) in
+            while !j >= 0 && line.[!j] = '\\' do
+              incr backslashes;
+              decr j
+            done;
+            if !backslashes mod 2 = 0 then incr quotes
+          end)
+        line;
+      check_bool ("balanced quotes in: " ^ line) true (!quotes mod 2 = 0))
+    (String.split_on_char '\n' dot);
+  let contains needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "quote escaped" true (contains "\\\"" dot);
+  check_bool "backslash escaped" true (contains "\\\\" dot)
+
 (* ---------- properties ---------- *)
 
 let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:60 ~name arb f)
@@ -704,5 +756,7 @@ let suite =
       Alcotest.test_case "sim replays training" `Quick test_sim_single_replays_training;
       Alcotest.test_case "sim desyncs on unknown" `Quick test_sim_single_desyncs_on_unknown;
       Alcotest.test_case "sim rejects composites" `Quick test_sim_single_rejects_composites;
-      Alcotest.test_case "dot renders" `Quick test_dot_renders ]
+      Alcotest.test_case "dot renders" `Quick test_dot_renders;
+      Alcotest.test_case "dot escapes hostile names" `Quick
+        test_dot_escapes_hostile_names ]
     @ properties )
