@@ -81,9 +81,33 @@ let lint_flag =
 module Analyzer = Psm_analysis.Analyzer
 module Report = Psm_analysis.Report
 
+(* ---- profiling (--profile) ---- *)
+
+let profile_arg =
+  Arg.(value & opt ~vopt:(Some "psm-profile.json") (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Enable the observability sink and write the recorded spans as \
+                 Chrome trace-event JSON (load in chrome://tracing or Perfetto). \
+                 FILE defaults to psm-profile.json.")
+
+let with_profile profile f =
+  match profile with
+  | None -> f ()
+  | Some path ->
+      Psm_obs.enable ();
+      Fun.protect f ~finally:(fun () ->
+          (* Written in the finally so a failing run still leaves the
+             partial profile behind. *)
+          let summary = Psm_obs.snapshot () in
+          Psm_obs.write_chrome_file path;
+          Printf.printf "Wrote %s (%d spans, %d distinct names)\n" path
+            (List.length summary.Psm_obs.events)
+            (List.length summary.Psm_obs.span_stats))
+
 (* ---- generate ---- *)
 
-let generate name length parts epsilon dot save lint verbose =
+let generate name length parts epsilon dot save lint verbose profile =
+  with_profile profile @@ fun () ->
   let length = if length = 0 then None else Some length in
   let _ip, trained = train ~name ~length ~parts ~epsilon in
   let psm = trained.Flow.optimized in
@@ -131,7 +155,7 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Mine PSMs for a benchmark IP")
     Term.(const (fun () -> generate) $ logs_arg $ ip_arg $ length $ parts_arg
-          $ epsilon_arg $ dot_arg $ save_arg $ lint_flag $ verbose)
+          $ epsilon_arg $ dot_arg $ save_arg $ lint_flag $ verbose $ profile_arg)
 
 (* ---- evaluate ---- *)
 
@@ -278,7 +302,8 @@ let train_vcd_cmd =
 
 (* ---- apply: run a persisted model over recorded traces ---- *)
 
-let apply model_path vcds unknowns period lint =
+let apply model_path vcds unknowns period lint profile =
+  with_profile profile @@ fun () ->
   let model = Psm_flow.Persist.load_file model_path in
   Printf.printf "Loaded model: %d states, %d transitions, %d propositions\n"
     (Psm.state_count model.Psm_flow.Persist.psm)
@@ -327,11 +352,13 @@ let apply_cmd =
   in
   Cmd.v
     (Cmd.info "apply" ~doc:"Estimate power for recorded traces with a persisted model")
-    Term.(const apply $ model $ vcds $ unknowns_arg $ period_arg $ lint_flag)
+    Term.(const apply $ model $ vcds $ unknowns_arg $ period_arg $ lint_flag
+          $ profile_arg)
 
 (* ---- lint: static analysis of a persisted model ---- *)
 
-let lint_run model_path json strict rules =
+let lint_run model_path json strict rules profile =
+  with_profile profile @@ fun () ->
   let model =
     try Psm_flow.Persist.load_file model_path
     with Psm_flow.Persist.Parse_error msg ->
@@ -375,7 +402,7 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Statically analyze a persisted model (determinism, reachability, \
              power-attribute sanity, HMM stochasticity)")
-    Term.(const lint_run $ model $ json $ strict $ rules)
+    Term.(const lint_run $ model $ json $ strict $ rules $ profile_arg)
 
 (* ---- netlist: export / report the structural netlists ---- *)
 

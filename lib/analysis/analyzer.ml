@@ -1,6 +1,12 @@
-type config = { strict : bool; epsilon : float; rules : string list option }
+type config = {
+  strict : bool;
+  epsilon : float;
+  rules : string list option;
+  max_analyze_fraction : float;
+}
 
-let default = { strict = false; epsilon = 1e-6; rules = None }
+let default =
+  { strict = false; epsilon = 1e-6; rules = None; max_analyze_fraction = 0.5 }
 
 exception Strict_failure of Finding.t list
 
@@ -35,10 +41,38 @@ let run ?(config = default) ctx =
           names
   in
   let findings =
-    Finding.sort (List.concat_map (fun (r : Rule.t) -> r.Rule.check ctx) enabled)
+    Finding.sort
+      (List.concat_map
+         (fun (r : Rule.t) ->
+           Psm_obs.span ("analyze." ^ r.Rule.name) (fun () -> r.Rule.check ctx))
+         enabled)
   in
   if config.strict then check_strict findings;
   findings
 
 let analyze ?(config = default) ?hmm ?gammas ?powers psm =
   run ~config (Rule.context ?hmm ?gammas ?powers ~epsilon:config.epsilon psm)
+
+(* The analyzer is bookkeeping, not methodology: it must stay cheap
+   relative to the generation pipeline it gate-checks. *)
+let overhead_check ?(config = default) ~analyze_s ~generation_s () =
+  if analyze_s > 0. && generation_s > 0.
+     && analyze_s > config.max_analyze_fraction *. generation_s
+  then
+    [ Finding.v ~rule:"analyzer-overhead" ~severity:Finding.Warning
+        ~location:Finding.Model
+        (Printf.sprintf
+           "static analysis took %.3fs, over %.0f%% of the %.3fs generation time"
+           analyze_s
+           (100. *. config.max_analyze_fraction)
+           generation_s) ]
+  else []
+
+let overhead_findings ?(config = default) () =
+  let analyze_s = Psm_obs.span_total "flow.analyze" in
+  let generation_s =
+    Psm_obs.span_total "flow.mine"
+    +. Psm_obs.span_total "flow.generate"
+    +. Psm_obs.span_total "flow.combine"
+  in
+  overhead_check ~config ~analyze_s ~generation_s ()

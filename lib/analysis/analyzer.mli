@@ -12,10 +12,14 @@ type config = {
   rules : string list option;
       (** Restrict the run to these rule names ([None] = all). Unknown
           names raise [Invalid_argument]. *)
+  max_analyze_fraction : float;
+      (** {!overhead_check} warns when static analysis exceeded this
+          fraction of the generation pipeline's wall time. *)
 }
 
 val default : config
-(** [{ strict = false; epsilon = 1e-6; rules = None }] *)
+(** [{ strict = false; epsilon = 1e-6; rules = None;
+       max_analyze_fraction = 0.5 }] *)
 
 exception Strict_failure of Finding.t list
 (** Carries the [Error]-severity findings only. *)
@@ -43,3 +47,20 @@ val analyze :
 
 val check_strict : Finding.t list -> unit
 (** Raise {!Strict_failure} if the findings contain an [Error]. *)
+
+(** {1 Analyzer self-accounting}
+
+    The analyzer gate-checks generated models, so its own cost must stay
+    small next to the pipeline it checks. These produce at most one
+    [Warning]-severity [analyzer-overhead] finding located on the model. *)
+
+val overhead_check :
+  ?config:config -> analyze_s:float -> generation_s:float -> unit -> Finding.t list
+(** Compare explicit wall times (e.g. a {!Psm_flow.Flow.timings} record)
+    against [config.max_analyze_fraction]. Zero or negative times never
+    warn. *)
+
+val overhead_findings : ?config:config -> unit -> Finding.t list
+(** {!overhead_check} fed from the {!Psm_obs} span totals ([flow.analyze]
+    vs [flow.mine] + [flow.generate] + [flow.combine]); returns [[]]
+    unless profiling was enabled and the flow spans were recorded. *)

@@ -6,6 +6,7 @@ let assertion_of_pattern = function
   | Xu.Next (p, q) -> Assertion.Next (p, q)
 
 let generate psm ~trace gamma delta =
+  Psm_obs.span "generate.chain" @@ fun () ->
   let len = Prop_trace.length gamma in
   if len = 0 then invalid_arg "Generator.generate: empty proposition trace";
   if len <> Power_trace.length delta then
@@ -21,6 +22,7 @@ let generate psm ~trace gamma delta =
     | None -> List.rev acc
   in
   let triplets = collect [] in
+  Psm_obs.count "generate.xu_triplets" (List.length triplets);
   let triplets =
     (* End-of-trace attribution. A trailing run of a single instant is
        folded into the last pattern's interval (the paper's own example:

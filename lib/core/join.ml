@@ -46,6 +46,11 @@ let pass config psm =
       let psm', mapping = Psm.merge_clusters psm ~internal_edges:`Self_loop cs in
       (psm', mapping, true)
 
-let join_traced ?(config = Merge.default) psm = Simplify.compose_passes (pass config) psm
+let join_traced ?(config = Merge.default) psm =
+  Psm_obs.span "combine.join" @@ fun () ->
+  let before = Psm.state_count psm in
+  let result = Simplify.compose_passes (pass config) psm in
+  Psm_obs.count "combine.join_merged" (before - Psm.state_count (fst result));
+  result
 
 let join ?config psm = fst (join_traced ?config psm)

@@ -27,6 +27,7 @@ let samples_of_state hamming_series powers (attr : Power_attr.t) =
   (Array.of_list !xs, Array.of_list !ys)
 
 let optimize ?(config = default) ~traces ~powers psm =
+  Psm_obs.span "combine.optimize" @@ fun () ->
   if Array.length traces <> Array.length powers then
     invalid_arg "Optimize.optimize: traces and powers differ in number";
   let hamming_series = Array.map Functional_trace.input_hamming_series traces in

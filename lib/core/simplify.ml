@@ -78,6 +78,11 @@ let compose_passes pass_fn psm =
   in
   (final, resolve)
 
-let simplify_traced ?(config = Merge.default) psm = compose_passes (pass config) psm
+let simplify_traced ?(config = Merge.default) psm =
+  Psm_obs.span "combine.simplify" @@ fun () ->
+  let before = Psm.state_count psm in
+  let result = compose_passes (pass config) psm in
+  Psm_obs.count "combine.simplify_merged" (before - Psm.state_count (fst result));
+  result
 
 let simplify ?config psm = fst (simplify_traced ?config psm)

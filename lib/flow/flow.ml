@@ -47,12 +47,22 @@ type trained = {
   timings : timings;
 }
 
-let timed f =
+(* Exception-safe stage timing: the slot is written even when the stage
+   raises, and the [Psm_obs] span closes too, so a failing pipeline still
+   leaves a partial profile behind (the stages that did run keep their
+   recorded durations). *)
+let timed name slot f =
   let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  Fun.protect
+    ~finally:(fun () -> slot := Unix.gettimeofday () -. t0)
+    (fun () -> Psm_obs.span name f)
 
 let train ?(config = default) ~traces ~powers () =
+  Psm_obs.span "flow.train" @@ fun () ->
+  let mine_slot = ref 0. in
+  let generate_slot = ref 0. in
+  let combine_slot = ref 0. in
+  let analyze_slot = ref 0. in
   if List.length traces <> List.length powers then
     invalid_arg "Flow.train: traces and powers differ in number";
   if traces = [] then invalid_arg "Flow.train: no training traces";
@@ -63,19 +73,20 @@ let train ?(config = default) ~traces ~powers () =
     traces powers;
   (* Mining: shared vocabulary, then one proposition trace per training
      trace against a shared interning table. *)
-  let (table, prop_traces), mine_s =
-    timed (fun () ->
+  let table, prop_traces =
+    timed "flow.mine" mine_slot (fun () ->
         let vocabulary = Miner.mine_vocabulary ~config:config.miner traces in
         let table = Prop_trace.Table.create vocabulary in
         (table, List.map (Prop_trace.of_functional table) traces))
   in
+  let mine_s = !mine_slot in
   Log.info (fun m ->
       m "mining: %d atoms, %d propositions over %d traces in %.3fs"
         (Psm_mining.Vocabulary.size (Prop_trace.Table.vocabulary table))
         (Prop_trace.Table.prop_count table) (List.length traces) mine_s);
   (* Generation: one chain per trace, accumulated into one PSM set. *)
-  let raw, generate_s =
-    timed (fun () ->
+  let raw =
+    timed "flow.generate" generate_slot (fun () ->
         let psm = Psm.empty table in
         List.fold_left
           (fun (psm, idx) (gamma, delta) ->
@@ -84,13 +95,14 @@ let train ?(config = default) ~traces ~powers () =
           (List.combine prop_traces powers)
         |> fst)
   in
+  let generate_s = !generate_slot in
   Log.info (fun m ->
       m "generation: %d raw chain states in %.3fs" (Psm.state_count raw) generate_s);
   (* Combination and optimization. *)
   let traces_arr = Array.of_list traces in
   let powers_arr = Array.of_list powers in
-  let (optimized, optimize_reports, hmm, transition_counts, emission_counts), combine_s =
-    timed (fun () ->
+  let optimized, optimize_reports, hmm, transition_counts, emission_counts =
+    timed "flow.combine" combine_slot (fun () ->
         let simplified, simplify_map =
           Psm_core.Simplify.simplify_traced ~config:config.merge raw
         in
@@ -134,6 +146,7 @@ let train ?(config = default) ~traces ~powers () =
           transition_counts,
           emission_counts ))
   in
+  let combine_s = !combine_slot in
   Log.info (fun m ->
       m "combination: %d states, %d transitions, %d regression states in %.3fs"
         (Psm.state_count optimized) (Psm.transition_count optimized)
@@ -142,8 +155,8 @@ let train ?(config = default) ~traces ~powers () =
   (* Gate-check the model like a compiler pass: the raw chains first (a
      generator bug must be blamed on the generator, not on simplify), then
      the combined model with the full training context. *)
-  let analysis, analyze_s =
-    timed (fun () ->
+  let analysis =
+    timed "flow.analyze" analyze_slot (fun () ->
         let gammas = Array.of_list prop_traces in
         let raw_findings =
           Analyzer.analyze ~config:config.analysis ~gammas ~powers:powers_arr raw
@@ -162,6 +175,8 @@ let train ?(config = default) ~traces ~powers () =
         Analyzer.analyze ~config:config.analysis ~hmm ~gammas ~powers:powers_arr
           optimized)
   in
+  let analyze_s = !analyze_slot in
+  Psm_obs.gc_snapshot "train";
   Log.info (fun m ->
       m "analysis: %s in %.3fs" (Psm_analysis.Report.summary analysis) analyze_s);
   { config;
@@ -178,11 +193,22 @@ let train ?(config = default) ~traces ~powers () =
     timings = { mine_s; generate_s; combine_s; analyze_s } }
 
 let lint trained =
+  Psm_obs.span "flow.lint" @@ fun () ->
   let gammas =
     Array.map (Prop_trace.of_functional trained.table) trained.traces
   in
-  Analyzer.analyze ~config:trained.config.analysis ~hmm:trained.hmm ~gammas
-    ~powers:trained.powers trained.optimized
+  let findings =
+    Analyzer.analyze ~config:trained.config.analysis ~hmm:trained.hmm ~gammas
+      ~powers:trained.powers trained.optimized
+  in
+  (* Self-accounting: warn when the analyzer cost more than the allowed
+     fraction of the generation pipeline it was checking. *)
+  let overhead =
+    Analyzer.overhead_check ~config:trained.config.analysis
+      ~analyze_s:trained.timings.analyze_s
+      ~generation_s:(total_generation_s trained.timings) ()
+  in
+  Psm_analysis.Finding.sort (findings @ overhead)
 
 let split_stimulus stimulus ~parts =
   if parts <= 0 then invalid_arg "Flow.split_stimulus: parts must be positive";
@@ -203,6 +229,7 @@ type ingested = {
 }
 
 let load_vcd ?unknowns ?period path =
+  Psm_obs.span "flow.load_vcd" @@ fun () ->
   let parsed = Psm_trace.Vcd.parse_file ?unknowns ?period path in
   match parsed.Psm_trace.Vcd.power with
   | None ->
@@ -236,6 +263,7 @@ let train_on_ip ?(config = default) ip stimuli =
   train ~config ~traces:(List.map fst pairs) ~powers:(List.map snd pairs) ()
 
 let evaluate trained trace ~reference =
+  Psm_obs.span "flow.evaluate" @@ fun () ->
   let result = Multi_sim.simulate trained.hmm trace in
   (Accuracy.of_result ~reference result, result)
 
@@ -244,6 +272,7 @@ let evaluate_on_ip trained ip stimulus =
   evaluate trained trace ~reference
 
 let cosim_timed trained (ip : Psm_ips.Ip.t) stimulus =
+  Psm_obs.span "flow.cosim" @@ fun () ->
   ip.Psm_ips.Ip.reset ();
   let stepper = Multi_sim.Stepper.create trained.hmm in
   Gc.major ();

@@ -38,6 +38,7 @@ let emission t row = function
 
 (* Returns (posteriors, log likelihood). *)
 let forward t observations =
+  Psm_obs.span "hmm.forward" @@ fun () ->
   let m = Hmm.state_count t.hmm in
   let n = Array.length observations in
   let posteriors = Array.make_matrix n m 0. in

@@ -14,10 +14,12 @@ type t = {
 }
 
 let normalize_row row =
+  Psm_obs.incr "hmm.rows_normalized";
   let total = Array.fold_left ( +. ) 0. row in
   if total > 0. then Array.iteri (fun i v -> row.(i) <- v /. total) row
 
 let build ?transition_counts ?emission_counts psm =
+  Psm_obs.span "hmm.build" @@ fun () ->
   let states = Psm.states psm in
   let ids = Array.of_list (List.map (fun (s : Psm.state) -> s.Psm.id) states) in
   let m = Array.length ids in

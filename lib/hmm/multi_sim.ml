@@ -222,6 +222,7 @@ module Stepper = struct
   (* Unknown behaviour in state [row]: revert to the last valid state, ban
      the edge that brought us here, attempt a filtered jump. *)
   let handle_failure t ~row ~o_opt =
+    Psm_obs.incr "hmm.resync_events";
     t.resync_events <- t.resync_events + 1;
     notify t ~row ~o_opt;
     if not t.config.resync_enabled then Desynced { origin_row = row }
@@ -361,6 +362,7 @@ module Stepper = struct
 end
 
 let simulate ?config hmm trace =
+  Psm_obs.span "hmm.multi_sim" @@ fun () ->
   let stepper = Stepper.create ?config hmm in
   let n = Functional_trace.length trace in
   let estimate = Array.make n 0. in

@@ -111,6 +111,7 @@ let stats_of ~total atom occ runs short_runs =
     short_runs }
 
 let const_candidates config traces iface total =
+  Psm_obs.span "mine.consts" @@ fun () ->
   let arity = Interface.arity iface in
   let short_below = int_of_float (ceil config.min_mean_run) in
   let counters = Array.init arity (fun _ -> Value_counter.create ~short_below ()) in
@@ -180,6 +181,7 @@ end
    instead of three predicate evaluations in three separate trace
    passes. Produces exactly [predicate_stats]'s counts per atom. *)
 let pair_chunk_stats ~short_below ~total traces (pairs : (int * int) array) =
+  Psm_obs.span "mine.pair_chunk" @@ fun () ->
   let k = Array.length pairs in
   let eqs = Array.init k (fun _ -> Run_acc.create ()) in
   let lts = Array.init k (fun _ -> Run_acc.create ()) in
@@ -215,6 +217,7 @@ let pair_chunk_stats ~short_below ~total traces (pairs : (int * int) array) =
           pairs))
 
 let pair_candidates ?pool config traces iface total =
+  Psm_obs.span "mine.pairs" @@ fun () ->
   let signals = Interface.signals iface in
   let pairs = ref [] in
   Array.iteri
@@ -263,9 +266,12 @@ let passes config s =
         <= config.max_short_run_fraction)
 
 let mine_vocabulary ?pool ?(config = default) traces =
+  Psm_obs.span "mine.vocabulary" @@ fun () ->
   let iface = check_traces traces in
   let all = candidate_stats ?pool ~config traces in
   let kept = List.filter (passes config) all in
+  Psm_obs.count "mine.candidates" (List.length all);
+  Psm_obs.count "mine.atoms_kept" (List.length kept);
   (* Cap the per-signal constant atoms at the top-k by support. *)
   let by_signal = Hashtbl.create 16 in
   List.iter

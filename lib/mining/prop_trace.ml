@@ -108,7 +108,9 @@ type t = { table : Table.t; ids : int array }
 let min_parallel_length = 64
 
 let of_functional ?pool table trace =
+  Psm_obs.span "mine.classify" @@ fun () ->
   let n = Functional_trace.length trace in
+  let before = Table.prop_count table in
   let ids = Array.make n 0 in
   let jobs = Psm_par.effective_jobs ?pool () in
   if jobs <= 1 || n < min_parallel_length then
@@ -140,6 +142,7 @@ let of_functional ?pool table trace =
       ids.(time) <- Table.intern_key table keys.(time)
     done
   end;
+  Psm_obs.count "mine.props_interned" (Table.prop_count table - before);
   { table; ids }
 
 let table t = t.table

@@ -1,0 +1,181 @@
+(* A minimal JSON reader for the test suite (the repo deliberately has no
+   third-party JSON dependency). Handles the subset the tools emit:
+   objects, arrays, strings with \-escapes, numbers, booleans, null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type state = { text : string; mutable pos : int }
+
+let peek s = if s.pos < String.length s.text then Some s.text.[s.pos] else None
+
+let advance s = s.pos <- s.pos + 1
+
+let rec skip_ws s =
+  match peek s with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance s;
+      skip_ws s
+  | _ -> ()
+
+let expect s c =
+  match peek s with
+  | Some got when got = c -> advance s
+  | Some got -> fail "expected '%c' at %d, got '%c'" c s.pos got
+  | None -> fail "expected '%c' at %d, got end of input" c s.pos
+
+let literal s word value =
+  String.iter (fun c -> expect s c) word;
+  value
+
+let parse_string s =
+  expect s '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek s with
+    | None -> fail "unterminated string at %d" s.pos
+    | Some '"' -> advance s
+    | Some '\\' -> (
+        advance s;
+        match peek s with
+        | None -> fail "unterminated escape at %d" s.pos
+        | Some c ->
+            advance s;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+                if s.pos + 4 > String.length s.text then
+                  fail "truncated \\u escape at %d" s.pos;
+                let hex = String.sub s.text s.pos 4 in
+                s.pos <- s.pos + 4;
+                let code = int_of_string ("0x" ^ hex) in
+                (* The exporters only escape control characters, which fit
+                   one byte; anything else is kept as a replacement. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else Buffer.add_char buf '?'
+            | c -> fail "bad escape '\\%c' at %d" c s.pos);
+            loop ())
+    | Some c ->
+        advance s;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number s =
+  let start = s.pos in
+  let number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek s with Some c when number_char c -> true | _ -> false do
+    advance s
+  done;
+  let lexeme = String.sub s.text start (s.pos - start) in
+  match float_of_string_opt lexeme with
+  | Some f -> f
+  | None -> fail "bad number %S at %d" lexeme start
+
+let rec parse_value s =
+  skip_ws s;
+  match peek s with
+  | None -> fail "unexpected end of input at %d" s.pos
+  | Some '{' ->
+      advance s;
+      skip_ws s;
+      if peek s = Some '}' then begin
+        advance s;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws s;
+          let key = parse_string s in
+          skip_ws s;
+          expect s ':';
+          let value = parse_value s in
+          skip_ws s;
+          match peek s with
+          | Some ',' ->
+              advance s;
+              members ((key, value) :: acc)
+          | Some '}' ->
+              advance s;
+              List.rev ((key, value) :: acc)
+          | _ -> fail "expected ',' or '}' at %d" s.pos
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      advance s;
+      skip_ws s;
+      if peek s = Some ']' then begin
+        advance s;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let value = parse_value s in
+          skip_ws s;
+          match peek s with
+          | Some ',' ->
+              advance s;
+              elements (value :: acc)
+          | Some ']' ->
+              advance s;
+              List.rev (value :: acc)
+          | _ -> fail "expected ',' or ']' at %d" s.pos
+        in
+        List (elements [])
+      end
+  | Some '"' -> Str (parse_string s)
+  | Some 't' -> literal s "true" (Bool true)
+  | Some 'f' -> literal s "false" (Bool false)
+  | Some 'n' -> literal s "null" Null
+  | Some _ -> Num (parse_number s)
+
+let of_string text =
+  let s = { text; pos = 0 } in
+  let v = parse_value s in
+  skip_ws s;
+  if s.pos <> String.length text then fail "trailing garbage at %d" s.pos;
+  v
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* ---- accessors (raise {!Error} on shape mismatch) ---- *)
+
+let member key = function
+  | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> fail "missing key %S" key)
+  | _ -> fail "not an object (looking up %S)" key
+
+let mem_opt key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_list = function List l -> l | _ -> fail "not an array"
+let to_float = function Num f -> f | _ -> fail "not a number"
+let to_int j = int_of_float (to_float j)
+let to_string = function Str s -> s | _ -> fail "not a string"

@@ -96,6 +96,71 @@ let test_clock_edges () =
   (* Rising edges at 5, 15, ..., 95. *)
   check_int "10 rising edges" 10 !posedges
 
+let test_schedule_rejects_negative_delay () =
+  let k = Kernel.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Kernel.schedule: negative delay") (fun () ->
+      Kernel.schedule k ~delay:(-1) (fun () -> ()))
+
+let test_run_rejects_past () =
+  let k = Kernel.create () in
+  Kernel.run k ~until:10;
+  Alcotest.check_raises "until in the past"
+    (Invalid_argument "Kernel.run: until is in the past") (fun () ->
+      Kernel.run k ~until:9)
+
+let test_zero_delay_runs_in_same_timestamp () =
+  (* A handler scheduling at delay 0 runs at the same timestamp, after
+     the current queue drains, and time does not advance past it. *)
+  let k = Kernel.create () in
+  let log = ref [] in
+  Kernel.schedule k ~delay:5 (fun () ->
+      log := ("outer", Kernel.now k) :: !log;
+      Kernel.schedule k ~delay:0 (fun () -> log := ("inner", Kernel.now k) :: !log));
+  Kernel.run k ~until:5;
+  Alcotest.(check (list (pair string int)))
+    "outer then inner, both at 5"
+    [ ("outer", 5); ("inner", 5) ]
+    (List.rev !log)
+
+let test_delta_chain_costs_deltas_not_time () =
+  let k = Kernel.create () in
+  let a = Kernel.Signal.create k ~name:"a" 0 in
+  let b = Kernel.Signal.create k ~name:"b" 0 in
+  Kernel.Signal.on_change a (fun () -> Kernel.Signal.write b (Kernel.Signal.read a));
+  let before = Kernel.delta_count k in
+  Kernel.schedule k ~delay:1 (fun () -> Kernel.Signal.write a 3);
+  Kernel.run k ~until:1;
+  check_int "b propagated" 3 (Kernel.Signal.read b);
+  check_int "time stayed" 1 (Kernel.now k);
+  (* The a-write, the a-publication + listener, and the b-publication
+     each need a delta round: strictly more than one, bounded well below
+     the oscillation cutoff. *)
+  let spent = Kernel.delta_count k - before in
+  check_bool "several deltas" true (spent >= 2 && spent < 10)
+
+let test_custom_equal_suppresses_change () =
+  (* With [equal] comparing parity, publishing 2 over 0 is not a change:
+     no listener runs, but the stored value is still the written one. *)
+  let k = Kernel.create () in
+  let s = Kernel.Signal.create k ~equal:(fun x y -> x land 1 = y land 1) ~name:"s" 0 in
+  let triggers = ref 0 in
+  Kernel.Signal.on_change s (fun () -> incr triggers);
+  Kernel.schedule k ~delay:1 (fun () -> Kernel.Signal.write s 2);
+  Kernel.schedule k ~delay:2 (fun () -> Kernel.Signal.write s 3);
+  Kernel.run k ~until:3;
+  check_int "only the parity flip triggered" 1 !triggers
+
+let test_clock_rejects_bad_period () =
+  let k = Kernel.create () in
+  List.iter
+    (fun period ->
+      Alcotest.check_raises
+        (Printf.sprintf "period %d" period)
+        (Invalid_argument "Clock.create: period must be even and >= 2")
+        (fun () -> ignore (Kernel.Clock.create k ~period ())))
+    [ 0; 1; 3; -2 ]
+
 (* ---------- co-simulation ---------- *)
 
 let test_cosim_matches_direct () =
@@ -141,6 +206,81 @@ let test_cosim_signals_observable () =
   Alcotest.(check (float 1e-20)) "signal = last estimate"
     collected.(Array.length collected - 1) last
 
+let test_cosim_cycle_scheduling () =
+  (* Phase order within one clock period: the testbench drives PIs on the
+     falling edge, the IP consumes them on the next rising edge, and the
+     PSM observer completes the cycle within the same timestamp's delta
+     settling — so cycle counts track rising edges exactly. *)
+  let ip = Psm_ips.Ram.create () in
+  let suite = Workloads.suite ~parts:2 ~total_length:4000 ~long:false "RAM" in
+  let trained = Psm_flow.Flow.train_on_ip ip suite in
+  let stim = Workloads.ram_long ~length:50 () in
+  let kernel = Kernel.create () in
+  let clock = Kernel.Clock.create kernel ~period:10 () in
+  let des_ip = Psm_ips.Ram.create () in
+  let cosim =
+    Cosim.build kernel ~clock ~ip:des_ip ~hmm:trained.Psm_flow.Flow.hmm ~stimulus:stim
+  in
+  Kernel.run kernel ~until:4;
+  check_int "no cycle before the first rising edge" 0 (Cosim.cycles_done cosim);
+  check_int "nothing collected yet" 0 (Array.length (Cosim.estimates cosim));
+  Kernel.run kernel ~until:5;
+  check_int "first rising edge completes cycle 1" 1 (Cosim.cycles_done cosim);
+  check_int "one estimate collected" 1 (Array.length (Cosim.estimates cosim));
+  Kernel.run kernel ~until:(5 + (10 * 49));
+  check_int "one cycle per rising edge" 50 (Cosim.cycles_done cosim);
+  (* Exhausted stimulus: further edges must not step past the end. *)
+  Kernel.run kernel ~until:(5 + (10 * 60));
+  check_int "stimulus exhausted, counter frozen" 50 (Cosim.cycles_done cosim)
+
+(* A merge-hostile training configuration: nothing merges, the regression
+   upgrade never fires, so the trained machine is the raw generator chain
+   and [Sim_single]'s chain preconditions hold. *)
+let chain_only_config =
+  { Psm_flow.Flow.default with
+    merge =
+      { Psm_core.Merge.epsilon = 1e-12;
+        alpha = 0.999999;
+        min_n_for_test = 0;
+        practical_equivalence = false };
+    optimize = { Psm_core.Optimize.default with sigma_threshold = infinity } }
+
+let qcheck_cosim_total_equals_sim_single =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:10
+       ~name:"cosim power total == Sim_single total on the same chain PSM"
+       QCheck.(pair (int_range 150 400) (int_range 0 1_000_000))
+       (fun (length, seed) ->
+         let seed = Int64.of_int seed in
+         let stim = Workloads.ram_short ~length ~seed () in
+         let ip = Psm_ips.Ram.create () in
+         let trained =
+           Psm_flow.Flow.train_on_ip ~config:chain_only_config ip [ stim ]
+         in
+         let raw = trained.Psm_flow.Flow.raw in
+         (* The configuration above should make combination a no-op; the
+            chain preconditions are assumptions, not the property. *)
+         QCheck.assume (Psm_core.Psm.machine_count raw = 1);
+         QCheck.assume
+           (Psm_core.Psm.state_count trained.Psm_flow.Flow.optimized
+           = Psm_core.Psm.state_count raw);
+         let trace, _power = Psm_ips.Capture.run ip stim in
+         let single = Psm_core.Sim_single.simulate raw trace in
+         QCheck.assume (single.Psm_core.Sim_single.synchronized_fraction = 1.);
+         let kernel = Kernel.create () in
+         let clock = Kernel.Clock.create kernel ~period:10 () in
+         let des_ip = Psm_ips.Ram.create () in
+         let cosim =
+           Cosim.build kernel ~clock ~ip:des_ip ~hmm:trained.Psm_flow.Flow.hmm
+             ~stimulus:stim
+         in
+         Kernel.run kernel ~until:(10 * (length + 1));
+         let total a = Array.fold_left ( +. ) 0. a in
+         let cosim_total = total (Cosim.estimates cosim) in
+         let single_total = total single.Psm_core.Sim_single.estimate in
+         abs_float (cosim_total -. single_total)
+         <= 1e-9 *. Float.max 1. (abs_float single_total)))
+
 let suite =
   ( "sysc",
     [ Alcotest.test_case "timed events" `Quick test_timed_events_in_order;
@@ -151,5 +291,16 @@ let suite =
       Alcotest.test_case "delta chain" `Quick test_delta_chain;
       Alcotest.test_case "oscillation detected" `Quick test_oscillation_detected;
       Alcotest.test_case "clock edges" `Quick test_clock_edges;
+      Alcotest.test_case "negative delay rejected" `Quick
+        test_schedule_rejects_negative_delay;
+      Alcotest.test_case "run into the past rejected" `Quick test_run_rejects_past;
+      Alcotest.test_case "zero-delay same timestamp" `Quick
+        test_zero_delay_runs_in_same_timestamp;
+      Alcotest.test_case "delta chain costs deltas" `Quick
+        test_delta_chain_costs_deltas_not_time;
+      Alcotest.test_case "custom equality" `Quick test_custom_equal_suppresses_change;
+      Alcotest.test_case "bad clock period" `Quick test_clock_rejects_bad_period;
       Alcotest.test_case "cosim == direct" `Slow test_cosim_matches_direct;
-      Alcotest.test_case "cosim signals" `Quick test_cosim_signals_observable ] )
+      Alcotest.test_case "cosim signals" `Quick test_cosim_signals_observable;
+      Alcotest.test_case "cosim cycle scheduling" `Slow test_cosim_cycle_scheduling;
+      qcheck_cosim_total_equals_sim_single ] )
