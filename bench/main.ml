@@ -3,7 +3,7 @@
    DESIGN.md, and micro-benchmarks the core operations with Bechamel.
 
    Usage:
-     main.exe [table1|table2|table3|figs|ablations|ingest|analyze|profile|micro|all]
+     main.exe [table1|table2|table3|figs|ablations|ingest|analyze|evaluate|profile|micro|all]
               [--paper] [--json FILE]
 
    Default (no arguments): everything, with the long-TS/evaluation lengths
@@ -436,6 +436,155 @@ let run_analyze () =
     \ HMM resolves probabilistically -- and the time is one full-context\n\
     \ analyzer pass, proposition-trace re-derivation included.)"
 
+(* ---------- Kernel and analyzer evaluation ---------- *)
+
+(* Filled by [run_evaluate], folded into the --json report. *)
+let evaluate_metrics : (string * float) list ref = ref []
+
+(* PR 4's measured Camellia flow.analyze span (BENCH_4.json): the gate
+   below requires at least a 2x speedup over it. *)
+let bench4_camellia_analyze_s = 7.892218
+let required_analyze_speedup = 2.0
+
+let with_jobs jobs f =
+  let saved = Psm_par.default_jobs () in
+  Psm_par.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Psm_par.set_jobs saved) f
+
+let run_evaluate ~eval_length () =
+  section "Evaluate: sparse kernels and the parallel analyzer vs their baselines";
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let module Filtering = Psm_hmm.Filtering in
+  let module Offline = Psm_hmm.Offline in
+  let module Multi_sim = Psm_hmm.Multi_sim in
+  let camellia_analyze = ref infinity in
+  let rows =
+    List.map
+      (fun (name, make) ->
+        let ip : Psm_ips.Ip.t = make () in
+        let suite =
+          Workloads.suite ~total_length:(Workloads.paper_short_length name) ~long:false
+            name
+        in
+        let trained = Flow.train_on_ip ip suite in
+        let hmm = trained.Flow.hmm in
+        let table = trained.Flow.table in
+        let long = Workloads.long_for ~length:eval_length name in
+        let trace, _reference = Psm_ips.Capture.run ip long in
+        let obs =
+          Array.init (Psm_trace.Functional_trace.length trace) (fun time ->
+              Table.classify table (Psm_trace.Functional_trace.sample trace ~time))
+        in
+        (* Forward filtering: dense reference vs the CSR scatter kernel.
+           Both paths are bit-identical, so the equality check is exact. *)
+        let dense_f = Filtering.create ~kernel:`Dense hmm in
+        let sparse_f = Filtering.create ~kernel:`Sparse hmm in
+        let ll_dense, fwd_dense_s = time (fun () -> Filtering.log_likelihood dense_f obs) in
+        let ll_sparse, fwd_sparse_s =
+          time (fun () -> Filtering.log_likelihood sparse_f obs)
+        in
+        if ll_dense <> ll_sparse then begin
+          Printf.eprintf "FAIL: %s sparse forward log-lik %.17g <> dense %.17g\n" name
+            ll_sparse ll_dense;
+          exit 1
+        end;
+        (* Viterbi: dense two-loop max vs CSC incoming-edge scan. *)
+        let path_dense, vit_dense_s =
+          time (fun () -> Offline.viterbi ~kernel:`Dense hmm obs)
+        in
+        let path_sparse, vit_sparse_s =
+          time (fun () -> Offline.viterbi ~kernel:`Sparse hmm obs)
+        in
+        if path_dense <> path_sparse then begin
+          Printf.eprintf "FAIL: %s sparse viterbi path diverges from dense\n" name;
+          exit 1
+        end;
+        (* Multi-sim: indexed successor tables vs the reference stepper. *)
+        let r_ref, sim_ref_s =
+          time (fun () -> Multi_sim.simulate ~reference:true hmm trace)
+        in
+        let r_idx, sim_idx_s = time (fun () -> Multi_sim.simulate hmm trace) in
+        if r_ref.Multi_sim.estimate <> r_idx.Multi_sim.estimate
+           || r_ref.Multi_sim.wrong_instants <> r_idx.Multi_sim.wrong_instants
+        then begin
+          Printf.eprintf "FAIL: %s indexed multi-sim diverges from reference\n" name;
+          exit 1
+        end;
+        (* Full-context analyzer: the Psm_par fan-out vs a one-job pool.
+           The reports must be byte-identical. *)
+        let gammas =
+          Array.map (Psm_mining.Prop_trace.of_functional table) trained.Flow.traces
+        in
+        let analyze () =
+          Psm_analysis.Analyzer.analyze ~hmm ~gammas ~powers:trained.Flow.powers
+            trained.Flow.optimized
+        in
+        let seq_findings, lint_seq_s = with_jobs 1 (fun () -> time analyze) in
+        let par_findings, lint_par_s = time analyze in
+        if Psm_analysis.Report.json seq_findings <> Psm_analysis.Report.json par_findings
+        then begin
+          Printf.eprintf "FAIL: %s parallel analyzer report differs from jobs=1\n" name;
+          exit 1
+        end;
+        (* The train-time flow.analyze span is what BENCH_4 recorded, so
+           it is the apples-to-apples number for the speedup gate. *)
+        let analyze_s = trained.Flow.timings.Flow.analyze_s in
+        if name = "Camellia" then camellia_analyze := analyze_s;
+        evaluate_metrics :=
+          !evaluate_metrics
+          @ [ (name ^ "_forward_dense_seconds", fwd_dense_s);
+              (name ^ "_forward_sparse_seconds", fwd_sparse_s);
+              (name ^ "_viterbi_dense_seconds", vit_dense_s);
+              (name ^ "_viterbi_sparse_seconds", vit_sparse_s);
+              (name ^ "_multisim_reference_seconds", sim_ref_s);
+              (name ^ "_multisim_indexed_seconds", sim_idx_s);
+              (name ^ "_lint_jobs1_seconds", lint_seq_s);
+              (name ^ "_lint_parallel_seconds", lint_par_s);
+              (name ^ "_train_analyze_seconds", analyze_s) ];
+        let ratio num den = if den > 0. then num /. den else 0. in
+        [ name;
+          Printf.sprintf "%.2fx" (ratio fwd_dense_s fwd_sparse_s);
+          Printf.sprintf "%.2fx" (ratio vit_dense_s vit_sparse_s);
+          Printf.sprintf "%.2fx" (ratio sim_ref_s sim_idx_s);
+          Printf.sprintf "%.2fx" (ratio lint_seq_s lint_par_s);
+          Printf.sprintf "%.3f" analyze_s ])
+      [ ("RAM", Psm_ips.Ram.create); ("MultSum", Psm_ips.Multsum.create);
+        ("AES", Psm_ips.Aes.create); ("Camellia", Psm_ips.Camellia.create) ]
+  in
+  print_string
+    (Report.render_table
+       ~header:
+         [ "IP"; "fwd dense/sparse"; "vit dense/sparse"; "sim ref/idx";
+           "lint 1j/par"; "train lint s" ]
+       rows);
+  print_endline
+    "(Every ratio compares the retired reference path against the kernel\n\
+    \ that replaced it, on identical inputs with identical outputs -- the\n\
+    \ equality checks above are exact, not approximate.)";
+  (* The acceptance gate: Camellia's train-time analyze span must beat the
+     PR 4 measurement by the required factor. *)
+  let budget = bench4_camellia_analyze_s /. required_analyze_speedup in
+  let speedup =
+    if !camellia_analyze > 0. then bench4_camellia_analyze_s /. !camellia_analyze else 0.
+  in
+  evaluate_metrics :=
+    !evaluate_metrics
+    @ [ ("camellia_analyze_budget_seconds", budget);
+        ("camellia_analyze_speedup_vs_bench4", speedup) ];
+  Printf.printf "Camellia flow.analyze: %.3f s (BENCH_4: %.3f s, %.0fx; budget %.3f s)\n"
+    !camellia_analyze bench4_camellia_analyze_s speedup budget;
+  if !camellia_analyze > budget then begin
+    Printf.eprintf
+      "FAIL: Camellia flow.analyze %.3f s misses the %.1fx speedup gate over \
+       BENCH_4's %.3f s\n"
+      !camellia_analyze required_analyze_speedup bench4_camellia_analyze_s;
+    exit 1
+  end
+
 (* ---------- Observability profile ---------- *)
 
 (* Filled by [run_profile], folded into the --json report. *)
@@ -670,6 +819,7 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   let ablations = ("ablations", run_ablations ~eval_length:ablation_eval) in
   let ingest = ("ingest", run_ingest) in
   let analyze = ("analyze", run_analyze) in
+  let evaluate = ("evaluate", run_evaluate ~eval_length) in
   let profile = ("profile", run_profile) in
   let micro = ("micro", run_micro) in
   match what with
@@ -680,11 +830,13 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   | "ablations" -> Some [ ablations ]
   | "ingest" -> Some [ ingest ]
   | "analyze" -> Some [ analyze ]
+  | "evaluate" -> Some [ evaluate ]
   | "profile" -> Some [ profile ]
   | "micro" -> Some [ micro ]
   | "all" ->
       Some
-        [ table1; table2; table3; figs; ablations; ingest; analyze; profile; micro ]
+        [ table1; table2; table3; figs; ablations; ingest; analyze; evaluate;
+          profile; micro ]
   | _ -> None
 
 let write_json file ~command ~paper ~jobs ~timings ~baseline =
@@ -728,6 +880,7 @@ let write_json file ~command ~paper ~jobs ~timings ~baseline =
   in
   metrics_block "ingest" !ingest_metrics;
   metrics_block "analyze" !analyze_metrics;
+  metrics_block "evaluate" !evaluate_metrics;
   metrics_block "profile" !profile_metrics;
   out "  \"total_seconds\": %.3f" total;
   (match baseline_total with
@@ -762,7 +915,7 @@ let () =
     | None ->
         Printf.eprintf
           "unknown command %s (expected \
-           table1|table2|table3|figs|ablations|ingest|analyze|profile|micro|all)\n"
+           table1|table2|table3|figs|ablations|ingest|analyze|evaluate|profile|micro|all)\n"
           what;
         exit 2
   in

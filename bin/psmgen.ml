@@ -10,13 +10,22 @@
 
 open Cmdliner
 
-let setup_logs verbose =
+let setup_logs verbose jobs =
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
+  Option.iter Psm_par.set_jobs jobs
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Domain-pool width for the parallel stages (overrides the \
+                 PSM_JOBS environment variable; 1 = fully sequential). \
+                 Results are bit-identical at any width.")
 
 let logs_arg =
   Term.(const setup_logs
-        $ Arg.(value & flag & info [ "verbose-flow" ] ~doc:"Log flow stage details."))
+        $ Arg.(value & flag & info [ "verbose-flow" ] ~doc:"Log flow stage details.")
+        $ jobs_arg)
 
 module Flow = Psm_flow.Flow
 module Workloads = Psm_ips.Workloads
@@ -402,7 +411,8 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:"Statically analyze a persisted model (determinism, reachability, \
              power-attribute sanity, HMM stochasticity)")
-    Term.(const lint_run $ model $ json $ strict $ rules $ profile_arg)
+    Term.(const (fun () -> lint_run) $ logs_arg $ model $ json $ strict $ rules
+          $ profile_arg)
 
 (* ---- netlist: export / report the structural netlists ---- *)
 

@@ -40,12 +40,18 @@ let run ?(config = default) ctx =
             | None -> invalid_arg ("Analyzer.run: unknown rule " ^ name))
           names
   in
+  (* Rules are independent and the context (scan included) is immutable,
+     so they fan out across the Psm_par pool. [parallel_map] returns in
+     input order and [Finding.sort] is stable, so the report is
+     byte-identical for any PSM_JOBS value; per-rule spans land in each
+     worker domain's DLS buffer and merge deterministically. *)
   let findings =
     Finding.sort
-      (List.concat_map
-         (fun (r : Rule.t) ->
-           Psm_obs.span ("analyze." ^ r.Rule.name) (fun () -> r.Rule.check ctx))
-         enabled)
+      (List.concat
+         (Psm_par.parallel_map
+            (fun (r : Rule.t) ->
+              Psm_obs.span ("analyze." ^ r.Rule.name) (fun () -> r.Rule.check ctx))
+            enabled))
   in
   if config.strict then check_strict findings;
   findings

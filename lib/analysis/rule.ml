@@ -6,10 +6,13 @@ type context = {
   gammas : Psm_mining.Prop_trace.t array option;
   powers : Psm_trace.Power_trace.t array option;
   epsilon : float;
+  scan : Scan.t;
 }
 
+(* The scan is built eagerly: rules may run on the analyzer's worker
+   domains, and an immutable structure needs no synchronization there. *)
 let context ?hmm ?gammas ?powers ?(epsilon = 1e-6) psm =
-  { psm; hmm; gammas; powers; epsilon }
+  { psm; hmm; gammas; powers; epsilon; scan = Scan.create ?powers psm }
 
 type t = {
   name : string;

@@ -16,6 +16,9 @@ type context = {
       (** Training power traces; enables the merge-conservation rule. *)
   epsilon : float;
       (** Numeric tolerance for conservation and stochasticity checks. *)
+  scan : Scan.t;
+      (** Shared single-pass statistics, built eagerly by {!context};
+          immutable, so safe to read from parallel rule runs. *)
 }
 
 val context :

@@ -68,7 +68,7 @@ let check_stochastic ctx =
   let a_rows =
     List.concat
       (List.init m (fun i ->
-           let row = Array.init m (fun j -> Hmm.a hmm i j) in
+           let row = Hmm.a_row hmm i in
            let what = Printf.sprintf "A[s%d]" (Hmm.state_of_row hmm i) in
            (* A rows must never be all-zero: build gives absorbing states a
               self-loop, so promote the all-zero Warning to an Error. *)

@@ -17,7 +17,7 @@ let check_determinism (ctx : Rule.context) =
   let emit x = findings := x :: !findings in
   List.iter
     (fun (s : Psm.state) ->
-      let out = Psm.successors psm s.Psm.id in
+      let out = Scan.successors ctx.Rule.scan s.Psm.id in
       List.iter
         (fun (tr : Psm.transition) ->
           if tr.Psm.guard < 0 || tr.Psm.guard >= nprops then
@@ -128,37 +128,10 @@ let check_reachability (ctx : Rule.context) =
         states
     end
 
-(* ---------- activation intervals, shared by stall and conservation ---------- *)
-
-(* Per-trace maximal activations of one interval list: sorted and
-   coalesced (a state merged by [simplify] holds member intervals that
-   abut — the run is one activation). Overlapping (corrupt) intervals
-   coalesce too; [attr-sanity] reports them. *)
-let activations intervals =
-  let by_trace = Hashtbl.create 4 in
-  List.iter
-    (fun (iv : Power_attr.interval) ->
-      Hashtbl.replace by_trace iv.Power_attr.trace
-        ((iv.Power_attr.start, iv.Power_attr.stop)
-        :: Option.value ~default:[] (Hashtbl.find_opt by_trace iv.Power_attr.trace)))
-    intervals;
-  Hashtbl.fold
-    (fun trace ivs acc ->
-      let sorted = List.sort compare ivs in
-      let merged =
-        List.fold_left
-          (fun acc (start, stop) ->
-            match acc with
-            | (s0, e0) :: rest when start <= e0 + 1 -> (s0, max e0 stop) :: rest
-            | _ -> (start, stop) :: acc)
-          [] sorted
-      in
-      (trace, List.rev merged) :: acc)
-    by_trace []
-  |> List.sort compare
-
 (* ---------- stall / input-completeness ---------- *)
 
+(* Activation runs come precomputed from the scan ({!Scan.activations});
+   the rule only replays each run's exit instant against Γ. *)
 let check_stall (ctx : Rule.context) =
   match ctx.Rule.gammas with
   | None -> []
@@ -168,7 +141,7 @@ let check_stall (ctx : Rule.context) =
         (fun (s : Psm.state) ->
           let guards =
             List.map (fun (tr : Psm.transition) -> tr.Psm.guard)
-              (Psm.successors psm s.Psm.id)
+              (Scan.successors ctx.Rule.scan s.Psm.id)
           in
           List.concat_map
             (fun (trace, runs) ->
@@ -192,7 +165,7 @@ let check_stall (ctx : Rule.context) =
                                  covers it"
                                 trace stop (Rule.prop_describe ctx p))))
                   runs)
-            (activations s.Psm.attr.Power_attr.intervals))
+            (Scan.activations ctx.Rule.scan s.Psm.id))
         (Psm.states psm)
 
 (* ---------- power-attribute sanity ---------- *)
@@ -311,24 +284,19 @@ let check_conservation (ctx : Rule.context) =
   | None -> []
   | Some powers ->
       let psm = ctx.Rule.psm in
+      let scan = ctx.Rule.scan in
       let eps = ctx.Rule.epsilon in
       let findings = ref [] in
       let emit x = findings := x :: !findings in
-      let in_bounds (iv : Power_attr.interval) =
-        iv.Power_attr.trace >= 0
-        && iv.Power_attr.trace < Array.length powers
-        && iv.Power_attr.start >= 0
-        && iv.Power_attr.stop >= iv.Power_attr.start
-        && iv.Power_attr.stop < Power_trace.length powers.(iv.Power_attr.trace)
-      in
-      let total_n = ref 0 in
       List.iter
         (fun (s : Psm.state) ->
           let a = s.Psm.attr in
-          total_n := !total_n + a.Power_attr.n;
-          if a.Power_attr.intervals <> [] && List.for_all in_bounds a.Power_attr.intervals
-          then begin
-            let r = Power_attr.recompute powers a in
+          (* [Scan.recomputed_attr] is present exactly when the intervals
+             are non-empty and all in bounds, and holds the same
+             list-order Welford rescan [Power_attr.recompute] produces. *)
+          match Scan.recomputed_attr scan s.Psm.id with
+          | None -> ()
+          | Some r ->
             let location = Finding.State s.Psm.id in
             if r.Power_attr.n <> a.Power_attr.n then
               emit
@@ -353,31 +321,15 @@ let check_conservation (ctx : Rule.context) =
                 (v ~rule:"conservation" ~severity:Finding.Error ~location
                    (Printf.sprintf
                       "σ = %.17g but rescanning the intervals gives %.17g"
-                      a.Power_attr.sigma r.Power_attr.sigma))
-          end)
+                      a.Power_attr.sigma r.Power_attr.sigma)))
         (Psm.states psm);
       (* Every training instant belongs to exactly one state: walk the
-         per-trace union of all states' intervals. *)
-      let per_trace = Hashtbl.create 8 in
-      List.iter
-        (fun (s : Psm.state) ->
-          List.iter
-            (fun (iv : Power_attr.interval) ->
-              if in_bounds iv then
-                Hashtbl.replace per_trace iv.Power_attr.trace
-                  ((iv.Power_attr.start, iv.Power_attr.stop, s.Psm.id)
-                  :: Option.value ~default:[]
-                       (Hashtbl.find_opt per_trace iv.Power_attr.trace)))
-            s.Psm.attr.Power_attr.intervals)
-        (Psm.states psm);
-      let traces_total = ref 0 in
+         per-trace union of all states' intervals (pooled and sorted by
+         the scan). *)
       Array.iteri
         (fun trace power ->
           let len = Power_trace.length power in
-          traces_total := !traces_total + len;
-          let ivs =
-            List.sort compare (Option.value ~default:[] (Hashtbl.find_opt per_trace trace))
-          in
+          let ivs = Scan.claims scan ~trace in
           let report_gap a b =
             emit
               (v ~rule:"conservation" ~severity:Finding.Error ~location:Finding.Model
@@ -399,12 +351,12 @@ let check_conservation (ctx : Rule.context) =
           in
           if last < len then report_gap last (len - 1))
         powers;
-      if !total_n <> !traces_total then
+      if Scan.total_n scan <> Scan.instants_total scan then
         emit
           (v ~rule:"conservation" ~severity:Finding.Error ~location:Finding.Model
              (Printf.sprintf
                 "total n across states is %d but the training traces hold %d instants"
-                !total_n !traces_total));
+                (Scan.total_n scan) (Scan.instants_total scan)));
       List.rev !findings
 
 let rules =

@@ -1,0 +1,113 @@
+module Psm = Psm_core.Psm
+module Power_attr = Psm_core.Power_attr
+module Power_trace = Psm_trace.Power_trace
+
+(* The profiled hot path of the analyzer was not the trace arithmetic but
+   the per-state [Psm.successors] calls: that accessor filters the full
+   transition list per call, so the determinism and stall rules together
+   were O(states × edges) — ~7.4 s of Camellia's 7.9 s analyze, whose raw
+   chains hold ~9k states. The scan builds every shared derivative once:
+   successor adjacency, per-state activation runs, the Welford rescan of
+   each state's intervals (list order preserved, so results are
+   bit-identical to [Power_attr.recompute]), and the per-trace interval
+   claims the conservation walk consumes. One pass per (trace, power)
+   pair in total, because states partition the training instants. *)
+
+type t = {
+  successors : (int, Psm.transition list) Hashtbl.t;
+  activations : (int, (int * (int * int) list) list) Hashtbl.t;
+  recomputed : (int, Power_attr.t) Hashtbl.t;
+      (* states whose intervals are non-empty and all within the power
+         traces — exactly the conservation rule's precondition *)
+  claims : (int * int * int) list array;
+      (* per power trace: sorted (start, stop, state id) of in-bounds
+         intervals, all states pooled *)
+  total_n : int; (* Σ states' attr.n *)
+  instants_total : int; (* Σ power trace lengths *)
+}
+
+(* Per-trace maximal activations of one interval list: sorted and
+   coalesced (a state merged by [simplify] holds member intervals that
+   abut — the run is one activation). Overlapping (corrupt) intervals
+   coalesce too; [attr-sanity] reports them. *)
+let activation_runs intervals =
+  let by_trace = Hashtbl.create 4 in
+  List.iter
+    (fun (iv : Power_attr.interval) ->
+      Hashtbl.replace by_trace iv.Power_attr.trace
+        ((iv.Power_attr.start, iv.Power_attr.stop)
+        :: Option.value ~default:[] (Hashtbl.find_opt by_trace iv.Power_attr.trace)))
+    intervals;
+  Hashtbl.fold
+    (fun trace ivs acc ->
+      let sorted = List.sort compare ivs in
+      let merged =
+        List.fold_left
+          (fun acc (start, stop) ->
+            match acc with
+            | (s0, e0) :: rest when start <= e0 + 1 -> (s0, max e0 stop) :: rest
+            | _ -> (start, stop) :: acc)
+          [] sorted
+      in
+      (trace, List.rev merged) :: acc)
+    by_trace []
+  |> List.sort compare
+
+let create ?powers psm =
+  Psm_obs.span "analyze.scan" @@ fun () ->
+  let states = Psm.states psm in
+  let successors = Hashtbl.create 64 in
+  (* The global transition list is ordered; grouping in encounter order
+     reproduces [Psm.successors]'s per-source sublists exactly. *)
+  List.iter
+    (fun (tr : Psm.transition) ->
+      Hashtbl.replace successors tr.Psm.src
+        (tr :: Option.value ~default:[] (Hashtbl.find_opt successors tr.Psm.src)))
+    (Psm.transitions psm);
+  Hashtbl.filter_map_inplace (fun _ trs -> Some (List.rev trs)) successors;
+  let activations = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Psm.state) ->
+      Hashtbl.replace activations s.Psm.id
+        (activation_runs s.Psm.attr.Power_attr.intervals))
+    states;
+  let recomputed = Hashtbl.create 64 in
+  let total_n =
+    List.fold_left (fun acc (s : Psm.state) -> acc + s.Psm.attr.Power_attr.n) 0 states
+  in
+  let claims, instants_total =
+    match powers with
+    | None -> ([||], 0)
+    | Some powers ->
+        let in_bounds (iv : Power_attr.interval) =
+          iv.Power_attr.trace >= 0
+          && iv.Power_attr.trace < Array.length powers
+          && iv.Power_attr.start >= 0
+          && iv.Power_attr.stop >= iv.Power_attr.start
+          && iv.Power_attr.stop < Power_trace.length powers.(iv.Power_attr.trace)
+        in
+        let claims = Array.make (Array.length powers) [] in
+        List.iter
+          (fun (s : Psm.state) ->
+            let a = s.Psm.attr in
+            if a.Power_attr.intervals <> [] && List.for_all in_bounds a.Power_attr.intervals
+            then Hashtbl.replace recomputed s.Psm.id (Power_attr.recompute powers a);
+            List.iter
+              (fun (iv : Power_attr.interval) ->
+                if in_bounds iv then
+                  claims.(iv.Power_attr.trace) <-
+                    (iv.Power_attr.start, iv.Power_attr.stop, s.Psm.id)
+                    :: claims.(iv.Power_attr.trace))
+              a.Power_attr.intervals)
+          states;
+        ( Array.map (List.sort compare) claims,
+          Array.fold_left (fun acc p -> acc + Power_trace.length p) 0 powers )
+  in
+  { successors; activations; recomputed; claims; total_n; instants_total }
+
+let successors t id = Option.value ~default:[] (Hashtbl.find_opt t.successors id)
+let activations t id = Option.value ~default:[] (Hashtbl.find_opt t.activations id)
+let recomputed_attr t id = Hashtbl.find_opt t.recomputed id
+let claims t ~trace = if trace < Array.length t.claims then t.claims.(trace) else []
+let total_n t = t.total_n
+let instants_total t = t.instants_total

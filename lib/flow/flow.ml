@@ -101,6 +101,7 @@ let train ?(config = default) ~traces ~powers () =
   (* Combination and optimization. *)
   let traces_arr = Array.of_list traces in
   let powers_arr = Array.of_list powers in
+  let gammas_arr = Array.of_list prop_traces in
   let optimized, optimize_reports, hmm, transition_counts, emission_counts =
     timed "flow.combine" combine_slot (fun () ->
         let simplified, simplify_map =
@@ -124,7 +125,7 @@ let train ?(config = default) ~traces ~powers () =
         let transition_counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
         (* Emission frequencies: which propositions were observed while
            each final state was active (for offline Viterbi decoding). *)
-        let gammas = Array.of_list prop_traces in
+        let gammas = gammas_arr in
         let emission_counts =
           List.concat_map
             (fun (s : Psm.state) ->
@@ -157,7 +158,7 @@ let train ?(config = default) ~traces ~powers () =
      the combined model with the full training context. *)
   let analysis =
     timed "flow.analyze" analyze_slot (fun () ->
-        let gammas = Array.of_list prop_traces in
+        let gammas = gammas_arr in
         let raw_findings =
           Analyzer.analyze ~config:config.analysis ~gammas ~powers:powers_arr raw
         in

@@ -7,9 +7,14 @@ let floor_p = 1e-9
 type t = {
   hmm : Hmm.t;
   a_instant : float array array; (* dwell-corrected per-instant transitions *)
+  a_instant_csr : Sparse.t;
+  kernel : Hmm.kernel;
+  outputs : Psm.output array; (* row -> state output, resolved once *)
+  alpha : float array; (* scratch: current belief *)
+  scratch : float array; (* scratch: next belief accumulator *)
 }
 
-let create hmm =
+let create ?(kernel = `Auto) hmm =
   let m = Hmm.state_count hmm in
   let psm = Hmm.psm hmm in
   let dwell =
@@ -30,22 +35,45 @@ let create hmm =
         let total = Array.fold_left ( +. ) 0. row in
         if total > 0. then Array.map (fun v -> v /. total) row else row)
   in
-  { hmm; a_instant }
+  let a_instant_csr = Sparse.of_dense a_instant in
+  let kernel =
+    match kernel with
+    | (`Dense | `Sparse) as k -> k
+    | `Auto ->
+        if Sparse.density a_instant_csr > Sparse.dense_threshold then `Dense
+        else `Sparse
+  in
+  { hmm;
+    a_instant;
+    a_instant_csr;
+    kernel;
+    outputs =
+      Array.init m (fun row ->
+          (Psm.state psm (Hmm.state_of_row hmm row)).Psm.output);
+    alpha = Array.make m 0.;
+    scratch = Array.make m 0. }
+
+let kernel t = t.kernel
 
 let emission t row = function
   | None -> 1.
   | Some prop -> Float.max floor_p (Hmm.b_obs t.hmm row prop)
 
-(* Returns (posteriors, log likelihood). *)
-let forward t observations =
+(* The α recursion, streamed: [emit time alpha] sees each normalized
+   belief in turn (the array is reused — consumers must copy what they
+   keep). Returns the log likelihood from the normalization constants.
+   Not reentrant: the scratch buffers live in [t]. *)
+let forward_iter t observations ~emit =
   Psm_obs.span "hmm.forward" @@ fun () ->
   let m = Hmm.state_count t.hmm in
   let n = Array.length observations in
-  let posteriors = Array.make_matrix n m 0. in
   let log_lik = ref 0. in
   if n > 0 then begin
+    let alpha = t.alpha and scratch = t.scratch in
     let pi = Hmm.pi t.hmm in
-    let alpha = Array.init m (fun j -> pi.(j) *. emission t j observations.(0)) in
+    for j = 0 to m - 1 do
+      alpha.(j) <- pi.(j) *. emission t j observations.(0)
+    done;
     let normalize v =
       let total = Array.fold_left ( +. ) 0. v in
       if total > 0. then begin
@@ -59,33 +87,48 @@ let forward t observations =
       end
     in
     log_lik := log (normalize alpha);
-    Array.blit alpha 0 posteriors.(0) 0 m;
-    let scratch = Array.make m 0. in
+    emit 0 alpha;
     for time = 1 to n - 1 do
-      for j = 0 to m - 1 do
-        let acc = ref 0. in
-        for i = 0 to m - 1 do
-          acc := !acc +. (alpha.(i) *. t.a_instant.(i).(j))
-        done;
-        scratch.(j) <- !acc *. emission t j observations.(time)
-      done;
+      (match t.kernel with
+      | `Sparse ->
+          Array.fill scratch 0 m 0.;
+          Sparse.scatter_product t.a_instant_csr alpha scratch;
+          for j = 0 to m - 1 do
+            scratch.(j) <- scratch.(j) *. emission t j observations.(time)
+          done
+      | `Dense ->
+          for j = 0 to m - 1 do
+            let acc = ref 0. in
+            for i = 0 to m - 1 do
+              acc := !acc +. (alpha.(i) *. t.a_instant.(i).(j))
+            done;
+            scratch.(j) <- !acc *. emission t j observations.(time)
+          done);
       Array.blit scratch 0 alpha 0 m;
       log_lik := !log_lik +. log (normalize alpha);
-      Array.blit alpha 0 posteriors.(time) 0 m
+      emit time alpha
     done
   end;
-  (posteriors, !log_lik)
+  !log_lik
 
-let posteriors t observations = fst (forward t observations)
+let posteriors t observations =
+  let m = Hmm.state_count t.hmm in
+  let post = Array.make_matrix (Array.length observations) m 0. in
+  let (_ : float) =
+    forward_iter t observations ~emit:(fun time alpha ->
+        Array.blit alpha 0 post.(time) 0 m)
+  in
+  post
 
 let map_states t observations =
-  let post = posteriors t observations in
-  Array.map
-    (fun belief ->
-      let best = ref 0 in
-      Array.iteri (fun j v -> if v > belief.(!best) then best := j) belief;
-      !best)
-    post
+  let states = Array.make (Array.length observations) 0 in
+  let (_ : float) =
+    forward_iter t observations ~emit:(fun time alpha ->
+        let best = ref 0 in
+        Array.iteri (fun j v -> if v > alpha.(!best) then best := j) alpha;
+        states.(time) <- !best)
+  in
+  states
 
 let classify t trace =
   let table = Psm.prop_table (Hmm.psm t.hmm) in
@@ -93,20 +136,20 @@ let classify t trace =
       Table.classify table (Functional_trace.sample trace ~time))
 
 let expected_power t trace =
-  let psm = Hmm.psm t.hmm in
   let hd = Functional_trace.input_hamming_series trace in
-  let post = posteriors t (classify t trace) in
-  Array.mapi
-    (fun time belief ->
-      let acc = ref 0. in
-      Array.iteri
-        (fun row p ->
-          if p > 0. then begin
-            let s = Psm.state psm (Hmm.state_of_row t.hmm row) in
-            acc := !acc +. (p *. Psm.eval_output s.Psm.output ~hamming:hd.(time))
-          end)
-        belief;
-      !acc)
-    post
+  let observations = classify t trace in
+  let power = Array.make (Array.length observations) 0. in
+  let (_ : float) =
+    forward_iter t observations ~emit:(fun time alpha ->
+        let acc = ref 0. in
+        Array.iteri
+          (fun row p ->
+            if p > 0. then
+              acc := !acc +. (p *. Psm.eval_output t.outputs.(row) ~hamming:hd.(time)))
+          alpha;
+        power.(time) <- !acc)
+  in
+  power
 
-let log_likelihood t observations = snd (forward t observations)
+(* Likelihood without materializing the O(T×m) posterior matrix. *)
+let log_likelihood t observations = forward_iter t observations ~emit:(fun _ _ -> ())

@@ -17,7 +17,16 @@
 
 type t
 
-val create : Hmm.t -> t
+val create : ?kernel:Hmm.kernel_choice -> Hmm.t -> t
+(** Builds the dwell-corrected A' and its CSR mirror once. [`Auto]
+    (default) selects the sparse kernel unless A' is denser than
+    {!Sparse.dense_threshold}; both kernels are bit-identical.
+
+    A [t] carries reusable scratch buffers: it is cheap to query
+    repeatedly but must not be shared across domains or re-entered from
+    a callback. *)
+
+val kernel : t -> Hmm.kernel
 
 val posteriors : t -> int option array -> float array array
 (** [posteriors f observations] — one normalized belief vector (over state

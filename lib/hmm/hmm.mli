@@ -15,7 +15,15 @@
 
 type t
 
+type kernel = [ `Dense | `Sparse ]
+
+type kernel_choice = [ `Auto | `Dense | `Sparse ]
+(** [`Auto] picks [`Sparse] unless the transition matrix is denser than
+    {!Sparse.dense_threshold}. Both kernels produce bit-identical
+    results; [`Dense] is kept as the reference implementation. *)
+
 val build :
+  ?kernel:kernel_choice ->
   ?transition_counts:((int * int) * float) list ->
   ?emission_counts:((int * int) * float) list ->
   Psm_core.Psm.t ->
@@ -47,6 +55,19 @@ val state_of_row : t -> int -> int
 
 val a : t -> int -> int -> float
 (** [a t i j] — transition probability between dense rows. *)
+
+val a_row : t -> int -> float array
+(** A copy of row [i] of A. *)
+
+val a_sparse : t -> Sparse.t
+(** The CSR mirror of A. Rebuilt on every mutation ({!ban},
+    {!reset_bans}, {!unsafe_set_a}); do not hold across them. *)
+
+val kernel : t -> kernel
+(** The kernel the inference loops currently select. *)
+
+val set_kernel : t -> kernel_choice -> unit
+(** Override the kernel choice (benchmarks and equivalence tests). *)
 
 val b_entry : t -> int -> int -> float
 (** [b_entry t i prop] — probability mass of state row [i]'s

@@ -64,10 +64,18 @@ type mode =
 module Stepper = struct
   type t = {
     config : config;
+    reference : bool; (* executable spec: pre-index scan paths disabled *)
     hmm : Hmm.t;
     psm : Psm.t;
     table : Table.t;
     input_indexes : int list;
+    assertions : Assertion.t array; (* row -> state assertion *)
+    outputs : Psm.output array; (* row -> state output *)
+    succ_by_guard : (int * int, int list) Hashtbl.t;
+    (* (src row, guard) -> dst rows, sorted uniq; every graph transition,
+       regardless of the current (bannable) A mass *)
+    rows_by_entry : (int, int list) Hashtbl.t;
+    (* entry prop -> rows (ascending) with a matching alternative *)
     mutable prev_inputs : Bits.t array option;
     mutable mode : mode;
     mutable entered_via : (int * int) option;
@@ -79,16 +87,46 @@ module Stepper = struct
     mutable resync_events : int;
   }
 
-  let create ?(config = default) hmm =
+  let create ?(config = default) ?(reference = false) hmm =
     Hmm.reset_bans hmm;
     let psm = Hmm.psm hmm in
     let table = Psm.prop_table psm in
     let iface = Psm_mining.Vocabulary.interface (Table.vocabulary table) in
+    let m = Hmm.state_count hmm in
+    let state_of_row row = Psm.state psm (Hmm.state_of_row hmm row) in
+    let assertions = Array.init m (fun row -> (state_of_row row).Psm.assertion) in
+    let outputs = Array.init m (fun row -> (state_of_row row).Psm.output) in
+    let succ_by_guard = Hashtbl.create 64 in
+    List.iter
+      (fun (tr : Psm.transition) ->
+        let key = (Hmm.row_of_state hmm tr.Psm.src, tr.Psm.guard) in
+        let dst = Hmm.row_of_state hmm tr.Psm.dst in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt succ_by_guard key) in
+        Hashtbl.replace succ_by_guard key (dst :: prev))
+      (Psm.transitions psm);
+    Hashtbl.filter_map_inplace
+      (fun _ dsts -> Some (List.sort_uniq Int.compare dsts))
+      succ_by_guard;
+    let rows_by_entry = Hashtbl.create 64 in
+    for row = m - 1 downto 0 do
+      (* downto: each bucket ends up in ascending row order *)
+      Assertion.alternatives assertions.(row)
+      |> List.map entry_of_alternative
+      |> List.sort_uniq Int.compare
+      |> List.iter (fun o ->
+             let prev = Option.value ~default:[] (Hashtbl.find_opt rows_by_entry o) in
+             Hashtbl.replace rows_by_entry o (row :: prev))
+    done;
     { config;
+      reference;
       hmm;
       psm;
       table;
       input_indexes = List.map fst (Interface.inputs iface);
+      assertions;
+      outputs;
+      succ_by_guard;
+      rows_by_entry;
       prev_inputs = None;
       mode = Unstarted;
       entered_via = None;
@@ -98,21 +136,42 @@ module Stepper = struct
       wrong_instants = 0;
       resync_events = 0 }
 
-  let assertion_of_row t row = (Psm.state t.psm (Hmm.state_of_row t.hmm row)).Psm.assertion
-  let output_of_row t row = (Psm.state t.psm (Hmm.state_of_row t.hmm row)).Psm.output
+  let assertion_of_row t row = t.assertions.(row)
+  let output_of_row t row = t.outputs.(row)
 
-  (* Choose among candidate rows by filtered belief from [origin]. *)
+  (* Choose among candidate rows by filtered belief from [origin]. The
+     indexed path exploits the one-hot belief: predict's output before
+     normalization is exactly row [origin] of A, so predicted.(r) is
+     A(origin, r) over the full ascending row sum — bit-identical to the
+     reference's predict-and-normalize, without the O(m²) product or the
+     two belief allocations. *)
   let filtered_choice t ~origin_row ~prop ~candidates =
     match candidates with
     | [] -> None
     | [ single ] -> Some single
     | _ ->
-        let belief = Array.make (Hmm.state_count t.hmm) 0. in
-        belief.(origin_row) <- 1.;
-        let predicted = Hmm.predict t.hmm belief in
-        let scored =
-          List.map (fun r -> (r, predicted.(r) *. Hmm.b_entry t.hmm r prop)) candidates
+        let score =
+          if t.reference then begin
+            let belief = Array.make (Hmm.state_count t.hmm) 0. in
+            belief.(origin_row) <- 1.;
+            let predicted = Hmm.predict t.hmm belief in
+            fun r -> predicted.(r) *. Hmm.b_entry t.hmm r prop
+          end
+          else begin
+            let m = Hmm.state_count t.hmm in
+            let total = ref 0. in
+            for j = 0 to m - 1 do
+              total := !total +. Hmm.a t.hmm origin_row j
+            done;
+            let total = !total in
+            fun r ->
+              let p =
+                if total > 0. then Hmm.a t.hmm origin_row r /. total else 0.
+              in
+              p *. Hmm.b_entry t.hmm r prop
+          end
         in
+        let scored = List.map (fun r -> (r, score r)) candidates in
         let best =
           List.fold_left
             (fun acc (r, score) ->
@@ -123,26 +182,36 @@ module Stepper = struct
         in
         Option.map fst best
 
+  (* Graph successors of [row] through guard [o] (any A mass), ascending. *)
+  let successor_rows t ~row ~o =
+    if t.reference then
+      List.filter_map
+        (fun (tr : Psm.transition) ->
+          if Hmm.row_of_state t.hmm tr.Psm.src = row && tr.Psm.guard = o then
+            Some (Hmm.row_of_state t.hmm tr.Psm.dst)
+          else None)
+        (Psm.transitions t.psm)
+      |> List.sort_uniq Int.compare
+    else Option.value ~default:[] (Hashtbl.find_opt t.succ_by_guard (row, o))
+
+  (* Rows with an alternative entered by [o], ascending. *)
+  let entry_rows t ~o =
+    if t.reference then
+      List.init (Hmm.state_count t.hmm) Fun.id
+      |> List.filter (fun r -> start_cursors (assertion_of_row t r) o <> [])
+    else Option.value ~default:[] (Hashtbl.find_opt t.rows_by_entry o)
+
   (* Enter some state reachable from [origin_row] (or, failing that,
      anywhere) on entry proposition [o]. *)
   let try_jump t ~origin_row ~o =
     let reachable =
-      List.filter_map
-        (fun (tr : Psm.transition) ->
-          let src = Hmm.row_of_state t.hmm tr.Psm.src in
-          let dst = Hmm.row_of_state t.hmm tr.Psm.dst in
-          if src = origin_row && tr.Psm.guard = o && Hmm.a t.hmm src dst > 0. then Some dst
-          else None)
-        (Psm.transitions t.psm)
-      |> List.sort_uniq Int.compare
+      successor_rows t ~row:origin_row ~o
+      |> List.filter (fun dst -> Hmm.a t.hmm origin_row dst > 0.)
       |> List.filter (fun r -> start_cursors (assertion_of_row t r) o <> [])
     in
     let candidates =
       if reachable <> [] then reachable
-      else
-        List.init (Hmm.state_count t.hmm) Fun.id
-        |> List.filter (fun r ->
-               Hmm.b_entry t.hmm r o > 0. && start_cursors (assertion_of_row t r) o <> [])
+      else entry_rows t ~o |> List.filter (fun r -> Hmm.b_entry t.hmm r o > 0.)
     in
     match filtered_choice t ~origin_row ~prop:o ~candidates with
     | Some r -> Some (Synced { row = r; cursors = start_cursors (assertion_of_row t r) o })
@@ -151,10 +220,7 @@ module Stepper = struct
   (* First instant: the π-weighted choice among states recognizing o. *)
   let initialize t o =
     let pi = Hmm.initial_belief t.hmm in
-    let candidates =
-      List.init (Hmm.state_count t.hmm) Fun.id
-      |> List.filter (fun r -> start_cursors (assertion_of_row t r) o <> [])
-    in
+    let candidates = entry_rows t ~o in
     let scored =
       List.map (fun r -> (r, pi.(r) +. (1e-9 *. Hmm.b_entry t.hmm r o))) candidates
     in
@@ -181,26 +247,15 @@ module Stepper = struct
      the machine should remain in place (the paper: the simulation
      "proceeds by remaining in the last valid state"). *)
   let take_transition t ~row ~o =
-    let guard_exists =
-      List.exists
-        (fun (tr : Psm.transition) ->
-          Hmm.row_of_state t.hmm tr.Psm.src = row && tr.Psm.guard = o)
-        (Psm.transitions t.psm)
-    in
-    if not guard_exists then `No_edge
+    let successors = successor_rows t ~row ~o in
+    if successors = [] then `No_edge
     else begin
       let rec attempt banned =
         let candidates =
-          List.filter_map
-            (fun (tr : Psm.transition) ->
-              let src = Hmm.row_of_state t.hmm tr.Psm.src in
-              let dst = Hmm.row_of_state t.hmm tr.Psm.dst in
-              if src = row && tr.Psm.guard = o && Hmm.a t.hmm src dst > 0.
-                 && not (List.mem dst banned)
-              then Some dst
-              else None)
-            (Psm.transitions t.psm)
-          |> List.sort_uniq Int.compare
+          List.filter
+            (fun dst ->
+              Hmm.a t.hmm row dst > 0. && not (List.mem dst banned))
+            successors
         in
         match filtered_choice t ~origin_row:row ~prop:o ~candidates with
         | None -> `All_failed
@@ -361,9 +416,9 @@ module Stepper = struct
   let resync_events t = t.resync_events
 end
 
-let simulate ?config hmm trace =
+let simulate ?config ?reference hmm trace =
   Psm_obs.span "hmm.multi_sim" @@ fun () ->
-  let stepper = Stepper.create ?config hmm in
+  let stepper = Stepper.create ?config ?reference hmm in
   let n = Functional_trace.length trace in
   let estimate = Array.make n 0. in
   let state_trace = Array.make n (-1) in

@@ -39,7 +39,10 @@ type result = {
 }
 
 val simulate :
-  ?config:config -> Hmm.t -> Psm_trace.Functional_trace.t -> result
+  ?config:config -> ?reference:bool -> Hmm.t -> Psm_trace.Functional_trace.t -> result
+(** [reference] (default false) disables the stepper's precomputed
+    successor/entry indexes and runs the original transition-list scans —
+    the executable specification the equivalence tests compare against. *)
 
 val simulate_timed :
   ?config:config -> Hmm.t -> Psm_trace.Functional_trace.t -> result * float
@@ -51,8 +54,9 @@ val simulate_timed :
 module Stepper : sig
   type t
 
-  val create : ?config:config -> Hmm.t -> t
-  (** Resets the HMM's banned transitions. *)
+  val create : ?config:config -> ?reference:bool -> Hmm.t -> t
+  (** Resets the HMM's banned transitions. [reference] as in
+      {!simulate}. *)
 
   val step : t -> Psm_bits.Bits.t array -> float * int
   (** [step t sample] consumes one full interface sample (inputs then

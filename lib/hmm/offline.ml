@@ -7,68 +7,209 @@ module Table = Psm_mining.Prop_trace.Table
    that training does support. *)
 let floor_p = 1e-9
 
-let viterbi hmm observations =
+(* The PSM's A matrix is defined over state CHANGES (segment
+   boundaries); a per-instant lattice additionally needs the
+   probability of staying put. Expected dwell time per state comes
+   from its power attributes: n instants over k training visits. *)
+let dwell_of hmm =
+  let m = Hmm.state_count hmm in
+  let psm = Hmm.psm hmm in
+  Array.init m (fun row ->
+      let s = Psm.state psm (Hmm.state_of_row hmm row) in
+      let visits = max 1 (List.length s.Psm.attr.Psm_core.Power_attr.intervals) in
+      Float.max 1.5
+        (float_of_int s.Psm.attr.Psm_core.Power_attr.n /. float_of_int visits))
+
+let log_f v = log (Float.max v floor_p)
+
+let viterbi_dense hmm observations =
   let m = Hmm.state_count hmm in
   let n = Array.length observations in
-  if n = 0 then [||]
-  else begin
-    let log_f v = log (Float.max v floor_p) in
-    (* The PSM's A matrix is defined over state CHANGES (segment
-       boundaries); a per-instant lattice additionally needs the
-       probability of staying put. Expected dwell time per state comes
-       from its power attributes: n instants over k training visits. *)
-    let psm = Hmm.psm hmm in
-    let dwell =
-      Array.init m (fun row ->
-          let s = Psm.state psm (Hmm.state_of_row hmm row) in
-          let visits = max 1 (List.length s.Psm.attr.Psm_core.Power_attr.intervals) in
-          Float.max 1.5 (float_of_int s.Psm.attr.Psm_core.Power_attr.n /. float_of_int visits))
-    in
-    let log_a =
-      Array.init m (fun i ->
-          let stay = 1. -. (1. /. dwell.(i)) in
-          Array.init m (fun j ->
-              if i = j then log_f (Float.max stay (Hmm.a hmm i j))
-              else log_f ((1. -. stay) *. Hmm.a hmm i j)))
-    in
-    let emission row t =
-      match observations.(t) with
-      | None -> 0. (* uninformative *)
-      | Some prop -> log_f (Hmm.b_obs hmm row prop)
-    in
-    let score = Array.make_matrix n m neg_infinity in
-    let back = Array.make_matrix n m 0 in
-    let pi = Hmm.pi hmm in
+  let dwell = dwell_of hmm in
+  let log_a =
+    Array.init m (fun i ->
+        let stay = 1. -. (1. /. dwell.(i)) in
+        Array.init m (fun j ->
+            if i = j then log_f (Float.max stay (Hmm.a hmm i j))
+            else log_f ((1. -. stay) *. Hmm.a hmm i j)))
+  in
+  let emission row t =
+    match observations.(t) with
+    | None -> 0. (* uninformative *)
+    | Some prop -> log_f (Hmm.b_obs hmm row prop)
+  in
+  let score = Array.make_matrix n m neg_infinity in
+  let back = Array.make_matrix n m 0 in
+  let pi = Hmm.pi hmm in
+  for j = 0 to m - 1 do
+    score.(0).(j) <- log_f pi.(j) +. emission j 0
+  done;
+  for t = 1 to n - 1 do
     for j = 0 to m - 1 do
-      score.(0).(j) <- log_f pi.(j) +. emission j 0
-    done;
-    for t = 1 to n - 1 do
-      for j = 0 to m - 1 do
-        let best = ref neg_infinity and arg = ref 0 in
-        for i = 0 to m - 1 do
-          let candidate = score.(t - 1).(i) +. log_a.(i).(j) in
-          if candidate > !best then begin
-            best := candidate;
-            arg := i
-          end
+      let best = ref neg_infinity and arg = ref 0 in
+      for i = 0 to m - 1 do
+        let candidate = score.(t - 1).(i) +. log_a.(i).(j) in
+        if candidate > !best then begin
+          best := candidate;
+          arg := i
+        end
+      done;
+      score.(t).(j) <- !best +. emission j t;
+      back.(t).(j) <- !arg
+    done
+  done;
+  let path = Array.make n 0 in
+  let best = ref neg_infinity in
+  for j = 0 to m - 1 do
+    if score.(n - 1).(j) > !best then begin
+      best := score.(n - 1).(j);
+      path.(n - 1) <- j
+    end
+  done;
+  for t = n - 2 downto 0 do
+    path.(t) <- back.(t + 1).(path.(t + 1))
+  done;
+  path
+
+(* Sparse max-product. Key observation: every ABSENT edge (i, j) has the
+   same log weight c = log floor_p (its dense entry is log_f 0.), so the
+   best absent predecessor of ANY column is determined by the previous
+   scores alone. Per step we sort rows by (score desc, index asc) once;
+   per column we scan the stored incoming edges (CSC, diagonal always
+   present) and walk the sorted prefix for absent candidates, stopping
+   as soon as the floored sum drops below the running best — reproducing
+   the dense scan's lowest-index-strict-max tie-breaking exactly. *)
+let viterbi_sparse hmm observations =
+  let m = Hmm.state_count hmm in
+  let n = Array.length observations in
+  let dwell = dwell_of hmm in
+  let c = log_f 0. in
+  let csr = Hmm.a_sparse hmm in
+  (* CSC of the log lattice: incoming (i, log weight) per column j,
+     ascending i, with the dwell diagonal inserted where A has none. *)
+  let counts = Array.make (m + 1) 0 in
+  for i = 0 to m - 1 do
+    let has_diag = ref false in
+    Sparse.iter_row csr i (fun j _ ->
+        if j = i then has_diag := true;
+        counts.(j + 1) <- counts.(j + 1) + 1);
+    if not !has_diag then counts.(i + 1) <- counts.(i + 1) + 1
+  done;
+  for j = 0 to m - 1 do
+    counts.(j + 1) <- counts.(j + 1) + counts.(j)
+  done;
+  let col_ptr = counts in
+  let in_rows = Array.make (max col_ptr.(m) 1) 0 in
+  let in_vals = Array.make (max col_ptr.(m) 1) 0. in
+  let cursor = Array.copy col_ptr in
+  for i = 0 to m - 1 do
+    let stay = 1. -. (1. /. dwell.(i)) in
+    let emit j la =
+      let slot = cursor.(j) in
+      in_rows.(slot) <- i;
+      in_vals.(slot) <- la;
+      cursor.(j) <- slot + 1
+    in
+    let has_diag = ref false in
+    Sparse.iter_row csr i (fun j v ->
+        if j = i then begin
+          has_diag := true;
+          emit j (log_f (Float.max stay v))
+        end
+        else emit j (log_f ((1. -. stay) *. v)));
+    if not !has_diag then emit i (log_f stay)
+  done;
+  let emission row t =
+    match observations.(t) with
+    | None -> 0.
+    | Some prop -> log_f (Hmm.b_obs hmm row prop)
+  in
+  let back = Array.make_matrix n m 0 in
+  let prev = Array.make m neg_infinity in
+  let cur = Array.make m neg_infinity in
+  let pi = Hmm.pi hmm in
+  for j = 0 to m - 1 do
+    prev.(j) <- log_f pi.(j) +. emission j 0
+  done;
+  let order = Array.init m (fun i -> i) in
+  let present = Array.make m false in
+  for t = 1 to n - 1 do
+    (* Rows by previous score, descending; ties by ascending index. *)
+    Array.iteri (fun k _ -> order.(k) <- k) order;
+    Array.sort
+      (fun i j ->
+        let d = Float.compare prev.(j) prev.(i) in
+        if d <> 0 then d else Int.compare i j)
+      order;
+    for j = 0 to m - 1 do
+      let lo = col_ptr.(j) and hi = col_ptr.(j + 1) in
+      (* Stored incoming edges, ascending i: dense tie-break is strict >. *)
+      let best = ref neg_infinity and arg = ref 0 in
+      for k = lo to hi - 1 do
+        let candidate = prev.(in_rows.(k)) +. in_vals.(k) in
+        if candidate > !best then begin
+          best := candidate;
+          arg := in_rows.(k)
+        end
+      done;
+      (* Absent edges all weigh c: only rows tied at the floored maximum
+         can win, and they form a prefix of [order] (monotonicity of
+         +. c); take the lowest index among them. *)
+      if hi - lo < m then begin
+        for k = lo to hi - 1 do
+          present.(in_rows.(k)) <- true
         done;
-        score.(t).(j) <- !best +. emission j t;
-        back.(t).(j) <- !arg
-      done
+        let best_a = ref neg_infinity and arg_a = ref (-1) in
+        (try
+           for k = 0 to m - 1 do
+             let i = order.(k) in
+             if not present.(i) then begin
+               let candidate = prev.(i) +. c in
+               if !arg_a < 0 then begin
+                 best_a := candidate;
+                 arg_a := i
+               end
+               else if candidate = !best_a then begin
+                 if i < !arg_a then arg_a := i
+               end
+               else raise Exit
+             end
+           done
+         with Exit -> ());
+        for k = lo to hi - 1 do
+          present.(in_rows.(k)) <- false
+        done;
+        if !arg_a >= 0
+           && (!best_a > !best || (!best_a = !best && !arg_a < !arg)) then begin
+          best := !best_a;
+          arg := !arg_a
+        end
+      end;
+      cur.(j) <- !best +. emission j t;
+      back.(t).(j) <- !arg
     done;
-    let path = Array.make n 0 in
-    let best = ref neg_infinity in
-    for j = 0 to m - 1 do
-      if score.(n - 1).(j) > !best then begin
-        best := score.(n - 1).(j);
-        path.(n - 1) <- j
-      end
-    done;
-    for t = n - 2 downto 0 do
-      path.(t) <- back.(t + 1).(path.(t + 1))
-    done;
-    path
-  end
+    Array.blit cur 0 prev 0 m
+  done;
+  let path = Array.make n 0 in
+  let best = ref neg_infinity in
+  for j = 0 to m - 1 do
+    if prev.(j) > !best then begin
+      best := prev.(j);
+      path.(n - 1) <- j
+    end
+  done;
+  for t = n - 2 downto 0 do
+    path.(t) <- back.(t + 1).(path.(t + 1))
+  done;
+  path
+
+let viterbi ?kernel hmm observations =
+  if Array.length observations = 0 then [||]
+  else
+    let kernel = match kernel with Some k -> k | None -> Hmm.kernel hmm in
+    match kernel with
+    | `Dense -> viterbi_dense hmm observations
+    | `Sparse -> viterbi_sparse hmm observations
 
 let classify_trace hmm trace =
   let table = Psm.prop_table (Hmm.psm hmm) in

@@ -271,6 +271,53 @@ let test_registry_lists_builtins () =
     [ "determinism"; "reachability"; "stall"; "attr-sanity"; "conservation";
       "hmm-consistency"; "hmm-stochastic"; "hmm-emission" ]
 
+(* ---------- the parallel analyzer is deterministic ---------- *)
+
+let with_jobs jobs f =
+  let saved = Psm_par.default_jobs () in
+  Psm_par.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Psm_par.set_jobs saved) f
+
+let test_parallel_report_identical () =
+  (* A findings-rich run: structural corruptions, a corrupted HMM and the
+     training-context rules (stall/conservation) all firing at once. The
+     analyzer fans rules out across the Psm_par pool; the report must be
+     byte-identical whatever the pool width. *)
+  let runs () =
+    let structural =
+      let psm, _, _, _, _ = corrupted_model () in
+      let hmm = Hmm.build psm in
+      Hmm.unsafe_set_a hmm ~row:0 ~col:1 5.;
+      Analyzer.analyze ~hmm psm
+    in
+    let contextual =
+      let table, p_hi, p_lo, gamma, power = stall_world () in
+      let psm = Psm.empty table in
+      let psm, _s0 =
+        Psm.add_state psm (Assertion.Until (p_hi, p_lo))
+          (attr ~mu:1. ~trace:0 ~start:0 ~stop:1 ())
+      in
+      let psm, _s1 =
+        Psm.add_state psm (Assertion.Until (p_lo, p_lo))
+          (attr ~mu:2.5 ~trace:0 ~start:2 ~stop:2 ())
+      in
+      let psm = Psm.add_initial psm _s0 in
+      Analyzer.analyze ~gammas:[| gamma |] ~powers:[| power |] psm
+    in
+    (structural, contextual)
+  in
+  let seq_structural, seq_contextual = with_jobs 1 runs in
+  let par_structural, par_contextual = with_jobs 4 runs in
+  check_bool "structural findings rich" true (List.length seq_structural > 3);
+  check_bool "contextual findings present" true (seq_contextual <> []);
+  check_bool "structural findings identical" true (seq_structural = par_structural);
+  check_bool "contextual findings identical" true (seq_contextual = par_contextual);
+  Alcotest.(check string) "text report byte-identical"
+    (Report.text seq_structural) (Report.text par_structural);
+  Alcotest.(check string) "json report byte-identical"
+    (Report.json (seq_structural @ seq_contextual))
+    (Report.json (par_structural @ par_contextual))
+
 (* ---------- persistence round-trip stays lint-clean ---------- *)
 
 let test_persist_roundtrip_lint_clean () =
@@ -344,6 +391,7 @@ let suite =
       Alcotest.test_case "strict mode raises" `Quick test_strict_mode_raises;
       Alcotest.test_case "rule selection" `Quick test_rule_selection;
       Alcotest.test_case "registry lists builtins" `Quick test_registry_lists_builtins;
+      Alcotest.test_case "parallel report identical" `Quick test_parallel_report_identical;
       Alcotest.test_case "persist round-trip stays clean" `Quick
         test_persist_roundtrip_lint_clean ]
     @ properties )

@@ -340,6 +340,32 @@ let test_accuracy_validates_lengths () =
        false
      with Invalid_argument _ -> true)
 
+(* ---------- kernel selection ---------- *)
+
+let test_kernel_selection () =
+  let values = [ 0; 0; 1; 1; 2; 2; 0; 0; 1; 1; 2; 2 ] in
+  let _, _, _, psm = train values (List.map (fun v -> 10. ** float_of_int v) values) in
+  let hmm = Hmm.build psm in
+  (* Mined chains are sparse: auto picks the CSR kernel. *)
+  check_bool "auto picks sparse" true (Hmm.kernel hmm = `Sparse);
+  Hmm.set_kernel hmm `Dense;
+  check_bool "forced dense" true (Hmm.kernel hmm = `Dense);
+  Hmm.set_kernel hmm `Auto;
+  check_bool "auto again" true (Hmm.kernel hmm = `Sparse);
+  let csr = Hmm.a_sparse hmm in
+  check_bool "density consistent" true
+    (Psm_hmm.Sparse.density csr <= Psm_hmm.Sparse.dense_threshold);
+  check_int "nnz matches dense"
+    (let m = Hmm.state_count hmm in
+     let count = ref 0 in
+     for i = 0 to m - 1 do
+       for j = 0 to m - 1 do
+         if Hmm.a hmm i j <> 0. then incr count
+       done
+     done;
+     !count)
+    (Psm_hmm.Sparse.nnz csr)
+
 (* ---------- properties ---------- *)
 
 let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:50 ~name arb f)
@@ -383,7 +409,64 @@ let properties =
         (* Evaluate on a shuffled variant (same alphabet, new order). *)
         let shuffled = List.rev values in
         let result = Multi_sim.simulate hmm (trace_of table shuffled) in
-        result.Multi_sim.wsp >= 0. && result.Multi_sim.wsp <= 1.) ]
+        result.Multi_sim.wsp >= 0. && result.Multi_sim.wsp <= 1.);
+    (* ---------- sparse vs dense kernel equivalence ---------- *)
+    prop "sparse forward ≡ dense forward" arb_values (fun values ->
+        QCheck.assume (List.length values >= 4);
+        let powers = List.map (fun v -> float_of_int ((v * 3) + 1)) values in
+        let _, trace, _, psm = train values powers in
+        let hmm = Hmm.build psm in
+        let obs =
+          Array.init (FT.length trace) (fun time ->
+              (* A few Nones exercise the uninformative-emission path. *)
+              if time mod 5 = 4 then None
+              else Table.classify (Psm.prop_table psm) (FT.sample trace ~time))
+        in
+        let dense = Psm_hmm.Filtering.create ~kernel:`Dense hmm in
+        let sparse = Psm_hmm.Filtering.create ~kernel:`Sparse hmm in
+        let rel_close a b =
+          a = b
+          || abs_float (a -. b)
+             <= 1e-12 *. Float.max 1. (Float.max (abs_float a) (abs_float b))
+        in
+        let pd = Psm_hmm.Filtering.posteriors dense obs in
+        let ps = Psm_hmm.Filtering.posteriors sparse obs in
+        let posteriors_ok =
+          Array.for_all2 (fun rd rs -> Array.for_all2 rel_close rd rs) pd ps
+        in
+        posteriors_ok
+        && rel_close
+             (Psm_hmm.Filtering.log_likelihood dense obs)
+             (Psm_hmm.Filtering.log_likelihood sparse obs));
+    prop "sparse viterbi ≡ dense viterbi" arb_values (fun values ->
+        QCheck.assume (List.length values >= 4);
+        let powers = List.map (fun v -> float_of_int ((v * 2) + 1)) values in
+        let _, trace, _, psm = train values powers in
+        let hmm = Hmm.build psm in
+        let obs =
+          Array.init (FT.length trace) (fun time ->
+              if time mod 7 = 6 then None
+              else Table.classify (Psm.prop_table psm) (FT.sample trace ~time))
+        in
+        let dense = Psm_hmm.Offline.viterbi ~kernel:`Dense hmm obs in
+        let sparse = Psm_hmm.Offline.viterbi ~kernel:`Sparse hmm obs in
+        dense = sparse);
+    prop "indexed multi-sim ≡ reference multi-sim" arb_values (fun values ->
+        QCheck.assume (List.length values >= 4);
+        let powers = List.map (fun v -> float_of_int (v + 1)) values in
+        let table, trace, _, psm = train values powers in
+        let hmm = Hmm.build psm in
+        (* Both the clean replay and a shuffled trace (exercising the
+           resynchronization, ban and fallback-jump paths). *)
+        let same tr =
+          let fast = Multi_sim.simulate hmm tr in
+          let ref_ = Multi_sim.simulate ~reference:true hmm tr in
+          fast.Multi_sim.estimate = ref_.Multi_sim.estimate
+          && fast.Multi_sim.state_trace = ref_.Multi_sim.state_trace
+          && fast.Multi_sim.wrong_instants = ref_.Multi_sim.wrong_instants
+          && fast.Multi_sim.resync_events = ref_.Multi_sim.resync_events
+        in
+        same trace && same (trace_of table (List.rev values))) ]
 
 let suite =
   ( "hmm",
@@ -392,6 +475,7 @@ let suite =
       Alcotest.test_case "B entry emission" `Quick test_hmm_b_entry;
       Alcotest.test_case "predict normalized" `Quick test_hmm_predict_normalized;
       Alcotest.test_case "ban and reset" `Quick test_hmm_ban_and_reset;
+      Alcotest.test_case "kernel selection" `Quick test_kernel_selection;
       Alcotest.test_case "transition count weighting" `Quick test_hmm_transition_counts_weighting;
       Alcotest.test_case "replay training" `Quick test_multi_sim_replays_training;
       Alcotest.test_case "cascade states" `Quick test_multi_sim_cascade_states;
