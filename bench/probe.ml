@@ -1,0 +1,66 @@
+(* Dev probe: per-IP HMM matrix shapes and raw kernel timings, used to
+   calibrate the per-algorithm kernel cost model (Psm_hmm.Kernel_cost).
+   Not part of the bench gates; run as `dune exec bench/probe.exe`. *)
+
+module Flow = Psm_flow.Flow
+module Workloads = Psm_ips.Workloads
+module Table = Psm_mining.Prop_trace.Table
+
+(* Best of three: these kernels run for tens of milliseconds, where a
+   single sample is dominated by GC and scheduler noise. *)
+let time f =
+  let sample () =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let r, d1 = sample () in
+  let _, d2 = sample () in
+  let _, d3 = sample () in
+  (r, Float.min d1 (Float.min d2 d3))
+
+let () =
+  let eval_length =
+    match Sys.argv with [| _; n |] -> int_of_string n | _ -> 60_000
+  in
+  List.iter
+    (fun (name, make) ->
+      let ip : Psm_ips.Ip.t = make () in
+      let suite =
+        Workloads.suite ~total_length:(Workloads.paper_short_length name) ~long:false
+          name
+      in
+      let trained = Flow.train_on_ip ip suite in
+      let hmm = trained.Flow.hmm in
+      let table = trained.Flow.table in
+      let long = Workloads.long_for ~length:eval_length name in
+      let trace, _ = Psm_ips.Capture.run ip long in
+      let obs =
+        Array.init (Psm_trace.Functional_trace.length trace) (fun time ->
+            Table.classify table (Psm_trace.Functional_trace.sample trace ~time))
+      in
+      let m = Psm_hmm.Hmm.state_count hmm in
+      let csr = Psm_hmm.Hmm.a_sparse hmm in
+      let nnz = Psm_hmm.Sparse.nnz csr in
+      let fi = Psm_hmm.Filtering.create ~kernel:`Dense hmm in
+      let a_instant_density = Psm_hmm.Filtering.kernel fi in
+      ignore a_instant_density;
+      let _, fwd_d = time (fun () -> Psm_hmm.Filtering.log_likelihood fi obs) in
+      let fs = Psm_hmm.Filtering.create ~kernel:`Sparse hmm in
+      let _, fwd_s = time (fun () -> Psm_hmm.Filtering.log_likelihood fs obs) in
+      let _, vit_d = time (fun () -> Psm_hmm.Offline.viterbi ~kernel:`Dense hmm obs) in
+      let _, vit_s = time (fun () -> Psm_hmm.Offline.viterbi ~kernel:`Sparse hmm obs) in
+      let _, sim_r =
+        time (fun () -> Psm_hmm.Multi_sim.simulate ~reference:true hmm trace)
+      in
+      let _, sim_i = time (fun () -> Psm_hmm.Multi_sim.simulate hmm trace) in
+      let t = Array.length obs in
+      Printf.printf
+        "%-8s m=%3d nnz=%4d dens=%.3f T=%d | fwd d=%.3fs s=%.3fs | vit d=%.3fs \
+         s=%.3fs | sim r=%.3fs i=%.3fs\n\
+         %!"
+        name m nnz
+        (Psm_hmm.Sparse.density csr)
+        t fwd_d fwd_s vit_d vit_s sim_r sim_i)
+    [ ("RAM", Psm_ips.Ram.create); ("MultSum", Psm_ips.Multsum.create);
+      ("AES", Psm_ips.Aes.create); ("Camellia", Psm_ips.Camellia.create) ]

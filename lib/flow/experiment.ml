@@ -28,6 +28,19 @@ let benchmark_ips =
       make = Psm_ips.Camellia.create;
       source_files = [ "lib/ips/camellia.ml"; "lib/ips/camellia_core.ml" ] } ]
 
+(* Relative end-to-end cost of one experiment cell per IP, as measured by
+   the committed bench stage timings (a Camellia flow costs roughly 20x a
+   MultSum flow at equal trace length — wider interface, more mined
+   atoms, bigger model). These feed the pool's longest-processing-time
+   schedule; only the ordering they induce matters, not calibration. *)
+let ip_cost_weight = function
+  | "Camellia" -> 20.
+  | "AES" -> 6.
+  | "RAM" -> 2.
+  | _ -> 1.
+
+let cell_cost ~ip_name ~length = ip_cost_weight ip_name *. float_of_int length
+
 (* ---------- Table I ---------- *)
 
 type table1_row = {
@@ -99,7 +112,10 @@ let table1_row spec =
       Option.map (fun (_, s) -> s.Psm_rtl.Netlist_stats.logic_depth) elaboration;
     memory_elements = ip.Ip.memory_elements }
 
-let table1 () = Psm_par.parallel_map table1_row benchmark_ips
+let table1 () =
+  Psm_par.parallel_map_weighted
+    ~cost:(fun spec -> ip_cost_weight spec.ip_name)
+    table1_row benchmark_ips
 
 (* ---------- Table II ---------- *)
 
@@ -168,7 +184,12 @@ let table2_row ?(config = Flow.default) ~total_length ~long spec =
 let table2 ?(short_lengths = true) ?(long_length = 500_000) () =
   (* Fan the whole (benchmark x workload-length) grid out at once: eight
      independent end-to-end flows, each worth seconds to minutes of
-     gate-level simulation, mining and training. *)
+     gate-level simulation, mining and training. The cells are wildly
+     heterogeneous (a long-TS Camellia cell costs two orders of magnitude
+     more than a short-TS MultSum cell), so the schedule is cost-weighted:
+     heavy cells are claimed first and the cheap ones fill the tail,
+     instead of a dominant cell serializing the whole fan-out behind the
+     last domain to pick it up. *)
   let cases =
     List.map
       (fun spec ->
@@ -179,7 +200,9 @@ let table2 ?(short_lengths = true) ?(long_length = 500_000) () =
       benchmark_ips
     @ List.map (fun spec -> (spec, long_length, true)) benchmark_ips
   in
-  Psm_par.parallel_map
+  Psm_par.parallel_map_weighted
+    ~cost:(fun (spec, total_length, _) ->
+      cell_cost ~ip_name:spec.ip_name ~length:total_length)
     (fun (spec, total_length, long) -> table2_row ~total_length ~long spec)
     cases
 
@@ -218,7 +241,10 @@ let table3_row ?(config = Flow.default) ~eval_length spec =
     wsp = result.Psm_hmm.Multi_sim.wsp }
 
 let table3 ?(eval_length = 500_000) () =
-  Psm_par.parallel_map (fun spec -> table3_row ~eval_length spec) benchmark_ips
+  Psm_par.parallel_map_weighted
+    ~cost:(fun spec -> ip_cost_weight spec.ip_name)
+    (fun spec -> table3_row ~eval_length spec)
+    benchmark_ips
 
 (* ---------- Fig. 2 ---------- *)
 

@@ -40,9 +40,13 @@ let create ?(kernel = `Auto) hmm =
     match kernel with
     | (`Dense | `Sparse) as k -> k
     | `Auto ->
-        if Sparse.density a_instant_csr > Sparse.dense_threshold then `Dense
-        else `Sparse
+        (* Stream length unknown at creation; the per-step cost decides
+           (it does on every real T — setup is O(m²) either way here,
+           the dense a_instant is materialized regardless). *)
+        Kernel_cost.forward ~m ~nnz:(Sparse.nnz a_instant_csr) ()
   in
+  Kernel_cost.record "forward"
+    (kernel :> [ `Dense | `Sparse | `Reference | `Indexed ]);
   { hmm;
     a_instant;
     a_instant_csr;

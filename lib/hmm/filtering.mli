@@ -19,8 +19,8 @@ type t
 
 val create : ?kernel:Hmm.kernel_choice -> Hmm.t -> t
 (** Builds the dwell-corrected A' and its CSR mirror once. [`Auto]
-    (default) selects the sparse kernel unless A' is denser than
-    {!Sparse.dense_threshold}; both kernels are bit-identical.
+    (default) resolves through {!Kernel_cost.forward} on A's shape;
+    both kernels are bit-identical.
 
     A [t] carries reusable scratch buffers: it is cheap to query
     repeatedly but must not be shared across domains or re-entered from

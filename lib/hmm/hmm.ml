@@ -25,7 +25,10 @@ let resolve_kernel pref csr : kernel =
   match pref with
   | `Dense -> `Dense
   | `Sparse -> `Sparse
-  | `Auto -> if Sparse.density csr > Sparse.dense_threshold then `Dense else `Sparse
+  | `Auto ->
+      (* Generic (predict-step) resolution; the inference loops that know
+         their own cost profile re-resolve per algorithm. *)
+      Kernel_cost.forward ~m:(Sparse.dim csr) ~nnz:(Sparse.nnz csr) ()
 
 let refresh_a_cache t =
   t.a_csr <- Sparse.of_dense t.a;
@@ -165,6 +168,7 @@ let a t i j = t.a.(i).(j)
 let a_row t i = Array.copy t.a.(i)
 let a_sparse t = t.a_csr
 let kernel t = t.kernel
+let kernel_pref t = t.kernel_pref
 
 let set_kernel t pref =
   t.kernel_pref <- pref;

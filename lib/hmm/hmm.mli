@@ -18,9 +18,11 @@ type t
 type kernel = [ `Dense | `Sparse ]
 
 type kernel_choice = [ `Auto | `Dense | `Sparse ]
-(** [`Auto] picks [`Sparse] unless the transition matrix is denser than
-    {!Sparse.dense_threshold}. Both kernels produce bit-identical
-    results; [`Dense] is kept as the reference implementation. *)
+(** [`Auto] resolves per algorithm through the measured cost model
+    ({!Kernel_cost}): forward filtering, Viterbi decoding and the
+    simulator each pick dense or sparse/indexed from (m, nnz, steps)
+    independently. Both kernels produce bit-identical results; [`Dense]
+    is kept as the reference implementation. *)
 
 val build :
   ?kernel:kernel_choice ->
@@ -64,7 +66,13 @@ val a_sparse : t -> Sparse.t
     {!reset_bans}, {!unsafe_set_a}); do not hold across them. *)
 
 val kernel : t -> kernel
-(** The kernel the inference loops currently select. *)
+(** The generic (predict-step) kernel resolution. Inference loops that
+    know their own cost profile — {!Filtering}, {!Offline},
+    {!Multi_sim} — re-resolve [`Auto] through {!Kernel_cost} instead. *)
+
+val kernel_pref : t -> kernel_choice
+(** The caller's preference as set by {!build} or {!set_kernel} —
+    [`Auto] unless a kernel was forced. *)
 
 val set_kernel : t -> kernel_choice -> unit
 (** Override the kernel choice (benchmarks and equivalence tests). *)

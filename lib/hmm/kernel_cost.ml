@@ -1,0 +1,77 @@
+(* Per-algorithm kernel cost model.
+
+   A single density threshold cannot arbitrate for all three inference
+   loops: their sparse variants do different amounts of work per stored
+   entry. Per step (of T total):
+
+   - dense forward/Viterbi/predict touch all m² entries;
+   - sparse forward scatters over the CSR rows: m + nnz entries, each a
+     little dearer than a dense one (indirection);
+   - sparse Viterbi adds a top-K score selection and per-column stamp
+     marking on top of the CSC scan: ~2(m + nnz) comparable ops;
+   - the indexed simulator touches the active row's successor lists
+     instead of predicting over the full matrix: ~2(m + nnz/m).
+
+   Setup costs differ too — the dense kernels materialize an m² log/dwell
+   matrix, the sparse ones an O(m + nnz) CSR/CSC — which is why the
+   expected step count [steps] is part of the decision: at tiny T the
+   setup dominates and sparse wins even where its steps are dearer.
+
+   The step coefficients below are calibrated on the bundled IPs with
+   bench/probe.ml (m = 3..12, nnz = 4..60, T = 60k/120k, best of three):
+   they reproduce every measured winner — sparse forward on all four IPs,
+   sparse Viterbi on Camellia (m=12) but dense on the small near-dense
+   models (AES m=4 at 0.5 density), indexed simulation everywhere — and
+   fall back to dense/reference on genuinely dense matrices where the
+   sparse detour only adds indirection. *)
+
+type choice = [ `Dense | `Sparse ]
+type sim_choice = [ `Reference | `Indexed ]
+
+(* When the caller cannot know T (streaming filters, steppers): long
+   enough that per-step cost decides, as it does on every real workload. *)
+let default_steps = 10_000
+
+let forward_step_coeff = 1.25
+let viterbi_step_coeff = 1.8
+let sim_step_coeff = 2.0
+
+let fsteps steps = float_of_int (max 1 (Option.value steps ~default:default_steps))
+
+let pick ~dense ~sparse = if sparse <= dense then `Sparse else `Dense
+
+let forward ?steps ~m ~nnz () : choice =
+  let t = fsteps steps in
+  let mm = float_of_int (m * m) in
+  let work = float_of_int (m + nnz) in
+  pick
+    ~dense:(mm +. (t *. mm))
+    ~sparse:(work +. (t *. forward_step_coeff *. work))
+
+let viterbi ?steps ~m ~nnz () : choice =
+  let t = fsteps steps in
+  let mm = float_of_int (m * m) in
+  let work = float_of_int (m + nnz) in
+  pick
+    ~dense:(mm +. (t *. mm))
+    ~sparse:((2. *. work) +. (t *. viterbi_step_coeff *. work))
+
+let multi_sim ?steps ~m ~nnz () : sim_choice =
+  let t = fsteps steps in
+  let mm = float_of_int (m * m) in
+  let work = float_of_int m +. (float_of_int nnz /. float_of_int (max 1 m)) in
+  let reference = t *. mm in
+  let indexed = work +. (t *. sim_step_coeff *. work) in
+  if indexed <= reference then `Indexed else `Reference
+
+(* Every resolution — forced or cost-based — lands in a Psm_obs counter,
+   so a bench or trace dump shows which kernels actually ran. *)
+let record algorithm (choice : [ `Dense | `Sparse | `Reference | `Indexed ]) =
+  let kernel =
+    match choice with
+    | `Dense -> "dense"
+    | `Sparse -> "sparse"
+    | `Reference -> "reference"
+    | `Indexed -> "indexed"
+  in
+  Psm_obs.incr (Printf.sprintf "hmm.kernel.%s.%s" algorithm kernel)

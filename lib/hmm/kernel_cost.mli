@@ -1,0 +1,32 @@
+(** Per-algorithm kernel cost model.
+
+    Replaces the single {!Sparse.dense_threshold} density cut: forward
+    filtering, Viterbi decoding and multi-simulation pay different
+    per-entry prices for their sparse variants, so [`Auto] resolves each
+    independently from (m, nnz, expected step count). Coefficients are
+    calibrated against bench/probe.ml measurements on the bundled IPs;
+    see DESIGN.md §13 for the measured crossovers. *)
+
+type choice = [ `Dense | `Sparse ]
+type sim_choice = [ `Reference | `Indexed ]
+
+val default_steps : int
+(** Assumed step count when the caller cannot know T (streaming
+    filters, steppers created before the trace length is known). *)
+
+val forward : ?steps:int -> m:int -> nnz:int -> unit -> choice
+(** Kernel for forward filtering / prediction: dense m² row loop vs
+    CSR scatter over m + nnz entries. *)
+
+val viterbi : ?steps:int -> m:int -> nnz:int -> unit -> choice
+(** Kernel for max-product decoding: dense m² scan vs CSC scan plus
+    top-K predecessor selection, ~2(m + nnz) per step. *)
+
+val multi_sim : ?steps:int -> m:int -> nnz:int -> unit -> sim_choice
+(** Stepper path: full-matrix HMM prediction per step ([`Reference])
+    vs precomputed successor/entry indexes ([`Indexed]). *)
+
+val record : string -> [ `Dense | `Sparse | `Reference | `Indexed ] -> unit
+(** [record algorithm choice] bumps the [hmm.kernel.<algorithm>.<kernel>]
+    {!Psm_obs} counter; call at each resolution site so runs expose which
+    kernels actually executed. *)

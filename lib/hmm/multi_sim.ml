@@ -87,7 +87,21 @@ module Stepper = struct
     mutable resync_events : int;
   }
 
-  let create ?(config = default) ?(reference = false) hmm =
+  let create ?(config = default) ?steps ?reference hmm =
+    let reference =
+      match reference with
+      | Some r -> r
+      | None -> (
+          (* Cost-based like the offline kernels: the indexed path wins
+             whenever scanning successor lists beats an O(m²) predict per
+             step, which is every mined chain; [`Reference] remains the
+             executable spec for near-dense tiny machines. *)
+          let nnz = Sparse.nnz (Hmm.a_sparse hmm) in
+          match Kernel_cost.multi_sim ?steps ~m:(Hmm.state_count hmm) ~nnz () with
+          | `Reference -> true
+          | `Indexed -> false)
+    in
+    Kernel_cost.record "multi_sim" (if reference then `Reference else `Indexed);
     Hmm.reset_bans hmm;
     let psm = Hmm.psm hmm in
     let table = Psm.prop_table psm in
@@ -418,7 +432,9 @@ end
 
 let simulate ?config ?reference hmm trace =
   Psm_obs.span "hmm.multi_sim" @@ fun () ->
-  let stepper = Stepper.create ?config ?reference hmm in
+  let stepper =
+    Stepper.create ?config ~steps:(Functional_trace.length trace) ?reference hmm
+  in
   let n = Functional_trace.length trace in
   let estimate = Array.make n 0. in
   let state_trace = Array.make n (-1) in

@@ -40,9 +40,11 @@ type result = {
 
 val simulate :
   ?config:config -> ?reference:bool -> Hmm.t -> Psm_trace.Functional_trace.t -> result
-(** [reference] (default false) disables the stepper's precomputed
+(** [reference] forces the stepper path: [true] disables the precomputed
     successor/entry indexes and runs the original transition-list scans —
-    the executable specification the equivalence tests compare against. *)
+    the executable specification the equivalence tests compare against.
+    When omitted, {!Kernel_cost.multi_sim} decides from (m, nnz, trace
+    length); on every mined chain that is the indexed path. *)
 
 val simulate_timed :
   ?config:config -> Hmm.t -> Psm_trace.Functional_trace.t -> result * float
@@ -54,9 +56,10 @@ val simulate_timed :
 module Stepper : sig
   type t
 
-  val create : ?config:config -> ?reference:bool -> Hmm.t -> t
-  (** Resets the HMM's banned transitions. [reference] as in
-      {!simulate}. *)
+  val create : ?config:config -> ?steps:int -> ?reference:bool -> Hmm.t -> t
+  (** Resets the HMM's banned transitions. [reference] as in {!simulate};
+      [steps] is the expected cycle count, used only by the cost model
+      when [reference] is omitted. *)
 
   val step : t -> Psm_bits.Bits.t array -> float * int
   (** [step t sample] consumes one full interface sample (inputs then

@@ -74,11 +74,16 @@ let viterbi_dense hmm observations =
 (* Sparse max-product. Key observation: every ABSENT edge (i, j) has the
    same log weight c = log floor_p (its dense entry is log_f 0.), so the
    best absent predecessor of ANY column is determined by the previous
-   scores alone. Per step we sort rows by (score desc, index asc) once;
-   per column we scan the stored incoming edges (CSC, diagonal always
-   present) and walk the sorted prefix for absent candidates, stopping
-   as soon as the floored sum drops below the running best — reproducing
-   the dense scan's lowest-index-strict-max tie-breaking exactly. *)
+   scores alone. The best absent predecessor of column j is the first row
+   NOT stored in column j when rows are ranked by (score desc, index
+   asc) — and since column j stores at most [max_in] rows, that first
+   absent row always sits within the top [max_in + 1] of the ranking. So
+   per step we select only those top-K rows (one O(m) pass with an O(K)
+   bounded insertion — K is the max in-degree plus one, a small constant
+   on chain-sparse models) instead of sorting all m rows; per column we
+   scan the stored incoming edges (CSC, diagonal always present) and take
+   the first unstored row of the top-K list, reproducing the dense scan's
+   lowest-index-strict-max tie-breaking exactly. *)
 let viterbi_sparse hmm observations =
   let m = Hmm.state_count hmm in
   let n = Array.length observations in
@@ -131,16 +136,44 @@ let viterbi_sparse hmm observations =
   for j = 0 to m - 1 do
     prev.(j) <- log_f pi.(j) +. emission j 0
   done;
-  let order = Array.init m (fun i -> i) in
-  let present = Array.make m false in
+  (* Top-K selection bound: a column stores at most [max_in] incoming
+     rows, so its best absent predecessor is always within the best
+     [max_in + 1] rows of the (score desc, index asc) ranking. *)
+  let max_in = ref 0 in
+  for j = 0 to m - 1 do
+    max_in := max !max_in (col_ptr.(j + 1) - col_ptr.(j))
+  done;
+  let cap = min m (!max_in + 1) in
+  let top = Array.make cap 0 in
+  let top_score = Array.make cap neg_infinity in
+  let stored = Array.make m 0 in (* column stamp: marks stored rows *)
+  let stamp = ref 0 in
   for t = 1 to n - 1 do
-    (* Rows by previous score, descending; ties by ascending index. *)
-    Array.iteri (fun k _ -> order.(k) <- k) order;
-    Array.sort
-      (fun i j ->
-        let d = Float.compare prev.(j) prev.(i) in
-        if d <> 0 then d else Int.compare i j)
-      order;
+    (* The best [cap] rows by (prev score desc, index asc): one linear
+       pass with an O(cap) bounded insertion — O(m) total on the
+       chain-sparse matrices this kernel exists for, replacing the old
+       full O(m log m) sort. Scanning i ascending makes equal scores
+       land in ascending-index order without comparing indices. *)
+    let len = ref 0 in
+    for i = 0 to m - 1 do
+      let s = Array.unsafe_get prev i in
+      if !len < cap || s > top_score.(cap - 1) then begin
+        let p = ref !len in
+        while !p > 0 && s > top_score.(!p - 1) do
+          decr p
+        done;
+        let last = min !len (cap - 1) in
+        for k = last downto !p + 1 do
+          top.(k) <- top.(k - 1);
+          top_score.(k) <- top_score.(k - 1)
+        done;
+        if !p < cap then begin
+          top.(!p) <- i;
+          top_score.(!p) <- s;
+          if !len < cap then incr len
+        end
+      end
+    done;
     for j = 0 to m - 1 do
       let lo = col_ptr.(j) and hi = col_ptr.(j + 1) in
       (* Stored incoming edges, ascending i: dense tie-break is strict >. *)
@@ -152,37 +185,25 @@ let viterbi_sparse hmm observations =
           arg := in_rows.(k)
         end
       done;
-      (* Absent edges all weigh c: only rows tied at the floored maximum
-         can win, and they form a prefix of [order] (monotonicity of
-         +. c); take the lowest index among them. *)
+      (* Absent edges all weigh c: the first row of the top-K ranking
+         not stored in this column is the dense scan's winner among
+         them — highest floored score, lowest index among its ties. *)
       if hi - lo < m then begin
+        incr stamp;
         for k = lo to hi - 1 do
-          present.(in_rows.(k)) <- true
+          stored.(in_rows.(k)) <- !stamp
         done;
-        let best_a = ref neg_infinity and arg_a = ref (-1) in
-        (try
-           for k = 0 to m - 1 do
-             let i = order.(k) in
-             if not present.(i) then begin
-               let candidate = prev.(i) +. c in
-               if !arg_a < 0 then begin
-                 best_a := candidate;
-                 arg_a := i
-               end
-               else if candidate = !best_a then begin
-                 if i < !arg_a then arg_a := i
-               end
-               else raise Exit
-             end
-           done
-         with Exit -> ());
-        for k = lo to hi - 1 do
-          present.(in_rows.(k)) <- false
+        let k = ref 0 in
+        while !k < !len && stored.(top.(!k)) = !stamp do
+          incr k
         done;
-        if !arg_a >= 0
-           && (!best_a > !best || (!best_a = !best && !arg_a < !arg)) then begin
-          best := !best_a;
-          arg := !arg_a
+        if !k < !len then begin
+          let i = top.(!k) in
+          let best_a = top_score.(!k) +. c in
+          if best_a > !best || (best_a = !best && i < !arg) then begin
+            best := best_a;
+            arg := i
+          end
         end
       end;
       cur.(j) <- !best +. emission j t;
@@ -206,7 +227,19 @@ let viterbi_sparse hmm observations =
 let viterbi ?kernel hmm observations =
   if Array.length observations = 0 then [||]
   else
-    let kernel = match kernel with Some k -> k | None -> Hmm.kernel hmm in
+    let kernel =
+      match kernel with
+      | Some k -> k
+      | None -> (
+          match Hmm.kernel_pref hmm with
+          | (`Dense | `Sparse) as k -> k
+          | `Auto ->
+              let csr = Hmm.a_sparse hmm in
+              Kernel_cost.viterbi ~steps:(Array.length observations)
+                ~m:(Hmm.state_count hmm) ~nnz:(Sparse.nnz csr) ())
+    in
+    Kernel_cost.record "viterbi"
+      (kernel :> [ `Dense | `Sparse | `Reference | `Indexed ]);
     match kernel with
     | `Dense -> viterbi_dense hmm observations
     | `Sparse -> viterbi_sparse hmm observations

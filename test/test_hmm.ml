@@ -366,6 +366,69 @@ let test_kernel_selection () =
      !count)
     (Psm_hmm.Sparse.nnz csr)
 
+(* ---------- kernel cost model ---------- *)
+
+module Kernel_cost = Psm_hmm.Kernel_cost
+
+let test_kernel_cost_crossovers () =
+  (* The measured winners from bench/probe.ml on the bundled IPs (m, nnz
+     of the trained models; see DESIGN.md §13). *)
+  check_bool "forward Camellia shape -> sparse" true
+    (Kernel_cost.forward ~m:12 ~nnz:60 () = `Sparse);
+  check_bool "viterbi Camellia shape -> sparse" true
+    (Kernel_cost.viterbi ~steps:120_000 ~m:12 ~nnz:60 () = `Sparse);
+  check_bool "viterbi AES shape (tiny, half dense) -> dense" true
+    (Kernel_cost.viterbi ~steps:120_000 ~m:4 ~nnz:8 () = `Dense);
+  check_bool "multi_sim Camellia shape -> indexed" true
+    (Kernel_cost.multi_sim ~steps:120_000 ~m:12 ~nnz:60 () = `Indexed);
+  (* Fully dense matrices: the sparse detour only adds indirection. *)
+  check_bool "forward full-dense -> dense" true
+    (Kernel_cost.forward ~m:4 ~nnz:16 () = `Dense);
+  check_bool "viterbi full-dense -> dense" true
+    (Kernel_cost.viterbi ~m:4 ~nnz:16 () = `Dense);
+  (* Asymptotics: a large sparse chain picks sparse for everything. *)
+  check_bool "forward large chain -> sparse" true
+    (Kernel_cost.forward ~m:1000 ~nnz:3000 () = `Sparse);
+  check_bool "viterbi large chain -> sparse" true
+    (Kernel_cost.viterbi ~m:1000 ~nnz:3000 () = `Sparse);
+  check_bool "multi_sim large chain -> indexed" true
+    (Kernel_cost.multi_sim ~m:1000 ~nnz:3000 () = `Indexed)
+
+let test_kernel_pref_roundtrip () =
+  let values = [ 0; 0; 1; 1; 2; 2; 0; 0; 1; 1; 2; 2 ] in
+  let _, _, _, psm = train values (List.map (fun v -> 10. ** float_of_int v) values) in
+  let hmm = Hmm.build psm in
+  check_bool "default pref auto" true (Hmm.kernel_pref hmm = `Auto);
+  Hmm.set_kernel hmm `Dense;
+  check_bool "forced pref sticks" true (Hmm.kernel_pref hmm = `Dense);
+  Hmm.set_kernel hmm `Auto;
+  check_bool "pref restored" true (Hmm.kernel_pref hmm = `Auto)
+
+let test_viterbi_adversarial_ties () =
+  (* All-uniform rows make every predecessor score tie at every step:
+     the sparse top-K selection must reproduce the dense scan's
+     lowest-index winners exactly, path element by path element. *)
+  let values = [ 0; 0; 1; 1; 2; 2; 3; 3; 0; 0; 1; 1; 2; 2; 3; 3 ] in
+  let _, _, _, psm = train values (List.map (fun v -> float_of_int (v + 1)) values) in
+  let hmm = Hmm.build psm in
+  let m = Hmm.state_count hmm in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      Hmm.unsafe_set_a hmm ~row:i ~col:j (1. /. float_of_int m)
+    done
+  done;
+  (* Uninformative observations keep the scores tied throughout. *)
+  let obs = Array.make 200 None in
+  let dense = Psm_hmm.Offline.viterbi ~kernel:`Dense hmm obs in
+  let sparse = Psm_hmm.Offline.viterbi ~kernel:`Sparse hmm obs in
+  check_bool "tied lattice: sparse = dense" true (dense = sparse);
+  (* Same check on a sparse-with-ties lattice: uniform over a chain. *)
+  Hmm.reset_bans hmm;
+  let obs2 = Array.init 200 (fun t -> if t mod 3 = 0 then None else Some 0) in
+  check_bool "chain with tied emissions: sparse = dense" true
+    (Psm_hmm.Offline.viterbi ~kernel:`Dense hmm obs2
+    = Psm_hmm.Offline.viterbi ~kernel:`Sparse hmm obs2)
+
 (* ---------- properties ---------- *)
 
 let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:50 ~name arb f)
@@ -476,6 +539,9 @@ let suite =
       Alcotest.test_case "predict normalized" `Quick test_hmm_predict_normalized;
       Alcotest.test_case "ban and reset" `Quick test_hmm_ban_and_reset;
       Alcotest.test_case "kernel selection" `Quick test_kernel_selection;
+      Alcotest.test_case "kernel cost crossovers" `Quick test_kernel_cost_crossovers;
+      Alcotest.test_case "kernel pref roundtrip" `Quick test_kernel_pref_roundtrip;
+      Alcotest.test_case "viterbi adversarial ties" `Quick test_viterbi_adversarial_ties;
       Alcotest.test_case "transition count weighting" `Quick test_hmm_transition_counts_weighting;
       Alcotest.test_case "replay training" `Quick test_multi_sim_replays_training;
       Alcotest.test_case "cascade states" `Quick test_multi_sim_cascade_states;
