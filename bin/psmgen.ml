@@ -309,6 +309,62 @@ let train_vcd_cmd =
        ~doc:"Mine PSMs from externally captured VCD traces (black-box mode)")
     Term.(const train_vcd $ files $ dot_arg $ unknowns_arg $ period_arg)
 
+(* ---- train-stream: incremental black-box training, O(model) memory ---- *)
+
+let train_stream files dot unknowns period watermark checkpoint =
+  let result =
+    try
+      Psm_flow.Stream_train.train_stream ~unknowns ~period ?watermark ?checkpoint
+        files
+    with
+    | Psm_trace.Vcd.Parse_error e ->
+        Printf.eprintf "parse error: %s\n" (Psm_trace.Reader.error_to_string e);
+        exit 1
+    | Psm_flow.Stream_train.Checkpoint.Restore_error m | Invalid_argument m ->
+        Printf.eprintf "%s\n" m;
+        exit 1
+  in
+  Format.printf "%a@." Psm.pp result.Psm_flow.Stream_train.optimized;
+  Printf.printf "streamed %d cycles over %d trace(s), %d compaction(s)\n"
+    result.Psm_flow.Stream_train.cycles result.Psm_flow.Stream_train.traces_seen
+    result.Psm_flow.Stream_train.compactions;
+  Option.iter
+    (fun path ->
+      Psm_core.Dot.write_file path result.Psm_flow.Stream_train.optimized;
+      Printf.printf "Wrote %s\n" path)
+    dot
+
+let train_stream_cmd =
+  let files =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"VCD" ~doc:"Training VCD files (with embedded __power__).")
+  in
+  let stream_period =
+    Arg.(value & opt int 1
+         & info [ "period" ] ~docv:"N"
+             ~doc:"Sampling period in timescale units (default 1; streaming \
+                   cannot infer the GCD of the timestamp deltas up front).")
+  in
+  let watermark =
+    Arg.(value & opt (some int) None
+         & info [ "watermark" ] ~docv:"CYCLES"
+             ~doc:"Compact the in-flight pipeline every CYCLES training \
+                   samples (default 4096).")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Save the trainer state to FILE after every completed \
+                   input file; if FILE already exists, resume from it \
+                   (re-run with the same file list).")
+  in
+  Cmd.v
+    (Cmd.info "train-stream"
+       ~doc:"Mine PSMs from VCD traces incrementally, without materializing \
+             any trace in memory")
+    Term.(const train_stream $ files $ dot_arg $ unknowns_arg $ stream_period
+          $ watermark $ checkpoint)
+
 (* ---- apply: run a persisted model over recorded traces ---- *)
 
 let apply model_path vcds unknowns period lint profile =
@@ -469,5 +525,6 @@ let info_cmd =
 let () =
   let doc = "automatic generation of power state machines (DATE 2016 reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "psmgen" ~version:"1.0.0" ~doc)
-                    [ generate_cmd; evaluate_cmd; trace_cmd; train_vcd_cmd; apply_cmd;
+                    [ generate_cmd; evaluate_cmd; trace_cmd; train_vcd_cmd;
+                      train_stream_cmd; apply_cmd;
                       lint_cmd; netlist_cmd; info_cmd ]))

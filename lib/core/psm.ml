@@ -133,6 +133,47 @@ let union parts =
             next_id = offset + part.next_id })
         first rest
 
+(* Canonical renumbering: states are reassigned dense ids 0..n-1 ordered
+   by the training position of their earliest power interval — i.e. chain
+   order, (trace, start)-lexicographic — independently of the merge
+   history that produced them. Two distinct states can never share a
+   first instant (intervals partition the training instants), but the old
+   id breaks ties defensively for interval-less states (loaded models). *)
+let renumber t =
+  let first_interval (s : state) =
+    match s.attr.Power_attr.intervals with
+    | { Power_attr.trace; start; _ } :: _ -> (trace, start, s.id)
+    | [] -> (max_int, max_int, s.id)
+  in
+  let ordered =
+    List.sort
+      (fun a b -> compare (first_interval a) (first_interval b))
+      (IntMap.bindings t.states |> List.map snd)
+  in
+  let map = Hashtbl.create (List.length ordered) in
+  List.iteri (fun i s -> Hashtbl.replace map s.id i) ordered;
+  let renum id =
+    match Hashtbl.find_opt map id with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Psm.renumber: unknown state %d" id)
+  in
+  let states =
+    List.fold_left
+      (fun acc s -> IntMap.add (renum s.id) { s with id = renum s.id } acc)
+      IntMap.empty ordered
+  in
+  let transitions =
+    TransSet.fold
+      (fun (src, guard, dst) acc -> TransSet.add (renum src, guard, renum dst) acc)
+      t.transitions TransSet.empty
+  in
+  ( { t with
+      states;
+      transitions;
+      initial = List.map renum t.initial;
+      next_id = List.length ordered },
+    renum )
+
 type cluster = {
   members : int list;
   new_assertion : Assertion.t;

@@ -93,6 +93,15 @@ val union : t list -> t
 (** Disjoint union (states renumbered). All constituents must share the
     same proposition table (physical equality). *)
 
+val renumber : t -> t * (int -> int)
+(** Canonical renumbering: dense ids 0..n-1 assigned in training-position
+    order — states sorted by the (trace, start) of their earliest power
+    interval, old id as tie-break for interval-less states. The returned
+    function maps old ids to new ids (raising [Invalid_argument] on
+    unknown ids). Merge history stops mattering: any two machines with
+    the same states-by-content get the same ids, which is what makes the
+    batch and streaming combine pipelines comparable state-for-state. *)
+
 type cluster = {
   members : int list;  (** ≥ 2 distinct existing state ids. *)
   new_assertion : Assertion.t;

@@ -61,27 +61,58 @@ let pass config psm =
       let psm', mapping = Psm.merge_clusters psm ~internal_edges:`Drop cs in
       (psm', mapping, true)
 
-(* Compose merge-pass mappings into one total redirect function. *)
-let compose_passes pass_fn psm =
-  let redirect = Hashtbl.create 64 in
-  let rec fixpoint psm =
-    let psm', mapping, changed = pass_fn psm in
-    if not changed then psm'
-    else begin
-      List.iter (fun (m, id) -> Hashtbl.replace redirect m id) mapping;
-      fixpoint psm'
-    end
+(* Compose merge-pass mappings into one total redirect function. Each
+   changed pass is followed by a canonical {!Psm.renumber}, so every
+   intermediate machine (and the final one) keeps its states in training
+   order regardless of how many clusters a pass created. Pass behaviour
+   that iterates states in id order — the run heads here, join's
+   first-fit — therefore scans in chain order on every iteration, which
+   is what lets the streaming trainer replay the fixpoint one pass-level
+   at a time and land on the same machine. *)
+let compose_passes ?(max_passes = max_int) pass_fn psm =
+  let total = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Psm.state) -> Hashtbl.replace total s.Psm.id s.Psm.id)
+    (Psm.states psm);
+  let rec fixpoint remaining psm =
+    if remaining <= 0 then psm
+    else
+      let psm', mapping, changed = pass_fn psm in
+      if not changed then psm'
+      else begin
+        let merged = Hashtbl.create 16 in
+        List.iter (fun (m, id) -> Hashtbl.replace merged m id) mapping;
+        let psm'', renum = Psm.renumber psm' in
+        let bindings = Hashtbl.fold (fun o cur acc -> (o, cur) :: acc) total [] in
+        List.iter
+          (fun (o, cur) ->
+            let mid = Option.value ~default:cur (Hashtbl.find_opt merged cur) in
+            Hashtbl.replace total o (renum mid))
+          bindings;
+        fixpoint (remaining - 1) psm''
+      end
   in
-  let final = fixpoint psm in
-  let rec resolve id =
-    match Hashtbl.find_opt redirect id with Some next -> resolve next | None -> id
-  in
+  let final = fixpoint max_passes psm in
+  let resolve id = Option.value ~default:id (Hashtbl.find_opt total id) in
   (final, resolve)
+
+(* Sequential simplification runs a BOUNDED number of passes, not a full
+   fixpoint. The bound exists for the streaming trainer: pass k+1's
+   greedy runs can absorb a state that pass k had already committed (the
+   merged blob's widened attributes change the verdict), so each extra
+   pass can reach one commit further back into the chain. An unbounded
+   fixpoint therefore needs the whole chain retained to replay online —
+   O(trace) memory — while a fixed bound is replayed exactly by a static
+   cascade of [max_simplify_passes] greedy levels holding one open run
+   each. Real workloads converge in 2–3 passes, so the bound is not a
+   practical loss; [pass] is a no-op once a machine is fully simplified,
+   making early convergence identical to running all passes. *)
+let max_simplify_passes = 4
 
 let simplify_traced ?(config = Merge.default) psm =
   Psm_obs.span "combine.simplify" @@ fun () ->
   let before = Psm.state_count psm in
-  let result = compose_passes (pass config) psm in
+  let result = compose_passes ~max_passes:max_simplify_passes (pass config) psm in
   Psm_obs.count "combine.simplify_merged" (before - Psm.state_count (fst result));
   result
 

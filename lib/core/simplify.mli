@@ -7,7 +7,19 @@
     {!Generator}; stated generally so simplify is safe on any PSM set).
     The chain's internal transitions are absorbed; the new state connects
     to the predecessor of the first and the successor of the last member.
-    Runs until no mergeable adjacent pair remains. *)
+
+    Runs at most {!max_simplify_passes} greedy passes rather than a full
+    fixpoint: a later pass can reach one commit further *backwards* per
+    pass (a merged run's widened attributes may newly absorb the state
+    committed just before it), so an unbounded fixpoint would need the
+    whole chain live to replay online. Bounding the pass count lets the
+    streaming trainer ({!Psm_flow.Stream_train}) replicate simplify
+    exactly with a static cascade of one open run per pass, in O(model)
+    memory. Real machines converge in 2–3 passes, where the bound is
+    indistinguishable from the fixpoint. *)
+
+val max_simplify_passes : int
+(** 4. *)
 
 val simplify : ?config:Merge.config -> Psm.t -> Psm.t
 
@@ -19,6 +31,10 @@ val simplify_traced : ?config:Merge.config -> Psm.t -> Psm.t * (int -> int)
 (**/**)
 
 val compose_passes :
-  (Psm.t -> Psm.t * (int * int) list * bool) -> Psm.t -> Psm.t * (int -> int)
-(** Internal: fixpoint a merge pass while composing its redirect maps.
-    Shared with {!Join}. *)
+  ?max_passes:int ->
+  (Psm.t -> Psm.t * (int * int) list * bool) ->
+  Psm.t ->
+  Psm.t * (int -> int)
+(** Internal: iterate a merge pass (to fixpoint by default, or at most
+    [max_passes] times) while composing its redirect maps. Shared with
+    {!Join}, whose cross-chain pass keeps the unbounded fixpoint. *)

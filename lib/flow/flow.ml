@@ -37,6 +37,7 @@ type trained = {
   table : Prop_trace.Table.t;
   traces : Functional_trace.t array;
   powers : Power_trace.t array;
+  gammas : Prop_trace.t array;
   raw : Psm.t;
   optimized : Psm.t;
   optimize_reports : Psm_core.Optimize.report list;
@@ -122,7 +123,9 @@ let train ?(config = default) ~traces ~powers () =
             Hashtbl.replace counts key
               (1. +. Option.value ~default:0. (Hashtbl.find_opt counts key)))
           (Psm.transitions raw);
-        let transition_counts = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+        let transition_counts =
+          List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+        in
         (* Emission frequencies: which propositions were observed while
            each final state was active (for offline Viterbi decoding). *)
         let gammas = gammas_arr in
@@ -140,6 +143,7 @@ let train ?(config = default) ~traces ~powers () =
                 s.Psm.attr.Psm_core.Power_attr.intervals;
               Hashtbl.fold (fun p c acc -> ((s.Psm.id, p), c) :: acc) per_prop [])
             (Psm.states optimized)
+          |> List.sort compare
         in
         ( optimized,
           reports,
@@ -184,6 +188,7 @@ let train ?(config = default) ~traces ~powers () =
     table;
     traces = traces_arr;
     powers = powers_arr;
+    gammas = gammas_arr;
     raw;
     optimized;
     optimize_reports;
@@ -195,9 +200,11 @@ let train ?(config = default) ~traces ~powers () =
 
 let lint trained =
   Psm_obs.span "flow.lint" @@ fun () ->
-  let gammas =
-    Array.map (Prop_trace.of_functional trained.table) trained.traces
-  in
+  (* The proposition traces were interned once at training time and ride
+     along in [trained.gammas]; re-deriving them per lint call repeated
+     the full classification pass for no benefit (the table is immutable
+     after training). *)
+  let gammas = trained.gammas in
   let findings =
     Analyzer.analyze ~config:trained.config.analysis ~hmm:trained.hmm ~gammas
       ~powers:trained.powers trained.optimized
@@ -214,13 +221,19 @@ let lint trained =
 let split_stimulus stimulus ~parts =
   if parts <= 0 then invalid_arg "Flow.split_stimulus: parts must be positive";
   let n = Array.length stimulus in
-  let base = n / parts in
-  if base = 0 then [ stimulus ]
-  else
+  (* min n parts chunks: a stimulus shorter than the requested fan-out
+     degrades to one single-sample chunk per sample instead of one
+     unsplittable blob (which serialized the whole workload onto one
+     worker). The empty stimulus keeps its single empty chunk. *)
+  if n = 0 then [ stimulus ]
+  else begin
+    let parts = min parts n in
+    let base = n / parts in
     List.init parts (fun k ->
         let start = k * base in
         let len = if k = parts - 1 then n - start else base in
         Array.sub stimulus start len)
+  end
 
 type ingested = {
   path : string;

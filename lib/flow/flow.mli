@@ -41,6 +41,11 @@ type trained = {
   table : Psm_mining.Prop_trace.Table.t;
   traces : Psm_trace.Functional_trace.t array;
   powers : Psm_trace.Power_trace.t array;
+  gammas : Psm_mining.Prop_trace.t array;
+      (** The interned proposition trace of every training trace, in
+          training order — derived once during mining and cached here so
+          {!lint} (and any other consumer of the training Γ) does not
+          re-classify the functional traces. *)
   raw : Psm_core.Psm.t;  (** The generated chains, pre-combination. *)
   optimized : Psm_core.Psm.t;  (** After simplify, join and optimize. *)
   optimize_reports : Psm_core.Optimize.report list;
@@ -70,9 +75,9 @@ val train :
 
 val lint : trained -> Psm_analysis.Finding.t list
 (** Re-run the analyzer over the trained model with the full training
-    context (the proposition traces are re-derived from the stored
-    functional traces). [trained.analysis] caches the result of the same
-    run at training time. *)
+    context (reusing the proposition traces cached in [trained.gammas]).
+    [trained.analysis] caches the result of the same run at training
+    time. *)
 
 (** {1 Training straight from VCD files} *)
 
@@ -131,3 +136,7 @@ val cosim_timed :
     lockstep — Table III's "IP+PSMs" column. *)
 
 val split_stimulus : Psm_ips.Workloads.stimulus -> parts:int -> Psm_ips.Workloads.stimulus list
+(** Split a stimulus into [min parts (length stimulus)] contiguous chunks
+    (never more chunks than samples; a non-empty stimulus never comes
+    back as a single unsplit blob unless [parts = 1]). Raises
+    [Invalid_argument] when [parts <= 0]. *)

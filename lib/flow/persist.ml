@@ -219,8 +219,20 @@ let int_word cursor w =
 let float_word cursor w =
   match float_of_string_opt w with Some v -> v | None -> fail cursor ("bad float " ^ w)
 
-let read cursor =
-  if next cursor <> version_line then raise (Parse_error "bad version header");
+let read ?(source = "<string>") cursor =
+  (match next cursor with
+  | line when line = version_line -> ()
+  | line ->
+      let hint =
+        if String.length line >= 17 && String.sub line 0 17 = "psm-repro-trainer" then
+          " (this is a streaming-trainer checkpoint, not a model; resume it \
+           with Persist.load_trainer_file instead)"
+        else ""
+      in
+      raise
+        (Parse_error
+           (Printf.sprintf "%s: bad version header: found %S, expected %S%s"
+              source line version_line hint)));
   (* Interface. *)
   let n_signals = expect_count cursor "interface" in
   let signals =
@@ -364,4 +376,11 @@ let load text = read (Reader.of_string text)
 
 let load_file path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read (Reader.of_channel ic))
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> read ~source:path (Reader.of_channel ic))
+
+(* ---------- streaming-trainer checkpoints ---------- *)
+
+let save_trainer_file = Stream_train.Checkpoint.save_file
+let load_trainer_file = Stream_train.Checkpoint.load_file

@@ -26,6 +26,19 @@ val save_file : string -> Flow.trained -> unit
 exception Parse_error of string
 
 val load : string -> model
-(** Raises {!Parse_error} on malformed input or version mismatch. *)
+(** Raises {!Parse_error} on malformed input or version mismatch. The
+    error names the offending source, the header found and the header
+    expected (plus a redirect hint when the file is actually a
+    streaming-trainer checkpoint). *)
 
 val load_file : string -> model
+
+val save_trainer_file : string -> Stream_train.Trainer.t -> unit
+(** Checkpoint an in-flight streaming trainer. Alias of
+    {!Stream_train.Checkpoint.save_file}, housed here so every on-disk
+    artifact of the flow layer is reachable from one module. *)
+
+val load_trainer_file : ?config:Flow.config -> string -> Stream_train.Trainer.t
+(** Alias of {!Stream_train.Checkpoint.load_file}; raises
+    {!Stream_train.Checkpoint.Restore_error} on a bad header or a
+    corrupt payload. *)

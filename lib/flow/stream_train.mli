@@ -1,0 +1,153 @@
+(** Streaming incremental training on top of {!Psm_trace.Vcd.stream}.
+
+    The batch {!Flow.train} holds every training trace in memory; this
+    trainer consumes pushed cycles one at a time and keeps only O(model)
+    state live:
+
+    - mining counters ({!Psm_mining.Miner.Incremental}) during the first
+      pass over the data,
+    - during the second pass, the open XU run's sample buffers, a
+      static cascade of {!Psm_core.Simplify.max_simplify_passes} levels
+      replaying the bounded simplify iteration one greedy pass per
+      level, and the join pass's open clusters — plus regression
+      sufficient statistics and proposition-occurrence counts per
+      segment, so the data-dependent-state optimization and the HMM need
+      no retained traces either.
+
+    Every [watermark] pushed cycles the pending simplified segments are
+    compacted into the pipeline ([stream.compact] span) so live memory
+    tracks the model size, not the trace length. The result is
+    *bit-identical in structure* to the batch flow (same optimized PSM,
+    same HMM inputs); the floating-point attributes agree to the exact
+    Chan-merge arithmetic the batch path uses. *)
+
+type result = {
+  config : Flow.config;
+  table : Psm_mining.Prop_trace.Table.t;
+  optimized : Psm_core.Psm.t;  (** After simplify, join and optimize. *)
+  optimize_reports : Psm_core.Optimize.report list;
+  hmm : Psm_hmm.Hmm.t;
+  transition_counts : ((int * int) * float) list;
+  emission_counts : ((int * int) * float) list;
+  analysis : Psm_analysis.Finding.t list;
+      (** Analyzer findings over the final model. Streaming keeps no
+          training traces, so Γ/power-dependent rules are skipped; the
+          structural and HMM rules run in full. *)
+  timings : Flow.timings;
+  cycles : int;  (** Training-phase samples consumed. *)
+  traces_seen : int;  (** Completed training traces. *)
+  compactions : int;  (** Watermark compactions performed. *)
+}
+
+val default_watermark : int
+(** 4096 cycles. *)
+
+(** Two-phase push trainer. Phase 1 ([`Mining]) feeds the vocabulary
+    miner; {!Trainer.finish_mining} freezes the proposition vocabulary;
+    phase 2 ([`Training]) feeds the generation pipeline. Both phases
+    consume the same trace stream — callers re-stream their source
+    between the phases (mirroring the two passes every mining-based
+    method needs over its training set). *)
+module Trainer : sig
+  type t
+
+  val create :
+    ?config:Flow.config ->
+    ?watermark:int ->
+    ?provenance:[ `Full | `Counts ] ->
+    Psm_trace.Interface.t ->
+    t
+  (** Raises [Invalid_argument] when [watermark <= 0].
+
+      [provenance] (default [`Full]) controls per-occurrence metadata.
+      [`Full] matches the batch machine verbatim, including every
+      {!Psm_core.Power_attr.t} interval and one component per merged
+      member — which necessarily grows with the number of segment
+      occurrences. [`Counts] keeps only the sufficient statistics:
+      interval lists stay empty and components with equal assertions are
+      folded together, so live memory (and the final model) is bounded
+      by the number of distinct behaviors. States, transitions,
+      assertions, ⟨μ, σ, n⟩ and the HMM counts are unaffected. *)
+
+  val push : t -> Psm_bits.Bits.t array -> power:float -> unit
+  (** One sample, in time order; the array is copied where retained, so
+      callers may reuse it. [power] is ignored during [`Mining]. Raises
+      [Invalid_argument] on an arity mismatch with the interface. *)
+
+  val end_trace : t -> unit
+  (** Close the current trace; runs and chain edges never bridge traces.
+      Raises [Invalid_argument] on an empty training trace. *)
+
+  val finish_mining : t -> unit
+  (** Freeze the mined vocabulary and switch to the training phase. *)
+
+  val finish : t -> result
+  (** Close the pipeline and produce the final model. An open trace is
+      closed implicitly. Raises [Invalid_argument] while still mining or
+      when no training trace was consumed. *)
+
+  val interface : t -> Psm_trace.Interface.t
+  val phase : t -> [ `Mining | `Training ]
+  val cycles : t -> int
+
+  (** Traces completed in the current phase (reset by
+      {!finish_mining}). *)
+  val traces : t -> int
+  val compactions : t -> int
+  val watermark : t -> int
+
+  val table : t -> Psm_mining.Prop_trace.Table.t
+  (** Raises [Invalid_argument] while still mining. *)
+end
+
+(** Checkpoint / restore of an in-flight trainer, so a long capture can
+    survive restarts. The format is a ["psm-repro-trainer 1"] version
+    line, one human-readable summary line, then the marshaled trainer
+    state (config excluded — it is re-supplied on restore, keeping the
+    payload closure-free). Checkpoints are whole-process artifacts: they
+    are not portable across architectures or compiler versions, unlike
+    {!Persist} model files. *)
+module Checkpoint : sig
+  exception Restore_error of string
+
+  val version_line : string
+
+  val save_file : string -> Trainer.t -> unit
+
+  val load_file : ?config:Flow.config -> string -> Trainer.t
+  (** Raises {!Restore_error} on a bad header or corrupt payload. *)
+end
+
+val train_stream :
+  ?config:Flow.config ->
+  ?unknowns:Psm_trace.Reader.unknown_policy ->
+  ?period:int ->
+  ?watermark:int ->
+  ?provenance:[ `Full | `Counts ] ->
+  ?checkpoint:string ->
+  string list ->
+  result
+(** Stream every VCD file (which must carry the [__power__] real
+    variable and share one interface) through the trainer twice — a
+    mining pass, then a training pass — without ever materializing a
+    trace. Raw per-timestamp samples are re-expanded onto the uniform
+    [period] grid (default 1) exactly as the batch {!Flow.load_vcd}
+    resampler does, so the result matches
+    {!Flow.train_on_vcd_files} on the same files.
+
+    With [checkpoint], the trainer state is saved to that path after
+    every completed file (and after the mining pass is sealed); if the
+    path already exists the run resumes from it, skipping the files the
+    checkpoint had fully consumed — pass the same file list in the same
+    order. The checkpoint is deleted once training completes. *)
+
+val train_traces :
+  ?config:Flow.config ->
+  ?watermark:int ->
+  ?provenance:[ `Full | `Counts ] ->
+  traces:Psm_trace.Functional_trace.t list ->
+  powers:Psm_trace.Power_trace.t list ->
+  unit ->
+  result
+(** In-memory variant (both phases over the given lists) — the streamed
+    counterpart of {!Flow.train}, used by the equivalence tests. *)

@@ -110,12 +110,33 @@ let stats_of ~total atom occ runs short_runs =
     runs;
     short_runs }
 
+let narrow_signal config iface s =
+  (Interface.signal iface s).Signal.width <= config.max_const_signal_width
+
+let short_below_of config = int_of_float (ceil config.min_mean_run)
+
+(* Candidate extraction from finished per-signal counters. The fold
+   order (and hence the candidate list order) is a function of the
+   observation sequence only, so any path that feeds the counters the
+   same samples in the same order yields the same list. *)
+let consts_of_counters ~total counters =
+  let candidates = ref [] in
+  Array.iteri
+    (fun s counter ->
+      Value_counter.fold
+        (fun v (c : Value_counter.cell) () ->
+          candidates :=
+            stats_of ~total (Atomic.eq_const s v) c.occ c.runs c.short_runs :: !candidates)
+        counter ())
+    counters;
+  !candidates
+
 let const_candidates config traces iface total =
   Psm_obs.span "mine.consts" @@ fun () ->
   let arity = Interface.arity iface in
-  let short_below = int_of_float (ceil config.min_mean_run) in
+  let short_below = short_below_of config in
   let counters = Array.init arity (fun _ -> Value_counter.create ~short_below ()) in
-  let narrow s = (Interface.signal iface s).Signal.width <= config.max_const_signal_width in
+  let narrow = narrow_signal config iface in
   (* Offset the per-trace times so that runs cannot bridge traces. *)
   let offset = ref 0 in
   List.iter
@@ -128,16 +149,7 @@ let const_candidates config traces iface total =
         trace;
       offset := !offset + Functional_trace.length trace + 2)
     traces;
-  let candidates = ref [] in
-  Array.iteri
-    (fun s counter ->
-      Value_counter.fold
-        (fun v (c : Value_counter.cell) () ->
-          candidates :=
-            stats_of ~total (Atomic.eq_const s v) c.occ c.runs c.short_runs :: !candidates)
-        counter ())
-    counters;
-  !candidates
+  consts_of_counters ~total counters
 
 (* Mutable run accumulator mirroring [predicate_stats]'s counters, one per
    atom, so a single trace pass can score many atoms at once. *)
@@ -180,6 +192,20 @@ end
    [pairs]: each sample costs one three-way [Bits.compare] per pair
    instead of three predicate evaluations in three separate trace
    passes. Produces exactly [predicate_stats]'s counts per atom. *)
+(* Stats list construction shared by the chunked batch path and the
+   incremental accumulator: ⟨=, <, >⟩ per pair, in pair order. *)
+let pair_stats_list ~total (pairs : (int * int) array) eqs lts gts =
+  List.concat
+    (Array.to_list
+       (Array.mapi
+          (fun j (a, b) ->
+            List.map
+              (fun (cmp, (acc : Run_acc.t)) ->
+                stats_of ~total (Atomic.compare_signals cmp a b) acc.Run_acc.occ
+                  acc.Run_acc.runs acc.Run_acc.short_runs)
+              [ (Atomic.Eq, eqs.(j)); (Atomic.Lt, lts.(j)); (Atomic.Gt, gts.(j)) ])
+          pairs))
+
 let pair_chunk_stats ~short_below ~total traces (pairs : (int * int) array) =
   Psm_obs.span "mine.pair_chunk" @@ fun () ->
   let k = Array.length pairs in
@@ -205,19 +231,9 @@ let pair_chunk_stats ~short_below ~total traces (pairs : (int * int) array) =
   Array.iter (Run_acc.close_pending ~short_below) eqs;
   Array.iter (Run_acc.close_pending ~short_below) lts;
   Array.iter (Run_acc.close_pending ~short_below) gts;
-  List.concat
-    (Array.to_list
-       (Array.mapi
-          (fun j (a, b) ->
-            List.map
-              (fun (cmp, (acc : Run_acc.t)) ->
-                stats_of ~total (Atomic.compare_signals cmp a b) acc.Run_acc.occ
-                  acc.Run_acc.runs acc.Run_acc.short_runs)
-              [ (Atomic.Eq, eqs.(j)); (Atomic.Lt, lts.(j)); (Atomic.Gt, gts.(j)) ])
-          pairs))
+  pair_stats_list ~total pairs eqs lts gts
 
-let pair_candidates ?pool config traces iface total =
-  Psm_obs.span "mine.pairs" @@ fun () ->
+let signal_pairs config iface =
   let signals = Interface.signals iface in
   let pairs = ref [] in
   Array.iteri
@@ -229,11 +245,15 @@ let pair_candidates ?pool config traces iface total =
           then pairs := (a, b) :: !pairs)
         signals)
     signals;
-  let pair_arr = Array.of_list !pairs in
+  Array.of_list !pairs
+
+let pair_candidates ?pool config traces iface total =
+  Psm_obs.span "mine.pairs" @@ fun () ->
+  let pair_arr = signal_pairs config iface in
   let npairs = Array.length pair_arr in
   if npairs = 0 then []
   else begin
-    let short_below = int_of_float (ceil config.min_mean_run) in
+    let short_below = short_below_of config in
     (* Parallelize by chunking the pair set across domains; every chunk
        makes its own fused trace pass, and chunk results concatenate in
        pair order, so the output is identical at any job count. *)
@@ -265,10 +285,10 @@ let passes config s =
      || float_of_int s.short_runs /. float_of_int s.runs
         <= config.max_short_run_fraction)
 
-let mine_vocabulary ?pool ?(config = default) traces =
-  Psm_obs.span "mine.vocabulary" @@ fun () ->
-  let iface = check_traces traces in
-  let all = candidate_stats ?pool ~config traces in
+(* Filtering and per-signal capping over a scored candidate list; shared
+   verbatim by the batch and incremental paths so both produce the same
+   vocabulary from the same statistics. *)
+let vocabulary_of_candidates config iface all =
   let kept = List.filter (passes config) all in
   Psm_obs.count "mine.candidates" (List.length all);
   Psm_obs.count "mine.atoms_kept" (List.length kept);
@@ -298,3 +318,95 @@ let mine_vocabulary ?pool ?(config = default) traces =
       kept
   in
   Vocabulary.create iface (List.map (fun s -> s.atom) (capped_consts @ pair_atoms))
+
+let mine_vocabulary ?pool ?(config = default) traces =
+  Psm_obs.span "mine.vocabulary" @@ fun () ->
+  let iface = check_traces traces in
+  let all = candidate_stats ?pool ~config traces in
+  vocabulary_of_candidates config iface all
+
+(* Push-mode candidate scoring: the same counters the batch passes use,
+   fed one sample at a time. Feeding every training trace in order (with
+   [end_trace] between them) leaves every counter in the exact state the
+   batch passes produce, so [vocabulary] is bit-identical to
+   {!mine_vocabulary} — asserted by a QCheck property in the tests. *)
+module Incremental = struct
+  type t = {
+    config : config;
+    iface : Interface.t;
+    counters : Value_counter.t array;
+    narrow : bool array;
+    pairs : (int * int) array;
+    eqs : Run_acc.t array;
+    lts : Run_acc.t array;
+    gts : Run_acc.t array;
+    short_below : int;
+    mutable time : int; (* next global instant (trace gaps = 2) *)
+    mutable total : int;
+  }
+
+  let create ?(config = default) iface =
+    let arity = Interface.arity iface in
+    let short_below = short_below_of config in
+    let pairs = if config.mine_pairs then signal_pairs config iface else [||] in
+    let k = Array.length pairs in
+    { config;
+      iface;
+      counters = Array.init arity (fun _ -> Value_counter.create ~short_below ());
+      narrow = Array.init arity (narrow_signal config iface);
+      pairs;
+      eqs = Array.init k (fun _ -> Run_acc.create ());
+      lts = Array.init k (fun _ -> Run_acc.create ());
+      gts = Array.init k (fun _ -> Run_acc.create ());
+      short_below;
+      time = 0;
+      total = 0 }
+
+  let interface t = t.iface
+  let total t = t.total
+
+  let observe t sample =
+    if Array.length sample <> Array.length t.counters then
+      invalid_arg "Miner.Incremental.observe: sample arity mismatch";
+    Array.iteri
+      (fun s v ->
+        if Array.unsafe_get t.narrow s then Value_counter.observe t.counters.(s) t.time v)
+      sample;
+    let short_below = t.short_below in
+    for j = 0 to Array.length t.pairs - 1 do
+      let a, b = Array.unsafe_get t.pairs j in
+      let c = Bits.compare (Array.unsafe_get sample a) (Array.unsafe_get sample b) in
+      Run_acc.step ~short_below (Array.unsafe_get t.eqs j) (c = 0);
+      Run_acc.step ~short_below (Array.unsafe_get t.lts j) (c < 0);
+      Run_acc.step ~short_below (Array.unsafe_get t.gts j) (c > 0)
+    done;
+    t.time <- t.time + 1;
+    t.total <- t.total + 1
+
+  (* Trace boundary: runs must not bridge traces. The +2 time gap breaks
+     const-value runs exactly as the batch pass's per-trace offset does. *)
+  let end_trace t =
+    let short_below = t.short_below in
+    Array.iter (Run_acc.boundary ~short_below) t.eqs;
+    Array.iter (Run_acc.boundary ~short_below) t.lts;
+    Array.iter (Run_acc.boundary ~short_below) t.gts;
+    t.time <- t.time + 2
+
+  (* Candidates in batch order: consts (counter fold order) then pairs
+     (pair order). Run_accs are snapshotted before the pending-run close
+     so scoring is reentrant and observation may continue. *)
+  let candidate_stats t =
+    let total = t.total in
+    let consts = consts_of_counters ~total t.counters in
+    let snap (a : Run_acc.t array) = Array.map (fun r -> { r with Run_acc.occ = r.Run_acc.occ }) a in
+    let eqs = snap t.eqs and lts = snap t.lts and gts = snap t.gts in
+    let short_below = t.short_below in
+    Array.iter (Run_acc.close_pending ~short_below) eqs;
+    Array.iter (Run_acc.close_pending ~short_below) lts;
+    Array.iter (Run_acc.close_pending ~short_below) gts;
+    consts @ pair_stats_list ~total t.pairs eqs lts gts
+
+  let vocabulary t =
+    if t.total = 0 then invalid_arg "Miner: empty training traces";
+    vocabulary_of_candidates t.config t.iface (candidate_stats t)
+end

@@ -73,6 +73,36 @@ val candidate_stats :
 (** The scored candidate list before filtering — kept for inspection and
     for the mining-threshold ablation. *)
 
+(** {1 Push-mode mining}
+
+    The same counters the batch passes use, fed one sample at a time —
+    the vocabulary-mining half of the streaming trainer. Feeding every
+    training trace in order (with {!Incremental.end_trace} between and
+    after them) reproduces {!mine_vocabulary} bit-for-bit. *)
+module Incremental : sig
+  type t
+
+  val create : ?config:config -> Psm_trace.Interface.t -> t
+  val observe : t -> Psm_bits.Bits.t array -> unit
+  (** One training sample, in time order. O(#narrow signals + #pairs). *)
+
+  val end_trace : t -> unit
+  (** Close the current trace: open runs end here and cannot bridge into
+      the next trace's samples. *)
+
+  val interface : t -> Psm_trace.Interface.t
+  val total : t -> int
+  (** Samples observed so far. *)
+
+  val candidate_stats : t -> atom_stats list
+  (** Scored candidates so far, in batch order; reentrant (observation
+      may continue afterwards). *)
+
+  val vocabulary : t -> Vocabulary.t
+  (** Filter + cap {!candidate_stats} exactly as {!mine_vocabulary}
+      does. Raises [Invalid_argument] before any sample was observed. *)
+end
+
 (** Occurrence and run counting for one signal's values, with periodic
     pruning of hapax values so wide random buses cannot blow up memory.
     Exposed for testing; {!mine_vocabulary} is the real entry point. *)

@@ -41,6 +41,31 @@ let fit ~x ~y =
     { slope; intercept; r; r2 = r *. r; n }
   end
 
+(* Sum-form entry points: the same estimators computed from externally
+   accumulated ⟨n, Σx, Σy, Σx², Σy², Σxy⟩ — what a streaming consumer
+   can maintain without retaining the samples. Formulas are shared with
+   [pearson]/[fit] above, so both paths agree up to the float-summation
+   order of the inputs. *)
+let pearson_of_sums ~n ~sx ~sy ~sxx ~syy ~sxy =
+  if n < 2 then invalid_arg "Regression.pearson_of_sums: need at least 2 points";
+  let nf = float_of_int n in
+  let cov = (nf *. sxy) -. (sx *. sy) in
+  let vx = (nf *. sxx) -. (sx *. sx) in
+  let vy = (nf *. syy) -. (sy *. sy) in
+  if vx <= 0. || vy <= 0. then 0. else cov /. sqrt (vx *. vy)
+
+let fit_of_sums ~n ~sx ~sy ~sxx ~syy ~sxy =
+  if n < 2 then invalid_arg "Regression.fit_of_sums: need at least 2 points";
+  let nf = float_of_int n in
+  let vx = (nf *. sxx) -. (sx *. sx) in
+  if vx <= 0. then { slope = 0.; intercept = sy /. nf; r = 0.; r2 = 0.; n }
+  else begin
+    let slope = ((nf *. sxy) -. (sx *. sy)) /. vx in
+    let intercept = (sy -. (slope *. sx)) /. nf in
+    let r = pearson_of_sums ~n ~sx ~sy ~sxx ~syy ~sxy in
+    { slope; intercept; r; r2 = r *. r; n }
+  end
+
 let predict f x = (f.slope *. x) +. f.intercept
 
 let residual_stddev f ~x ~y =

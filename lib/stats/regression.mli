@@ -22,6 +22,16 @@ val fit : x:float array -> y:float array -> fit
     and [n >= 2]. A zero-variance [x] yields slope [0.] and intercept
     [mean y]. *)
 
+val pearson_of_sums :
+  n:int -> sx:float -> sy:float -> sxx:float -> syy:float -> sxy:float -> float
+(** {!pearson} from externally accumulated sums ⟨n, Σx, Σy, Σx², Σy²,
+    Σxy⟩ — the streaming form: no samples retained. Raises
+    [Invalid_argument] when [n < 2]. *)
+
+val fit_of_sums :
+  n:int -> sx:float -> sy:float -> sxx:float -> syy:float -> sxy:float -> fit
+(** {!fit} from accumulated sums; see {!pearson_of_sums}. *)
+
 val predict : fit -> float -> float
 
 val residual_stddev : fit -> x:float array -> y:float array -> float

@@ -396,7 +396,11 @@ let test_simplify_traced_mapping () =
   (match ids with
   | [ a; b; c ] ->
       check_bool "a and b map together" true (resolve a = resolve b);
-      check_bool "c maps to itself" true (resolve c = c);
+      check_bool "c maps apart" true (resolve c <> resolve a);
+      check_int "c keeps its own samples" 40
+        (Psm.state simplified (resolve c)).Psm.attr.Power_attr.n;
+      check_int "a+b samples pooled" 80
+        (Psm.state simplified (resolve a)).Psm.attr.Power_attr.n;
       check_bool "mapped ids exist" true
         (List.mem (resolve a) merged_ids && List.mem (resolve c) merged_ids)
   | _ -> Alcotest.fail "expected 3 ids")

@@ -94,6 +94,24 @@ let test_split_stimulus () =
   check_int "3 parts" 3 (List.length parts);
   check_int "lengths sum" 1000 (List.fold_left (fun a p -> a + Array.length p) 0 parts)
 
+let test_split_stimulus_edges () =
+  (* More parts than samples: min n parts single-sample chunks, never an
+     empty chunk and never one unsplittable blob. *)
+  let stim = Array.sub (Workloads.ram_short ~length:100 ()) 0 2 in
+  let parts = Flow.split_stimulus stim ~parts:5 in
+  check_int "clamped to n parts" 2 (List.length parts);
+  List.iter (fun p -> check_int "single-sample chunk" 1 (Array.length p)) parts;
+  check_int "one part passthrough" 1 (List.length (Flow.split_stimulus stim ~parts:1));
+  (* The empty stimulus keeps its single empty chunk. *)
+  (match Flow.split_stimulus [||] ~parts:4 with
+  | [ [||] ] -> ()
+  | _ -> Alcotest.fail "empty stimulus must yield one empty chunk");
+  check_bool "zero parts rejected" true
+    (try
+       ignore (Flow.split_stimulus stim ~parts:0);
+       false
+     with Invalid_argument _ -> true)
+
 let test_cosim_runs () =
   let ip = Psm_ips.Multsum.create () in
   let trained = train_small "MultSum" ip in
@@ -229,6 +247,7 @@ let suite =
       Alcotest.test_case "timings" `Quick test_flow_timings_populated;
       Alcotest.test_case "input validation" `Quick test_flow_validates_inputs;
       Alcotest.test_case "split stimulus" `Quick test_split_stimulus;
+      Alcotest.test_case "split stimulus edge cases" `Quick test_split_stimulus_edges;
       Alcotest.test_case "cosim" `Quick test_cosim_runs;
       Alcotest.test_case "Fig.3 example" `Quick test_fig3_example;
       Alcotest.test_case "Fig.5 PSM" `Quick test_fig5_psm;

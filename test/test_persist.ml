@@ -96,6 +96,35 @@ let test_rejects_garbage () =
   check_bool "truncated" true
     (expect_parse_error "psm-repro-model 1\ninterface 2\nin a 1")
 
+let contains haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_bad_version_report () =
+  (* The version-mismatch error must name what was found, what was
+     expected and where it came from. *)
+  (match Persist.load "psm-repro-model 99\n" with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Persist.Parse_error msg ->
+      check_bool "names found header" true (contains msg "psm-repro-model 99");
+      check_bool "names expected header" true (contains msg "psm-repro-model 1");
+      check_bool "names source" true (contains msg "<string>"));
+  let path = Filename.temp_file "psm-model" ".psm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "psm-repro-trainer 1\nstreaming checkpoint\n";
+      close_out oc;
+      match Persist.load_file path with
+      | _ -> Alcotest.fail "expected Parse_error"
+      | exception Persist.Parse_error msg ->
+          check_bool "names file path" true (contains msg path);
+          (* A trainer checkpoint is redirected, not just rejected. *)
+          check_bool "redirects to trainer loader" true
+            (contains msg "load_trainer_file"))
+
 let test_rejects_tampered () =
   let _, trained = train_ip "MultSum" Psm_ips.Multsum.create 6000 in
   let text = Persist.save trained in
@@ -113,4 +142,5 @@ let suite =
       Alcotest.test_case "deterministic save" `Quick test_save_is_stable;
       Alcotest.test_case "hierarchical roundtrip" `Slow test_hier_roundtrip;
       Alcotest.test_case "rejects garbage" `Quick test_rejects_garbage;
+      Alcotest.test_case "bad version report" `Quick test_bad_version_report;
       Alcotest.test_case "rejects tampered" `Quick test_rejects_tampered ] )
