@@ -3,7 +3,7 @@
    DESIGN.md, and micro-benchmarks the core operations with Bechamel.
 
    Usage:
-     main.exe [table1|table2|table3|figs|ablations|ingest|analyze|evaluate|profile|stream|micro|all]
+     main.exe [table1|table2|table3|figs|ablations|ingest|analyze|verify|evaluate|profile|stream|micro|all]
               [--paper] [--json FILE]
 
    Default (no arguments): everything, with the long-TS/evaluation lengths
@@ -439,6 +439,90 @@ let run_analyze () =
     \ analysis. Warnings are legitimate -- join-induced guard overlaps the\n\
     \ HMM resolves probabilistically -- and the time is one full-context\n\
     \ analyzer pass, proposition-trace re-derivation included.)"
+
+(* ---------- Symbolic verification ---------- *)
+
+let verify_metrics : (string * float) list ref = ref []
+
+let run_verify () =
+  section "Symbolic verification: static proofs over the trained models";
+  verify_metrics := [];
+  let repeats = 5 in
+  let rows =
+    List.map
+      (fun (name, make) ->
+        let ip : Psm_ips.Ip.t = make () in
+        let suite = Workloads.suite ~total_length:12_000 ~long:false name in
+        let trained = Flow.train_on_ip ip suite in
+        let report = ref (Flow.verify trained) in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to repeats do
+          report := Flow.verify trained
+        done;
+        let seconds = (Unix.gettimeofday () -. t0) /. float_of_int repeats in
+        let r = !report in
+        let stats = r.Psm_verify.Verify.stats in
+        let errors = List.length (Psm_verify.Verify.errors r) in
+        verify_metrics :=
+          (name ^ "_verify_seconds", seconds)
+          :: ( name ^ "_disjoint_proofs",
+               float_of_int stats.Psm_verify.Verify.disjoint_pairs_proved )
+          :: (name ^ "_static_errors", float_of_int errors)
+          :: ( name ^ "_coverage_gaps",
+               float_of_int stats.Psm_verify.Verify.coverage_gaps )
+          :: !verify_metrics;
+        [ name;
+          string_of_int stats.Psm_verify.Verify.propositions;
+          string_of_int stats.Psm_verify.Verify.disjoint_pairs_proved;
+          string_of_int stats.Psm_verify.Verify.coverage_gaps;
+          string_of_int errors;
+          Printf.sprintf "%.2f" (seconds *. 1000.) ])
+      [ ("RAM", Psm_ips.Ram.create); ("MultSum", Psm_ips.Multsum.create);
+        ("AES", Psm_ips.Aes.create); ("Camellia", Psm_ips.Camellia.create) ]
+  in
+  print_string
+    (Report.render_table
+       ~header:[ "IP"; "Props"; "Disjoint proofs"; "Gaps"; "Errors"; "Verify ms/run" ]
+       rows);
+  print_endline
+    "(Exact decision procedure over the atom theory: pairwise proposition\n\
+    \ disjointness, guard feasibility, input-space coverage and vacuity.\n\
+    \ No mined model may carry an Error-severity refutation.)"
+
+(* The trained models must stay statically clean and the whole symbolic
+   pass must stay interactive: a verification that takes seconds per
+   model would be dropped from the training flow. *)
+let gate_verify ~verify =
+  let get ip key =
+    match List.assoc_opt (ip ^ key) verify with
+    | Some v -> v
+    | None ->
+        Printf.eprintf "FAIL: verify gate: metric %s%s missing\n" ip key;
+        exit 1
+  in
+  List.iter
+    (fun ip ->
+      let seconds = get ip "_verify_seconds" in
+      let errors = get ip "_static_errors" in
+      let proofs = get ip "_disjoint_proofs" in
+      if seconds > 2.0 then begin
+        Printf.eprintf "FAIL: %s Verify.run took %.3f s (budget 2.0 s)\n" ip
+          seconds;
+        exit 1
+      end;
+      if errors > 0. then begin
+        Printf.eprintf "FAIL: %s carries %.0f Error-severity static findings\n"
+          ip errors;
+        exit 1
+      end;
+      if proofs < 1. then begin
+        Printf.eprintf "FAIL: %s proved no disjointness pairs\n" ip;
+        exit 1
+      end;
+      Printf.printf
+        "verify gate: %s ok (%.1f ms, %.0f disjointness proofs, 0 errors)\n" ip
+        (seconds *. 1000.) proofs)
+    [ "RAM"; "MultSum"; "AES"; "Camellia" ]
 
 (* ---------- Kernel and analyzer evaluation ---------- *)
 
@@ -987,6 +1071,7 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   let ablations = ("ablations", run_ablations ~eval_length:ablation_eval) in
   let ingest = ("ingest", run_ingest) in
   let analyze = ("analyze", run_analyze) in
+  let verify = ("verify", run_verify) in
   let evaluate = ("evaluate", run_evaluate ~eval_length) in
   let profile = ("profile", run_profile) in
   let stream = ("stream", run_stream) in
@@ -999,14 +1084,15 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   | "ablations" -> Some [ ablations ]
   | "ingest" -> Some [ ingest ]
   | "analyze" -> Some [ analyze ]
+  | "verify" -> Some [ verify ]
   | "evaluate" -> Some [ evaluate ]
   | "profile" -> Some [ profile ]
   | "stream" -> Some [ stream ]
   | "micro" -> Some [ micro ]
   | "all" ->
       Some
-        [ table1; table2; table3; figs; ablations; ingest; analyze; evaluate;
-          profile; stream; micro ]
+        [ table1; table2; table3; figs; ablations; ingest; analyze; verify;
+          evaluate; profile; stream; micro ]
   | _ -> None
 
 (* Two independent wall-clock measurements never agree to the printed
@@ -1157,7 +1243,7 @@ let () =
         | None ->
             Printf.eprintf
               "unknown command %s (expected \
-               table1|table2|table3|figs|ablations|ingest|analyze|evaluate|profile|stream|micro|all)\n"
+               table1|table2|table3|figs|ablations|ingest|analyze|verify|evaluate|profile|stream|micro|all)\n"
               w;
             exit 2)
       whats
@@ -1171,8 +1257,8 @@ let () =
     List.filter
       (fun (_, entries) -> entries <> [])
       [ ("ingest", !ingest_metrics); ("analyze", !analyze_metrics);
-        ("evaluate", !evaluate_metrics); ("profile", !profile_metrics);
-        ("stream", !stream_metrics) ]
+        ("verify", !verify_metrics); ("evaluate", !evaluate_metrics);
+        ("profile", !profile_metrics); ("stream", !stream_metrics) ]
   in
   check_distinct_measurements metrics;
   let baseline =
@@ -1200,12 +1286,17 @@ let () =
     (* Each gate applies only when its stage ran; --gate over a stage set
        with nothing to check is a configuration error, not a pass. *)
     let ran name = List.mem_assoc name timings in
-    if not (ran "table2" || ran "evaluate" || ran "stream") then begin
+    if not (ran "table2" || ran "evaluate" || ran "stream" || ran "verify")
+    then begin
       Printf.eprintf
-        "FAIL: --gate requires at least one gated stage (table2|evaluate|stream)\n";
+        "FAIL: --gate requires at least one gated stage \
+         (table2|evaluate|stream|verify)\n";
       exit 1
     end;
     if ran "table2" then gate_table2_speedup ~timings ~baseline;
+    if ran "verify" then
+      gate_verify
+        ~verify:(Option.value ~default:[] (List.assoc_opt "verify" metrics));
     if ran "evaluate" then
       gate_camellia_auto_viterbi
         ~evaluate:(Option.value ~default:[] (List.assoc_opt "evaluate" metrics));

@@ -6,6 +6,8 @@
      evaluate   train on short-TS, evaluate accuracy on long-TS
      trace      capture a training trace and write it as VCD and/or CSV
      lint       statically analyze a persisted model
+     verify     symbolically prove model invariants over the atom theory
+     diff       semantic (bisimulation) comparison of two models
      info       list the benchmark IPs and their interfaces *)
 
 open Cmdliner
@@ -459,16 +461,127 @@ let lint_cmd =
              ~doc:"Exit with status 1 if any error-severity finding is reported.")
   in
   let rules =
+    let available =
+      String.concat ", "
+        (List.map
+           (fun (r : Psm_analysis.Rule.t) -> r.Psm_analysis.Rule.name)
+           (Analyzer.rules ()))
+    in
     Arg.(value & opt (list string) []
          & info [ "rules" ] ~docv:"NAMES"
-             ~doc:"Run only these rules (comma-separated; default: all).")
+             ~doc:(Printf.sprintf
+                     "Run only these rules (comma-separated; default: all). \
+                      Unknown names are rejected with the registry listing. \
+                      Available: %s."
+                     available))
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:"Statically analyze a persisted model (determinism, reachability, \
-             power-attribute sanity, HMM stochasticity)")
+             power-attribute sanity, HMM stochasticity, symbolic static-* \
+             proofs)")
     Term.(const (fun () -> lint_run) $ logs_arg $ model $ json $ strict $ rules
           $ profile_arg)
+
+(* ---- verify: symbolic verification of a persisted model ---- *)
+
+let verify_run model_path json strict coverage_budget max_gaps profile =
+  with_profile profile @@ fun () ->
+  let model =
+    try Psm_flow.Persist.load_file model_path
+    with Psm_flow.Persist.Parse_error msg ->
+      Printf.eprintf "%s: %s\n" model_path msg;
+      exit 2
+  in
+  let report =
+    Psm_verify.Verify.run ?coverage_budget ?max_gaps model.Psm_flow.Persist.psm
+  in
+  if json then print_string (Psm_verify.Verify.json report)
+  else print_string (Psm_verify.Verify.text report);
+  if strict && Psm_verify.Verify.errors report <> [] then exit 1
+
+let verify_cmd =
+  let model =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MODEL" ~doc:"Persisted model.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit with status 1 if any error-severity finding is proved.")
+  in
+  let coverage_budget =
+    Arg.(value & opt (some int) None
+         & info [ "coverage-budget" ] ~docv:"N"
+             ~doc:"Node budget for the coverage-gap search (default 4096).")
+  in
+  let max_gaps =
+    Arg.(value & opt (some int) None
+         & info [ "max-gaps" ] ~docv:"N"
+             ~doc:"Maximum coverage gaps to report (default 4).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Symbolically verify a persisted model over the atom theory: \
+             prove proposition feasibility/disjointness, guard determinism, \
+             input coverage and assertion non-vacuity, with counterexample \
+             witness valuations")
+    Term.(const (fun () -> verify_run) $ logs_arg $ model $ json $ strict
+          $ coverage_budget $ max_gaps $ profile_arg)
+
+(* ---- diff: semantic model comparison ---- *)
+
+let diff_run path_a path_b epsilon =
+  let load path =
+    try Psm_flow.Persist.load_file path
+    with Psm_flow.Persist.Parse_error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+  in
+  let a = load path_a and b = load path_b in
+  let r =
+    Psm_verify.Verify.equiv ~epsilon a.Psm_flow.Persist.psm
+      b.Psm_flow.Persist.psm
+  in
+  (match r.Psm_verify.Verify.mismatch with
+  | Some msg -> Printf.printf "incomparable: %s\n" msg
+  | None ->
+      Printf.printf "%d bisimulation classes\n"
+        (List.length r.Psm_verify.Verify.blocks);
+      let show what = function
+        | [] -> ()
+        | ids ->
+            Printf.printf "%s: %s\n" what
+              (String.concat ", " (List.map (Printf.sprintf "s%d") ids))
+      in
+      show "only in A" r.Psm_verify.Verify.only_left;
+      show "only in B" r.Psm_verify.Verify.only_right;
+      if not r.Psm_verify.Verify.initial_match then
+        Printf.printf "initial-state multisets differ\n");
+  if r.Psm_verify.Verify.equivalent then
+    Printf.printf "models are bisimilar (power-label-aware)\n"
+  else begin
+    Printf.printf "models differ\n";
+    exit 1
+  end
+
+let diff_cmd =
+  let model idx name =
+    Arg.(required & pos idx (some file) None & info [] ~docv:name ~doc:"Persisted model.")
+  in
+  let epsilon =
+    Arg.(value & opt float 1e-9
+         & info [ "epsilon" ] ~docv:"EPS"
+             ~doc:"Power-label tolerance for the initial partition.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Semantically compare two persisted models: power-label-aware \
+             partition-refinement bisimulation, indifferent to state \
+             numbering and merge history (exit 1 when they differ)")
+    Term.(const diff_run $ model 0 "A" $ model 1 "B" $ epsilon)
 
 (* ---- netlist: export / report the structural netlists ---- *)
 
@@ -527,4 +640,4 @@ let () =
   exit (Cmd.eval (Cmd.group (Cmd.info "psmgen" ~version:"1.0.0" ~doc)
                     [ generate_cmd; evaluate_cmd; trace_cmd; train_vcd_cmd;
                       train_stream_cmd; apply_cmd;
-                      lint_cmd; netlist_cmd; info_cmd ]))
+                      lint_cmd; verify_cmd; diff_cmd; netlist_cmd; info_cmd ]))

@@ -21,7 +21,8 @@ let register (rule : Rule.t) =
         !registry
   else registry := !registry @ [ rule ]
 
-let () = List.iter register (Rules_psm.rules @ Rules_hmm.rules)
+let () =
+  List.iter register (Rules_psm.rules @ Rules_hmm.rules @ Rules_static.rules)
 
 let rules () = !registry
 
@@ -43,7 +44,15 @@ let run ?(config = default) ctx =
           (fun name ->
             match List.find_opt (fun (r : Rule.t) -> r.Rule.name = name) !registry with
             | Some r -> r
-            | None -> invalid_arg ("Analyzer.run: unknown rule " ^ name))
+            | None ->
+                let available =
+                  String.concat ", "
+                    (List.map (fun (r : Rule.t) -> r.Rule.name) !registry)
+                in
+                invalid_arg
+                  (Printf.sprintf
+                     "Analyzer.run: unknown rule %s (available: %s)" name
+                     available))
           names
   in
   (* Rules are independent and the context (scan included) is immutable,

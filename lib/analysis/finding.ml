@@ -5,15 +5,23 @@ type location =
   | State of int
   | Transition of { src : int; guard : int; dst : int }
   | Hmm_row of int
+  | Prop of int
+
+type witness = {
+  values : Psm_bits.Bits.t array;
+  bindings : (string * string) list;
+}
 
 type t = {
   rule : string;
   severity : severity;
   location : location;
   message : string;
+  witness : witness option;
 }
 
-let v ~rule ~severity ~location message = { rule; severity; location; message }
+let v ?witness ~rule ~severity ~location message =
+  { rule; severity; location; message; witness }
 
 let severity_to_string = function
   | Error -> "error"
@@ -29,6 +37,7 @@ let location_key = function
   | State id -> (1, id, 0, 0)
   | Transition { src; guard; dst } -> (2, src, guard, dst)
   | Hmm_row row -> (3, row, 0, 0)
+  | Prop id -> (4, id, 0, 0)
 
 let sort findings =
   List.stable_sort
@@ -49,7 +58,13 @@ let pp_location fmt = function
   | State id -> Format.fprintf fmt "s%d" id
   | Transition { src; guard; dst } -> Format.fprintf fmt "s%d --[p%d]--> s%d" src guard dst
   | Hmm_row row -> Format.fprintf fmt "A-row %d" row
+  | Prop id -> Format.fprintf fmt "prop %d" id
 
 let pp fmt f =
   Format.fprintf fmt "%s[%s] %a: %s" (severity_to_string f.severity) f.rule pp_location
-    f.location f.message
+    f.location f.message;
+  match f.witness with
+  | None -> ()
+  | Some w ->
+      Format.fprintf fmt " [witness: %s]"
+        (String.concat ", " (List.map (fun (n, v) -> n ^ " = " ^ v) w.bindings))

@@ -2,9 +2,11 @@
 
     A finding pins one rule violation to one location of the model under
     analysis — a state, a transition (with its guard proposition), an HMM
-    row, or the model as a whole — with a severity and a human-readable
-    message (propositions already rendered through the prop table by the
-    rule that produced the finding). *)
+    row, an interned proposition, or the model as a whole — with a
+    severity and a human-readable message (propositions already rendered
+    through the prop table by the rule that produced the finding).
+    Refutation-style findings from the symbolic rules additionally carry
+    a concrete {!witness} input valuation that replays the violation. *)
 
 type severity = Error | Warning | Info
 
@@ -13,15 +15,31 @@ type location =
   | State of int  (** A PSM state id. *)
   | Transition of { src : int; guard : int; dst : int }
   | Hmm_row of int  (** A dense HMM row index. *)
+  | Prop of int  (** An interned proposition id. *)
+
+type witness = {
+  values : Psm_bits.Bits.t array;
+      (** One value per interface signal — replayable as a stimulus
+          cycle via [Psm_ips.Workloads.of_witnesses]. *)
+  bindings : (string * string) list;
+      (** Rendered (signal name, value) pairs for display. *)
+}
 
 type t = {
   rule : string;  (** Name of the rule that fired. *)
   severity : severity;
   location : location;
   message : string;
+  witness : witness option;
 }
 
-val v : rule:string -> severity:severity -> location:location -> string -> t
+val v :
+  ?witness:witness ->
+  rule:string ->
+  severity:severity ->
+  location:location ->
+  string ->
+  t
 (** [v ~rule ~severity ~location message] builds a finding. *)
 
 val severity_to_string : severity -> string

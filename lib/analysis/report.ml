@@ -42,6 +42,22 @@ let location_json = function
       Printf.sprintf "{\"kind\":\"transition\",\"src\":%d,\"guard\":%d,\"dst\":%d}" src
         guard dst
   | Finding.Hmm_row row -> Printf.sprintf "{\"kind\":\"hmm-row\",\"row\":%d}" row
+  | Finding.Prop id -> Printf.sprintf "{\"kind\":\"prop\",\"id\":%d}" id
+
+let witness_json (w : Finding.witness) =
+  let values =
+    Array.to_list
+      (Array.map
+         (fun v -> Printf.sprintf "\"%s\"" (Format.asprintf "%a" Psm_bits.Bits.pp v))
+         w.Finding.values)
+  in
+  let bindings =
+    List.map
+      (fun (n, v) -> Printf.sprintf "\"%s = %s\"" (json_escape n) (json_escape v))
+      w.Finding.bindings
+  in
+  Printf.sprintf "{\"values\":[%s],\"bindings\":[%s]}" (String.concat "," values)
+    (String.concat "," bindings)
 
 let json findings =
   let findings = Finding.sort findings in
@@ -56,13 +72,19 @@ let json findings =
   List.iteri
     (fun i (f : Finding.t) ->
       if i > 0 then Buffer.add_char buf ',';
+      let witness =
+        match f.Finding.witness with
+        | None -> ""
+        | Some w -> Printf.sprintf ",\"witness\":%s" (witness_json w)
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "\n    {\"severity\":\"%s\",\"rule\":\"%s\",\"location\":%s,\"message\":\"%s\"}"
+           "\n    {\"severity\":\"%s\",\"rule\":\"%s\",\"location\":%s,\"message\":\"%s\"%s}"
            (Finding.severity_to_string f.Finding.severity)
            (json_escape f.Finding.rule)
            (location_json f.Finding.location)
-           (json_escape f.Finding.message)))
+           (json_escape f.Finding.message)
+           witness))
     findings;
   Buffer.add_string buf (if findings = [] then "]\n}\n" else "\n  ]\n}\n");
   Buffer.contents buf

@@ -13,4 +13,7 @@ val json : Finding.t list -> string
     where ["location"] is one of
     [{"kind":"model"}], [{"kind":"state","id":i}],
     [{"kind":"transition","src":i,"guard":p,"dst":j}],
-    [{"kind":"hmm-row","row":i}]. *)
+    [{"kind":"hmm-row","row":i}], [{"kind":"prop","id":p}].
+    Findings carrying a witness valuation additionally get
+    [{"witness":{"values":[…],"bindings":["we = 1",…]}}] with values in
+    width-prefixed hex. *)

@@ -1,0 +1,19 @@
+(** Symbolic verification rules (over the atom theory).
+
+    Adapters exposing the {!Psm_verify.Verify} checks as analyzer rules:
+
+    - [static-feasibility] — every interned proposition and every
+      transition guard admits at least one input valuation, and each
+      guard is an entry proposition of its destination's assertion;
+    - [static-disjointness] — propositions are pairwise mutually
+      exclusive and the guards leaving each state deterministic, proved
+      for {e all} valuations (strictly stronger than the replay-based
+      [determinism] rule);
+    - [static-coverage] — satisfiable input regions no proposition
+      covers (predicted resync regions), each with a witness valuation;
+    - [static-vacuity] — degenerate assertion structure.
+
+    Refutation findings carry {!Finding.witness} valuations replayable
+    via [Psm_ips.Workloads.of_witnesses]. *)
+
+val rules : Rule.t list

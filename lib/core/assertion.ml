@@ -63,6 +63,19 @@ let rec collect acc = function
 
 let props t = List.sort_uniq Int.compare (collect [] t)
 
+let rec subsumes a b =
+  equal a b
+  ||
+  match (a, b) with
+  (* p X q describes exactly the length-2 runs of p U q. *)
+  | Next (p1, q1), Until (p2, q2) -> p1 = p2 && q1 = q2
+  (* Every branch of [a] must be covered for the whole Alt to be. *)
+  | Alt xs, _ -> List.for_all (fun x -> subsumes x b) xs
+  | _, Alt ys -> List.exists (fun y -> subsumes a y) ys
+  | Seq xs, Seq ys ->
+      List.length xs = List.length ys && List.for_all2 subsumes xs ys
+  | (Until _ | Next _ | Seq _), _ -> false
+
 let hash t = Hashtbl.hash t
 
 let rec pp_with name fmt = function

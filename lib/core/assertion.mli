@@ -46,6 +46,14 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int
 
+val subsumes : t -> t -> bool
+(** [subsumes a b]: every proposition run matching [a] also matches [b]
+    (sound, not complete). Holds for equal assertions, for
+    [Next (p, q)] into [Until (p, q)] (the length-2 case), elementwise
+    over equal-length [Seq]s, and through [Alt] (every branch of the
+    left, some branch of the right). An [Alt] branch subsumed by a
+    sibling is redundant — the vacuity rule's main client. *)
+
 val pp : Format.formatter -> t -> unit
 (** Abstract rendering with raw ids, e.g. [p3 U p5]. *)
 

@@ -218,6 +218,10 @@ let lint trained =
   in
   Psm_analysis.Finding.sort (findings @ overhead)
 
+let verify ?coverage_budget ?max_gaps trained =
+  Psm_obs.span "flow.verify" @@ fun () ->
+  Psm_verify.Verify.run ?coverage_budget ?max_gaps trained.optimized
+
 let split_stimulus stimulus ~parts =
   if parts <= 0 then invalid_arg "Flow.split_stimulus: parts must be positive";
   let n = Array.length stimulus in

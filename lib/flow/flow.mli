@@ -79,6 +79,17 @@ val lint : trained -> Psm_analysis.Finding.t list
     [trained.analysis] caches the result of the same run at training
     time. *)
 
+val verify :
+  ?coverage_budget:int ->
+  ?max_gaps:int ->
+  trained ->
+  Psm_verify.Verify.report
+(** Symbolic verification of the optimized model: run all
+    {!Psm_verify.Verify} proofs (feasibility, disjointness, coverage,
+    vacuity) and return the full report with stats and witnesses. The
+    same checks also run inside {!lint} via the [static-*] analyzer
+    rules; this entry point exposes the richer report. *)
+
 (** {1 Training straight from VCD files} *)
 
 type ingested = {

@@ -383,3 +383,21 @@ let long_for ?(length = default_long_length) = function
   | "AES" -> aes_long ~length ()
   | "Camellia" | "Camellia-noscrub" -> camellia_long ~length ()
   | name -> invalid_arg ("Workloads.long_for: unknown IP " ^ name)
+
+(* Witness valuations from the symbolic verifier are full interface
+   samples (PIs and POs); a stimulus drives PIs only, so project each
+   valuation onto the input indices in interface order. *)
+let of_witnesses iface witnesses =
+  let inputs = Psm_trace.Interface.inputs iface in
+  let arity = Psm_trace.Interface.arity iface in
+  Array.of_list
+    (List.map
+       (fun w ->
+         if Array.length w <> arity then
+           invalid_arg
+             (Printf.sprintf
+                "Workloads.of_witnesses: valuation has %d values, interface \
+                 arity is %d"
+                (Array.length w) arity);
+         Array.of_list (List.map (fun (i, _) -> w.(i)) inputs))
+       witnesses)

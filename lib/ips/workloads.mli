@@ -53,3 +53,11 @@ val long_for : ?length:int -> string -> stimulus
 
 val paper_short_length : string -> int
 (** The Table II short-TS trace length for the IP. *)
+
+val of_witnesses :
+  Psm_trace.Interface.t -> Psm_bits.Bits.t array list -> stimulus
+(** Replay hook for the symbolic verifier: turn witness valuations
+    (complete interface samples, e.g. [Psm_verify.Verify.witnesses]) into
+    a stimulus, one cycle per witness, keeping only the primary-input
+    values in interface input order. Raises [Invalid_argument] when a
+    valuation's arity does not match the interface. *)

@@ -42,6 +42,12 @@ let compare a b =
       | Sig _, Const _ -> 1
   end
 
+let negate t =
+  match t.cmp with
+  | Eq -> [ { t with cmp = Lt }; { t with cmp = Gt } ]
+  | Lt -> [ { t with cmp = Eq }; { t with cmp = Gt } ]
+  | Gt -> [ { t with cmp = Eq }; { t with cmp = Lt } ]
+
 let cmp_symbol = function Eq -> "=" | Lt -> "<" | Gt -> ">"
 
 let pp iface fmt t =

@@ -25,6 +25,12 @@ val eval : t -> Psm_bits.Bits.t array -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val negate : t -> t list
+(** The negation of the atom as a disjunction of atoms over the same
+    operands: unsigned trichotomy gives [¬(a = b) ⇔ a < b ∨ a > b],
+    [¬(a < b) ⇔ a = b ∨ a > b] and [¬(a > b) ⇔ a = b ∨ a < b]. [Eq] has
+    no single-atom negation in the fragment, hence the list. *)
+
 val pp : Psm_trace.Interface.t -> Format.formatter -> t -> unit
 (** Renders like [we = 1] or [wdata > rdata]. *)
 

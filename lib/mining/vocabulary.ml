@@ -53,6 +53,10 @@ let unpack_key t key =
   Array.init (Array.length t.atoms) (fun i ->
       Char.code key.[i lsr 3] land (1 lsl (i land 7)) <> 0)
 
+let literals_of_key t key =
+  let row = unpack_key t key in
+  Array.to_list (Array.mapi (fun i b -> (t.atoms.(i), b)) row)
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>vocabulary of %d atoms:@," (size t);
   Array.iteri

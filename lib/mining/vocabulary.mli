@@ -36,4 +36,10 @@ val row_key : bool array -> string
 val unpack_key : t -> string -> bool array
 (** Inverse of {!row_key} for keys of this vocabulary's size. *)
 
+val literals_of_key : t -> string -> (Atomic.t * bool) list
+(** The packed truth row as a conjunction of polarized atoms, in atom
+    order: the semantic content of the proposition behind the key, ready
+    for a theory solver. Raises [Invalid_argument] on a key of the wrong
+    size. *)
+
 val pp : Format.formatter -> t -> unit

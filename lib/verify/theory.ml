@@ -1,0 +1,409 @@
+module Bits = Psm_bits.Bits
+module Atomic = Psm_mining.Atomic
+module Interface = Psm_trace.Interface
+module Signal = Psm_trace.Signal
+
+type literal = Atomic.t * bool
+
+type verdict = Sat of Bits.t array | Unsat of literal list
+
+let pp_literal iface fmt ((atom, polarity) : literal) =
+  if polarity then Atomic.pp iface fmt atom
+  else Format.fprintf fmt "!(%a)" (Atomic.pp iface) atom
+
+let literal_to_string iface l = Format.asprintf "%a" (pp_literal iface) l
+
+let sig_width iface i = (Interface.signal iface i).Signal.width
+
+let validate iface (atom : Atomic.t) =
+  let arity = Interface.arity iface in
+  if atom.Atomic.lhs < 0 || atom.Atomic.lhs >= arity then
+    Some
+      (Printf.sprintf "lhs signal %d out of range (interface arity %d)"
+         atom.Atomic.lhs arity)
+  else
+    let w = sig_width iface atom.Atomic.lhs in
+    match atom.Atomic.rhs with
+    | Atomic.Const c ->
+        if Bits.width c <> w then
+          Some
+            (Printf.sprintf "constant width %d does not match signal width %d"
+               (Bits.width c) w)
+        else None
+    | Atomic.Sig j ->
+        if j < 0 || j >= arity then
+          Some (Printf.sprintf "rhs signal %d out of range (interface arity %d)" j arity)
+        else if j = atom.Atomic.lhs then Some "signal compared to itself"
+        else if sig_width iface j <> w then
+          Some
+            (Printf.sprintf "signal widths differ (%d vs %d)" w (sig_width iface j))
+        else None
+
+(* ---------- interval-union domains ---------- *)
+
+(* A domain is a sorted list of disjoint inclusive [lo, hi] intervals of
+   one width. Endpoints stay [Bits.t]: [Bits.to_int] fails above 62 bits
+   and the mined interfaces carry 128-bit data buses. *)
+module Dom = struct
+  let full w = [ (Bits.zero w, Bits.ones w) ]
+  let is_empty d = d = []
+  let le a b = Bits.compare a b <= 0
+  let lt a b = Bits.compare a b < 0
+
+  let succ v =
+    if Bits.equal v (Bits.ones (Bits.width v)) then None
+    else Some (Bits.add v (Bits.of_int ~width:(Bits.width v) 1))
+
+  let pred v =
+    if Bits.is_zero v then None
+    else Some (Bits.sub v (Bits.of_int ~width:(Bits.width v) 1))
+
+  (* Keep values >= c. *)
+  let inter_ge d c =
+    List.filter_map
+      (fun (lo, hi) ->
+        if lt hi c then None else if lt lo c then Some (c, hi) else Some (lo, hi))
+      d
+
+  (* Keep values <= c. *)
+  let inter_le d c =
+    List.filter_map
+      (fun (lo, hi) ->
+        if lt c lo then None else if lt c hi then Some (lo, c) else Some (lo, hi))
+      d
+
+  let inter_gt d c = match succ c with None -> [] | Some c' -> inter_ge d c'
+  let inter_lt d c = match pred c with None -> [] | Some c' -> inter_le d c'
+  let mem d c = List.exists (fun (lo, hi) -> le lo c && le c hi) d
+  let inter_eq d c = if mem d c then [ (c, c) ] else []
+
+  let remove_point d c =
+    List.concat_map
+      (fun (lo, hi) ->
+        if lt c lo || lt hi c then [ (lo, hi) ]
+        else
+          let left = match pred c with Some p when le lo p -> [ (lo, p) ] | _ -> [] in
+          let right = match succ c with Some s when le s hi -> [ (s, hi) ] | _ -> [] in
+          left @ right)
+      d
+
+  let rec inter d1 d2 =
+    match (d1, d2) with
+    | [], _ | _, [] -> []
+    | (lo1, hi1) :: r1, (lo2, hi2) :: r2 ->
+        let lo = if le lo1 lo2 then lo2 else lo1 in
+        let hi = if le hi1 hi2 then hi1 else hi2 in
+        let rest = if le hi1 hi2 then inter r1 d2 else inter d1 r2 in
+        if le lo hi then (lo, hi) :: rest else rest
+
+  let min_elt = function [] -> invalid_arg "Dom.min_elt: empty" | (lo, _) :: _ -> lo
+end
+
+(* ---------- union-find over interface signal indices ---------- *)
+
+let uf_find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  let root = go i in
+  (* Path compression. *)
+  let rec compress i =
+    if parent.(i) <> root then begin
+      let next = parent.(i) in
+      parent.(i) <- root;
+      compress next
+    end
+  in
+  compress i;
+  root
+
+let uf_union parent a b =
+  let ra = uf_find parent a and rb = uf_find parent b in
+  if ra <> rb then parent.(max ra rb) <- min ra rb
+
+(* ---------- the core procedure ---------- *)
+
+(* Parsed shape of one solve: per-root interval domains, order edges
+   between roots and the remaining var–var disequalities (with the
+   literal each came from, for case splitting). *)
+
+exception Empty_domain
+
+let solve_raw iface (literals : literal list) =
+  let arity = Interface.arity iface in
+  let parent = Array.init arity (fun i -> i) in
+  (* Pass 1: equalities first, so every other constraint lands on the
+     final class roots. *)
+  List.iter
+    (fun ((atom : Atomic.t), polarity) ->
+      match (atom.Atomic.rhs, atom.Atomic.cmp, polarity) with
+      | Atomic.Sig j, Atomic.Eq, true -> uf_union parent atom.Atomic.lhs j
+      | _ -> ())
+    literals;
+  (* Pass 2: constant constraints narrow the root domains; var–var
+     order/disequality constraints collect for the graph phase. *)
+  let domains = Hashtbl.create 8 in
+  let dom root =
+    match Hashtbl.find_opt domains root with
+    | Some d -> d
+    | None -> Dom.full (sig_width iface root)
+  in
+  let narrow root f =
+    let d = f (dom root) in
+    if Dom.is_empty d then raise Empty_domain;
+    Hashtbl.replace domains root d
+  in
+  let edges = ref [] (* (src root, dst root, strict) : val src < / <= val dst *) in
+  let diseqs = ref [] (* (root a, root b, originating literal) *) in
+  try
+    List.iter
+      (fun (((atom : Atomic.t), polarity) as lit) ->
+        let x = uf_find parent atom.Atomic.lhs in
+        match atom.Atomic.rhs with
+        | Atomic.Const c -> (
+            match (atom.Atomic.cmp, polarity) with
+            | Atomic.Eq, true -> narrow x (fun d -> Dom.inter_eq d c)
+            | Atomic.Eq, false -> narrow x (fun d -> Dom.remove_point d c)
+            | Atomic.Lt, true -> narrow x (fun d -> Dom.inter_lt d c)
+            | Atomic.Lt, false -> narrow x (fun d -> Dom.inter_ge d c)
+            | Atomic.Gt, true -> narrow x (fun d -> Dom.inter_gt d c)
+            | Atomic.Gt, false -> narrow x (fun d -> Dom.inter_le d c))
+        | Atomic.Sig j -> (
+            let y = uf_find parent j in
+            match (atom.Atomic.cmp, polarity) with
+            | Atomic.Eq, true -> () (* merged in pass 1 *)
+            | Atomic.Eq, false -> diseqs := (x, y, lit) :: !diseqs
+            | Atomic.Lt, true -> edges := (x, y, true) :: !edges
+            | Atomic.Lt, false -> edges := (y, x, false) :: !edges (* x >= y *)
+            | Atomic.Gt, true -> edges := (y, x, true) :: !edges
+            | Atomic.Gt, false -> edges := (x, y, false) :: !edges (* x <= y *)))
+      literals;
+    (* A disequality inside one equivalence class is already false. *)
+    if List.exists (fun (a, b, _) -> a = b) !diseqs then `Unsat
+    else begin
+      (* Order graph on the roots. Collapse SCCs: a strict edge inside a
+         cycle is a contradiction (x < … < x); a non-strict cycle forces
+         the whole component equal, i.e. one more class merge. *)
+      let nodes =
+        List.sort_uniq compare
+          (List.concat_map (fun (a, b, _) -> [ a; b ]) !edges)
+      in
+      let index = Hashtbl.create 8 in
+      List.iteri (fun i n -> Hashtbl.replace index n i) nodes;
+      let n = List.length nodes in
+      let node = Array.of_list nodes in
+      let adj = Array.make n [] in
+      List.iter
+        (fun (a, b, strict) ->
+          let ia = Hashtbl.find index a and ib = Hashtbl.find index b in
+          adj.(ia) <- (ib, strict) :: adj.(ia))
+        !edges;
+      (* Tarjan. Node counts are bounded by the literal count, so the
+         recursion depth is tiny. *)
+      let comp = Array.make n (-1) in
+      let low = Array.make n 0 and num = Array.make n (-1) in
+      let on_stack = Array.make n false in
+      let stack = ref [] and counter = ref 0 and ncomp = ref 0 in
+      let rec strongconnect v =
+        num.(v) <- !counter;
+        low.(v) <- !counter;
+        incr counter;
+        stack := v :: !stack;
+        on_stack.(v) <- true;
+        List.iter
+          (fun (w, _) ->
+            if num.(w) = -1 then begin
+              strongconnect w;
+              low.(v) <- min low.(v) low.(w)
+            end
+            else if on_stack.(w) then low.(v) <- min low.(v) num.(w))
+          adj.(v);
+        if low.(v) = num.(v) then begin
+          let rec pop () =
+            match !stack with
+            | [] -> ()
+            | w :: rest ->
+                stack := rest;
+                on_stack.(w) <- false;
+                comp.(w) <- !ncomp;
+                if w <> v then pop ()
+          in
+          pop ();
+          incr ncomp
+        end
+      in
+      for v = 0 to n - 1 do
+        if num.(v) = -1 then strongconnect v
+      done;
+      let strict_in_scc =
+        Array.exists
+          (fun v ->
+            List.exists (fun (w, strict) -> strict && comp.(v) = comp.(w)) adj.(v))
+          (Array.init n (fun i -> i))
+      in
+      if strict_in_scc then `Unsat
+      else begin
+        (* Merge each multi-node SCC into one union-find class. *)
+        let members = Array.make !ncomp [] in
+        Array.iteri (fun v c -> members.(c) <- node.(v) :: members.(c)) comp;
+        Array.iter
+          (function
+            | [] | [ _ ] -> ()
+            | first :: rest -> List.iter (fun m -> uf_union parent first m) rest)
+          members;
+        (* Re-root the domains and condense the edges. *)
+        let fold_domains () =
+          let merged = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun root d ->
+              let r = uf_find parent root in
+              let d' =
+                match Hashtbl.find_opt merged r with
+                | Some existing -> Dom.inter existing d
+                | None -> d
+              in
+              if Dom.is_empty d' then raise Empty_domain;
+              Hashtbl.replace merged r d')
+            domains;
+          merged
+        in
+        let merged = fold_domains () in
+        Hashtbl.reset domains;
+        Hashtbl.iter (Hashtbl.replace domains) merged;
+        let condensed = Hashtbl.create 8 in
+        List.iter
+          (fun (a, b, strict) ->
+            let ra = uf_find parent a and rb = uf_find parent b in
+            if ra <> rb then
+              let prev =
+                Option.value ~default:false (Hashtbl.find_opt condensed (ra, rb))
+              in
+              Hashtbl.replace condensed (ra, rb) (prev || strict))
+          !edges;
+        (* Kahn topological order over the condensed DAG, then one
+           forward pass computing the minimal feasible value of every
+           class: visiting u with all predecessors final, its domain
+           already holds every lower bound, so min_elt is u's value, and
+           pushing it through u's out-edges bounds the successors. The
+           minimal assignment satisfies every edge by construction, so
+           this single pass is a decision procedure, not a heuristic. *)
+        let dag_nodes = List.sort_uniq compare (List.map (uf_find parent) nodes) in
+        let indeg = Hashtbl.create 8 in
+        List.iter (fun r -> Hashtbl.replace indeg r 0) dag_nodes;
+        Hashtbl.iter
+          (fun (_, dst) _ ->
+            Hashtbl.replace indeg dst (1 + Hashtbl.find indeg dst))
+          condensed;
+        let out = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun (src, dst) strict ->
+            Hashtbl.replace out src
+              ((dst, strict) :: Option.value ~default:[] (Hashtbl.find_opt out src)))
+          condensed;
+        let value = Hashtbl.create 8 in
+        let ready =
+          ref (List.filter (fun r -> Hashtbl.find indeg r = 0) dag_nodes)
+        in
+        let visited = ref 0 in
+        while !ready <> [] do
+          (* Smallest root first: deterministic order, deterministic witness. *)
+          let sorted = List.sort compare !ready in
+          let u = List.hd sorted in
+          ready := List.tl sorted;
+          incr visited;
+          let d = dom u in
+          if Dom.is_empty d then raise Empty_domain;
+          let v = Dom.min_elt d in
+          Hashtbl.replace value u v;
+          List.iter
+            (fun (dst, strict) ->
+              narrow dst (fun d ->
+                  if strict then
+                    match Dom.succ v with
+                    | None -> []
+                    | Some bound -> Dom.inter_ge d bound
+                  else Dom.inter_ge d v);
+              let deg = Hashtbl.find indeg dst - 1 in
+              Hashtbl.replace indeg dst deg;
+              if deg = 0 then ready := dst :: !ready)
+            (Option.value ~default:[] (Hashtbl.find_opt out u))
+        done;
+        if !visited <> List.length dag_nodes then
+          (* Unreachable: the condensation is acyclic by construction. *)
+          `Unsat
+        else begin
+          (* Classes outside the order graph take their domain minimum;
+             untouched signals take zero. *)
+          let class_value root =
+            match Hashtbl.find_opt value root with
+            | Some v -> v
+            | None -> (
+                match Hashtbl.find_opt domains root with
+                | Some d -> Dom.min_elt d
+                | None -> Bits.zero (sig_width iface root))
+          in
+          let witness =
+            Array.init arity (fun i -> class_value (uf_find parent i))
+          in
+          (* Var–var disequalities: the minimal witness either already
+             separates the pair or we case-split the offending literal
+             into its two strict arms and re-solve. *)
+          let violated =
+            List.find_opt
+              (fun (a, b, _) -> Bits.equal witness.(a) witness.(b))
+              !diseqs
+          in
+          match violated with
+          | None -> `Sat witness
+          | Some (_, _, ((atom : Atomic.t), _)) ->
+              let arm cmp =
+                List.map
+                  (fun (l : literal) ->
+                    let a, p = l in
+                    if (not p) && Atomic.equal a atom then
+                      ({ a with Atomic.cmp }, true)
+                    else l)
+                  literals
+              in
+              `Split (arm Atomic.Lt, arm Atomic.Gt)
+        end
+      end
+    end
+  with Empty_domain -> `Unsat
+
+let rec decide iface literals =
+  match solve_raw iface literals with
+  | `Sat w -> Some w
+  | `Unsat -> None
+  | `Split (left, right) -> (
+      match decide iface left with Some w -> Some w | None -> decide iface right)
+
+(* Deletion-based core minimization: drop each literal in turn and keep
+   it only when the remainder turns satisfiable. The result is 1-minimal
+   and costs one re-solve per literal. *)
+let minimize iface literals =
+  let rec shrink kept = function
+    | [] -> List.rev kept
+    | l :: rest -> (
+        match decide iface (List.rev_append kept rest) with
+        | None -> shrink kept rest
+        | Some _ -> shrink (l :: kept) rest)
+  in
+  shrink [] literals
+
+let check_literals iface literals =
+  List.iter
+    (fun ((atom, _) : literal) ->
+      match validate iface atom with
+      | None -> ()
+      | Some msg -> invalid_arg ("Theory.solve: ill-formed atom: " ^ msg))
+    literals
+
+let solve ?(minimize_core = true) iface literals =
+  check_literals iface literals;
+  match decide iface literals with
+  | Some w -> Sat w
+  | None -> Unsat (if minimize_core then minimize iface literals else literals)
+
+let implies iface premises ((atom, polarity) : literal) =
+  match solve ~minimize_core:false iface ((atom, not polarity) :: premises) with
+  | Unsat _ -> true
+  | Sat _ -> false

@@ -1,0 +1,67 @@
+(** An exact satisfiability decision procedure for the atom fragment.
+
+    The mined atom language ({!Psm_mining.Atomic}) is unsigned [=]/[<]/[>]
+    between a bitvector signal and an equal-width constant or signal —
+    a decidable theory. A conjunction of {e literals} (atoms with a
+    polarity) is decided exactly:
+
+    - per-signal domains are unions of inclusive intervals seeded from the
+      {!Psm_trace.Interface} widths, narrowed by the constant literals
+      ([x = c], [x ≠ c] as a hole, [x < c], [¬(x < c)], …);
+    - signal–signal equalities merge signals into union-find classes
+      (intersecting their domains);
+    - signal–signal [<]/[≤] literals become edges of an order graph whose
+      strongly connected components are collapsed (a strict edge inside an
+      SCC is an immediate contradiction; a non-strict cycle forces
+      equality);
+    - lower bounds propagate forward in topological order over the
+      condensed DAG — the minimal assignment this computes is itself the
+      witness, so the forward pass alone decides satisfiability;
+    - signal–signal disequalities the minimal witness happens to violate
+      are case-split ([x ≠ y] ⇔ [x < y] ∨ [y < x]) and each arm re-solved.
+
+    The procedure is exact on the fragment: [Sat w] means [w] satisfies
+    every literal under {!Psm_mining.Atomic.eval}, and [Unsat core] means
+    the core's literals (a subset of the input) admit no valuation at
+    all. Literal sets are tiny (≤ ~64 atoms), so exactness costs
+    microseconds, not model checking. *)
+
+type literal = Psm_mining.Atomic.t * bool
+(** An atom asserted ([true]) or denied ([false]). Denial flips the
+    comparison semantically ([¬(x < c)] ⇔ [x ≥ c]); no extra atoms are
+    needed — see {!Psm_mining.Atomic.negate} for the atom-level
+    disjunction. *)
+
+type verdict =
+  | Sat of Psm_bits.Bits.t array
+      (** A complete valuation, one value per interface signal (signals
+          no literal mentions default to zero). *)
+  | Unsat of literal list
+      (** A conflicting subset of the input literals; minimal (removing
+          any literal makes it satisfiable) unless core minimization was
+          disabled. *)
+
+val solve :
+  ?minimize_core:bool -> Psm_trace.Interface.t -> literal list -> verdict
+(** Decide the conjunction. [minimize_core] (default [true]) shrinks the
+    Unsat core by deletion (one re-solve per literal); pass [false] on
+    hot paths that only need the verdict.
+
+    Raises [Invalid_argument] when a literal's atom is ill-formed for the
+    interface (signal index out of range, width mismatch, self
+    comparison) — use {!validate} first when the input is untrusted. *)
+
+val validate : Psm_trace.Interface.t -> Psm_mining.Atomic.t -> string option
+(** [None] when the atom is well-formed for the interface, otherwise a
+    description of the defect. *)
+
+val implies : Psm_trace.Interface.t -> literal list -> literal -> bool
+(** [implies iface premises l]: does every valuation satisfying
+    [premises] satisfy [l]? Decided as [premises ∧ ¬l] unsatisfiable.
+    Raises like {!solve} on ill-formed atoms. *)
+
+val pp_literal :
+  Psm_trace.Interface.t -> Format.formatter -> literal -> unit
+(** Renders like [we = 1] or [!(wdata > rdata)]. *)
+
+val literal_to_string : Psm_trace.Interface.t -> literal -> string

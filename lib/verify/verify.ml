@@ -1,0 +1,827 @@
+module Bits = Psm_bits.Bits
+module Interface = Psm_trace.Interface
+module Signal = Psm_trace.Signal
+module Atomic = Psm_mining.Atomic
+module Vocabulary = Psm_mining.Vocabulary
+module Table = Psm_mining.Prop_trace.Table
+module Psm = Psm_core.Psm
+module Assertion = Psm_core.Assertion
+
+type severity = Error | Warning | Info
+
+type location =
+  | Model
+  | Prop of int
+  | State of int
+  | Transition of { src : int; guard : int; dst : int }
+
+type finding = {
+  check : string;
+  severity : severity;
+  location : location;
+  message : string;
+  witness : Bits.t array option;
+}
+
+type stats = {
+  propositions : int;
+  atoms : int;
+  infeasible_props : int;
+  disjoint_pairs_proved : int;
+  guard_pairs_proved : int;
+  transitions_checked : int;
+  coverage_gaps : int;
+  coverage_complete : bool;
+}
+
+type report = {
+  interface : Interface.t;
+  findings : finding list;
+  stats : stats;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let location_key = function
+  | Model -> (0, 0, 0, 0)
+  | Prop p -> (1, p, 0, 0)
+  | State s -> (2, s, 0, 0)
+  | Transition { src; guard; dst } -> (3, src, guard, dst)
+
+let sort_findings fs =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+      if c <> 0 then c
+      else
+        let c = compare a.check b.check in
+        if c <> 0 then c else compare (location_key a.location) (location_key b.location))
+    fs
+
+(* ---------- shared per-run context ---------- *)
+
+type ctx = {
+  psm : Psm.t;
+  table : Table.t;
+  voc : Vocabulary.t;
+  iface : Interface.t;
+  nprops : int;
+  keys : string array;  (** Packed truth-row key per proposition. *)
+  feas : Theory.verdict option array;  (** Lazy feasibility verdicts. *)
+}
+
+let make_ctx psm =
+  let table = Psm.prop_table psm in
+  let voc = Table.vocabulary table in
+  let nprops = Table.prop_count table in
+  {
+    psm;
+    table;
+    voc;
+    iface = Vocabulary.interface voc;
+    nprops;
+    keys = Array.init nprops (fun p -> Vocabulary.row_key (Table.row table p));
+    feas = Array.make nprops None;
+  }
+
+let prop_literals ctx p = Vocabulary.literals_of_key ctx.voc ctx.keys.(p)
+
+let feasibility_of ctx p =
+  match ctx.feas.(p) with
+  | Some v -> v
+  | None ->
+      let v = Theory.solve ctx.iface (prop_literals ctx p) in
+      ctx.feas.(p) <- Some v;
+      v
+
+(* Every check is total: a vocabulary whose atoms don't fit the interface
+   becomes one Error finding, never an exception out of a rule. *)
+let validate_vocabulary ~check ctx =
+  let defects = ref [] in
+  Array.iteri
+    (fun i atom ->
+      match Theory.validate ctx.iface atom with
+      | None -> ()
+      | Some msg -> defects := Printf.sprintf "atom %d: %s" i msg :: !defects)
+    (Vocabulary.atoms ctx.voc);
+  match List.rev !defects with
+  | [] -> None
+  | defects ->
+      Some
+        {
+          check;
+          severity = Error;
+          location = Model;
+          message =
+            "vocabulary ill-formed for the interface: "
+            ^ String.concat "; " defects;
+          witness = None;
+        }
+
+let literals_to_string ctx literals =
+  String.concat " & " (List.map (Theory.literal_to_string ctx.iface) literals)
+
+let pname ctx p = Table.name ctx.table p
+
+(* ---------- feasibility ---------- *)
+
+let feasibility_check = "static-feasibility"
+
+let feasibility_i ctx =
+  let findings = ref [] in
+  let infeasible = ref 0 in
+  for p = 0 to ctx.nprops - 1 do
+    match feasibility_of ctx p with
+    | Theory.Sat _ -> ()
+    | Theory.Unsat core ->
+        incr infeasible;
+        findings :=
+          {
+            check = feasibility_check;
+            severity = Error;
+            location = Prop p;
+            message =
+              Printf.sprintf
+                "proposition %s admits no input valuation (conflicting literals: %s)"
+                (pname ctx p) (literals_to_string ctx core);
+            witness = None;
+          }
+          :: !findings
+  done;
+  let transitions = Psm.transitions ctx.psm in
+  List.iter
+    (fun (t : Psm.transition) ->
+      let loc = Transition { src = t.src; guard = t.guard; dst = t.dst } in
+      match feasibility_of ctx t.guard with
+      | Theory.Unsat core ->
+          findings :=
+            {
+              check = feasibility_check;
+              severity = Error;
+              location = loc;
+              message =
+                Printf.sprintf
+                  "transition guard %s is unsatisfiable (conflicting literals: %s)"
+                  (pname ctx t.guard)
+                  (literals_to_string ctx core);
+              witness = None;
+            }
+            :: !findings
+      | Theory.Sat _ ->
+          let dst = Psm.state ctx.psm t.dst in
+          let entries = Assertion.entry_props dst.Psm.assertion in
+          if not (List.mem t.guard entries) then
+            findings :=
+              {
+                check = feasibility_check;
+                severity = Warning;
+                location = loc;
+                message =
+                  Printf.sprintf
+                    "guard %s can never start the destination assertion (entry \
+                     propositions: %s)"
+                    (pname ctx t.guard)
+                    (String.concat ", " (List.map (pname ctx) entries));
+                witness = None;
+              }
+              :: !findings)
+    transitions;
+  (List.rev !findings, List.length transitions, !infeasible)
+
+(* ---------- disjointness ---------- *)
+
+let disjointness_check = "static-disjointness"
+
+(* Two complete truth rows that differ anywhere contain x and ¬x for the
+   first differing atom — a two-literal contradiction, so key inequality
+   IS the disjointness proof; the solver is only needed for the witness
+   when a corrupt table interns the same row twice. *)
+let disjointness_i ctx =
+  let findings = ref [] in
+  let pair_proofs = ref 0 in
+  let co_sat_witness p =
+    match feasibility_of ctx p with Theory.Sat w -> Some w | Theory.Unsat _ -> None
+  in
+  for p = 0 to ctx.nprops - 1 do
+    for q = p + 1 to ctx.nprops - 1 do
+      if String.equal ctx.keys.(p) ctx.keys.(q) then
+        findings :=
+          {
+            check = disjointness_check;
+            severity = Error;
+            location = Prop p;
+            message =
+              Printf.sprintf
+                "propositions %s and %s have identical truth rows — both hold on \
+                 the witness valuation"
+                (pname ctx p) (pname ctx q);
+            witness = co_sat_witness p;
+          }
+          :: !findings
+      else incr pair_proofs
+    done
+  done;
+  (* Semantic guard determinism: guards leaving one state. Distinct prop
+     ids have distinct rows (interning), so the same key-comparison proof
+     applies. One guard enabling several destinations is nondeterministic
+     but by design after [join] — the HMM resolves the choice (paper
+     Sec. V) — so it grades Warning, now with the concrete valuation on
+     which the choice is stochastic. *)
+  let guard_pairs = Hashtbl.create 64 in
+  List.iter
+    (fun (st : Psm.state) ->
+      let outs = Psm.successors ctx.psm st.Psm.id in
+      let by_guard = Hashtbl.create 8 in
+      List.iter
+        (fun (t : Psm.transition) ->
+          Hashtbl.replace by_guard t.Psm.guard
+            (t.Psm.dst
+            :: Option.value ~default:[] (Hashtbl.find_opt by_guard t.Psm.guard)))
+        outs;
+      let guards =
+        List.sort_uniq compare
+          (List.map (fun (t : Psm.transition) -> t.Psm.guard) outs)
+      in
+      List.iter
+        (fun g ->
+          let dsts = List.sort_uniq compare (Hashtbl.find by_guard g) in
+          if List.length dsts > 1 then
+            findings :=
+              {
+                check = disjointness_check;
+                severity = Warning;
+                location = State st.Psm.id;
+                message =
+                  Printf.sprintf
+                    "guard %s enables transitions from s%d to %s — \
+                     nondeterministic on the witness valuation (resolved \
+                     stochastically by the HMM)"
+                    (pname ctx g) st.Psm.id
+                    (String.concat ", "
+                       (List.map (Printf.sprintf "s%d") dsts));
+                witness = co_sat_witness g;
+              }
+              :: !findings)
+        guards;
+      let rec pairs = function
+        | [] -> ()
+        | g1 :: rest ->
+            List.iter
+              (fun g2 ->
+                let key = (min g1 g2, max g1 g2) in
+                if not (Hashtbl.mem guard_pairs key) then
+                  Hashtbl.replace guard_pairs key ())
+              rest;
+            pairs rest
+      in
+      pairs guards)
+    (Psm.states ctx.psm);
+  (List.rev !findings, !pair_proofs, Hashtbl.length guard_pairs)
+
+(* ---------- coverage ---------- *)
+
+let coverage_check = "static-coverage"
+
+(* DPLL-flavoured walk of the truth-assignment trie in vocabulary atom
+   order. [live] is the set of interned rows consistent with the prefix;
+   while it is non-empty the branch is covered so far and no solving is
+   needed. The moment it empties, the prefix deviates from every
+   proposition: a satisfiable prefix is an uncovered input region
+   (reported with its witness, without descending further — refining an
+   uncovered cube only fragments the same gap), an unsatisfiable one
+   prunes. Node count is bounded by ~2·|atoms|·(|props|+1) and further by
+   [budget]. *)
+let coverage_i ctx ~budget ~max_gaps =
+  let atoms = Vocabulary.atoms ctx.voc in
+  let natoms = Array.length atoms in
+  let rows = Array.init ctx.nprops (fun p -> Table.row ctx.table p) in
+  let gaps = ref [] and ngaps = ref 0 in
+  let budget = ref budget and complete = ref true in
+  let rec walk depth prefix_rev live =
+    if !ngaps >= max_gaps then complete := false
+    else if !budget <= 0 then complete := false
+    else begin
+      decr budget;
+      if live = [] then begin
+        match
+          Theory.solve ~minimize_core:false ctx.iface (List.rev prefix_rev)
+        with
+        | Theory.Sat w ->
+            incr ngaps;
+            gaps := (List.rev prefix_rev, w) :: !gaps
+        | Theory.Unsat _ -> ()
+      end
+      else if depth < natoms then begin
+        let step b =
+          walk (depth + 1)
+            ((atoms.(depth), b) :: prefix_rev)
+            (List.filter (fun r -> Array.get r depth = b) live)
+        in
+        step true;
+        step false
+      end
+    end
+  in
+  walk 0 [] (Array.to_list rows);
+  let findings =
+    List.rev_map
+      (fun (prefix, w) ->
+        let region =
+          match prefix with
+          | [] -> "the entire input space (no propositions interned)"
+          | literals -> literals_to_string ctx literals
+        in
+        {
+          check = coverage_check;
+          severity = Info;
+          location = Model;
+          message =
+            Printf.sprintf
+              "no proposition covers %s — statically predicted resync region"
+              region;
+          witness = Some w;
+        })
+      !gaps
+  in
+  (findings, !ngaps, !complete)
+
+(* ---------- vacuity ---------- *)
+
+let vacuity_check = "static-vacuity"
+
+let vacuity_i ctx =
+  let findings = ref [] in
+  let emit severity id message =
+    findings :=
+      { check = vacuity_check; severity; location = State id; message; witness = None }
+      :: !findings
+  in
+  let astr a = Assertion.to_string (pname ctx) a in
+  List.iter
+    (fun (st : Psm.state) ->
+      let id = st.Psm.id in
+      (* Unsatisfiable propositions referenced anywhere in the assertion:
+         the pattern can never be observed. *)
+      List.iter
+        (fun p ->
+          match feasibility_of ctx p with
+          | Theory.Sat _ -> ()
+          | Theory.Unsat _ ->
+              emit Warning id
+                (Printf.sprintf
+                   "assertion references unsatisfiable proposition %s: %s"
+                   (pname ctx p) (astr st.Psm.assertion)))
+        (Assertion.props st.Psm.assertion);
+      let rec structural a =
+        match (a : Assertion.t) with
+        | Assertion.Until (p, q) when p = q ->
+            emit Info id
+              (Printf.sprintf "degenerate pattern %s (p U p never completes)"
+                 (astr a))
+        | Assertion.Next (p, q) when p = q ->
+            emit Info id (Printf.sprintf "degenerate pattern %s" (astr a))
+        | Assertion.Until _ | Assertion.Next _ -> ()
+        | Assertion.Seq parts ->
+            let rec chain = function
+              | a :: (b :: _ as rest) ->
+                  let exits = Assertion.exit_props a in
+                  let entries = Assertion.entry_props b in
+                  if not (List.exists (fun q -> List.mem q entries) exits) then
+                    emit Warning id
+                      (Printf.sprintf
+                         "sequential steps cannot chain: no exit of %s enters %s"
+                         (astr a) (astr b));
+                  chain rest
+              | _ -> ()
+            in
+            chain parts;
+            List.iter structural parts
+        | Assertion.Alt parts ->
+            List.iteri
+              (fun i x ->
+                List.iteri
+                  (fun j y ->
+                    if i <> j && Assertion.subsumes x y then
+                      emit Info id
+                        (Printf.sprintf
+                           "alternative branch %s is subsumed by sibling %s"
+                           (astr x) (astr y)))
+                  parts)
+              parts;
+            List.iter structural parts
+      in
+      structural st.Psm.assertion)
+    (Psm.states ctx.psm);
+  List.rev !findings
+
+(* ---------- public checks ---------- *)
+
+let guarded ~check ctx f =
+  match validate_vocabulary ~check ctx with
+  | Some finding -> `Invalid finding
+  | None -> `Ok (f ())
+
+let findings_only ~check ctx f =
+  match guarded ~check ctx f with
+  | `Invalid finding -> [ finding ]
+  | `Ok findings -> sort_findings findings
+
+let feasibility psm =
+  let ctx = make_ctx psm in
+  findings_only ~check:feasibility_check ctx (fun () ->
+      let fs, _, _ = feasibility_i ctx in
+      fs)
+
+let disjointness psm =
+  let ctx = make_ctx psm in
+  findings_only ~check:disjointness_check ctx (fun () ->
+      let fs, _, _ = disjointness_i ctx in
+      fs)
+
+let coverage ?(budget = 4096) ?(max_gaps = 4) psm =
+  let ctx = make_ctx psm in
+  findings_only ~check:coverage_check ctx (fun () ->
+      let fs, _, _ = coverage_i ctx ~budget ~max_gaps in
+      fs)
+
+let vacuity psm =
+  let ctx = make_ctx psm in
+  findings_only ~check:vacuity_check ctx (fun () -> vacuity_i ctx)
+
+let run ?(coverage_budget = 4096) ?(max_gaps = 4) psm =
+  let ctx = make_ctx psm in
+  let atoms = Vocabulary.size ctx.voc in
+  let base =
+    {
+      propositions = ctx.nprops;
+      atoms;
+      infeasible_props = 0;
+      disjoint_pairs_proved = 0;
+      guard_pairs_proved = 0;
+      transitions_checked = 0;
+      coverage_gaps = 0;
+      coverage_complete = true;
+    }
+  in
+  match validate_vocabulary ~check:"static-verify" ctx with
+  | Some finding ->
+      { interface = ctx.iface; findings = [ finding ]; stats = base }
+  | None ->
+      let feas_fs, transitions_checked, infeasible_props = feasibility_i ctx in
+      let disj_fs, disjoint_pairs_proved, guard_pairs_proved =
+        disjointness_i ctx
+      in
+      let cov_fs, coverage_gaps, coverage_complete =
+        coverage_i ctx ~budget:coverage_budget ~max_gaps
+      in
+      let vac_fs = vacuity_i ctx in
+      {
+        interface = ctx.iface;
+        findings = sort_findings (feas_fs @ disj_fs @ cov_fs @ vac_fs);
+        stats =
+          {
+            base with
+            infeasible_props;
+            disjoint_pairs_proved;
+            guard_pairs_proved;
+            transitions_checked;
+            coverage_gaps;
+            coverage_complete;
+          };
+      }
+
+(* ---------- witnesses and rendering ---------- *)
+
+let witnesses report =
+  List.filter_map (fun f -> f.witness) report.findings
+
+let render_value v =
+  if Bits.width v = 1 then (if Bits.get v 0 then "1" else "0")
+  else "0x" ^ Bits.to_hex_string v
+
+let bindings iface values =
+  Array.to_list
+    (Array.mapi
+       (fun i v -> ((Interface.signal iface i).Signal.name, render_value v))
+       values)
+
+let pp_witness iface fmt values =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+    (fun fmt (n, v) -> Format.fprintf fmt "%s = %s" n v)
+    fmt (bindings iface values)
+
+let errors report =
+  List.filter (fun f -> f.severity = Error) report.findings
+
+let pp_location fmt = function
+  | Model -> Format.pp_print_string fmt "model"
+  | Prop p -> Format.fprintf fmt "prop %d" p
+  | State s -> Format.fprintf fmt "s%d" s
+  | Transition { src; guard; dst } ->
+      Format.fprintf fmt "s%d --[p%d]--> s%d" src guard dst
+
+let text report =
+  let count sev =
+    List.length (List.filter (fun f -> f.severity = sev) report.findings)
+  in
+  let buf = Buffer.create 512 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt
+    "verify: %d propositions over %d atoms — %d errors, %d warnings, %d info@."
+    report.stats.propositions report.stats.atoms (count Error) (count Warning)
+    (count Info);
+  Format.fprintf fmt
+    "proved: %d proposition pairs disjoint, %d guard pairs deterministic, %d \
+     transitions feasible%s@."
+    report.stats.disjoint_pairs_proved report.stats.guard_pairs_proved
+    report.stats.transitions_checked
+    (if report.stats.coverage_complete then
+       Format.sprintf ", coverage exhaustive (%d gaps)" report.stats.coverage_gaps
+     else Format.sprintf ", coverage truncated (%d gaps)" report.stats.coverage_gaps);
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "[%s] %s %a: %s@."
+        (severity_to_string f.severity)
+        f.check pp_location f.location f.message;
+      match f.witness with
+      | None -> ()
+      | Some w ->
+          Format.fprintf fmt "  witness: %a@." (pp_witness report.interface) w)
+    report.findings;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let location_json = function
+  | Model -> {|{"kind":"model"}|}
+  | Prop p -> Printf.sprintf {|{"kind":"prop","id":%d}|} p
+  | State s -> Printf.sprintf {|{"kind":"state","id":%d}|} s
+  | Transition { src; guard; dst } ->
+      Printf.sprintf {|{"kind":"transition","src":%d,"guard":%d,"dst":%d}|} src
+        guard dst
+
+let witness_json iface values =
+  let vals =
+    Array.to_list
+      (Array.map
+         (fun v -> Printf.sprintf "\"%s\"" (Format.asprintf "%a" Bits.pp v))
+         values)
+  in
+  let binds =
+    List.map
+      (fun (n, v) -> Printf.sprintf "\"%s = %s\"" (json_escape n) (json_escape v))
+      (bindings iface values)
+  in
+  Printf.sprintf {|{"values":[%s],"bindings":[%s]}|} (String.concat "," vals)
+    (String.concat "," binds)
+
+let json report =
+  let finding_json f =
+    let witness =
+      match f.witness with
+      | None -> ""
+      | Some w -> Printf.sprintf {|,"witness":%s|} (witness_json report.interface w)
+    in
+    Printf.sprintf {|{"severity":"%s","check":"%s","location":%s,"message":"%s"%s}|}
+      (severity_to_string f.severity)
+      (json_escape f.check) (location_json f.location) (json_escape f.message)
+      witness
+  in
+  let s = report.stats in
+  Printf.sprintf
+    {|{"schema":1,"findings":[%s],"stats":{"propositions":%d,"atoms":%d,"infeasible_props":%d,"disjoint_pairs_proved":%d,"guard_pairs_proved":%d,"transitions_checked":%d,"coverage_gaps":%d,"coverage_complete":%b}}|}
+    (String.concat "," (List.map finding_json report.findings))
+    s.propositions s.atoms s.infeasible_props s.disjoint_pairs_proved
+    s.guard_pairs_proved s.transitions_checked s.coverage_gaps
+    s.coverage_complete
+
+(* ---------- semantic model diff ---------- *)
+
+type equiv_report = {
+  equivalent : bool;
+  blocks : (int list * int list) list;
+  only_left : int list;
+  only_right : int list;
+  initial_match : bool;
+  mismatch : string option;
+}
+
+let all_ids psm = List.map (fun (s : Psm.state) -> s.Psm.id) (Psm.states psm)
+
+let incompatible a b msg =
+  {
+    equivalent = false;
+    blocks = [];
+    only_left = all_ids a;
+    only_right = all_ids b;
+    initial_match = false;
+    mismatch = Some msg;
+  }
+
+let interfaces_compatible ia ib =
+  Interface.arity ia = Interface.arity ib
+  && List.for_all
+       (fun i ->
+         let sa = Interface.signal ia i and sb = Interface.signal ib i in
+         sa.Signal.width = sb.Signal.width
+         && sa.Signal.direction = sb.Signal.direction)
+       (List.init (Interface.arity ia) Fun.id)
+
+(* Guard alphabet: propositions of the two machines mapped into one
+   symbol space. Equal vocabularies let the packed truth-row key be the
+   symbol directly; otherwise propositions are matched semantically by
+   mutual theory implication (and infeasible rows map to a dead symbol
+   whose transitions can never fire and are dropped). *)
+let make_symbolizer iface ctxa ctxb =
+  let va = Vocabulary.atoms ctxa.voc and vb = Vocabulary.atoms ctxb.voc in
+  let same_vocab =
+    Array.length va = Array.length vb
+    && Array.for_all2 (fun x y -> Atomic.equal x y) va vb
+  in
+  if same_vocab then begin
+    let syms = Hashtbl.create 64 and next = ref 0 in
+    let of_key key =
+      match Hashtbl.find_opt syms key with
+      | Some s -> s
+      | None ->
+          let s = !next in
+          incr next;
+          Hashtbl.replace syms key s;
+          s
+    in
+    fun side p ->
+      let ctx = if side = 0 then ctxa else ctxb in
+      of_key ctx.keys.(p)
+  end
+  else begin
+    let reps = ref [] (* (literals, symbol) in first-seen order *) in
+    let next = ref 0 in
+    let memo = Hashtbl.create 64 in
+    fun side p ->
+      match Hashtbl.find_opt memo (side, p) with
+      | Some s -> s
+      | None ->
+          let ctx = if side = 0 then ctxa else ctxb in
+          let literals = prop_literals ctx p in
+          let s =
+            match Theory.solve ~minimize_core:false iface literals with
+            | Theory.Unsat _ -> -1 (* dead: this guard can never fire *)
+            | Theory.Sat _ -> (
+                let matches (other, _) =
+                  List.for_all (Theory.implies iface literals) other
+                  && List.for_all (Theory.implies iface other) literals
+                in
+                match List.find_opt matches !reps with
+                | Some (_, s) -> s
+                | None ->
+                    let s = !next in
+                    incr next;
+                    reps := !reps @ [ (literals, s) ];
+                    s)
+          in
+          Hashtbl.replace memo (side, p) s;
+          s
+  end
+
+let label_of (st : Psm.state) =
+  match st.Psm.output with
+  | Psm.Const mu -> (0, 0., mu)
+  | Psm.Affine { slope; intercept } -> (1, slope, intercept)
+
+let equiv ?(epsilon = 1e-9) a b =
+  let ctxa = make_ctx a and ctxb = make_ctx b in
+  if not (interfaces_compatible ctxa.iface ctxb.iface) then
+    incompatible a b "interfaces differ (arity, widths or directions)"
+  else
+    let voc_defect ctx =
+      Array.exists
+        (fun atom -> Theory.validate ctx.iface atom <> None)
+        (Vocabulary.atoms ctx.voc)
+    in
+    if voc_defect ctxa || voc_defect ctxb then
+      incompatible a b "a vocabulary is ill-formed for its interface"
+    else begin
+      let sym = make_symbolizer ctxa.iface ctxa ctxb in
+      let sa = Psm.states a and sb = Psm.states b in
+      let universe =
+        Array.of_list
+          (List.map (fun s -> (0, s)) sa @ List.map (fun s -> (1, s)) sb)
+      in
+      let n = Array.length universe in
+      let uidx = Hashtbl.create n in
+      Array.iteri
+        (fun u (side, (st : Psm.state)) ->
+          Hashtbl.replace uidx (side, st.Psm.id) u)
+        universe;
+      (* Initial partition: power labels, grouped with epsilon chaining so
+         float noise between the two trainings doesn't split blocks. *)
+      let labels =
+        Array.map (fun (_, st) -> label_of st) universe
+      in
+      let order = Array.init n Fun.id in
+      Array.sort (fun u v -> compare labels.(u) labels.(v)) order;
+      let block = Array.make n 0 in
+      let nblocks = ref 0 in
+      Array.iteri
+        (fun i u ->
+          if i = 0 then nblocks := 1
+          else begin
+            let (k1, s1, m1) = labels.(order.(i - 1)) and (k2, s2, m2) = labels.(u) in
+            if
+              not
+                (k1 = k2
+                && Float.abs (s1 -. s2) <= epsilon
+                && Float.abs (m1 -. m2) <= epsilon)
+            then incr nblocks
+          end;
+          block.(u) <- !nblocks - 1)
+        order;
+      (* Outgoing (symbol, destination) per universe index, dead symbols
+         dropped — an infeasible guard constrains nothing. *)
+      let trans =
+        Array.map
+          (fun (side, (st : Psm.state)) ->
+            let psm = if side = 0 then a else b in
+            List.filter_map
+              (fun (t : Psm.transition) ->
+                let s = sym side t.Psm.guard in
+                if s < 0 then None
+                else Some (s, Hashtbl.find uidx (side, t.Psm.dst)))
+              (Psm.successors psm st.Psm.id))
+          universe
+      in
+      (* Kanellakis–Smolka refinement: the signature of a state is its
+         block plus its (symbol, successor block) set; equal counts before
+         and after means the partition is stable (each pass refines). *)
+      let stable = ref false in
+      while not !stable do
+        let table = Hashtbl.create n and next = ref 0 in
+        let newblock =
+          Array.mapi
+            (fun u _ ->
+              let signature =
+                ( block.(u),
+                  List.sort_uniq compare
+                    (List.map (fun (s, d) -> (s, block.(d))) trans.(u)) )
+              in
+              match Hashtbl.find_opt table signature with
+              | Some id -> id
+              | None ->
+                  let id = !next in
+                  incr next;
+                  Hashtbl.replace table signature id;
+                  id)
+            universe
+        in
+        stable := !next = !nblocks;
+        nblocks := !next;
+        Array.blit newblock 0 block 0 n
+      done;
+      let members = Array.make !nblocks ([], []) in
+      for u = n - 1 downto 0 do
+        let side, (st : Psm.state) = universe.(u) in
+        let l, r = members.(block.(u)) in
+        members.(block.(u)) <-
+          (if side = 0 then (st.Psm.id :: l, r) else (l, st.Psm.id :: r))
+      done;
+      let blocks = Array.to_list members in
+      let only_left =
+        List.concat_map (fun (l, r) -> if r = [] then l else []) blocks
+      in
+      let only_right =
+        List.concat_map (fun (l, r) -> if l = [] then r else []) blocks
+      in
+      let initial_blocks side psm =
+        List.sort compare
+          (List.map (fun id -> block.(Hashtbl.find uidx (side, id))) (Psm.initial psm))
+      in
+      let initial_match = initial_blocks 0 a = initial_blocks 1 b in
+      {
+        equivalent = only_left = [] && only_right = [] && initial_match;
+        blocks;
+        only_left = List.sort compare only_left;
+        only_right = List.sort compare only_right;
+        initial_match;
+        mismatch = None;
+      }
+    end

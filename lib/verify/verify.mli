@@ -1,0 +1,128 @@
+(** Static verification of mined PSM artifacts over the atom theory.
+
+    Every check here is a {e proof}, not a replay: the {!Theory} decision
+    procedure is exact on the atom fragment, so a clean report means the
+    property holds for {e all} input valuations — including ones the
+    training traces never exercised — and every refutation carries a
+    concrete witness valuation an IP workload can replay.
+
+    The four checks mirror the paper's structural invariants:
+
+    - {b feasibility} — every interned proposition (complete truth row,
+      Sec. III-A) admits at least one input valuation, and every
+      transition's guard can actually start the destination's assertion;
+    - {b disjointness} — distinct propositions are pairwise mutually
+      exclusive ("exactly one proposition per instant", Def. 2), and the
+      guards leaving each state are pairwise non-co-satisfiable
+      (semantic guard determinism — strictly stronger than comparing
+      observed truth rows bitwise);
+    - {b coverage} — valuations no proposition covers are statically
+      predicted resync regions (paper Sec. V); reported with witnesses;
+    - {b vacuity} — degenerate assertion patterns, references to
+      unsatisfiable propositions, [Alt] branches subsumed by a sibling,
+      and [Seq] steps that cannot chain. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Model
+  | Prop of int  (** Interned proposition id. *)
+  | State of int
+  | Transition of { src : int; guard : int; dst : int }
+
+type finding = {
+  check : string;  (** Rule name, e.g. ["static-disjointness"]. *)
+  severity : severity;
+  location : location;
+  message : string;
+  witness : Psm_bits.Bits.t array option;
+      (** Concrete input valuation demonstrating the finding (one value
+          per interface signal), when the refutation has a model. *)
+}
+
+type stats = {
+  propositions : int;
+  atoms : int;
+  infeasible_props : int;
+  disjoint_pairs_proved : int;
+      (** Proposition pairs proved mutually exclusive. *)
+  guard_pairs_proved : int;
+      (** Same-state guard pairs proved non-co-satisfiable. *)
+  transitions_checked : int;
+  coverage_gaps : int;
+  coverage_complete : bool;
+      (** [false] when the gap search hit its node budget or gap limit
+          before exhausting the space. *)
+}
+
+type report = {
+  interface : Psm_trace.Interface.t;
+  findings : finding list;
+  stats : stats;
+}
+
+val severity_to_string : severity -> string
+
+(** {1 Checks}
+
+    Each check is total: a vocabulary whose atoms are ill-formed for the
+    interface yields a single [Error] finding instead of raising. *)
+
+val feasibility : Psm_core.Psm.t -> finding list
+val disjointness : Psm_core.Psm.t -> finding list
+
+val coverage : ?budget:int -> ?max_gaps:int -> Psm_core.Psm.t -> finding list
+(** Searches the truth-assignment trie for satisfiable cubes no interned
+    proposition covers. [budget] (default 4096) bounds trie nodes
+    visited, [max_gaps] (default 4) bounds reported gaps. *)
+
+val vacuity : Psm_core.Psm.t -> finding list
+
+val run : ?coverage_budget:int -> ?max_gaps:int -> Psm_core.Psm.t -> report
+(** All four checks over one shared feasibility pass. *)
+
+(** {1 Witness export} *)
+
+val witnesses : report -> Psm_bits.Bits.t array list
+(** Every witness valuation in the report, in finding order — the hook
+    {!Psm_ips.Workloads.of_witnesses} replays. *)
+
+val bindings :
+  Psm_trace.Interface.t -> Psm_bits.Bits.t array -> (string * string) list
+(** Signal-name/value rendering of a witness, e.g.
+    [("we", "1"); ("addr", "0x7")]. *)
+
+val pp_witness :
+  Psm_trace.Interface.t -> Format.formatter -> Psm_bits.Bits.t array -> unit
+
+(** {1 Rendering} *)
+
+val errors : report -> finding list
+val text : report -> string
+val json : report -> string
+
+(** {1 Semantic model diff} *)
+
+type equiv_report = {
+  equivalent : bool;
+  blocks : (int list * int list) list;
+      (** Bisimulation classes as (left state ids, right state ids). *)
+  only_left : int list;  (** Left states no right state simulates. *)
+  only_right : int list;
+  initial_match : bool;
+      (** Initial-state multisets fall in matching classes. *)
+  mismatch : string option;
+      (** Interface/vocabulary-level incompatibility, when the machines
+          cannot even be compared state-wise. *)
+}
+
+val equiv : ?epsilon:float -> Psm_core.Psm.t -> Psm_core.Psm.t -> equiv_report
+(** Power-label-aware partition-refinement bisimulation. States start
+    partitioned by power output (labels within [epsilon], default 1e-9,
+    coincide); blocks split until every pair of states in a block agrees,
+    per guard proposition (matched semantically across the two
+    vocabularies via mutual theory implication when the vocabularies
+    differ), on the block of the destination. [equivalent] holds when
+    every class has members on both sides and the initial multisets
+    match — a semantic statement, indifferent to state numbering and
+    merge history. *)

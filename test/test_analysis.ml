@@ -269,7 +269,9 @@ let test_registry_lists_builtins () =
   List.iter
     (fun expected -> check_bool ("registry has " ^ expected) true (List.mem expected names))
     [ "determinism"; "reachability"; "stall"; "attr-sanity"; "conservation";
-      "hmm-consistency"; "hmm-stochastic"; "hmm-emission" ]
+      "hmm-consistency"; "hmm-stochastic"; "hmm-emission";
+      "static-feasibility"; "static-disjointness"; "static-coverage";
+      "static-vacuity" ]
 
 (* ---------- the parallel analyzer is deterministic ---------- *)
 

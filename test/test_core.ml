@@ -661,8 +661,109 @@ let arb_prop_sequence =
       list_size (int_range 2 80)
         (map (fun v -> v mod 6) (int_bound 5)))
 
+(* Random assertion trees exercising the smart-constructor invariants:
+   leaves over a small prop universe, Seq/Alt built through the raw
+   constructors so [seq]/[alt] have real flattening work to do. *)
+let gen_assertion =
+  QCheck.Gen.(
+    let leaf =
+      map2
+        (fun next (p, q) ->
+          if next then Assertion.Next (p, q) else Assertion.Until (p, q))
+        bool
+        (pair (int_bound 4) (int_bound 4))
+    in
+    fix
+      (fun self n ->
+        if n = 0 then leaf
+        else
+          frequency
+            [ (2, leaf);
+              (1, map Assertion.seq (list_size (int_range 1 3) (self (n - 1))));
+              (1, map Assertion.alt (list_size (int_range 1 3) (self (n - 1)))) ])
+      2)
+
+let arb_assertion_list =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 1 4) gen_assertion)
+    ~print:(fun xs ->
+      String.concat "; " (List.map (Assertion.to_string (Printf.sprintf "p%d")) xs))
+
+let rec no_nested_seq = function
+  | Assertion.Seq xs ->
+      List.for_all (function Assertion.Seq _ -> false | x -> no_nested_seq x) xs
+  | Assertion.Alt xs -> List.for_all no_nested_seq xs
+  | Assertion.Until _ | Assertion.Next _ -> true
+
+let rec no_nested_alt = function
+  | Assertion.Alt xs ->
+      List.for_all (function Assertion.Alt _ -> false | x -> no_nested_alt x) xs
+  | Assertion.Seq xs -> List.for_all no_nested_alt xs
+  | Assertion.Until _ | Assertion.Next _ -> true
+
+let test_assertion_nested_entry_exit () =
+  (* Seq of Alts: entry comes from every branch of the FIRST element,
+     exit from every branch of the LAST. *)
+  let a =
+    Assertion.seq
+      [ Assertion.alt [ Assertion.Until (0, 1); Assertion.Next (2, 3) ];
+        Assertion.Until (1, 2);
+        Assertion.alt [ Assertion.Until (4, 5); Assertion.Next (6, 7) ] ]
+  in
+  Alcotest.(check (list int)) "entries from the first Alt" [ 0; 2 ]
+    (Assertion.entry_props a);
+  Alcotest.(check (list int)) "exits from the last Alt" [ 5; 7 ]
+    (Assertion.exit_props a);
+  (* An Alt of Seqs: union over branches at both ends. *)
+  let b =
+    Assertion.alt
+      [ Assertion.seq [ Assertion.Next (0, 1); Assertion.Until (1, 2) ];
+        Assertion.Until (3, 4) ]
+  in
+  Alcotest.(check (list int)) "alt entries union" [ 0; 3 ] (Assertion.entry_props b);
+  Alcotest.(check (list int)) "alt exits union" [ 2; 4 ] (Assertion.exit_props b);
+  List.iter
+    (fun build ->
+      Alcotest.check_raises "empty list rejected"
+        (Invalid_argument
+           (match build with
+           | `Seq -> "Assertion.seq: empty sequence"
+           | `Alt -> "Assertion.alt: empty alternative"))
+        (fun () ->
+          ignore (match build with `Seq -> Assertion.seq [] | `Alt -> Assertion.alt [])))
+    [ `Seq; `Alt ]
+
 let properties =
-  [ prop "generator intervals tile any trace" arb_prop_sequence (fun values ->
+  [ prop "seq flattens and passes singletons through" arb_assertion_list
+      (fun parts ->
+        let built = Assertion.seq parts in
+        no_nested_seq built
+        &&
+        match parts with
+        | [ single ] -> Assertion.equal built single
+        | _ -> (
+            (* Flattening preserves the leaf-level sequential order. *)
+            let rec seq_leaves a =
+              match a with Assertion.Seq xs -> List.concat_map seq_leaves xs | x -> [ x ]
+            in
+            List.concat_map seq_leaves parts = seq_leaves built
+            &&
+            match built with
+            | Assertion.Seq xs -> List.length xs >= 2
+            | _ -> List.length (List.concat_map seq_leaves parts) = 1));
+    prop "alt flattens, dedups and sorts" arb_assertion_list (fun parts ->
+        let built = Assertion.alt parts in
+        no_nested_alt built
+        && Assertion.equal built (Assertion.alt (parts @ parts))
+        && (match built with
+           | Assertion.Alt xs ->
+               List.sort_uniq Assertion.compare xs = xs && List.length xs >= 2
+           | _ -> true)
+        &&
+        match parts with
+        | [ single ] -> Assertion.equal built single
+        | _ -> true);
+    prop "generator intervals tile any trace" arb_prop_sequence (fun values ->
         QCheck.assume (values <> []);
         let powers = List.map (fun v -> float_of_int v +. 1.) values in
         let _, _, gamma, delta = world values powers in
@@ -726,6 +827,8 @@ let suite =
   ( "core",
     [ Alcotest.test_case "assertion constructors" `Quick test_assertion_smart_constructors;
       Alcotest.test_case "assertion entry/exit" `Quick test_assertion_entry_exit;
+      Alcotest.test_case "assertion nested entry/exit" `Quick
+        test_assertion_nested_entry_exit;
       Alcotest.test_case "assertion props/pp" `Quick test_assertion_props_and_pp;
       Alcotest.test_case "assertion compare" `Quick test_assertion_compare_total;
       Alcotest.test_case "attr of interval" `Quick test_attr_of_interval;

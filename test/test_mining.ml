@@ -380,9 +380,76 @@ let properties =
           Prop_trace.prop_ids g1 = Prop_trace.prop_ids g2
         end) ]
 
+(* ---------- negate and literals_of_key ---------- *)
+
+let test_atomic_negate () =
+  (* Over every sample, exactly one of [t] and the atoms of [negate t]
+     holds (trichotomy), for both const and var–var operands. *)
+  let samples =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun b ->
+            [| Bits.of_bool true; Bits.of_bool false;
+               Bits.of_int ~width:3 a; Bits.of_int ~width:3 b |])
+          [ 0; 1; 3; 7 ])
+      [ 0; 2; 3; 5 ]
+  in
+  let atoms =
+    [ Atomic.eq_const 2 (Bits.of_int ~width:3 3);
+      { Atomic.lhs = 2; cmp = Atomic.Lt; rhs = Atomic.Const (Bits.of_int ~width:3 4) };
+      { Atomic.lhs = 2; cmp = Atomic.Gt; rhs = Atomic.Const (Bits.of_int ~width:3 4) };
+      Atomic.compare_signals Atomic.Eq 2 3;
+      Atomic.compare_signals Atomic.Lt 2 3;
+      Atomic.compare_signals Atomic.Gt 2 3 ]
+  in
+  List.iter
+    (fun t ->
+      let negs = Atomic.negate t in
+      check_int "negation is a two-atom disjunction" 2 (List.length negs);
+      List.iter
+        (fun s ->
+          let holds = List.filter (fun a -> Atomic.eval a s) (t :: negs) in
+          check_int "exactly one of t and its negation atoms holds" 1
+            (List.length holds))
+        samples)
+    atoms
+
+let test_literals_of_key () =
+  let iface = fig3_interface () in
+  let voc =
+    Vocabulary.create iface
+      [ Atomic.eq_const 0 (Bits.of_bool true);
+        Atomic.eq_const 2 (Bits.of_int ~width:3 3);
+        Atomic.compare_signals Atomic.Gt 2 3 ]
+  in
+  let row = [| true; false; true |] in
+  let literals = Vocabulary.literals_of_key voc (Vocabulary.row_key row) in
+  check_int "one literal per atom" (Vocabulary.size voc) (List.length literals);
+  List.iteri
+    (fun i (atom, polarity) ->
+      check_bool "atom order matches the vocabulary" true
+        (Atomic.equal atom (Vocabulary.atom voc i));
+      check_bool "polarity matches the row" true (polarity = row.(i)))
+    literals;
+  (* A sample consistent with the row satisfies exactly the literals. *)
+  let sample =
+    [| Bits.of_bool true; Bits.of_bool false;
+       Bits.of_int ~width:3 5; Bits.of_int ~width:3 1 |]
+  in
+  check_bool "row is the truth assignment of its literals" true
+    (List.for_all (fun (a, pol) -> Atomic.eval a sample = pol) literals);
+  check_bool "wrong key size rejected" true
+    (try
+       ignore (Vocabulary.literals_of_key voc "too long for this vocabulary");
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
   ( "mining",
     [ Alcotest.test_case "atomic const eval" `Quick test_atomic_eval_const;
+      Alcotest.test_case "atomic negate" `Quick test_atomic_negate;
+      Alcotest.test_case "literals of key" `Quick test_literals_of_key;
       Alcotest.test_case "atomic pair eval" `Quick test_atomic_eval_pairs;
       Alcotest.test_case "atomic self-compare" `Quick test_atomic_self_compare_rejected;
       Alcotest.test_case "atomic printing" `Quick test_atomic_pp;

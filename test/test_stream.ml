@@ -109,7 +109,14 @@ let check_equiv name (batch : Flow.trained) (sr : Stream.result) =
       check_bool (name ^ " report upgraded") a.Optimize.upgraded b.Optimize.upgraded;
       close (name ^ " report sigma") a.Optimize.relative_sigma b.Optimize.relative_sigma;
       close (name ^ " report r") a.Optimize.correlation b.Optimize.correlation)
-    batch.Flow.optimize_reports sr.Stream.optimize_reports
+    batch.Flow.optimize_reports sr.Stream.optimize_reports;
+  (* Beyond structural identity: the two models are power-label-aware
+     bisimilar, i.e. semantically indistinguishable (Verify.equiv). *)
+  let er = Psm_verify.Verify.equiv ~epsilon:1e-6 bp sp in
+  (match er.Psm_verify.Verify.mismatch with
+  | None -> ()
+  | Some m -> Alcotest.failf "%s bisimulation: %s" name m);
+  check_bool (name ^ " bisimilar") true er.Psm_verify.Verify.equivalent
 
 let capture_suite ?(parts = 3) ?(total_length = 4500) name make =
   let ip = make () in
