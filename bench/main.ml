@@ -946,6 +946,321 @@ let gate_stream_heap ~stream =
       Printf.eprintf "FAIL: --gate requires the stream stage\n";
       exit 1
 
+(* ---------- Serve: concurrent sessions, batched sparse sweeps ---------- *)
+
+let serve_metrics : (string * float) list ref = ref []
+
+module Serve_engine = Psm_serve.Engine
+
+(* Thousands of in-process estimation sessions against the serve engine:
+   the batched scheduler (sharded sparse sweeps per model x mode group
+   per tick) against the per-session reference loop on identical inputs.
+   Two phases. The timed phase runs 1024 filter sessions over a stress
+   model trained from a synthetic power-mode VCD — wide enough (100+ HMM
+   states) that the forward kernel, not session bookkeeping, is what the
+   clock sees; observations are pre-queued so the measured region is
+   exactly ticks. The identity phase replays real IP models in both modes
+   and demands bit-identical output three ways — batched, loop, and
+   offline single-trace inference. *)
+let run_serve () =
+  section "Serve: concurrent sessions, batched sparse sweeps";
+  let sid s = Printf.sprintf "s%04d" s in
+  let mk_plan ~rng ~nprops ~cycles =
+    Array.init cycles (fun _ ->
+        if nprops = 0 || Random.State.int rng 8 = 0 then None
+        else Some (Random.State.int rng nprops))
+  in
+  (* Offline reference for one session's trace, used by both phases. *)
+  let offline_expected (model : Psm_flow.Persist.model) mode obs =
+    let hmm = model.Psm_flow.Persist.hmm in
+    match mode with
+    | `Filter ->
+        let filt = Psm_hmm.Filtering.create hmm in
+        let rows = Psm_hmm.Filtering.map_states filt obs in
+        let posts = Psm_hmm.Filtering.posteriors filt obs in
+        let outputs =
+          Array.init (Array.length posts.(0)) (fun row ->
+              (Psm.state model.Psm_flow.Persist.psm
+                 (Psm_hmm.Hmm.state_of_row hmm row))
+                .Psm.output)
+        in
+        Array.init (Array.length obs) (fun t ->
+            let acc = ref 0. in
+            Array.iteri
+              (fun row p ->
+                if p > 0. then
+                  acc := !acc +. (p *. Psm.eval_output outputs.(row) ~hamming:0.))
+              posts.(t);
+            (!acc, Psm_hmm.Hmm.state_of_row hmm rows.(t)))
+    | `Sim ->
+        let stepper = Psm_hmm.Multi_sim.Stepper.create (Psm_hmm.Hmm.copy hmm) in
+        Array.map
+          (fun o ->
+            Psm_hmm.Multi_sim.Stepper.step_classified stepper ~hamming:0. o)
+          obs
+  in
+  let check_pair ~what s t (pa, sa) (pb, sb) =
+    if sa <> sb || Float.compare pa pb <> 0 then begin
+      Printf.eprintf
+        "FAIL: serve %s divergence at session %d cycle %d (%.17g/s%d vs \
+         %.17g/s%d)\n"
+        what s t pa sa pb sb;
+      exit 1
+    end
+  in
+  (* ----- timed phase: the stress model ----- *)
+  (* A synthetic IP with 160 power behaviours selected by an 8-bit mode
+     register, 48-cycle dwell and exponentially spread power levels —
+     mined into a PSM/HMM of 100+ states, the scale where batching the
+     forward sweeps is worth a daemon. *)
+  let stress_model () =
+    let open Psm_bits in
+    let iface =
+      Psm_trace.Interface.create
+        [ Psm_trace.Signal.input "mode" 8;
+          Psm_trace.Signal.input "req" 1;
+          Psm_trace.Signal.output "busy" 1 ]
+    in
+    let nbehaviors = 160 and dwell = 48 in
+    let len = nbehaviors * dwell * 4 in
+    let samples = Array.make len [||] in
+    let powers = Array.make len 0. in
+    for i = 0 to len - 1 do
+      let b = i / dwell mod nbehaviors in
+      let req = b land 1 in
+      let busy = if b mod 3 = 0 then 1 else req in
+      samples.(i) <-
+        [| Bits.of_int ~width:8 b;
+           Bits.of_int ~width:1 req;
+           Bits.of_int ~width:1 busy |];
+      powers.(i) <- (1.18 ** float_of_int b) *. (2. +. (0.3 *. float_of_int busy))
+    done;
+    let trace = Psm_trace.Functional_trace.of_samples iface samples in
+    let path = Filename.temp_file "psm-serve-bench" ".vcd" in
+    Psm_trace.Vcd.write_file
+      ~power:(Psm_trace.Power_trace.of_array powers)
+      path trace;
+    let trained, _ = Flow.train_on_vcd_files ~period:1 [ path ] in
+    Sys.remove path;
+    { Psm_flow.Persist.table = trained.Flow.table;
+      psm = trained.Flow.optimized;
+      hmm = trained.Flow.hmm }
+  in
+  let stress = stress_model () in
+  let n_stress = 1024 and stress_cycles = 200 in
+  let rng = Random.State.make [| 0x5e7e; 9 |] in
+  let stress_nprops = Table.prop_count stress.Psm_flow.Persist.table in
+  let stress_plan =
+    Array.init n_stress (fun _ ->
+        mk_plan ~rng ~nprops:stress_nprops ~cycles:stress_cycles)
+  in
+  let drive_stress ~batch ~ticks =
+    let engine =
+      Serve_engine.create ~idle_timeout:0. ~batch [ ("STRESS", stress) ]
+    in
+    Array.iteri
+      (fun s _ ->
+        match
+          Serve_engine.open_session engine ~id:(sid s) ~model:"STRESS"
+            ~mode:`Filter
+        with
+        | Ok () -> ()
+        | Error e ->
+            Printf.eprintf "FAIL: serve open %s: %s\n" (sid s) e;
+            exit 1)
+      stress_plan;
+    (* Pre-queue every observation so the timed region is ticks alone. *)
+    Array.iteri
+      (fun s obs ->
+        match
+          Serve_engine.submit engine ~id:(sid s)
+            (Array.map (fun o -> (o, 0.)) obs)
+        with
+        | Ok n when n = stress_cycles -> ()
+        | Ok n ->
+            Printf.eprintf "FAIL: serve submit enqueued %d cycles\n" n;
+            exit 1
+        | Error e ->
+            Printf.eprintf "FAIL: serve submit %s: %s\n" (sid s) e;
+            exit 1)
+      stress_plan;
+    let t0 = Unix.gettimeofday () in
+    for t = 0 to stress_cycles - 1 do
+      let tick0 = Unix.gettimeofday () in
+      let advanced = Serve_engine.tick engine in
+      (match ticks with
+      | Some a -> a.(t) <- Unix.gettimeofday () -. tick0
+      | None -> ());
+      if advanced <> n_stress then begin
+        Printf.eprintf "FAIL: serve tick advanced %d of %d sessions\n" advanced
+          n_stress;
+        exit 1
+      end
+    done;
+    let seconds = Unix.gettimeofday () -. t0 in
+    let results =
+      Array.init n_stress (fun s ->
+          match
+            Serve_engine.take_results engine ~id:(sid s) ~count:stress_cycles
+          with
+          | Ok r when Array.length r = stress_cycles -> r
+          | Ok r ->
+              Printf.eprintf "FAIL: serve session %s served %d of %d cycles\n"
+                (sid s) (Array.length r) stress_cycles;
+              exit 1
+          | Error e ->
+              Printf.eprintf "FAIL: serve results %s: %s\n" (sid s) e;
+              exit 1)
+    in
+    (results, seconds)
+  in
+  let tick_lat = Array.make stress_cycles 0. in
+  (* Best of two runs per scheduler: one-shot wall times at this scale
+     carry enough scheduler noise to wobble the gate either way. *)
+  let _, batch_s0 = drive_stress ~batch:true ~ticks:None in
+  let batched, batch_s1 = drive_stress ~batch:true ~ticks:(Some tick_lat) in
+  let batch_s = Float.min batch_s0 batch_s1 in
+  let _, loop_s0 = drive_stress ~batch:false ~ticks:None in
+  let looped, loop_s1 = drive_stress ~batch:false ~ticks:None in
+  let loop_s = Float.min loop_s0 loop_s1 in
+  (* Bit-identity 1: the batched sweep against the per-session loop,
+     every session, every cycle. *)
+  for s = 0 to n_stress - 1 do
+    for t = 0 to stress_cycles - 1 do
+      check_pair ~what:"batched/loop" s t batched.(s).(t) looped.(s).(t)
+    done
+  done;
+  (* Bit-identity 2: served output against offline single-trace
+     inference on a sample of stress sessions. *)
+  List.iter
+    (fun s ->
+      let expected = offline_expected stress `Filter stress_plan.(s) in
+      for t = 0 to stress_cycles - 1 do
+        check_pair ~what:"served/offline" s t batched.(s).(t) expected.(t)
+      done)
+    [ 0; 1; 511; 1023 ];
+  (* ----- identity phase: real IP models, both modes ----- *)
+  let model_of name ip =
+    let suite = Workloads.suite ~total_length:8000 ~long:false name in
+    let trained = Flow.train_on_ip ip suite in
+    ( name,
+      { Psm_flow.Persist.table = trained.Flow.table;
+        psm = trained.Flow.optimized;
+        hmm = trained.Flow.hmm } )
+  in
+  let models =
+    [ model_of "RAM" (Psm_ips.Ram.create ());
+      model_of "FIFO" (Psm_ips.Fifo.create ()) ]
+  in
+  let n_id_filter = 64 and n_id_sim = 64 in
+  let n_id = n_id_filter + n_id_sim in
+  let id_cycles = 200 in
+  let id_plan =
+    Array.init n_id (fun s ->
+        let name, model = List.nth models (s mod 2) in
+        let nprops = Table.prop_count model.Psm_flow.Persist.table in
+        let mode = if s < n_id_filter then `Filter else `Sim in
+        (name, mode, mk_plan ~rng ~nprops ~cycles:id_cycles))
+  in
+  let drive_id ~batch =
+    let engine = Serve_engine.create ~idle_timeout:0. ~batch models in
+    Array.iteri
+      (fun s (model, mode, _) ->
+        match Serve_engine.open_session engine ~id:(sid s) ~model ~mode with
+        | Ok () -> ()
+        | Error e ->
+            Printf.eprintf "FAIL: serve open %s: %s\n" (sid s) e;
+            exit 1)
+      id_plan;
+    (* Interleaved feeding: one observation per session per drain, the
+       wave pattern the daemon's socket loop produces. *)
+    for t = 0 to id_cycles - 1 do
+      Array.iteri
+        (fun s (_, _, obs) ->
+          match Serve_engine.submit engine ~id:(sid s) [| (obs.(t), 0.) |] with
+          | Ok 1 -> ()
+          | Ok _ | Error _ ->
+              Printf.eprintf "FAIL: serve submit %s\n" (sid s);
+              exit 1)
+        id_plan;
+      ignore (Serve_engine.drain engine)
+    done;
+    Array.init n_id (fun s ->
+        match Serve_engine.take_results engine ~id:(sid s) ~count:id_cycles with
+        | Ok r when Array.length r = id_cycles -> r
+        | _ ->
+            Printf.eprintf "FAIL: serve results %s\n" (sid s);
+            exit 1)
+  in
+  let id_batched = drive_id ~batch:true in
+  let id_looped = drive_id ~batch:false in
+  for s = 0 to n_id - 1 do
+    let name, mode, obs = id_plan.(s) in
+    let expected = offline_expected (List.assoc name models) mode obs in
+    for t = 0 to id_cycles - 1 do
+      check_pair ~what:"batched/loop" s t id_batched.(s).(t) id_looped.(s).(t);
+      check_pair ~what:"served/offline" s t id_batched.(s).(t) expected.(t)
+    done
+  done;
+  let lat = Array.copy tick_lat in
+  Array.sort Float.compare lat;
+  let pct q =
+    lat.(min (stress_cycles - 1) (int_of_float (q *. float_of_int stress_cycles)))
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let rate s = float_of_int (n_stress * stress_cycles) /. s in
+  let speedup = if batch_s > 0. then loop_s /. batch_s else 0. in
+  serve_metrics :=
+    [ ("sessions", float_of_int n_stress);
+      ("cycles_per_session", float_of_int stress_cycles);
+      ("stress_hmm_states",
+       float_of_int (Psm_hmm.Hmm.state_count stress.Psm_flow.Persist.hmm));
+      ("batched_seconds", batch_s);
+      ("batched_session_cycles_per_s", rate batch_s);
+      ("loop_seconds", loop_s);
+      ("loop_session_cycles_per_s", rate loop_s);
+      ("batched_speedup_vs_loop", speedup);
+      ("tick_p50_ms", p50 *. 1e3);
+      ("tick_p99_ms", p99 *. 1e3);
+      ("identity_sessions", float_of_int n_id) ];
+  print_string
+    (Report.render_table
+       ~header:[ "scheduler"; "seconds"; "session-cycles/s"; "speedup" ]
+       [ [ "batched sweeps"; Printf.sprintf "%.3f" batch_s;
+           Printf.sprintf "%.0f" (rate batch_s);
+           Printf.sprintf "%.2fx" speedup ];
+         [ "per-session loop"; Printf.sprintf "%.3f" loop_s;
+           Printf.sprintf "%.0f" (rate loop_s); "1.00x" ] ]);
+  Printf.printf
+    "%d filter sessions on the %d-state stress model, %d cycles each;\n\
+     per-tick latency p50 %.3f ms, p99 %.3f ms.\n\
+     Identity: %d sessions (%d filter + %d sim over %d IP models) —\n\
+     output bit-identical (batched = loop = offline single-trace \
+     inference).\n"
+    n_stress
+    (Psm_hmm.Hmm.state_count stress.Psm_flow.Persist.hmm)
+    stress_cycles (p50 *. 1e3) (p99 *. 1e3) n_id n_id_filter n_id_sim
+    (List.length models)
+
+(* The acceptance gate: with 1000+ concurrent sessions the batched
+   scheduler must at least double the per-session loop's throughput (the
+   bit-identity self-checks above already exited 1 on any divergence). *)
+let gate_serve ~serve =
+  match List.assoc_opt "batched_speedup_vs_loop" serve with
+  | Some speedup ->
+      Printf.printf "[gate] serve batched speedup vs loop: %.2fx (floor 2.00x)\n"
+        speedup;
+      if speedup < 2.0 then begin
+        Printf.eprintf
+          "FAIL: serve batched sweeps only %.2fx the per-session loop \
+           (gate 2.00x)\n"
+          speedup;
+        exit 1
+      end
+  | None ->
+      Printf.eprintf "FAIL: --gate requires the serve stage\n";
+      exit 1
+
 (* ---------- Micro-benchmarks ---------- *)
 
 let micro_tests () =
@@ -1075,6 +1390,7 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   let evaluate = ("evaluate", run_evaluate ~eval_length) in
   let profile = ("profile", run_profile) in
   let stream = ("stream", run_stream) in
+  let serve = ("serve", run_serve) in
   let micro = ("micro", run_micro) in
   match what with
   | "table1" -> Some [ table1 ]
@@ -1088,11 +1404,12 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   | "evaluate" -> Some [ evaluate ]
   | "profile" -> Some [ profile ]
   | "stream" -> Some [ stream ]
+  | "serve" -> Some [ serve ]
   | "micro" -> Some [ micro ]
   | "all" ->
       Some
         [ table1; table2; table3; figs; ablations; ingest; analyze; verify;
-          evaluate; profile; stream; micro ]
+          evaluate; profile; stream; serve; micro ]
   | _ -> None
 
 (* Two independent wall-clock measurements never agree to the printed
@@ -1258,7 +1575,8 @@ let () =
       (fun (_, entries) -> entries <> [])
       [ ("ingest", !ingest_metrics); ("analyze", !analyze_metrics);
         ("verify", !verify_metrics); ("evaluate", !evaluate_metrics);
-        ("profile", !profile_metrics); ("stream", !stream_metrics) ]
+        ("profile", !profile_metrics); ("stream", !stream_metrics);
+        ("serve", !serve_metrics) ]
   in
   check_distinct_measurements metrics;
   let baseline =
@@ -1286,11 +1604,14 @@ let () =
     (* Each gate applies only when its stage ran; --gate over a stage set
        with nothing to check is a configuration error, not a pass. *)
     let ran name = List.mem_assoc name timings in
-    if not (ran "table2" || ran "evaluate" || ran "stream" || ran "verify")
+    if
+      not
+        (ran "table2" || ran "evaluate" || ran "stream" || ran "verify"
+        || ran "serve")
     then begin
       Printf.eprintf
         "FAIL: --gate requires at least one gated stage \
-         (table2|evaluate|stream|verify)\n";
+         (table2|evaluate|stream|verify|serve)\n";
       exit 1
     end;
     if ran "table2" then gate_table2_speedup ~timings ~baseline;
@@ -1302,6 +1623,9 @@ let () =
         ~evaluate:(Option.value ~default:[] (List.assoc_opt "evaluate" metrics));
     if ran "stream" then
       gate_stream_heap
-        ~stream:(Option.value ~default:[] (List.assoc_opt "stream" metrics))
+        ~stream:(Option.value ~default:[] (List.assoc_opt "stream" metrics));
+    if ran "serve" then
+      gate_serve
+        ~serve:(Option.value ~default:[] (List.assoc_opt "serve" metrics))
   end;
   Printf.printf "\n[bench completed in %.1f s]\n" (Unix.gettimeofday () -. t0)

@@ -619,6 +619,266 @@ let netlist_cmd =
     (Cmd.info "netlist" ~doc:"Export or report a gate-level netlist")
     Term.(const netlist_cmd_run $ ip_name_arg $ verilog $ stats)
 
+(* ---- serve: the multi-session estimation daemon ---- *)
+
+let load_model_or_exit path =
+  try Psm_flow.Persist.load_file path
+  with Psm_flow.Persist.Parse_error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 2
+
+let serve_run () model_specs socket port idle_timeout no_batch =
+  let parse_spec spec =
+    match String.index_opt spec '=' with
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+    | None -> (Filename.remove_extension (Filename.basename spec), spec)
+  in
+  let models =
+    List.map
+      (fun spec ->
+        let name, path = parse_spec spec in
+        (name, load_model_or_exit path))
+      model_specs
+  in
+  let listen =
+    match (socket, port) with
+    | Some _, Some _ ->
+        Printf.eprintf "serve: --socket and --port are mutually exclusive\n";
+        exit 2
+    | Some path, None -> `Unix path
+    | None, Some p -> `Tcp p
+    | None, None -> `Tcp 0
+  in
+  let server =
+    try
+      Psm_serve.Server.create ~idle_timeout ~batch:(not no_batch) ~listen models
+    with
+    | Invalid_argument msg | Failure msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        exit 2
+    | Unix.Unix_error (e, fn, arg) ->
+        Printf.eprintf "serve: %s: %s %s\n" fn (Unix.error_message e) arg;
+        exit 2
+  in
+  (match listen with
+  | `Unix path ->
+      Printf.printf "psmgen serve: listening on %s (%d models)\n%!" path
+        (List.length models)
+  | `Tcp _ ->
+      Printf.printf "psmgen serve: listening on 127.0.0.1:%d (%d models)\n%!"
+        (Psm_serve.Server.port server)
+        (List.length models));
+  Psm_serve.Server.run server
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+
+let port_arg ~doc =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let models =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"MODEL"
+             ~doc:"Persisted models to serve, as NAME=PATH or PATH (the name \
+                   defaults to the file's basename without extension).")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 300.
+         & info [ "idle-timeout" ] ~docv:"SECS"
+             ~doc:"Evict sessions idle for longer than this (0 disables).")
+  in
+  let no_batch =
+    Arg.(value & flag
+         & info [ "no-batch" ]
+             ~doc:"Advance sessions with the per-session reference loop \
+                   instead of batched sparse sweeps (bit-identical output; \
+                   for debugging and benchmarking only).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve persisted models to concurrent estimation sessions over a \
+             line-delimited JSON protocol (Unix or loopback TCP socket); \
+             co-resident sessions on the same model advance in batched \
+             sparse forward sweeps")
+    Term.(const serve_run $ logs_arg $ models $ socket_arg
+          $ port_arg
+              ~doc:"Listen on loopback TCP (0 or omitted picks an ephemeral \
+                    port, printed at startup)."
+          $ idle_timeout $ no_batch)
+
+(* ---- serve-drive: a protocol client for CI and smoke tests ---- *)
+
+module Sjson = Psm_serve.Json
+
+let serve_drive_run () socket port sessions cycles mode shutdown seed =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "serve-drive: %s\n" msg;
+        exit 1)
+      fmt
+  in
+  let fd =
+    try
+      match (socket, port) with
+      | Some path, None ->
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+      | None, Some p ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+          fd
+      | _ ->
+          Printf.eprintf "serve-drive: exactly one of --socket/--port is required\n";
+          exit 2
+    with Unix.Unix_error (e, fn, arg) ->
+      fail "connect: %s: %s %s" fn (Unix.error_message e) arg
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rpc line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    match input_line ic with
+    | line -> line
+    | exception End_of_file -> fail "server closed the connection"
+  in
+  let expect_ok line =
+    match Sjson.of_string line with
+    | Error e -> fail "bad response JSON (%s): %s" e line
+    | Ok json -> (
+        match Option.bind (Sjson.member "ok" json) Sjson.to_bool with
+        | Some true -> json
+        | _ -> fail "server error: %s" line)
+  in
+  let hello = expect_ok (rpc {|{"op":"hello"}|}) in
+  let models =
+    match Option.bind (Sjson.member "models" hello) Sjson.to_list with
+    | None | Some [] -> fail "server advertises no models"
+    | Some models ->
+        List.map
+          (fun m ->
+            match
+              ( Option.bind (Sjson.member "name" m) Sjson.to_string_opt,
+                Option.bind (Sjson.member "props" m) Sjson.to_int )
+            with
+            | Some name, Some props -> (name, props)
+            | _ -> fail "malformed model entry in hello response")
+          models
+  in
+  let nmodels = List.length models in
+  let rng = Random.State.make [| seed |] in
+  let session_name s = Printf.sprintf "drive-%d" s in
+  for s = 0 to sessions - 1 do
+    let model, _ = List.nth models (s mod nmodels) in
+    let line =
+      Sjson.to_string
+        (Sjson.Obj
+           [ ("op", Sjson.Str "open");
+             ("session", Sjson.Str (session_name s));
+             ("model", Sjson.Str model);
+             ("mode", Sjson.Str mode) ])
+    in
+    ignore (expect_ok (rpc line))
+  done;
+  let served = ref 0 in
+  let chunk = 32 in
+  let remaining = Array.make (max 1 sessions) cycles in
+  let continue = ref (sessions > 0) in
+  while !continue do
+    continue := false;
+    for s = 0 to sessions - 1 do
+      if remaining.(s) > 0 then begin
+        let n = min chunk remaining.(s) in
+        remaining.(s) <- remaining.(s) - n;
+        if remaining.(s) > 0 then continue := true;
+        let _, props = List.nth models (s mod nmodels) in
+        let obs =
+          List.init n (fun _ ->
+              if props = 0 || Random.State.int rng 8 = 0 then Sjson.Null
+              else Sjson.Num (float_of_int (Random.State.int rng props)))
+        in
+        let line =
+          Sjson.to_string
+            (Sjson.Obj
+               [ ("op", Sjson.Str "observe");
+                 ("session", Sjson.Str (session_name s));
+                 ("props", Sjson.List obs) ])
+        in
+        let resp = expect_ok (rpc line) in
+        (match Option.bind (Sjson.member "cycles" resp) Sjson.to_int with
+        | Some c when c = n -> served := !served + c
+        | Some c -> fail "session %s: served %d cycles, expected %d" (session_name s) c n
+        | None -> fail "observe response missing \"cycles\"");
+        match
+          Option.map List.length
+            (Option.bind (Sjson.member "power" resp) Sjson.to_list)
+        with
+        | Some p when p = n -> ()
+        | _ -> fail "observe response power array mismatch"
+      end
+    done
+  done;
+  let stats = expect_ok (rpc {|{"op":"stats"}|}) in
+  let stat name =
+    match Option.bind (Sjson.member name stats) Sjson.to_int with
+    | Some v -> v
+    | None -> fail "stats response missing %S" name
+  in
+  if stat "cycles_served" < !served then
+    fail "server reports %d cycles served, client counted %d"
+      (stat "cycles_served") !served;
+  for s = 0 to sessions - 1 do
+    let line =
+      Sjson.to_string
+        (Sjson.Obj
+           [ ("op", Sjson.Str "close");
+             ("session", Sjson.Str (session_name s)) ])
+    in
+    ignore (expect_ok (rpc line))
+  done;
+  if shutdown then ignore (expect_ok (rpc {|{"op":"shutdown"}|}));
+  close_in_noerr ic;
+  Printf.printf
+    "serve-drive: %d sessions x %d cycles over %d models ok (%d cycles, %d sweeps)\n"
+    sessions cycles nmodels !served (stat "sweeps")
+
+let serve_drive_cmd =
+  let sessions =
+    Arg.(value & opt int 8
+         & info [ "sessions" ] ~docv:"N" ~doc:"Concurrent sessions to open.")
+  in
+  let cycles =
+    Arg.(value & opt int 256
+         & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to stream per session.")
+  in
+  let mode =
+    Arg.(value & opt (enum [ ("filter", "filter"); ("sim", "sim") ]) "filter"
+         & info [ "mode" ] ~docv:"MODE" ~doc:"Session mode (filter or sim).")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Send a shutdown request when done.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  Cmd.v
+    (Cmd.info "serve-drive"
+       ~doc:"Drive a running 'psmgen serve' daemon: open sessions round-robin \
+             across every advertised model, stream seeded random \
+             observations, verify every response, and exit 1 on any protocol \
+             or server error (a CI smoke client)")
+    Term.(const serve_drive_run $ logs_arg $ socket_arg
+          $ port_arg ~doc:"Connect to a loopback TCP daemon." $ sessions
+          $ cycles $ mode $ shutdown $ seed)
+
 (* ---- info ---- *)
 
 let info_all () =
@@ -639,5 +899,5 @@ let () =
   let doc = "automatic generation of power state machines (DATE 2016 reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "psmgen" ~version:"1.0.0" ~doc)
                     [ generate_cmd; evaluate_cmd; trace_cmd; train_vcd_cmd;
-                      train_stream_cmd; apply_cmd;
+                      train_stream_cmd; apply_cmd; serve_cmd; serve_drive_cmd;
                       lint_cmd; verify_cmd; diff_cmd; netlist_cmd; info_cmd ]))

@@ -1,0 +1,148 @@
+module Bits = Psm_bits.Bits
+module Interface = Psm_trace.Interface
+module Vocabulary = Psm_mining.Vocabulary
+module Table = Psm_mining.Prop_trace.Table
+module Hmm = Psm_hmm.Hmm
+module Filtering = Psm_hmm.Filtering
+module Multi_sim = Psm_hmm.Multi_sim
+
+type mode = [ `Filter | `Sim ]
+
+type backend =
+  | Sim of Multi_sim.Stepper.t
+  | Filter of Filtering.t * Filtering.Stream.state
+
+type t = {
+  model : Persist.model;
+  backend : backend;
+  input_indexes : int list;
+  mutable prev_inputs : Bits.t array option;
+      (* sample-level filter stepping tracks its own input Hamming
+         distances; the sim stepper tracks its own internally. *)
+}
+
+let input_indexes_of (model : Persist.model) =
+  let iface = Vocabulary.interface (Table.vocabulary model.Persist.table) in
+  List.map fst (Interface.inputs iface)
+
+let of_model ?filtering ~mode (model : Persist.model) =
+  let backend =
+    match mode with
+    | `Sim ->
+        (* Own transition state: this session's resynchronization bans
+           must not leak into siblings sharing the model. *)
+        Sim (Multi_sim.Stepper.create (Hmm.copy model.Persist.hmm))
+    | `Filter ->
+        let filt =
+          match filtering with
+          | Some f -> f
+          | None -> Filtering.create model.Persist.hmm
+        in
+        Filter (filt, Filtering.Stream.make filt)
+  in
+  { model; backend; input_indexes = input_indexes_of model; prev_inputs = None }
+
+let mode t = match t.backend with Sim _ -> `Sim | Filter _ -> `Filter
+let model t = t.model
+
+let filter_state t =
+  match t.backend with Sim _ -> None | Filter (f, s) -> Some (f, s)
+
+(* The per-instant result once the belief/state machine has advanced:
+   (power estimate, PSM state id; -1 = desynchronized). The filter arm is
+   shared between [step] and the engine's batched sweep so both paths do
+   the identical bookkeeping. *)
+let filter_result t filt s ~hd =
+  let row = Filtering.Stream.map_state filt s in
+  ( Filtering.Stream.power filt s ~hamming:hd,
+    Hmm.state_of_row t.model.Persist.hmm row )
+
+let step t ?(hd = 0.) obs =
+  match t.backend with
+  | Sim st -> Multi_sim.Stepper.step_classified st ~hamming:hd obs
+  | Filter (filt, s) ->
+      Filtering.Stream.step filt s obs;
+      filter_result t filt s ~hd
+
+let batched_result t ~hd =
+  match t.backend with
+  | Filter (filt, s) -> filter_result t filt s ~hd
+  | Sim _ -> invalid_arg "Estimate.batched_result: sim sessions are not batched"
+
+let step_sample t sample =
+  match t.backend with
+  | Sim st -> Multi_sim.Stepper.step st sample
+  | Filter (filt, s) ->
+      let hd =
+        match t.prev_inputs with
+        | None -> 0.
+        | Some prev ->
+            float_of_int
+              (List.fold_left
+                 (fun acc i -> acc + Bits.hamming_distance sample.(i) prev.(i))
+                 0 t.input_indexes)
+      in
+      t.prev_inputs <- Some (Array.copy sample);
+      let obs = Table.classify t.model.Persist.table sample in
+      Filtering.Stream.step filt s obs;
+      filter_result t filt s ~hd
+
+let cycles t =
+  match t.backend with
+  | Sim st -> Multi_sim.Stepper.cycles st
+  | Filter (_, s) -> Filtering.Stream.steps s
+
+let wrong_instants t =
+  match t.backend with
+  | Sim st -> Multi_sim.Stepper.wrong_instants st
+  | Filter _ -> 0
+
+let resync_events t =
+  match t.backend with
+  | Sim st -> Multi_sim.Stepper.resync_events st
+  | Filter _ -> 0
+
+let wsp t =
+  let n = cycles t in
+  if n = 0 then 0. else float_of_int (wrong_instants t) /. float_of_int n
+
+let log_likelihood t =
+  match t.backend with
+  | Sim _ -> 0.
+  | Filter (_, s) -> Filtering.Stream.log_likelihood s
+
+(* ---------- checkpoints ---------- *)
+
+type snapshot_backend =
+  | Sim_snap of Multi_sim.Stepper.snapshot
+  | Filter_snap of Filtering.Stream.state
+
+type snapshot = {
+  snap_backend : snapshot_backend;
+  snap_prev_inputs : Bits.t array option;
+}
+
+let snapshot t =
+  { snap_backend =
+      (match t.backend with
+      | Sim st -> Sim_snap (Multi_sim.Stepper.snapshot st)
+      | Filter (_, s) -> Filter_snap (Filtering.Stream.copy s));
+    snap_prev_inputs = Option.map Array.copy t.prev_inputs }
+
+let restore ?filtering (model : Persist.model) snap =
+  let backend =
+    match snap.snap_backend with
+    | Sim_snap s ->
+        Sim (Multi_sim.Stepper.restore (Hmm.copy model.Persist.hmm) s)
+    | Filter_snap s ->
+        let filt =
+          match filtering with
+          | Some f -> f
+          | None -> Filtering.create model.Persist.hmm
+        in
+        Filter (filt, Filtering.Stream.copy s)
+  in
+  { model;
+    backend;
+    input_indexes = input_indexes_of model;
+    prev_inputs = Option.map Array.copy snap.snap_prev_inputs }

@@ -1,0 +1,75 @@
+(** Session-facing online power estimation over a persisted model — the
+    unit of work a serve session wraps.
+
+    An estimate session consumes one observation per clock cycle — either
+    a classified proposition plus the input Hamming distance, or a raw
+    interface sample — and yields the per-cycle (power, PSM state id)
+    pair. Two backends implement the paper's two online views:
+
+    - [`Sim] — the assertion-cursor co-simulation ({!Psm_hmm.Multi_sim}):
+      state ids are exact PSM states, -1 while desynchronized, and the
+      WSP / resynchronization counters are live. Each session simulates
+      on its own {!Psm_hmm.Hmm.copy}, so its A bans never touch siblings.
+    - [`Filter] — the probabilistic α recursion
+      ({!Psm_hmm.Filtering.Stream}): power is the posterior-weighted
+      output mean, the state id is the marginal MAP state. Sessions can
+      share one {!Psm_hmm.Filtering.t} (pass [?filtering]), which is what
+      lets a server batch their forward steps into one kernel sweep.
+
+    Both paths are bit-identical to their offline counterparts
+    ({!Psm_hmm.Multi_sim.simulate} / {!Psm_hmm.Filtering.expected_power}
+    and [map_states]) on the same trace. *)
+
+type mode = [ `Filter | `Sim ]
+
+type t
+
+val of_model : ?filtering:Psm_hmm.Filtering.t -> mode:mode -> Persist.model -> t
+(** [?filtering] (filter mode only): share a prebuilt filtering context
+    across sessions of the same model; default builds a private one. *)
+
+val mode : t -> mode
+val model : t -> Persist.model
+
+val step : t -> ?hd:float -> int option -> float * int
+(** Consume one classified observation ([None] = unknown behaviour) with
+    input Hamming distance [hd] (default 0): returns (power estimate,
+    PSM state id; -1 = desynchronized). *)
+
+val step_sample : t -> Psm_bits.Bits.t array -> float * int
+(** Consume one raw interface sample: classification and input Hamming
+    tracking happen inside, exactly as the offline evaluators do it. *)
+
+val cycles : t -> int
+val wrong_instants : t -> int
+val resync_events : t -> int
+
+val wsp : t -> float
+(** wrong_instants / cycles (0 for filter sessions, which never
+    desynchronize). *)
+
+val log_likelihood : t -> float
+(** Cumulative observation log likelihood (filter sessions; 0 for sim). *)
+
+val filter_state : t -> (Psm_hmm.Filtering.t * Psm_hmm.Filtering.Stream.state) option
+(** Filter sessions expose their shared context and belief state so a
+    batch scheduler can sweep many sessions at once
+    ({!Psm_hmm.Filtering.Stream.step_many}); [None] for sim sessions. *)
+
+val batched_result : t -> hd:float -> float * int
+(** The per-instant result after an external batched sweep advanced this
+    session's belief — the same bookkeeping {!step} does, factored out so
+    batched and per-session paths cannot drift.
+    @raise Invalid_argument on a sim session. *)
+
+type snapshot
+(** A complete resumable session state (belief or stepper mode, cursors,
+    ban log, counters, previous inputs). No closures, no model reference
+    — it marshals; pair it with the model name to checkpoint a session. *)
+
+val snapshot : t -> snapshot
+
+val restore : ?filtering:Psm_hmm.Filtering.t -> Persist.model -> snapshot -> t
+(** A session continuing exactly where {!snapshot} was taken — stepping
+    it is bit-identical to never having stopped. [model] must be the
+    model the snapshot was taken on. *)

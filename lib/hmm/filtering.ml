@@ -8,10 +8,16 @@ type t = {
   hmm : Hmm.t;
   a_instant : float array array; (* dwell-corrected per-instant transitions *)
   a_instant_csr : Sparse.t;
+  a_instant_csc : Sparse.csc; (* gather form for the batched sweep *)
   kernel : Hmm.kernel;
   outputs : Psm.output array; (* row -> state output, resolved once *)
   alpha : float array; (* scratch: current belief *)
   scratch : float array; (* scratch: next belief accumulator *)
+  emissions : float array array;
+      (* [0] -> all-ones (unknown observation); [p + 1] -> per-row
+         emission of proposition p, floored. Same values as [emission] —
+         precomputed so the batched sweep reads a row instead of calling
+         through [Hmm.b_obs] per state per session. *)
 }
 
 let create ?(kernel = `Auto) hmm =
@@ -50,18 +56,35 @@ let create ?(kernel = `Auto) hmm =
   { hmm;
     a_instant;
     a_instant_csr;
+    a_instant_csc = Sparse.transpose a_instant_csr;
     kernel;
     outputs =
       Array.init m (fun row ->
           (Psm.state psm (Hmm.state_of_row hmm row)).Psm.output);
     alpha = Array.make m 0.;
-    scratch = Array.make m 0. }
+    scratch = Array.make m 0.;
+    emissions =
+      (let nprops = Table.prop_count (Psm.prop_table psm) in
+       Array.init (nprops + 1) (fun k ->
+           if k = 0 then Array.make m 1.
+           else
+             Array.init m (fun row ->
+                 Float.max floor_p (Hmm.b_obs hmm row (k - 1))))) }
 
 let kernel t = t.kernel
 
 let emission t row = function
   | None -> 1.
   | Some prop -> Float.max floor_p (Hmm.b_obs t.hmm row prop)
+
+(* The precomputed emission row for an observation; out-of-vocabulary
+   propositions (a hostile client can send any integer) fall back to the
+   scalar [emission], which floors them everywhere. *)
+let emission_row t = function
+  | None -> t.emissions.(0)
+  | Some p when p >= 0 && p + 1 < Array.length t.emissions -> t.emissions.(p + 1)
+  | Some _ as obs ->
+      Array.init (Array.length t.alpha) (fun row -> emission t row obs)
 
 (* The α recursion, streamed: [emit time alpha] sees each normalized
    belief in turn (the array is reused — consumers must copy what they
@@ -157,3 +180,300 @@ let expected_power t trace =
 
 (* Likelihood without materializing the O(T×m) posterior matrix. *)
 let log_likelihood t observations = forward_iter t observations ~emit:(fun _ _ -> ())
+
+(* ---------- Streaming sessions (the serve hot path) ---------- *)
+
+module Stream = struct
+  type state = {
+    alpha : float array;
+    scratch : float array;
+    mutable steps : int;
+    mutable log_lik : float;
+  }
+
+  let make t =
+    let m = Hmm.state_count t.hmm in
+    { alpha = Array.make m 0.; scratch = Array.make m 0.; steps = 0; log_lik = 0. }
+
+  let copy s = { s with alpha = Array.copy s.alpha; scratch = Array.copy s.scratch }
+  let steps s = s.steps
+  let log_likelihood s = s.log_lik
+  let belief s = s.alpha
+
+  (* Scalar step: one [forward_iter] iteration verbatim — same kernels,
+     same fold/normalize order — so a session stepped observation by
+     observation holds exactly the belief forward_iter would have emitted
+     at the same instant. This is also the per-session reference loop the
+     batched sweep is measured (and tested bit-identical) against. *)
+  let step t s obs =
+    let m = Hmm.state_count t.hmm in
+    let alpha = s.alpha and scratch = s.scratch in
+    let normalize v =
+      let total = Array.fold_left ( +. ) 0. v in
+      if total > 0. then begin
+        Array.iteri (fun i x -> v.(i) <- x /. total) v;
+        total
+      end
+      else begin
+        Array.iteri (fun i _ -> v.(i) <- 1. /. float_of_int m) v;
+        floor_p
+      end
+    in
+    if s.steps = 0 then begin
+      let pi = Hmm.pi t.hmm in
+      for j = 0 to m - 1 do
+        alpha.(j) <- pi.(j) *. emission t j obs
+      done
+    end
+    else begin
+      (match t.kernel with
+      | `Sparse ->
+          Array.fill scratch 0 m 0.;
+          Sparse.scatter_product t.a_instant_csr alpha scratch;
+          for j = 0 to m - 1 do
+            scratch.(j) <- scratch.(j) *. emission t j obs
+          done
+      | `Dense ->
+          for j = 0 to m - 1 do
+            let acc = ref 0. in
+            for i = 0 to m - 1 do
+              acc := !acc +. (alpha.(i) *. t.a_instant.(i).(j))
+            done;
+            scratch.(j) <- !acc *. emission t j obs
+          done);
+      Array.blit scratch 0 alpha 0 m
+    end;
+    s.log_lik <- s.log_lik +. log (normalize alpha);
+    s.steps <- s.steps + 1
+
+  (* One batched sweep: every session advances one observation. Per
+     session the arithmetic is [step]'s exactly — contributions reach its
+     scratch in [Sparse.scatter_product]'s ascending-(i, j) order, the
+     normalizing sum accumulates in the scalar fold's ascending-j order —
+     so the batched belief is bit-identical to stepping each session
+     alone. Only the loop structure differs: the CSR traversal is
+     amortized across all sessions (entry-outer, session-inner), the
+     emission multiply / sum / normalize are fused into two monomorphic
+     unsafe passes, and emission rows come from the precomputed table.
+     That structural difference is the serve hot path's throughput edge
+     over the per-session loop. *)
+  let step_many t states obss =
+    let n = Array.length states in
+    if Array.length obss <> n then
+      invalid_arg "Filtering.Stream.step_many: length mismatch";
+    let m = Hmm.state_count t.hmm in
+    let started = Array.make n false in
+    let any_started = ref false in
+    for s = 0 to n - 1 do
+      if states.(s).steps = 0 then step t states.(s) obss.(s)
+      else begin
+        started.(s) <- true;
+        any_started := true
+      end
+    done;
+    if !any_started then begin
+      for s = 0 to n - 1 do
+        if started.(s) then Array.fill states.(s).scratch 0 m 0.
+      done;
+      (match t.kernel with
+      | `Sparse ->
+          for i = 0 to m - 1 do
+            Sparse.iter_row t.a_instant_csr i (fun j v ->
+                for s = 0 to n - 1 do
+                  if Array.unsafe_get started s then begin
+                    let st = Array.unsafe_get states s in
+                    let ai = Array.unsafe_get st.alpha i in
+                    if ai > 0. then
+                      Array.unsafe_set st.scratch j
+                        (Array.unsafe_get st.scratch j +. (ai *. v))
+                  end
+                done)
+          done
+      | `Dense ->
+          for s = 0 to n - 1 do
+            if started.(s) then begin
+              let st = states.(s) in
+              for j = 0 to m - 1 do
+                let acc = ref 0. in
+                for i = 0 to m - 1 do
+                  acc :=
+                    !acc
+                    +. (Array.unsafe_get st.alpha i
+                       *. Array.unsafe_get (Array.unsafe_get t.a_instant i) j)
+                done;
+                Array.unsafe_set st.scratch j !acc
+              done
+            end
+          done);
+      for s = 0 to n - 1 do
+        if started.(s) then begin
+          let st = states.(s) in
+          let ev = emission_row t obss.(s) in
+          let total = ref 0. in
+          for j = 0 to m - 1 do
+            let x = Array.unsafe_get st.scratch j *. Array.unsafe_get ev j in
+            Array.unsafe_set st.alpha j x;
+            total := !total +. x
+          done;
+          let total = !total in
+          if total > 0. then begin
+            for j = 0 to m - 1 do
+              Array.unsafe_set st.alpha j (Array.unsafe_get st.alpha j /. total)
+            done;
+            st.log_lik <- st.log_lik +. log total
+          end
+          else begin
+            Array.fill st.alpha 0 m (1. /. float_of_int m);
+            st.log_lik <- st.log_lik +. log floor_p
+          end;
+          st.steps <- st.steps + 1
+        end
+      done
+    end
+
+  (* [map_state]/[power] run once per session-cycle on the serve path —
+     monomorphic loops (no closure, [eval_output] inlined by constructor)
+     with the exact arithmetic and visit order of the [Array.iteri]
+     originals, so the reported state and power stay bit-identical to
+     {!map_states} / {!expected_power} on the whole trace. *)
+  let map_state _t s =
+    let alpha = s.alpha in
+    let best = ref 0 in
+    let best_v = ref (Array.unsafe_get alpha 0) in
+    for j = 1 to Array.length alpha - 1 do
+      let v = Array.unsafe_get alpha j in
+      if v > !best_v then begin
+        best := j;
+        best_v := v
+      end
+    done;
+    !best
+
+  let power t s ~hamming =
+    let alpha = s.alpha and outputs = t.outputs in
+    let acc = ref 0. in
+    for row = 0 to Array.length alpha - 1 do
+      let p = Array.unsafe_get alpha row in
+      if p > 0. then
+        acc :=
+          !acc
+          +. p
+             *.
+             match Array.unsafe_get outputs row with
+             | Psm.Const mu -> mu
+             | Psm.Affine { slope; intercept } -> (slope *. hamming) +. intercept
+    done;
+    !acc
+
+  (* The serve fast path: [step_many] with the per-session scoring folded
+     into the normalize pass. Per session the stored belief is
+     [step_many]'s exactly (same propagation, same emission multiply,
+     same normalizing sum and division), and [powers]/[rows] accumulate
+     over the *stored* normalized values in the same ascending-row order
+     — with the same [p > 0.] guard and strict-[>] argmax — as a separate
+     {!power} / {!map_state} pass would. Fusing merely removes two extra
+     O(m) traversals per session-cycle; every float op and comparison it
+     performs is one the unfused pipeline performs on identical inputs,
+     so the results stay bit-identical. *)
+  let sweep t states obss ~hds ~powers ~rows =
+    let n = Array.length states in
+    if
+      Array.length obss <> n || Array.length hds <> n
+      || Array.length powers <> n
+      || Array.length rows <> n
+    then invalid_arg "Filtering.Stream.sweep: length mismatch";
+    let m = Hmm.state_count t.hmm in
+    let outputs = t.outputs in
+    let started = Array.make n false in
+    let any_started = ref false in
+    for s = 0 to n - 1 do
+      if states.(s).steps = 0 then begin
+        step t states.(s) obss.(s);
+        powers.(s) <- power t states.(s) ~hamming:hds.(s);
+        rows.(s) <- map_state t states.(s)
+      end
+      else begin
+        started.(s) <- true;
+        any_started := true
+      end
+    done;
+    if !any_started then begin
+      (match t.kernel with
+      | `Sparse ->
+          (* Gather form: the CSC metadata stays cache-hot while the
+             whole shard streams through it back to back — the batching
+             win the per-session loop (scatter + clear per step) never
+             sees. Bit-identical: see {!Sparse.gather_product}. *)
+          for s = 0 to n - 1 do
+            if started.(s) then begin
+              let st = states.(s) in
+              Sparse.gather_product t.a_instant_csc st.alpha st.scratch
+            end
+          done
+      | `Dense ->
+          for s = 0 to n - 1 do
+            if started.(s) then begin
+              let st = states.(s) in
+              for j = 0 to m - 1 do
+                let acc = ref 0. in
+                for i = 0 to m - 1 do
+                  acc :=
+                    !acc
+                    +. (Array.unsafe_get st.alpha i
+                       *. Array.unsafe_get (Array.unsafe_get t.a_instant i) j)
+                done;
+                Array.unsafe_set st.scratch j !acc
+              done
+            end
+          done);
+      for s = 0 to n - 1 do
+        if started.(s) then begin
+          let st = Array.unsafe_get states s in
+          let ev = emission_row t obss.(s) in
+          let total = ref 0. in
+          for j = 0 to m - 1 do
+            let x = Array.unsafe_get st.scratch j *. Array.unsafe_get ev j in
+            Array.unsafe_set st.alpha j x;
+            total := !total +. x
+          done;
+          let total = !total in
+          if total > 0. then begin
+            st.log_lik <- st.log_lik +. log total;
+            let alpha = st.alpha in
+            let hamming = Array.unsafe_get hds s in
+            let acc = ref 0. in
+            let best = ref 0 in
+            let best_v = ref 0. in
+            for j = 0 to m - 1 do
+              let p = Array.unsafe_get alpha j /. total in
+              Array.unsafe_set alpha j p;
+              if p > 0. then
+                acc :=
+                  !acc
+                  +. p
+                     *. (match Array.unsafe_get outputs j with
+                        | Psm.Const mu -> mu
+                        | Psm.Affine { slope; intercept } ->
+                            (slope *. hamming) +. intercept);
+              if j = 0 || p > !best_v then begin
+                best := j;
+                best_v := p
+              end
+            done;
+            Array.unsafe_set powers s !acc;
+            Array.unsafe_set rows s !best
+          end
+          else begin
+            (* Degenerate instant (zero likelihood mass): fall back to the
+               uniform belief exactly as [step] does, then score it with
+               the reference passes — this path is cold. *)
+            Array.fill st.alpha 0 m (1. /. float_of_int m);
+            st.log_lik <- st.log_lik +. log floor_p;
+            powers.(s) <- power t st ~hamming:hds.(s);
+            rows.(s) <- map_state t st
+          end;
+          st.steps <- st.steps + 1
+        end
+      done
+    end
+end

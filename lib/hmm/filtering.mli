@@ -43,3 +43,71 @@ val log_likelihood : t -> int option array -> float
 (** Log observation likelihood under the model (from the normalization
     constants) — a model-fit diagnostic: a trace from a different workload
     family scores visibly lower per instant. *)
+
+(** Streaming per-session filtering — the serve hot path. A [state] is
+    one session's belief; {!Stream.step} advances it by one observation
+    with exactly {!forward_iter}'s arithmetic, so a session stepped
+    observation by observation is bit-identical to the offline recursion
+    on the whole sequence. {!Stream.step_many} advances many sessions
+    sharing one {!t} in a single batched kernel sweep (CSR traversal
+    amortized across sessions, fused monomorphic emission/normalize) —
+    bit-identical to calling {!Stream.step} on each session, measurably
+    faster per session·cycle.
+
+    A [state] owns its buffers and holds no closures: it marshals, so
+    session checkpoints are plain [Marshal] round trips. Sessions sharing
+    a {!t} must be stepped from one domain at a time (the emission table
+    and A' live in [t]); distinct [t]s are independent. *)
+module Stream : sig
+  type state
+
+  val make : t -> state
+  (** A fresh session: no observation consumed yet. *)
+
+  val copy : state -> state
+  (** Deep copy (checkpointing; the original keeps streaming). *)
+
+  val steps : state -> int
+  (** Observations consumed so far. *)
+
+  val log_likelihood : state -> float
+  (** Cumulative log likelihood of the consumed observations. *)
+
+  val belief : state -> float array
+  (** The current normalized belief over state rows — borrowed, reused by
+      the next step; copy what you keep. Meaningless before the first
+      step. *)
+
+  val step : t -> state -> int option -> unit
+  (** Advance one observation ([None] = unclassified sample,
+      uninformative). *)
+
+  val step_many : t -> state array -> int option array -> unit
+  (** [step_many t states obss] — one batched sweep: [states.(k)]
+      consumes [obss.(k)]. Bit-identical to stepping each session alone.
+      @raise Invalid_argument on length mismatch. *)
+
+  val map_state : t -> state -> int
+  (** Marginal MAP state row of the current belief (ties to the lowest
+      row, as {!map_states}). *)
+
+  val power : t -> state -> hamming:float -> float
+  (** Posterior-weighted mean of the state outputs at this instant — the
+      streaming counterpart of one {!expected_power} sample. *)
+
+  val sweep :
+    t ->
+    state array ->
+    int option array ->
+    hds:float array ->
+    powers:float array ->
+    rows:int array ->
+    unit
+  (** One scored batched sweep: advance every session one observation
+      ({!step_many}'s arithmetic exactly) and fill [powers.(k)] /
+      [rows.(k)] with what {!power} [~hamming:hds.(k)] / {!map_state}
+      would return afterwards — computed inside the normalize pass, same
+      visit order and guards, so all three outputs are bit-identical to
+      the unfused pipeline. This is the serve hot path.
+      @raise Invalid_argument on length mismatch. *)
+end

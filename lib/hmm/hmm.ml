@@ -155,6 +155,16 @@ let build ?(kernel = `Auto) ?transition_counts ?emission_counts psm =
     kernel = resolve_kernel kernel a_csr;
     kernel_pref = kernel }
 
+let copy t =
+  (* Only the transition state is session-local: [ban] / [reset_bans] /
+     [unsafe_set_a] mutate [a] (and replace the CSR mirror), so the copy
+     gets its own rows while sharing everything the API never mutates —
+     the PSM, emissions, π, and the row interning tables. *)
+  { t with
+    a = Array.map Array.copy t.a;
+    a_original = Array.map Array.copy t.a_original;
+    a_csr = Sparse.of_dense t.a }
+
 let psm t = t.psm
 let state_count t = Array.length t.ids
 let observation_count t = Array.length t.observations

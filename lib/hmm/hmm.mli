@@ -45,6 +45,14 @@ val build :
     full emission matrix used by offline (Viterbi) decoding; without them
     emission falls back to the entry-proposition projection. *)
 
+val copy : t -> t
+(** An independent transition state: {!ban}, {!reset_bans} and
+    {!unsafe_set_a} on the copy leave the original untouched (and vice
+    versa). The PSM, emission matrices and π are shared — the API never
+    mutates them. Concurrent estimation sessions each simulate on their
+    own copy so one session's resynchronization bans cannot leak into a
+    sibling's A. *)
+
 val psm : t -> Psm_core.Psm.t
 
 val state_count : t -> int

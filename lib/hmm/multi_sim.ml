@@ -82,6 +82,11 @@ module Stepper = struct
     mutable progressed : bool; (* the current state matched at least one
                                   instant beyond its entry *)
     mutable bans_active : bool;
+    mutable ban_log : (int * int) list;
+    (* (src row, dst row) of every [Hmm.ban] since the last reset, newest
+       first — replayed in order by [restore], which reproduces the
+       banned A float-for-float (each ban renormalizes its row, so order
+       matters). *)
     mutable cycles : int;
     mutable wrong_instants : int;
     mutable resync_events : int;
@@ -146,6 +151,7 @@ module Stepper = struct
       entered_via = None;
       progressed = false;
       bans_active = false;
+      ban_log = [];
       cycles = 0;
       wrong_instants = 0;
       resync_events = 0 }
@@ -277,6 +283,7 @@ module Stepper = struct
             match start_cursors (assertion_of_row t dst) o with
             | [] ->
                 Hmm.ban t.hmm ~src_row:row ~dst_row:dst;
+                t.ban_log <- (row, dst) :: t.ban_log;
                 t.bans_active <- true;
                 t.resync_events <- t.resync_events + 1;
                 notify t ~row:dst ~o_opt:(Some o);
@@ -305,6 +312,7 @@ module Stepper = struct
         match t.entered_via with
         | Some (src, dst) when dst = row && not t.progressed ->
             Hmm.ban t.hmm ~src_row:src ~dst_row:dst;
+            t.ban_log <- (src, dst) :: t.ban_log;
             t.bans_active <- true;
             t.entered_via <- None;
             src
@@ -330,9 +338,15 @@ module Stepper = struct
     t.prev_inputs <- Some (Array.copy sample);
     float_of_int hd
 
-  let step t sample =
-    let hd = input_hamming t sample in
-    let o_opt = Table.classify t.table sample in
+  let classify t sample = Table.classify t.table sample
+
+  (* The cursor/transition state machine after sample classification —
+     the entry point for proposition-level streaming (serve sessions
+     whose client sends classified observations plus input Hamming
+     distances instead of raw samples). [step] is this preceded by
+     [input_hamming] and [classify]; feeding the same trace through
+     either path is bit-identical. *)
+  let step_classified t ~hamming:hd o_opt =
     let initialized_now =
       match (t.mode, o_opt) with
       | Unstarted, Some o ->
@@ -372,7 +386,8 @@ module Stepper = struct
                      steering the re-prediction; keeping them would
                      permanently distort A. *)
                   Hmm.reset_bans t.hmm;
-                  t.bans_active <- false
+                  t.bans_active <- false;
+                  t.ban_log <- []
                 end;
                 t.progressed <- false;
                 next
@@ -425,9 +440,53 @@ module Stepper = struct
         (Psm.eval_output (output_of_row t origin_row) ~hamming:hd, -1)
     | Unstarted -> assert false
 
+  let step t sample =
+    let hd = input_hamming t sample in
+    step_classified t ~hamming:hd (classify t sample)
+
   let cycles t = t.cycles
   let wrong_instants t = t.wrong_instants
   let resync_events t = t.resync_events
+
+  type snapshot = {
+    snap_prev_inputs : Bits.t array option;
+    snap_mode : mode;
+    snap_entered_via : (int * int) option;
+    snap_progressed : bool;
+    snap_cycles : int;
+    snap_wrong_instants : int;
+    snap_resync_events : int;
+    snap_bans : (int * int) list; (* oldest first *)
+  }
+
+  let snapshot t =
+    { snap_prev_inputs = Option.map Array.copy t.prev_inputs;
+      snap_mode = t.mode;
+      snap_entered_via = t.entered_via;
+      snap_progressed = t.progressed;
+      snap_cycles = t.cycles;
+      snap_wrong_instants = t.wrong_instants;
+      snap_resync_events = t.resync_events;
+      snap_bans = List.rev t.ban_log }
+
+  let restore ?config ?steps ?reference hmm snap =
+    let t = create ?config ?steps ?reference hmm in
+    (* [create] reset the bans, so replaying the logged sequence in its
+       original order rebuilds the banned A float-for-float (each ban
+       renormalizes its source row sequentially). *)
+    List.iter
+      (fun (src, dst) -> Hmm.ban hmm ~src_row:src ~dst_row:dst)
+      snap.snap_bans;
+    t.ban_log <- List.rev snap.snap_bans;
+    t.bans_active <- snap.snap_bans <> [];
+    t.prev_inputs <- Option.map Array.copy snap.snap_prev_inputs;
+    t.mode <- snap.snap_mode;
+    t.entered_via <- snap.snap_entered_via;
+    t.progressed <- snap.snap_progressed;
+    t.cycles <- snap.snap_cycles;
+    t.wrong_instants <- snap.snap_wrong_instants;
+    t.resync_events <- snap.snap_resync_events;
+    t
 end
 
 let simulate ?config ?reference hmm trace =

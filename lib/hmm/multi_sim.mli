@@ -66,7 +66,32 @@ module Stepper : sig
       outputs, in interface order) and returns (power estimate, current
       PSM state id or -1 when desynchronized). *)
 
+  val classify : t -> Psm_bits.Bits.t array -> int option
+  (** The proposition the model's table assigns to a sample ([None] =
+      unknown behaviour) — what {!step} feeds the state machine. *)
+
+  val step_classified : t -> hamming:float -> int option -> float * int
+  (** Proposition-level step: the state machine after classification.
+      [step t sample] ≡ [step_classified t ~hamming:(input Hamming
+      distance to the previous sample) (classify t sample)] — serve
+      sessions streaming classified observations take this entry and are
+      bit-identical to sample-level stepping of the same trace. *)
+
   val cycles : t -> int
   val wrong_instants : t -> int
   val resync_events : t -> int
+
+  type snapshot
+  (** The stepper's complete resumable state: mode and live cursors,
+      previous inputs, counters, and the ordered log of A bans since the
+      last reset. Holds no closures or HMM reference — it marshals. *)
+
+  val snapshot : t -> snapshot
+
+  val restore : ?config:config -> ?steps:int -> ?reference:bool -> Hmm.t -> snapshot -> t
+  (** A stepper continuing exactly where {!snapshot} was taken: the
+      logged bans are replayed in order onto [hmm] (whose bans are reset
+      first), reproducing the banned A float-for-float — stepping the
+      restored stepper is bit-identical to never having stopped. [hmm]
+      must be (a {!Hmm.copy} of) the model the snapshot was taken on. *)
 end

@@ -104,6 +104,28 @@ let transpose t =
   done;
   { col_ptr; rows; cvals }
 
+(* out(j) <- Σ_i x(i) · A(i,j) over the stored entries of column [j],
+   accumulated in a register in ascending-i order — the same contribution
+   order [scatter_product] produces (its zero-x skips only drop exact
+   [+0.] terms), so the two forms are bit-identical. Gathering overwrites
+   [out] (no pre-clear) and never re-reads it, which is what makes it the
+   cheaper form when one source is swept against many columns. *)
+let gather_product c x out =
+  let m = Array.length out in
+  if Array.length x <> m || Array.length c.col_ptr <> m + 1 then
+    invalid_arg "Sparse.gather_product: size mismatch";
+  for j = 0 to m - 1 do
+    let stop = Array.unsafe_get c.col_ptr (j + 1) in
+    let acc = ref 0. in
+    for k = Array.unsafe_get c.col_ptr j to stop - 1 do
+      acc :=
+        !acc
+        +. (Array.unsafe_get x (Array.unsafe_get c.rows k)
+           *. Array.unsafe_get c.cvals k)
+    done;
+    Array.unsafe_set out j !acc
+  done
+
 let iter_col c j f =
   let stop = c.col_ptr.(j + 1) in
   for k = c.col_ptr.(j) to stop - 1 do

@@ -37,6 +37,14 @@ type csc
 
 val transpose : t -> csc
 
+(** [gather_product c x out] overwrites [out.(j)] with
+    [Σ_i x.(i) *. a.(i).(j)] over column [j]'s stored entries,
+    register-accumulated in ascending-[i] order — bit-identical to
+    {!scatter_product} into a cleared buffer, without the clear or the
+    per-entry load/store traffic on [out].
+    @raise Invalid_argument on size mismatch. *)
+val gather_product : csc -> float array -> float array -> unit
+
 (** [iter_col c j f] calls [f i v] for every stored entry [(i, j)] in
     ascending row order. *)
 val iter_col : csc -> int -> (int -> float -> unit) -> unit

@@ -48,7 +48,25 @@ type histogram = {
   mutable h_sumsq : float;
   mutable h_min : float;
   mutable h_max : float;
+  h_buckets : int array; (* 64 log2-width buckets, see [bucket_index] *)
 }
+
+(* Power-of-two buckets spanning [2^-32, 2^31]: observation [v] lands in
+   the bucket whose upper bound is the smallest power of two >= v, so a
+   percentile read off the bucket bounds overestimates by at most 2x —
+   plenty for tail-latency reporting without storing observations. *)
+let n_buckets = 64
+
+let bucket_index v =
+  if not (v > 0.) then 0
+  else begin
+    let _, e = Float.frexp v in
+    (* v in (2^(e-1), 2^e]; frexp returns e with v = m * 2^e, m in [0.5,1) *)
+    let idx = e + 32 in
+    if idx < 0 then 0 else if idx >= n_buckets then n_buckets - 1 else idx
+  end
+
+let bucket_upper idx = Float.ldexp 1. (idx - 32)
 
 type buffer = {
   buf_domain : int;
@@ -124,10 +142,15 @@ let observe name v =
         h.h_sum <- h.h_sum +. v;
         h.h_sumsq <- h.h_sumsq +. (v *. v);
         if v < h.h_min then h.h_min <- v;
-        if v > h.h_max then h.h_max <- v
+        if v > h.h_max then h.h_max <- v;
+        let i = bucket_index v in
+        h.h_buckets.(i) <- h.h_buckets.(i) + 1
     | None ->
+        let buckets = Array.make n_buckets 0 in
+        buckets.(bucket_index v) <- 1;
         Hashtbl.add b.histograms name
-          { h_count = 1; h_sum = v; h_sumsq = v *. v; h_min = v; h_max = v }
+          { h_count = 1; h_sum = v; h_sumsq = v *. v; h_min = v; h_max = v;
+            h_buckets = buckets }
   end
 
 let gc_snapshot label =
@@ -169,7 +192,28 @@ type hist_stat = {
   stddev : float;
   min : float;
   max : float;
+  p50 : float;
+  p99 : float;
 }
+
+(* Smallest bucket upper bound covering fraction [q] of the count, clamped
+   into the observed [min, max] range (so p99 never exceeds the true max
+   and the 2x bucket-bound overestimate is bounded by reality). *)
+let percentile_of_buckets h q =
+  if h.h_count = 0 then 0.
+  else begin
+    let target =
+      let t = int_of_float (ceil (q *. float_of_int h.h_count)) in
+      if t < 1 then 1 else if t > h.h_count then h.h_count else t
+    in
+    let rec scan i acc =
+      if i >= n_buckets then h.h_max
+      else
+        let acc = acc + h.h_buckets.(i) in
+        if acc >= target then bucket_upper i else scan (i + 1) acc
+    in
+    Float.max h.h_min (Float.min (scan 0 0) h.h_max)
+  end
 
 type summary = {
   events : span_event list; (* canonical order, see [snapshot] *)
@@ -217,11 +261,15 @@ let snapshot () =
               acc.h_sum <- acc.h_sum +. h.h_sum;
               acc.h_sumsq <- acc.h_sumsq +. h.h_sumsq;
               if h.h_min < acc.h_min then acc.h_min <- h.h_min;
-              if h.h_max > acc.h_max then acc.h_max <- h.h_max
+              if h.h_max > acc.h_max then acc.h_max <- h.h_max;
+              Array.iteri
+                (fun i c -> acc.h_buckets.(i) <- acc.h_buckets.(i) + c)
+                h.h_buckets
           | None ->
               Hashtbl.add hist_acc name
                 { h_count = h.h_count; h_sum = h.h_sum; h_sumsq = h.h_sumsq;
-                  h_min = h.h_min; h_max = h.h_max })
+                  h_min = h.h_min; h_max = h.h_max;
+                  h_buckets = Array.copy h.h_buckets })
         b.histograms)
     buffers;
   Mutex.unlock registry_mutex;
@@ -256,7 +304,9 @@ let snapshot () =
            let var = Float.max 0. ((h.h_sumsq /. nf) -. (mean *. mean)) in
            ( name,
              { n = h.h_count; mean; stddev = sqrt var; min = h.h_min;
-               max = h.h_max } ))
+               max = h.h_max;
+               p50 = percentile_of_buckets h 0.50;
+               p99 = percentile_of_buckets h 0.99 } ))
   in
   { events; span_stats; counters; histograms }
 
@@ -304,8 +354,9 @@ let to_text summary =
     List.iter
       (fun (name, h) ->
         Buffer.add_string buf
-          (Printf.sprintf "  %-32s n %6d  mean %.6g  stddev %.6g  min %.6g  max %.6g\n"
-             name h.n h.mean h.stddev h.min h.max))
+          (Printf.sprintf
+             "  %-32s n %6d  mean %.6g  stddev %.6g  min %.6g  p50 %.6g  p99 %.6g  max %.6g\n"
+             name h.n h.mean h.stddev h.min h.p50 h.p99 h.max))
       summary.histograms
   end;
   Buffer.contents buf
@@ -331,8 +382,8 @@ let to_json summary =
   List.iteri
     (fun i (name, h) ->
       out
-        "    \"%s\": { \"n\": %d, \"mean\": %.9g, \"stddev\": %.9g, \"min\": %.9g, \"max\": %.9g }%s\n"
-        (escape_json name) h.n h.mean h.stddev h.min h.max
+        "    \"%s\": { \"n\": %d, \"mean\": %.9g, \"stddev\": %.9g, \"min\": %.9g, \"p50\": %.9g, \"p99\": %.9g, \"max\": %.9g }%s\n"
+        (escape_json name) h.n h.mean h.stddev h.min h.p50 h.p99 h.max
         (if i = List.length summary.histograms - 1 then "" else ","))
     summary.histograms;
   out "  }\n}\n";

@@ -55,8 +55,11 @@ val incr : string -> unit
 (** [incr name] is [count name 1]. *)
 
 val observe : string -> float -> unit
-(** Record one observation into a named histogram (count, mean, stddev,
-    min, max are retained). *)
+(** Record one observation into a named histogram. Count, mean, stddev,
+    min and max are exact; p50/p99 come from 64 power-of-two buckets
+    (each observation counted by the smallest power of two above it), so
+    a reported percentile overestimates by at most 2x and is clamped to
+    the observed range. *)
 
 val gc_snapshot : string -> unit
 (** Record allocation telemetry from [Gc.quick_stat] into histograms
@@ -78,7 +81,15 @@ type span_event = {
 }
 
 type span_stat = { total_s : float; calls : int; mean_s : float; max_s : float }
-type hist_stat = { n : int; mean : float; stddev : float; min : float; max : float }
+type hist_stat = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float; (** median, from 64 power-of-two buckets: <= 2x true value *)
+  p99 : float; (** tail latency, same bucket bound, clamped to [min, max] *)
+}
 
 type summary = {
   events : span_event list;

@@ -1,0 +1,591 @@
+module Psm = Psm_core.Psm
+module Table = Psm_mining.Prop_trace.Table
+module Vocabulary = Psm_mining.Vocabulary
+module Interface = Psm_trace.Interface
+module Functional_trace = Psm_trace.Functional_trace
+module Reader = Psm_trace.Reader
+module Vcd = Psm_trace.Vcd
+module Hmm = Psm_hmm.Hmm
+module Filtering = Psm_hmm.Filtering
+module Persist = Psm_flow.Persist
+module Estimate = Psm_flow.Estimate
+
+(* Unboxed growable ring of (int, float) pairs. The per-cycle hot loop
+   pushes and pops one pair per session; a [Queue.t] of tuples would cost
+   two minor allocations per operation, which at thousands of sessions
+   per tick is most of the non-kernel time. Codes are plain ints so the
+   caller picks the encoding (pending: proposition or -1 for unknown;
+   results: PSM state id). *)
+module Ring = struct
+  type t = {
+    mutable code : int array;
+    mutable value : float array;
+    mutable head : int; (* index of the oldest element *)
+    mutable len : int;
+  }
+
+  let create () =
+    { code = Array.make 16 0; value = Array.make 16 0.; head = 0; len = 0 }
+
+  let length q = q.len
+  let is_empty q = q.len = 0
+
+  let ensure q extra =
+    let cap = Array.length q.code in
+    if q.len + extra > cap then begin
+      let ncap = max (q.len + extra) (cap * 2) in
+      let code = Array.make ncap 0 and value = Array.make ncap 0. in
+      for i = 0 to q.len - 1 do
+        let src = (q.head + i) mod cap in
+        code.(i) <- q.code.(src);
+        value.(i) <- q.value.(src)
+      done;
+      q.code <- code;
+      q.value <- value;
+      q.head <- 0
+    end
+
+  let push q c v =
+    ensure q 1;
+    let cap = Array.length q.code in
+    let tail = (q.head + q.len) mod cap in
+    q.code.(tail) <- c;
+    q.value.(tail) <- v;
+    q.len <- q.len + 1
+
+  (* Pop the oldest pair into the two refs — no tuple materialized. *)
+  let pop q ~code ~value =
+    if q.len = 0 then invalid_arg "Ring.pop: empty";
+    code := q.code.(q.head);
+    value := q.value.(q.head);
+    q.head <- (q.head + 1) mod Array.length q.code;
+    q.len <- q.len - 1
+end
+
+type session = {
+  id : string;
+  model_name : string;
+  mode : Estimate.mode;
+  est : Estimate.t;
+  nprops : int; (* the model's vocabulary size, resolved at open *)
+  fstate : (Filtering.t * Filtering.Stream.state) option; (* filter hot path *)
+  seq : int; (* open order: the deterministic processing order *)
+  queue : Ring.t; (* pending (proposition | -1 = unknown, hd) *)
+  results : Ring.t; (* produced (state id, power) *)
+  some_props : int option array; (* interned [Some p] per proposition *)
+  vcd_buf : Buffer.t; (* partial VCD upload *)
+  mutable last_active : float;
+}
+
+(* A scheduling block: at most [shard_size] sessions of one (model, mode)
+   group, in open order. Shards are rebuilt only when the session set
+   changes; the per-tick scratch arrays live here so the hot path
+   allocates nothing. A shard is processed by exactly one domain per
+   tick, so reusing its scratch across ticks is race-free. *)
+type shard = {
+  members : session array;
+  sh_states : Filtering.Stream.state array; (* filter shards; [||] for sim *)
+  sh_obss : int option array;
+  sh_hds : float array;
+  sh_powers : float array;
+  sh_rows : int array;
+}
+
+type stats = {
+  sessions : int;
+  cycles_served : int;
+  ticks : int;
+  sweeps : int;
+  opened : int;
+  evicted : int;
+  closed : int;
+}
+
+type session_stats = {
+  cycles : int;
+  wrong_instants : int;
+  wsp : float;
+  resync_events : int;
+  log_likelihood : float;
+}
+
+type model_info = { name : string; states : int; props : int }
+
+type t = {
+  models : (string * Persist.model) list; (* sorted by name, unique *)
+  filters : (string, Filtering.t) Hashtbl.t; (* lazily shared per model *)
+  sessions : (string, session) Hashtbl.t;
+  idle_timeout : float; (* seconds; <= 0 disables eviction *)
+  batch : bool;
+  now : unit -> float;
+  pool : Psm_par.Pool.t option;
+  (* All sessions grouped by (model, mode) — groups in first-opened order,
+     members in open order — split into shards and rebuilt only when the
+     session set changes, so a tick pays one pending scan, no sort. *)
+  mutable shards_cache : shard list;
+  mutable groups_dirty : bool;
+  mutable next_seq : int;
+  mutable cycles_served : int;
+  mutable ticks : int;
+  mutable sweeps : int;
+  mutable opened : int;
+  mutable evicted : int;
+  mutable closed : int;
+}
+
+let create ?pool ?(idle_timeout = 300.) ?(batch = true) ?now models =
+  let models =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) models
+  in
+  let rec check_unique = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Engine.create: duplicate model %S" a);
+        check_unique rest
+    | _ -> ()
+  in
+  check_unique models;
+  { models;
+    filters = Hashtbl.create 8;
+    sessions = Hashtbl.create 64;
+    idle_timeout;
+    batch;
+    now = (match now with Some f -> f | None -> Unix.gettimeofday);
+    pool;
+    shards_cache = [];
+    groups_dirty = false;
+    next_seq = 0;
+    cycles_served = 0;
+    ticks = 0;
+    sweeps = 0;
+    opened = 0;
+    evicted = 0;
+    closed = 0 }
+
+let find_model t name = List.assoc_opt name t.models
+
+let prop_count (model : Persist.model) = Table.prop_count model.Persist.table
+
+let filtering_for t name model =
+  match Hashtbl.find_opt t.filters name with
+  | Some f -> f
+  | None ->
+      let f = Filtering.create model.Persist.hmm in
+      Hashtbl.replace t.filters name f;
+      f
+
+let models t =
+  List.map
+    (fun (name, (m : Persist.model)) ->
+      { name; states = Psm.state_count m.Persist.psm; props = prop_count m })
+    t.models
+
+let session_count t = Hashtbl.length t.sessions
+let has_session t id = Hashtbl.mem t.sessions id
+
+let find_session t id =
+  match Hashtbl.find_opt t.sessions id with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "unknown session %S" id)
+
+let add_session t ~id ~model_name ~nprops est =
+  let session =
+    { id;
+      model_name;
+      mode = Estimate.mode est;
+      est;
+      nprops;
+      fstate = Estimate.filter_state est;
+      seq = t.next_seq;
+      queue = Ring.create ();
+      results = Ring.create ();
+      some_props = Array.init nprops (fun p -> Some p);
+      vcd_buf = Buffer.create 0;
+      last_active = t.now () }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.opened <- t.opened + 1;
+  t.groups_dirty <- true;
+  Psm_obs.incr "serve.sessions_opened";
+  Hashtbl.replace t.sessions id session
+
+let open_session t ~id ~model ~mode =
+  if Hashtbl.mem t.sessions id then
+    Error (Printf.sprintf "session %S already exists" id)
+  else
+    match find_model t model with
+    | None -> Error (Printf.sprintf "unknown model %S" model)
+    | Some m ->
+        let est =
+          match mode with
+          | `Sim -> Estimate.of_model ~mode m
+          | `Filter ->
+              Estimate.of_model ~filtering:(filtering_for t model m) ~mode m
+        in
+        add_session t ~id ~model_name:model ~nprops:(prop_count m) est;
+        Ok ()
+
+let close_session t ~id =
+  match find_session t id with
+  | Error _ as e -> e
+  | Ok _ ->
+      Hashtbl.remove t.sessions id;
+      t.groups_dirty <- true;
+      t.closed <- t.closed + 1;
+      Ok ()
+
+(* ---------- feeding ---------- *)
+
+let submit t ~id obs =
+  match find_session t id with
+  | Error _ as e -> e
+  | Ok session ->
+      let nprops = session.nprops in
+      let bad = ref None in
+      Array.iter
+        (function
+          | Some p, _ when p < 0 || p >= nprops ->
+              if !bad = None then bad := Some p
+          | _ -> ())
+        obs;
+      match !bad with
+      | Some p ->
+          Error
+            (Printf.sprintf "proposition %d out of range (model has %d)" p
+               nprops)
+      | None ->
+          Array.iter
+            (fun (p, hd) ->
+              Ring.push session.queue
+                (match p with Some p -> p | None -> -1)
+                hd)
+            obs;
+          session.last_active <- t.now ();
+          Ok (Array.length obs)
+
+let vcd_chunk t ~id ~chunk ~last =
+  match find_session t id with
+  | Error e -> Error e
+  | Ok session ->
+      session.last_active <- t.now ();
+      Buffer.add_string session.vcd_buf chunk;
+      if not last then Ok 0
+      else begin
+        let text = Buffer.contents session.vcd_buf in
+        Buffer.clear session.vcd_buf;
+        match Vcd.parse text with
+        | exception Vcd.Parse_error err ->
+            Error (Printf.sprintf "vcd: %s" (Reader.error_to_string err))
+        | exception Failure msg -> Error (Printf.sprintf "vcd: %s" msg)
+        | parsed ->
+            let model = Option.get (find_model t session.model_name) in
+            let table = model.Persist.table in
+            let model_iface = Vocabulary.interface (Table.vocabulary table) in
+            let trace = parsed.Vcd.trace in
+            if not (Interface.equal (Functional_trace.interface trace) model_iface)
+            then
+              Error
+                (Printf.sprintf
+                   "vcd: interface mismatch (model %S expects different \
+                    signals)"
+                   session.model_name)
+            else begin
+              (* Classification and input-Hamming tracking happen here,
+                 exactly as the offline evaluators compute them, then the
+                 upload rides the same proposition queue as [observe]. *)
+              let hd = Functional_trace.input_hamming_series trace in
+              let n = Functional_trace.length trace in
+              for time = 0 to n - 1 do
+                let sample = Functional_trace.sample trace ~time in
+                let code =
+                  match Table.classify table sample with
+                  | Some p -> p
+                  | None -> -1
+                in
+                Ring.push session.queue code hd.(time)
+              done;
+              Ok n
+            end
+      end
+
+(* ---------- the batched tick ---------- *)
+
+(* Advance a block of sessions (same model, same mode, ascending open
+   order) by one cycle each. Runs on one domain; distinct blocks touch
+   disjoint state. Returns (sessions advanced, batched sweep?) and leaves
+   the engine-wide counters to the coordinator — this may run inside a
+   pool worker, where mutating shared ints would race. *)
+let run_batched (members : session array) states obss hds powers rows =
+  let n = Array.length members in
+  let code = ref 0 and value = ref 0. in
+  for k = 0 to n - 1 do
+    let s = members.(k) in
+    Ring.pop s.queue ~code ~value;
+    obss.(k) <- (if !code >= 0 then s.some_props.(!code) else None);
+    hds.(k) <- !value
+  done;
+  let filt, _ = Option.get members.(0).fstate in
+  Filtering.Stream.sweep filt states obss ~hds ~powers ~rows;
+  let hmm = (Estimate.model members.(0).est).Persist.hmm in
+  for k = 0 to n - 1 do
+    Ring.push members.(k).results (Hmm.state_of_row hmm rows.(k)) powers.(k)
+  done;
+  (n, true)
+
+let run_loop (members : session array) =
+  let code = ref 0 and value = ref 0. in
+  Array.iter
+    (fun s ->
+      Ring.pop s.queue ~code ~value;
+      let obs = if !code >= 0 then s.some_props.(!code) else None in
+      let power, state = Estimate.step s.est ~hd:!value obs in
+      Ring.push s.results state power)
+    members;
+  (Array.length members, false)
+
+(* A tick's work item: a whole shard (every member has a pending
+   observation — the cached scratch arrays apply directly), or the
+   pending subset of one (fresh right-sized arrays; rare). *)
+let process_work t = function
+  | `Full sh ->
+      if sh.members.(0).mode = `Filter && t.batch then
+        run_batched sh.members sh.sh_states sh.sh_obss sh.sh_hds
+          sh.sh_powers sh.sh_rows
+      else run_loop sh.members
+  | `Subset (members : session array) ->
+      if members.(0).mode = `Filter && t.batch then begin
+        let n = Array.length members in
+        run_batched members
+          (Array.map (fun s -> snd (Option.get s.fstate)) members)
+          (Array.make n None) (Array.make n 0.) (Array.make n 0.)
+          (Array.make n 0)
+      end
+      else run_loop members
+
+(* Sessions are grouped by (model, mode) — groups ordered by their
+   first-opened member, members in open order, so the schedule is a
+   function of the session set alone — then split into shards of at most
+   [shard_size]. Sharding spreads one big group across the pool, and it
+   keeps the sweep's working set (every member's alpha/scratch pair)
+   inside the cache; sessions are independent, so it never changes any
+   result. Rebuilt only when the session set changes. *)
+let shard_size = 128
+
+let rebuild_shards t =
+  let all = Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions [] in
+  let sorted = List.sort (fun a b -> Int.compare a.seq b.seq) all in
+  let groups = ref [] in
+  List.iter
+    (fun s ->
+      let key = (s.model_name, s.mode) in
+      match List.assoc_opt key !groups with
+      | Some cell -> cell := s :: !cell
+      | None -> groups := !groups @ [ (key, ref [ s ]) ])
+    sorted;
+  let shards_of_group members =
+    let arr = Array.of_list (List.rev members) in
+    let total = Array.length arr in
+    let nblocks = (total + shard_size - 1) / shard_size in
+    List.init nblocks (fun b ->
+        let lo = b * shard_size in
+        let members = Array.sub arr lo (min shard_size (total - lo)) in
+        let n = Array.length members in
+        let is_filter = members.(0).mode = `Filter in
+        { members;
+          sh_states =
+            (if is_filter then
+               Array.map (fun s -> snd (Option.get s.fstate)) members
+             else [||]);
+          sh_obss = Array.make n None;
+          sh_hds = Array.make n 0.;
+          sh_powers = Array.make n 0.;
+          sh_rows = Array.make n 0 })
+  in
+  t.shards_cache <-
+    List.concat_map (fun (_, cell) -> shards_of_group !cell) !groups;
+  t.groups_dirty <- false
+
+let pending_work t =
+  if t.groups_dirty then rebuild_shards t;
+  List.filter_map
+    (fun sh ->
+      let n = Array.length sh.members in
+      let pending = ref 0 in
+      Array.iter
+        (fun s -> if not (Ring.is_empty s.queue) then incr pending)
+        sh.members;
+      if !pending = 0 then None
+      else if !pending = n then Some (`Full sh)
+      else begin
+        let sub = Array.make !pending sh.members.(0) in
+        let k = ref 0 in
+        Array.iter
+          (fun s ->
+            if not (Ring.is_empty s.queue) then begin
+              sub.(!k) <- s;
+              incr k
+            end)
+          sh.members;
+        Some (`Subset sub)
+      end)
+    t.shards_cache
+
+let tick t =
+  let work = pending_work t in
+  if work = [] then 0
+  else begin
+    let t0 = Unix.gettimeofday () in
+    (* Shards spread across the pool; each shard's sweep stays on one
+       domain, and results come back in shard order. *)
+    let counts =
+      match work with
+      | [ one ] -> [ process_work t one ]
+      | many -> Psm_par.parallel_map ?pool:t.pool (process_work t) many
+    in
+    let advanced =
+      List.fold_left
+        (fun acc (n, swept) ->
+          if swept then begin
+            t.sweeps <- t.sweeps + 1;
+            Psm_obs.incr "serve.batch_sweeps"
+          end;
+          acc + n)
+        0 counts
+    in
+    t.ticks <- t.ticks + 1;
+    t.cycles_served <- t.cycles_served + advanced;
+    Psm_obs.count "serve.cycles" advanced;
+    Psm_obs.observe "serve.tick_seconds" (Unix.gettimeofday () -. t0);
+    advanced
+  end
+
+let drain t =
+  let total = ref 0 in
+  let rec loop () =
+    let n = tick t in
+    if n > 0 then begin
+      total := !total + n;
+      loop ()
+    end
+  in
+  loop ();
+  !total
+
+(* ---------- results & stats ---------- *)
+
+let available_results t ~id =
+  match find_session t id with
+  | Error _ as e -> e
+  | Ok s -> Ok (Ring.length s.results)
+
+let take_results t ~id ~count =
+  match find_session t id with
+  | Error _ as e -> e
+  | Ok s ->
+      let n = min count (Ring.length s.results) in
+      let code = ref 0 and value = ref 0. in
+      Ok
+        (Array.init n (fun _ ->
+             Ring.pop s.results ~code ~value;
+             (!value, !code)))
+
+let session_stats t ~id =
+  match find_session t id with
+  | Error _ as e -> e
+  | Ok s ->
+      Ok
+        { cycles = Estimate.cycles s.est;
+          wrong_instants = Estimate.wrong_instants s.est;
+          wsp = Estimate.wsp s.est;
+          resync_events = Estimate.resync_events s.est;
+          log_likelihood = Estimate.log_likelihood s.est }
+
+let stats t =
+  { sessions = session_count t;
+    cycles_served = t.cycles_served;
+    ticks = t.ticks;
+    sweeps = t.sweeps;
+    opened = t.opened;
+    evicted = t.evicted;
+    closed = t.closed }
+
+(* ---------- idle eviction ---------- *)
+
+let evict_idle t =
+  if t.idle_timeout <= 0. then []
+  else begin
+    let deadline = t.now () -. t.idle_timeout in
+    let stale =
+      Hashtbl.fold
+        (fun _ s acc -> if s.last_active < deadline then s.id :: acc else acc)
+        t.sessions []
+      |> List.sort String.compare
+    in
+    List.iter
+      (fun id ->
+        Hashtbl.remove t.sessions id;
+        t.evicted <- t.evicted + 1;
+        Psm_obs.incr "serve.sessions_evicted")
+      stale;
+    if stale <> [] then t.groups_dirty <- true;
+    stale
+  end
+
+(* ---------- checkpoints ---------- *)
+
+let checkpoint_version = "psm-serve-session 1"
+
+let checkpoint t ~id =
+  match find_session t id with
+  | Error _ as e -> e
+  | Ok s ->
+      let payload =
+        Marshal.to_string (s.model_name, Estimate.snapshot s.est) []
+      in
+      Ok
+        (Printf.sprintf "%s\n%s\n%s" checkpoint_version
+           (Digest.to_hex (Digest.string payload))
+           payload)
+
+let restore_session t ~id data =
+  if Hashtbl.mem t.sessions id then
+    Error (Printf.sprintf "session %S already exists" id)
+  else
+    match String.index_opt data '\n' with
+    | None -> Error "checkpoint: truncated header"
+    | Some nl1 -> (
+        let version = String.sub data 0 nl1 in
+        if not (String.equal version checkpoint_version) then
+          Error
+            (Printf.sprintf "checkpoint: version mismatch (%S, expected %S)"
+               version checkpoint_version)
+        else
+          match String.index_from_opt data (nl1 + 1) '\n' with
+          | None -> Error "checkpoint: truncated digest"
+          | Some nl2 -> (
+              let digest = String.sub data (nl1 + 1) (nl2 - nl1 - 1) in
+              let payload =
+                String.sub data (nl2 + 1) (String.length data - nl2 - 1)
+              in
+              if not (String.equal digest (Digest.to_hex (Digest.string payload)))
+              then Error "checkpoint: digest mismatch (corrupted payload)"
+              else
+                match
+                  (Marshal.from_string payload 0
+                    : string * Estimate.snapshot)
+                with
+                | exception _ -> Error "checkpoint: unreadable payload"
+                | model_name, snap -> (
+                    match find_model t model_name with
+                    | None ->
+                        Error
+                          (Printf.sprintf
+                             "checkpoint names unknown model %S" model_name)
+                    | Some m ->
+                        let est =
+                          Estimate.restore
+                            ~filtering:(filtering_for t model_name m) m snap
+                        in
+                        add_session t ~id ~model_name
+                          ~nprops:(prop_count m) est;
+                        Ok ())))

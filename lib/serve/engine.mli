@@ -1,0 +1,117 @@
+(** The multi-session estimation engine behind [psmgen serve] — pure
+    in-process logic, no sockets, so tests and the bench drive thousands
+    of simulated clients directly.
+
+    {2 Model}
+
+    An engine owns a fleet of persisted models and a table of live
+    sessions ({!Psm_flow.Estimate} each). Clients feed sessions through
+    {!submit} (classified propositions + input Hamming distances) or
+    {!vcd_chunk} (raw VCD text, classified server-side through the
+    streaming reader); feeding only enqueues. {!tick} is the scheduler's
+    unit of work: every session with a pending observation advances
+    exactly one cycle. Sessions are grouped by (model, mode); filter
+    groups advance in {e one batched sparse sweep}
+    ({!Psm_hmm.Filtering.Stream.step_many} over the model's shared CSR
+    kernel) and groups shard across the {!Psm_par} pool. {!drain} ticks
+    until idle.
+
+    {2 Determinism}
+
+    The schedule is a function of the session set alone: sessions advance
+    in open order within a group, groups in first-opened order, and the
+    pool returns group results in input order — so served outputs are
+    independent of client arrival interleaving, job count, and the
+    [batch] flag (the batched sweep is bit-identical to the per-session
+    loop, which is itself bit-identical to offline inference).
+
+    {2 Sessions are server-owned}
+
+    A session survives its client's disconnect — it is keyed by id, not
+    by connection — until {!close_session} or {!evict_idle} (driven by
+    the injected clock, so tests inject time instead of sleeping). *)
+
+type t
+
+type stats = {
+  sessions : int;
+  cycles_served : int;
+  ticks : int;
+  sweeps : int;
+  opened : int;
+  evicted : int;
+  closed : int;
+}
+
+type session_stats = {
+  cycles : int;
+  wrong_instants : int;
+  wsp : float;
+  resync_events : int;
+  log_likelihood : float;
+}
+
+type model_info = { name : string; states : int; props : int }
+
+val create :
+  ?pool:Psm_par.Pool.t ->
+  ?idle_timeout:float ->
+  ?batch:bool ->
+  ?now:(unit -> float) ->
+  (string * Psm_flow.Persist.model) list ->
+  t
+(** [idle_timeout] (default 300 s; <= 0 disables) bounds how long an
+    unfed session survives; [batch] (default true) selects the batched
+    sweep over the per-session reference loop; [now] (default
+    [Unix.gettimeofday]) is the eviction clock.
+    @raise Invalid_argument on duplicate model names. *)
+
+val models : t -> model_info list
+val session_count : t -> int
+val has_session : t -> string -> bool
+
+val open_session :
+  t -> id:string -> model:string -> mode:Psm_flow.Estimate.mode -> (unit, string) result
+
+val close_session : t -> id:string -> (unit, string) result
+
+val submit : t -> id:string -> (int option * float) array -> (int, string) result
+(** Enqueue (proposition, input Hamming) pairs, one per cycle. Rejects
+    out-of-vocabulary propositions. Returns the cycles enqueued. *)
+
+val vcd_chunk : t -> id:string -> chunk:string -> last:bool -> (int, string) result
+(** Buffer a VCD fragment; [last:true] parses the whole upload
+    ({!Psm_trace.Vcd.parse} — malformed text returns the reader's
+    positioned error), checks the interface against the session's model,
+    classifies every sample and enqueues it. Returns cycles enqueued
+    (0 while buffering). The error is per-session: the buffer is reset
+    and the session remains usable. *)
+
+val tick : t -> int
+(** One scheduler step: every session with a pending observation advances
+    one cycle (filter groups in one batched sweep each, groups sharded
+    across the pool). Returns sessions advanced; 0 = nothing pending. *)
+
+val drain : t -> int
+(** {!tick} until idle; total cycles served. *)
+
+val available_results : t -> id:string -> (int, string) result
+
+val take_results : t -> id:string -> count:int -> ((float * int) array, string) result
+(** Pop up to [count] (power, PSM state id) results in cycle order. *)
+
+val session_stats : t -> id:string -> (session_stats, string) result
+val stats : t -> stats
+
+val evict_idle : t -> string list
+(** Drop sessions idle past the timeout; returns their ids (sorted). *)
+
+val checkpoint_version : string
+
+val checkpoint : t -> id:string -> (string, string) result
+(** A self-contained resumable blob: version line, payload digest, then
+    the marshalled (model name, session snapshot). Restoring it — in this
+    engine or a fresh one holding the same model — resumes bit-identically
+    to never having stopped. *)
+
+val restore_session : t -> id:string -> string -> (unit, string) result

@@ -1,0 +1,251 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Shortest decimal that round-trips: integers print as integers (the
+   golden transcripts stay readable), everything else tries %.15g before
+   falling back to the always-exact %.17g. *)
+let number_to_string v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v ->
+      if Float.is_nan v || Float.is_integer (v /. 0.) then
+        (* NaN/inf are not JSON; the protocol never produces them, but a
+           diagnostic dump must not emit an unparseable line. *)
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (number_to_string v)
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Bad of string
+
+type parser_state = { text : string; mutable pos : int }
+
+let error p msg = raise (Bad (Printf.sprintf "%s at byte %d" msg p.pos))
+
+let peek p = if p.pos < String.length p.text then Some p.text.[p.pos] else None
+
+let skip_ws p =
+  while
+    p.pos < String.length p.text
+    &&
+    match p.text.[p.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    p.pos <- p.pos + 1
+  done
+
+let expect p c =
+  match peek p with
+  | Some d when d = c -> p.pos <- p.pos + 1
+  | _ -> error p (Printf.sprintf "expected '%c'" c)
+
+let literal p word value =
+  let n = String.length word in
+  if
+    p.pos + n <= String.length p.text
+    && String.sub p.text p.pos n = word
+  then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else error p (Printf.sprintf "expected %s" word)
+
+let parse_string p =
+  expect p '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if p.pos >= String.length p.text then error p "unterminated string";
+    let c = p.text.[p.pos] in
+    p.pos <- p.pos + 1;
+    match c with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (if p.pos >= String.length p.text then error p "unterminated escape";
+         let e = p.text.[p.pos] in
+         p.pos <- p.pos + 1;
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+             if p.pos + 4 > String.length p.text then error p "bad \\u escape";
+             let code =
+               try int_of_string ("0x" ^ String.sub p.text p.pos 4)
+               with _ -> error p "bad \\u escape"
+             in
+             p.pos <- p.pos + 4;
+             (* UTF-8 encode the BMP code point (the protocol is ASCII;
+                this is completeness, not a performance path). *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+         | _ -> error p "bad escape");
+        loop ()
+    | c -> Buffer.add_char buf c; loop ()
+  in
+  loop ()
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while p.pos < String.length p.text && is_num_char p.text.[p.pos] do
+    p.pos <- p.pos + 1
+  done;
+  if p.pos = start then error p "expected a number";
+  match float_of_string_opt (String.sub p.text start (p.pos - start)) with
+  | Some v -> v
+  | None -> error p "malformed number"
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> error p "unexpected end of input"
+  | Some '"' -> Str (parse_string p)
+  | Some '{' ->
+      expect p '{';
+      skip_ws p;
+      if peek p = Some '}' then begin
+        p.pos <- p.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws p;
+          let key = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              fields ((key, v) :: acc)
+          | Some '}' ->
+              p.pos <- p.pos + 1;
+              List.rev ((key, v) :: acc)
+          | _ -> error p "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      expect p '[';
+      skip_ws p;
+      if peek p = Some ']' then begin
+        p.pos <- p.pos + 1;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              p.pos <- p.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              p.pos <- p.pos + 1;
+              List.rev (v :: acc)
+          | _ -> error p "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some 'n' -> literal p "null" Null
+  | Some _ -> Num (parse_number p)
+
+let of_string text =
+  let p = { text; pos = 0 } in
+  match parse_value p with
+  | v ->
+      skip_ws p;
+      if p.pos <> String.length text then
+        Error (Printf.sprintf "trailing garbage at byte %d" p.pos)
+      else Ok v
+  | exception Bad msg -> Error msg
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function Num v -> Some v | _ -> None
+
+let to_int = function
+  | Num v when Float.is_integer v -> Some (int_of_float v)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List items -> Some items | _ -> None

@@ -1,0 +1,27 @@
+(** Minimal JSON values for the line-delimited serve protocol — parser,
+    printer and accessors, no third-party dependency. The printer emits
+    one line with no internal newlines (strings are escaped), which is
+    what makes a value a legal protocol frame; numbers print as the
+    shortest decimal that round-trips, so golden transcripts are stable
+    and exact. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line. Field order is preserved. *)
+
+val of_string : string -> (t, string) result
+(** Whole-input parse; the error names the byte offset. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_int : t -> int option
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

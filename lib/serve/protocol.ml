@@ -1,0 +1,159 @@
+type mode = [ `Filter | `Sim ]
+
+type request =
+  | Hello
+  | Open of { session : string; model : string; mode : mode }
+  | Observe of { session : string; obs : (int option * float) array }
+  | Vcd of { session : string; chunk : string; last : bool }
+  | Checkpoint of { session : string }
+  | Restore of { session : string; model : string; checkpoint : string }
+  | Close of { session : string }
+  | Stats
+  | Shutdown
+
+let schema = 1
+
+let mode_to_string = function `Filter -> "filter" | `Sim -> "sim"
+
+let mode_of_string = function
+  | "filter" -> Ok `Filter
+  | "sim" -> Ok `Sim
+  | other -> Error (Printf.sprintf "unknown mode %S (expected filter|sim)" other)
+
+let field name json = Json.member name json
+
+let string_field name json =
+  match Option.bind (field name json) Json.to_string_opt with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "missing or non-string field %S" name)
+
+let parse_observe json session =
+  match Option.bind (field "props" json) Json.to_list with
+  | None -> Error "observe: missing \"props\" array"
+  | Some props -> (
+      let parse_prop = function
+        | Json.Null -> Ok None
+        | v -> (
+            match Json.to_int v with
+            | Some p -> Ok (Some p)
+            | None -> Error "observe: props entries must be integers or null")
+      in
+      let rec map_props acc = function
+        | [] -> Ok (List.rev acc)
+        | v :: rest -> (
+            match parse_prop v with
+            | Ok p -> map_props (p :: acc) rest
+            | Error _ as e -> e)
+      in
+      match map_props [] props with
+      | Error e -> Error e
+      | Ok props -> (
+          let n = List.length props in
+          let hd_result =
+            match field "hd" json with
+            | None -> Ok (List.init n (fun _ -> 0.))
+            | Some hd_json -> (
+                match Json.to_list hd_json with
+                | None -> Error "observe: \"hd\" must be an array"
+                | Some items ->
+                    let rec map_hd acc = function
+                      | [] -> Ok (List.rev acc)
+                      | v :: rest -> (
+                          match Json.to_float v with
+                          | Some f -> map_hd (f :: acc) rest
+                          | None -> Error "observe: hd entries must be numbers")
+                    in
+                    map_hd [] items)
+          in
+          match hd_result with
+          | Error e -> Error e
+          | Ok hd ->
+              if List.length hd <> n then
+                Error "observe: props and hd lengths differ"
+              else
+                Ok
+                  (Observe
+                     { session;
+                       obs = Array.of_list (List.map2 (fun p h -> (p, h)) props hd) })))
+
+let parse_request line =
+  match Json.of_string line with
+  | Error e -> Error (Printf.sprintf "malformed JSON: %s" e)
+  | Ok json -> (
+      match Option.bind (field "op" json) Json.to_string_opt with
+      | None -> Error "missing \"op\" field"
+      | Some op -> (
+          let with_session k =
+            match string_field "session" json with
+            | Error e -> Error e
+            | Ok session -> k session
+          in
+          match op with
+          | "hello" -> Ok Hello
+          | "stats" -> Ok Stats
+          | "shutdown" -> Ok Shutdown
+          | "open" ->
+              with_session (fun session ->
+                  match string_field "model" json with
+                  | Error e -> Error e
+                  | Ok model -> (
+                      let mode_name =
+                        match string_field "mode" json with
+                        | Ok m -> m
+                        | Error _ -> "filter"
+                      in
+                      match mode_of_string mode_name with
+                      | Error e -> Error e
+                      | Ok mode -> Ok (Open { session; model; mode })))
+          | "observe" -> with_session (fun session -> parse_observe json session)
+          | "vcd" ->
+              with_session (fun session ->
+                  match string_field "chunk" json with
+                  | Error e -> Error e
+                  | Ok chunk ->
+                      let last =
+                        match Option.bind (field "last" json) Json.to_bool with
+                        | Some b -> b
+                        | None -> false
+                      in
+                      Ok (Vcd { session; chunk; last }))
+          | "checkpoint" -> with_session (fun session -> Ok (Checkpoint { session }))
+          | "restore" ->
+              with_session (fun session ->
+                  match string_field "model" json with
+                  | Error e -> Error e
+                  | Ok model -> (
+                      match string_field "checkpoint" json with
+                      | Error e -> Error e
+                      | Ok checkpoint -> Ok (Restore { session; model; checkpoint })))
+          | "close" -> with_session (fun session -> Ok (Close { session }))
+          | other -> Error (Printf.sprintf "unknown op %S" other)))
+
+(* ---------- responses ---------- *)
+
+let ok fields = Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields))
+
+let error ?session msg =
+  let fields =
+    match session with
+    | Some s -> [ ("session", Json.Str s); ("error", Json.Str msg) ]
+    | None -> [ ("error", Json.Str msg) ]
+  in
+  Json.to_string (Json.Obj (("ok", Json.Bool false) :: fields))
+
+(* ---------- hex (checkpoints on the wire) ---------- *)
+
+let hex_encode s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex string"
+  else
+    try
+      Ok
+        (String.init (n / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> Error "invalid hex digit"

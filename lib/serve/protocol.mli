@@ -1,0 +1,46 @@
+(** The line-delimited JSON wire protocol of [psmgen serve] (schema 1).
+
+    Every frame is one JSON object on one line. Requests carry an ["op"]
+    field; responses carry ["ok"] plus op-specific fields, and failures
+    are [{"ok":false,"error":...}] — always per-request, never a dropped
+    connection: a malformed line poisons nothing but itself.
+
+    Ops: [hello] (server + model inventory), [open] (create a session on
+    a model, mode [filter]|[sim]), [observe] (an array of classified
+    propositions — integers or null — plus optional per-cycle input
+    Hamming distances; the response returns per-cycle power, state ids
+    and the session's WSP/resync counters), [vcd] (raw VCD text in
+    chunks; [last:true] parses and enqueues the whole upload),
+    [checkpoint]/[restore] (hex-encoded resumable session state),
+    [close], [stats], [shutdown]. *)
+
+type mode = [ `Filter | `Sim ]
+
+type request =
+  | Hello
+  | Open of { session : string; model : string; mode : mode }
+  | Observe of { session : string; obs : (int option * float) array }
+  | Vcd of { session : string; chunk : string; last : bool }
+  | Checkpoint of { session : string }
+  | Restore of { session : string; model : string; checkpoint : string }
+  | Close of { session : string }
+  | Stats
+  | Shutdown
+
+val schema : int
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+val parse_request : string -> (request, string) result
+(** One line → one request; the error is a human-readable reason safe to
+    echo back to the client. *)
+
+val ok : (string * Json.t) list -> string
+(** [{"ok":true, ...fields}] as a wire line. *)
+
+val error : ?session:string -> string -> string
+(** [{"ok":false, "error":msg}] as a wire line. *)
+
+val hex_encode : string -> string
+val hex_decode : string -> (string, string) result

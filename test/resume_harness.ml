@@ -1,0 +1,65 @@
+(* Checkpoint / kill / resume harness, shared by the streaming-trainer
+   tests (Stream_train.Checkpoint) and the serve-session tests
+   (Psm_serve.Engine.checkpoint): drive a stateful subject step by step,
+   once uninterrupted and once killed at a chosen step — where "killed"
+   means the only thing surviving is the checkpoint bytes round-tripped
+   through a file on disk — then hand both sides' observable history back
+   to the caller for comparison.
+
+   The subject's [feed] returns whatever a client would have observed at
+   that step (served results, progress events — [] when the subject only
+   accumulates internal state). The harness concatenates the pre-kill
+   observations of the victim instance with the post-restore observations
+   of the revived one: exactly the view of a client that lived through
+   the crash. *)
+
+type ('s, 'o, 'r) subject = {
+  label : string;
+  steps : int;
+  create : unit -> 's;
+  feed : 's -> int -> 'o list; (* step i; returns client-visible output *)
+  save : 's -> string; (* checkpoint bytes *)
+  restore : string -> 's; (* fresh instance from checkpoint bytes *)
+  finish : 's -> 'r; (* final summary once all steps are fed *)
+}
+
+(* Both runs, as (client-observed outputs, final summary):
+   [straight] is the uninterrupted reference, [resumed] lived through a
+   kill at step [kill_at] (default: halfway). The harness asserts
+   nothing — callers compare the two sides with their own checkers. *)
+let run ?kill_at subject =
+  let kill_at =
+    match kill_at with Some k -> k | None -> subject.steps / 2
+  in
+  if kill_at < 0 || kill_at > subject.steps then
+    invalid_arg "Resume_harness.run: kill_at out of range";
+  let straight = subject.create () in
+  let seen_straight = ref [] in
+  for i = 0 to subject.steps - 1 do
+    seen_straight := List.rev_append (subject.feed straight i) !seen_straight
+  done;
+  let expected = (List.rev !seen_straight, subject.finish straight) in
+  let victim = subject.create () in
+  let seen = ref [] in
+  for i = 0 to kill_at - 1 do
+    seen := List.rev_append (subject.feed victim i) !seen
+  done;
+  let path = Filename.temp_file ("psm-resume-" ^ subject.label) ".ckpt" in
+  let actual =
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        let oc = open_out_bin path in
+        output_string oc (subject.save victim);
+        close_out oc;
+        (* The kill: nothing of [victim] is consulted past this point. *)
+        let ic = open_in_bin path in
+        let bytes = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let revived = subject.restore bytes in
+        for i = kill_at to subject.steps - 1 do
+          seen := List.rev_append (subject.feed revived i) !seen
+        done;
+        (List.rev !seen, subject.finish revived))
+  in
+  (expected, actual)

@@ -311,6 +311,98 @@ let test_checkpoint_mid_trace () =
       check_counts "emission counts" reference.Stream.emission_counts
         resumed.Stream.emission_counts)
 
+(* The same kill/resume discipline the serve-session tests use, through
+   the shared harness: the only thing surviving the kill is the
+   checkpoint file's bytes. Steps are half-traces, so the default and
+   chosen kill points land mid-trace in the middle of the training
+   pass — the hardest resume point (open trace cursor, pending watermark
+   state). The revived trainer must finish on the exact result of the
+   uninterrupted run. *)
+let test_harness_kill_resume () =
+  let traces, powers = capture_suite ~total_length:3000 "RAM" Psm_ips.Ram.create in
+  let iface = Functional_trace.interface (List.hd traces) in
+  let push_range t trace power lo hi =
+    for i = lo to hi - 1 do
+      Stream.Trainer.push t (Functional_trace.sample trace ~time:i)
+        ~power:(Power_trace.get power i)
+    done
+  in
+  let ops = ref [] in
+  List.iter2
+    (fun trace power ->
+      ops :=
+        (fun t ->
+          push_range t trace power 0 (Functional_trace.length trace);
+          Stream.Trainer.end_trace t)
+        :: !ops)
+    traces powers;
+  ops := (fun t -> Stream.Trainer.finish_mining t) :: !ops;
+  List.iter2
+    (fun trace power ->
+      let n = Functional_trace.length trace in
+      ops := (fun t -> push_range t trace power 0 (n / 2)) :: !ops;
+      ops :=
+        (fun t ->
+          push_range t trace power (n / 2) n;
+          Stream.Trainer.end_trace t)
+        :: !ops)
+    traces powers;
+  let ops = Array.of_list (List.rev !ops) in
+  let subject =
+    { Resume_harness.label = "stream-train";
+      steps = Array.length ops;
+      create = (fun () -> Stream.Trainer.create ~watermark:512 iface);
+      feed =
+        (fun t i ->
+          ops.(i) t;
+          []);
+      save =
+        (fun t ->
+          let path = Filename.temp_file "psm-trainer" ".ckpt" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              Stream.Checkpoint.save_file path t;
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () -> really_input_string ic (in_channel_length ic))));
+      restore =
+        (fun bytes ->
+          let path = Filename.temp_file "psm-trainer" ".ckpt" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              let oc = open_out_bin path in
+              output_string oc bytes;
+              close_out oc;
+              Stream.Checkpoint.load_file path));
+      finish = (fun t -> Stream.Trainer.finish t) }
+  in
+  let compare_results (a : Stream.result) (b : Stream.result) =
+    check_int "cycles" a.Stream.cycles b.Stream.cycles;
+    let bp = a.Stream.optimized and sp = b.Stream.optimized in
+    check_int "states" (Psm.state_count bp) (Psm.state_count sp);
+    check_int "transitions" (Psm.transition_count bp) (Psm.transition_count sp);
+    Alcotest.(check (list int)) "initial" (Psm.initial bp) (Psm.initial sp);
+    List.iter2
+      (fun (x : Psm.state) (y : Psm.state) ->
+        check_bool "assertion" true (Assertion.equal x.Psm.assertion y.Psm.assertion);
+        check_attr (Printf.sprintf "state %d" x.Psm.id) x.Psm.attr y.Psm.attr)
+      (sorted_states bp) (sorted_states sp);
+    check_counts "transition counts" a.Stream.transition_counts
+      b.Stream.transition_counts;
+    check_counts "emission counts" a.Stream.emission_counts
+      b.Stream.emission_counts
+  in
+  (* Default kill point (halfway: inside the training pass) plus one
+     inside the very first mining trace. *)
+  List.iter
+    (fun kill_at ->
+      let (_, expected), (_, actual) = Resume_harness.run ?kill_at subject in
+      compare_results expected actual)
+    [ None; Some 1 ]
+
 let test_checkpoint_bad_header () =
   let path = Filename.temp_file "psm-trainer" ".ckpt" in
   Fun.protect
@@ -495,6 +587,7 @@ let suite =
       Alcotest.test_case "incremental miner = batch miner" `Quick test_incremental_miner;
       Alcotest.test_case "counts provenance" `Slow test_counts_provenance;
       Alcotest.test_case "checkpoint/restore mid-trace" `Slow test_checkpoint_mid_trace;
+      Alcotest.test_case "kill/resume harness (mid-pass)" `Slow test_harness_kill_resume;
       Alcotest.test_case "checkpoint rejects model files" `Quick test_checkpoint_bad_header;
       Alcotest.test_case "VCD streaming = batch ingestion" `Slow test_vcd_stream_matches_batch;
       Alcotest.test_case "train_stream checkpoint resume" `Slow test_vcd_checkpoint_resume;
