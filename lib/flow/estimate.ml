@@ -111,38 +111,84 @@ let log_likelihood t =
   | Sim _ -> 0.
   | Filter (_, s) -> Filtering.Stream.log_likelihood s
 
-(* ---------- checkpoints ---------- *)
+(* ---------- portable checkpoints ---------- *)
 
-type snapshot_backend =
-  | Sim_snap of Multi_sim.Stepper.snapshot
-  | Filter_snap of Filtering.Stream.state
+type portable_backend =
+  | Portable_sim of Multi_sim.Stepper.portable
+  | Portable_filter of Filtering.Stream.portable
 
-type snapshot = {
-  snap_backend : snapshot_backend;
-  snap_prev_inputs : Bits.t array option;
+type portable = {
+  portable_backend : portable_backend;
+  portable_prev_inputs : string array option;
 }
 
-let snapshot t =
-  { snap_backend =
+let export t =
+  { portable_backend =
       (match t.backend with
-      | Sim st -> Sim_snap (Multi_sim.Stepper.snapshot st)
-      | Filter (_, s) -> Filter_snap (Filtering.Stream.copy s));
-    snap_prev_inputs = Option.map Array.copy t.prev_inputs }
+      | Sim st -> Portable_sim (Multi_sim.Stepper.export st)
+      | Filter (_, s) -> Portable_filter (Filtering.Stream.export s));
+    portable_prev_inputs =
+      Option.map (Array.map Bits.to_binary_string) t.prev_inputs }
 
-let restore ?filtering (model : Persist.model) snap =
-  let backend =
-    match snap.snap_backend with
-    | Sim_snap s ->
-        Sim (Multi_sim.Stepper.restore (Hmm.copy model.Persist.hmm) s)
-    | Filter_snap s ->
-        let filt =
-          match filtering with
-          | Some f -> f
-          | None -> Filtering.create model.Persist.hmm
-        in
-        Filter (filt, Filtering.Stream.copy s)
-  in
-  { model;
-    backend;
-    input_indexes = input_indexes_of model;
-    prev_inputs = Option.map Array.copy snap.snap_prev_inputs }
+(* The sample-level tracker's previous inputs, validated against the
+   model's interface (the serve path never populates it, but a
+   checkpoint is untrusted input end to end). *)
+let decode_prev_inputs (model : Persist.model) = function
+  | None -> Ok None
+  | Some strs ->
+      let iface =
+        Vocabulary.interface (Table.vocabulary model.Persist.table)
+      in
+      let arity = Interface.arity iface in
+      if Array.length strs <> arity then
+        Error
+          (Printf.sprintf "previous sample has %d signals, interface has %d"
+             (Array.length strs) arity)
+      else begin
+        try
+          Ok
+            (Some
+               (Array.mapi
+                  (fun i s ->
+                    let b = Bits.of_binary_string s in
+                    let w = (Interface.signal iface i).Psm_trace.Signal.width in
+                    if Bits.width b <> w then
+                      failwith
+                        (Printf.sprintf
+                           "previous sample signal %d is %d bits wide, \
+                            expected %d"
+                           i (Bits.width b) w);
+                    b)
+                  strs))
+        with
+        | Failure msg -> Error msg
+        | Invalid_argument _ -> Error "previous sample is not a bit string"
+      end
+
+let import ?filtering (model : Persist.model) p =
+  match decode_prev_inputs model p.portable_prev_inputs with
+  | Error _ as e -> e
+  | Ok prev_inputs -> (
+      let finish backend =
+        Ok
+          { model;
+            backend;
+            input_indexes = input_indexes_of model;
+            prev_inputs }
+      in
+      match p.portable_backend with
+      | Portable_sim sp -> (
+          match
+            Multi_sim.Stepper.import (Hmm.copy model.Persist.hmm) sp
+          with
+          | Error e -> Error ("sim state: " ^ e)
+          | Ok st -> finish (Sim st))
+      | Portable_filter fp -> (
+          let filt =
+            match filtering with
+            | Some f -> f
+            | None -> Filtering.create model.Persist.hmm
+          in
+          match Filtering.Stream.import filt fp with
+          | Error e -> Error ("filter state: " ^ e)
+          | Ok s -> finish (Filter (filt, s))))

@@ -62,14 +62,30 @@ val batched_result : t -> hd:float -> float * int
     batched and per-session paths cannot drift.
     @raise Invalid_argument on a sim session. *)
 
-type snapshot
-(** A complete resumable session state (belief or stepper mode, cursors,
-    ban log, counters, previous inputs). No closures, no model reference
-    — it marshals; pair it with the model name to checkpoint a session. *)
+type portable_backend =
+  | Portable_sim of Psm_hmm.Multi_sim.Stepper.portable
+  | Portable_filter of Psm_hmm.Filtering.Stream.portable
 
-val snapshot : t -> snapshot
+type portable = {
+  portable_backend : portable_backend;
+  portable_prev_inputs : string array option;
+      (** sample-level tracking only: the previous interface sample as
+          big-endian binary strings, in interface order *)
+}
+(** A complete resumable session state as plain data (belief or stepper
+    mode, cursors, ban log, counters, previous inputs) — what a session
+    checkpoint serializes, paired with the model name. Checkpoints cross
+    a trust boundary, so this is explicit data to encode field by field,
+    never a [Marshal] blob (crafted [Marshal] bytes can corrupt the
+    decoding process). *)
 
-val restore : ?filtering:Psm_hmm.Filtering.t -> Persist.model -> snapshot -> t
-(** A session continuing exactly where {!snapshot} was taken — stepping
-    it is bit-identical to never having stopped. [model] must be the
-    model the snapshot was taken on. *)
+val export : t -> portable
+
+val import :
+  ?filtering:Psm_hmm.Filtering.t -> Persist.model -> portable ->
+  (t, string) result
+(** A session continuing exactly where {!export} was taken — stepping it
+    is bit-identical to never having stopped. Every field is validated
+    against [model] before any session state is built; a checkpoint that
+    does not fit the model earns an [Error]. [model] must be the model
+    the export was taken on; [?filtering] as in {!of_model}. *)

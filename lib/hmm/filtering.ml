@@ -183,6 +183,11 @@ let log_likelihood t observations = forward_iter t observations ~emit:(fun _ _ -
 
 (* ---------- Streaming sessions (the serve hot path) ---------- *)
 
+(* CONTRACT (see the mli): everything in this module reads [t] but never
+   writes it — not even [t.alpha]/[t.scratch], which belong to
+   [forward_iter] above. The serve engine steps shards sharing one [t]
+   from distinct domains in parallel; a write to [t] here is a data
+   race. *)
 module Stream = struct
   type state = {
     alpha : float array;
@@ -194,6 +199,35 @@ module Stream = struct
   let make t =
     let m = Hmm.state_count t.hmm in
     { alpha = Array.make m 0.; scratch = Array.make m 0.; steps = 0; log_lik = 0. }
+
+  type portable = { p_steps : int; p_log_lik : float; p_belief : float array }
+
+  let export s =
+    { p_steps = s.steps; p_log_lik = s.log_lik; p_belief = Array.copy s.alpha }
+
+  (* Checkpoints travel over the wire, so every field is validated
+     against the target model before a session is built from it: a
+     hostile blob must earn an [Error], never out-of-bounds state. *)
+  let import t p =
+    let m = Hmm.state_count t.hmm in
+    if p.p_steps < 0 then Error "negative step count"
+    else if not (Float.is_finite p.p_log_lik) then
+      Error "non-finite log likelihood"
+    else if Array.length p.p_belief <> m then
+      Error
+        (Printf.sprintf "belief has %d entries, model has %d states"
+           (Array.length p.p_belief) m)
+    else if
+      Array.exists (fun v -> (not (Float.is_finite v)) || v < 0.) p.p_belief
+    then Error "belief entry outside [0, +inf)"
+    else if p.p_steps > 0 && Array.for_all (fun v -> v = 0.) p.p_belief then
+      Error "belief of a started session has no mass"
+    else
+      Ok
+        { alpha = Array.copy p.p_belief;
+          scratch = Array.make m 0.; (* transient: overwritten each step *)
+          steps = p.p_steps;
+          log_lik = p.p_log_lik }
 
   let copy s = { s with alpha = Array.copy s.alpha; scratch = Array.copy s.scratch }
   let steps s = s.steps

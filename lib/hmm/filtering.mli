@@ -54,10 +54,17 @@ val log_likelihood : t -> int option array -> float
     bit-identical to calling {!Stream.step} on each session, measurably
     faster per session·cycle.
 
-    A [state] owns its buffers and holds no closures: it marshals, so
-    session checkpoints are plain [Marshal] round trips. Sessions sharing
-    a {!t} must be stepped from one domain at a time (the emission table
-    and A' live in [t]); distinct [t]s are independent. *)
+    A [state] owns its buffers and holds no closures; {!Stream.export} /
+    {!Stream.import} expose it as validated plain data for checkpointing
+    (never [Marshal]-decode a [state] from an untrusted source). Stream
+    operations treat the shared [t] as read-only — they consult the
+    precomputed A' / emission tables but write only through the [state]s
+    passed in — so disjoint [state] sets may be stepped concurrently from
+    distinct domains even when they share one [t]; this is a contract the
+    serve engine relies on to shard one model's sessions across the pool.
+    Any future Stream change that writes to [t] (e.g. borrowing its
+    scratch buffers, which belong to the batch-analysis entry points and
+    keep their single-domain rule) breaks that contract. *)
 module Stream : sig
   type state
 
@@ -66,6 +73,19 @@ module Stream : sig
 
   val copy : state -> state
   (** Deep copy (checkpointing; the original keeps streaming). *)
+
+  type portable = { p_steps : int; p_log_lik : float; p_belief : float array }
+  (** A [state] as plain validated data — the only way session
+      checkpoints cross a trust boundary (the serve wire encodes this,
+      never [Marshal] bytes). *)
+
+  val export : state -> portable
+  (** Copies; the original keeps streaming. *)
+
+  val import : t -> portable -> (state, string) result
+  (** Validates every field against [t]'s model (belief length, finite
+      non-negative mass, step count) before building the session;
+      importing an {!export} resumes bit-identically. *)
 
   val steps : state -> int
   (** Observations consumed so far. *)

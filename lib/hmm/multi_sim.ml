@@ -448,45 +448,174 @@ module Stepper = struct
   let wrong_instants t = t.wrong_instants
   let resync_events t = t.resync_events
 
-  type snapshot = {
-    snap_prev_inputs : Bits.t array option;
-    snap_mode : mode;
-    snap_entered_via : (int * int) option;
-    snap_progressed : bool;
-    snap_cycles : int;
-    snap_wrong_instants : int;
-    snap_resync_events : int;
-    snap_bans : (int * int) list; (* oldest first *)
+  (* ---------- portable checkpoints ----------
+
+     The stepper's resumable state as plain validated data. No internal
+     structure crosses the boundary: cursors travel as (alternative
+     index, position) into the state's assertion and are rebuilt from
+     the target model on import, samples travel as binary strings. The
+     serve wire encodes this — never [Marshal] bytes, which a hostile
+     client could craft to corrupt the daemon. *)
+
+  type portable_mode =
+    [ `Unstarted | `Synced of int * (int * int) list | `Desynced of int ]
+
+  type portable = {
+    p_prev_inputs : string array option;
+    p_mode : portable_mode;
+    p_entered_via : (int * int) option;
+    p_progressed : bool;
+    p_cycles : int;
+    p_wrong_instants : int;
+    p_resync_events : int;
+    p_bans : (int * int) list; (* oldest first *)
   }
 
-  let snapshot t =
-    { snap_prev_inputs = Option.map Array.copy t.prev_inputs;
-      snap_mode = t.mode;
-      snap_entered_via = t.entered_via;
-      snap_progressed = t.progressed;
-      snap_cycles = t.cycles;
-      snap_wrong_instants = t.wrong_instants;
-      snap_resync_events = t.resync_events;
-      snap_bans = List.rev t.ban_log }
+  (* The first alternative whose primitive sequence equals the cursor's:
+     live cursors are built from the row's own alternatives, so this
+     always succeeds, and equal-prims alternatives are behaviourally
+     interchangeable ([step_cursor] reads only [prims]). *)
+  let alt_index_of_cursor t ~row cursor =
+    let rec find i = function
+      | [] -> invalid_arg "Multi_sim: cursor matches no alternative"
+      | alt :: rest ->
+          if primitives_of_alternative alt = cursor.prims then i
+          else find (i + 1) rest
+    in
+    find 0 (Assertion.alternatives t.assertions.(row))
 
-  let restore ?config ?steps ?reference hmm snap =
+  let export t =
+    { p_prev_inputs =
+        Option.map (Array.map Bits.to_binary_string) t.prev_inputs;
+      p_mode =
+        (match t.mode with
+        | Unstarted -> `Unstarted
+        | Desynced { origin_row } -> `Desynced origin_row
+        | Synced { row; cursors } ->
+            `Synced
+              ( row,
+                List.map
+                  (fun c -> (alt_index_of_cursor t ~row c, c.pos))
+                  cursors ));
+      p_entered_via = t.entered_via;
+      p_progressed = t.progressed;
+      p_cycles = t.cycles;
+      p_wrong_instants = t.wrong_instants;
+      p_resync_events = t.resync_events;
+      p_bans = List.rev t.ban_log }
+
+  let decode_prev_inputs t = function
+    | None -> Ok None
+    | Some strs ->
+        let iface =
+          Psm_mining.Vocabulary.interface (Table.vocabulary t.table)
+        in
+        let arity = Interface.arity iface in
+        if Array.length strs <> arity then
+          Error
+            (Printf.sprintf "previous sample has %d signals, interface has %d"
+               (Array.length strs) arity)
+        else begin
+          try
+            Ok
+              (Some
+                 (Array.mapi
+                    (fun i s ->
+                      let b = Bits.of_binary_string s in
+                      let w = (Interface.signal iface i).Psm_trace.Signal.width in
+                      if Bits.width b <> w then
+                        failwith
+                          (Printf.sprintf
+                             "previous sample signal %d is %d bits wide, \
+                              expected %d"
+                             i (Bits.width b) w);
+                      b)
+                    strs))
+          with
+          | Failure msg -> Error msg
+          | Invalid_argument _ -> Error "previous sample is not a bit string"
+        end
+
+  let import ?config ?steps ?reference hmm p =
     let t = create ?config ?steps ?reference hmm in
-    (* [create] reset the bans, so replaying the logged sequence in its
-       original order rebuilds the banned A float-for-float (each ban
-       renormalizes its source row sequentially). *)
-    List.iter
-      (fun (src, dst) -> Hmm.ban hmm ~src_row:src ~dst_row:dst)
-      snap.snap_bans;
-    t.ban_log <- List.rev snap.snap_bans;
-    t.bans_active <- snap.snap_bans <> [];
-    t.prev_inputs <- Option.map Array.copy snap.snap_prev_inputs;
-    t.mode <- snap.snap_mode;
-    t.entered_via <- snap.snap_entered_via;
-    t.progressed <- snap.snap_progressed;
-    t.cycles <- snap.snap_cycles;
-    t.wrong_instants <- snap.snap_wrong_instants;
-    t.resync_events <- snap.snap_resync_events;
-    t
+    let m = Hmm.state_count hmm in
+    let row_ok r = r >= 0 && r < m in
+    if p.p_cycles < 0 || p.p_resync_events < 0 then
+      Error "negative counter"
+    else if p.p_wrong_instants < 0 || p.p_wrong_instants > p.p_cycles then
+      Error "wrong_instants outside [0, cycles]"
+    else if List.compare_length_with p.p_bans (m * m) > 0 then
+      Error "ban log longer than A has entries"
+    else if
+      List.exists (fun (src, dst) -> not (row_ok src && row_ok dst)) p.p_bans
+    then Error "ban row out of range"
+    else if
+      match p.p_entered_via with
+      | Some (src, dst) -> not (row_ok src && row_ok dst)
+      | None -> false
+    then Error "entered_via row out of range"
+    else
+      let mode =
+        match p.p_mode with
+        | `Unstarted -> Ok Unstarted
+        | `Desynced origin_row ->
+            if row_ok origin_row then Ok (Desynced { origin_row })
+            else Error "desynced origin row out of range"
+        | `Synced (row, pcursors) ->
+            if not (row_ok row) then Error "synced row out of range"
+            else if pcursors = [] then Error "synced state with no cursors"
+            else begin
+              let alternatives =
+                Array.of_list (Assertion.alternatives t.assertions.(row))
+              in
+              if
+                List.compare_length_with pcursors (Array.length alternatives)
+                > 0
+              then Error "more cursors than the state has alternatives"
+              else begin
+                try
+                  Ok
+                    (Synced
+                       { row;
+                         cursors =
+                           List.map
+                             (fun (ai, pos) ->
+                               if ai < 0 || ai >= Array.length alternatives
+                               then failwith "cursor alternative out of range";
+                               let prims =
+                                 primitives_of_alternative alternatives.(ai)
+                               in
+                               if pos < 0 || pos >= Array.length prims then
+                                 failwith "cursor position out of range";
+                               { prims; pos })
+                             pcursors })
+                with Failure msg -> Error msg
+              end
+            end
+      in
+      match mode with
+      | Error _ as e -> e
+      | Ok mode -> (
+          match decode_prev_inputs t p.p_prev_inputs with
+          | Error _ as e -> e
+          | Ok prev_inputs ->
+              (* [create] reset the bans, so replaying the validated log
+                 in its original order rebuilds the banned A
+                 float-for-float (each ban renormalizes its source row
+                 sequentially). *)
+              List.iter
+                (fun (src, dst) -> Hmm.ban hmm ~src_row:src ~dst_row:dst)
+                p.p_bans;
+              t.ban_log <- List.rev p.p_bans;
+              t.bans_active <- p.p_bans <> [];
+              t.prev_inputs <- prev_inputs;
+              t.mode <- mode;
+              t.entered_via <- p.p_entered_via;
+              t.progressed <- p.p_progressed;
+              t.cycles <- p.p_cycles;
+              t.wrong_instants <- p.p_wrong_instants;
+              t.resync_events <- p.p_resync_events;
+              Ok t)
 end
 
 let simulate ?config ?reference hmm trace =

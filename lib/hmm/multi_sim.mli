@@ -81,17 +81,42 @@ module Stepper : sig
   val wrong_instants : t -> int
   val resync_events : t -> int
 
-  type snapshot
-  (** The stepper's complete resumable state: mode and live cursors,
-      previous inputs, counters, and the ordered log of A bans since the
-      last reset. Holds no closures or HMM reference — it marshals. *)
+  type portable_mode =
+    [ `Unstarted
+    | `Synced of int * (int * int) list
+      (** state row, live cursors as (alternative index, position) into
+          that row's assertion *)
+    | `Desynced of int  (** origin state row *) ]
 
-  val snapshot : t -> snapshot
+  type portable = {
+    p_prev_inputs : string array option;
+        (** previous interface sample as big-endian binary strings, in
+            interface order *)
+    p_mode : portable_mode;
+    p_entered_via : (int * int) option;  (** (src row, dst row) *)
+    p_progressed : bool;
+    p_cycles : int;
+    p_wrong_instants : int;
+    p_resync_events : int;
+    p_bans : (int * int) list;  (** (src row, dst row), oldest first *)
+  }
+  (** The stepper's complete resumable state as plain data: mode and
+      live cursors, previous inputs, counters, and the ordered log of A
+      bans since the last reset. This — not [Marshal] bytes, which are
+      unsafe to decode from an untrusted source — is what session
+      checkpoints serialize. *)
 
-  val restore : ?config:config -> ?steps:int -> ?reference:bool -> Hmm.t -> snapshot -> t
-  (** A stepper continuing exactly where {!snapshot} was taken: the
-      logged bans are replayed in order onto [hmm] (whose bans are reset
-      first), reproducing the banned A float-for-float — stepping the
-      restored stepper is bit-identical to never having stopped. [hmm]
-      must be (a {!Hmm.copy} of) the model the snapshot was taken on. *)
+  val export : t -> portable
+
+  val import :
+    ?config:config -> ?steps:int -> ?reference:bool -> Hmm.t -> portable ->
+    (t, string) Stdlib.result
+  (** A stepper continuing exactly where {!export} was taken: every
+      field is validated against [hmm]'s model (row bounds, cursor
+      alternative/position bounds, ban-log bounds, sample widths) before
+      any state is built, then the logged bans are replayed in order
+      onto [hmm] (whose bans are reset first), reproducing the banned A
+      float-for-float — stepping the imported stepper is bit-identical
+      to never having stopped. [hmm] must be (a {!Hmm.copy} of) the
+      model the export was taken on. *)
 end

@@ -1,0 +1,19 @@
+(** The session checkpoint wire format (version 2).
+
+    A checkpoint is [version line \n payload digest \n payload], where
+    the payload is one JSON object carrying the model name and the
+    session's {!Psm_flow.Estimate.portable} state field by field. The
+    digest detects accidental corruption; it is no integrity proof — the
+    blob is client-supplied, so {!decode} treats every field as hostile:
+    shape validation here, semantic validation against the target model
+    in {!Psm_flow.Estimate.import}. Nothing in this path ever
+    [Marshal]-decodes untrusted bytes (version 1 did, and is rejected by
+    its version line). *)
+
+val version : string
+
+val encode : model:string -> Psm_flow.Estimate.portable -> string
+
+val decode : string -> (string * Psm_flow.Estimate.portable, string) result
+(** The (model name, portable session) of a blob, or a description of
+    the first framing/shape problem. *)

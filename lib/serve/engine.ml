@@ -436,7 +436,10 @@ let tick t =
   else begin
     let t0 = Unix.gettimeofday () in
     (* Shards spread across the pool; each shard's sweep stays on one
-       domain, and results come back in shard order. *)
+       domain, and results come back in shard order. Shards of the same
+       (model, mode) group share one [Filtering.t], which is sound
+       because Stream operations are documented (and required) to treat
+       [t] as read-only — see the contract in [Filtering.Stream]. *)
     let counts =
       match work with
       | [ one ] -> [ process_work t one ]
@@ -484,10 +487,14 @@ let take_results t ~id ~count =
   | Ok s ->
       let n = min count (Ring.length s.results) in
       let code = ref 0 and value = ref 0. in
-      Ok
-        (Array.init n (fun _ ->
-             Ring.pop s.results ~code ~value;
-             (!value, !code)))
+      (* Explicit ascending fill: [Array.init]'s application order is
+         unspecified, and the popping closure must run oldest-first. *)
+      let out = Array.make n (0., 0) in
+      for i = 0 to n - 1 do
+        Ring.pop s.results ~code ~value;
+        out.(i) <- (!value, !code)
+      done;
+      Ok out
 
 let session_stats t ~id =
   match find_session t id with
@@ -533,59 +540,36 @@ let evict_idle t =
 
 (* ---------- checkpoints ---------- *)
 
-let checkpoint_version = "psm-serve-session 1"
+let checkpoint_version = Checkpoint.version
 
 let checkpoint t ~id =
   match find_session t id with
   | Error _ as e -> e
-  | Ok s ->
-      let payload =
-        Marshal.to_string (s.model_name, Estimate.snapshot s.est) []
-      in
-      Ok
-        (Printf.sprintf "%s\n%s\n%s" checkpoint_version
-           (Digest.to_hex (Digest.string payload))
-           payload)
+  | Ok s -> Ok (Checkpoint.encode ~model:s.model_name (Estimate.export s.est))
 
 let restore_session t ~id data =
   if Hashtbl.mem t.sessions id then
     Error (Printf.sprintf "session %S already exists" id)
   else
-    match String.index_opt data '\n' with
-    | None -> Error "checkpoint: truncated header"
-    | Some nl1 -> (
-        let version = String.sub data 0 nl1 in
-        if not (String.equal version checkpoint_version) then
-          Error
-            (Printf.sprintf "checkpoint: version mismatch (%S, expected %S)"
-               version checkpoint_version)
-        else
-          match String.index_from_opt data (nl1 + 1) '\n' with
-          | None -> Error "checkpoint: truncated digest"
-          | Some nl2 -> (
-              let digest = String.sub data (nl1 + 1) (nl2 - nl1 - 1) in
-              let payload =
-                String.sub data (nl2 + 1) (String.length data - nl2 - 1)
-              in
-              if not (String.equal digest (Digest.to_hex (Digest.string payload)))
-              then Error "checkpoint: digest mismatch (corrupted payload)"
-              else
-                match
-                  (Marshal.from_string payload 0
-                    : string * Estimate.snapshot)
-                with
-                | exception _ -> Error "checkpoint: unreadable payload"
-                | model_name, snap -> (
-                    match find_model t model_name with
-                    | None ->
-                        Error
-                          (Printf.sprintf
-                             "checkpoint names unknown model %S" model_name)
-                    | Some m ->
-                        let est =
-                          Estimate.restore
-                            ~filtering:(filtering_for t model_name m) m snap
-                        in
-                        add_session t ~id ~model_name
-                          ~nprops:(prop_count m) est;
-                        Ok ())))
+    match Checkpoint.decode data with
+    | Error _ as e -> e
+    | Ok (model_name, portable) -> (
+        match find_model t model_name with
+        | None ->
+            Error
+              (Printf.sprintf "checkpoint names unknown model %S" model_name)
+        | Some m -> (
+            (* The shared per-model filter only matters (and only gets
+               built) for filter sessions; a sim checkpoint must not pay
+               for it. *)
+            let filtering =
+              match portable.Estimate.portable_backend with
+              | Estimate.Portable_filter _ ->
+                  Some (filtering_for t model_name m)
+              | Estimate.Portable_sim _ -> None
+            in
+            match Estimate.import ?filtering m portable with
+            | Error e -> Error ("checkpoint: " ^ e)
+            | Ok est ->
+                add_session t ~id ~model_name ~nprops:(prop_count m) est;
+                Ok ()))

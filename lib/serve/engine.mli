@@ -107,11 +107,16 @@ val evict_idle : t -> string list
 (** Drop sessions idle past the timeout; returns their ids (sorted). *)
 
 val checkpoint_version : string
+(** = {!Checkpoint.version}. *)
 
 val checkpoint : t -> id:string -> (string, string) result
-(** A self-contained resumable blob: version line, payload digest, then
-    the marshalled (model name, session snapshot). Restoring it — in this
-    engine or a fresh one holding the same model — resumes bit-identically
-    to never having stopped. *)
+(** A self-contained resumable blob in the {!Checkpoint} wire format
+    (explicit field-by-field JSON — never [Marshal] bytes). Restoring it
+    — in this engine or a fresh one holding the same model — resumes
+    bit-identically to never having stopped. *)
 
 val restore_session : t -> id:string -> string -> (unit, string) result
+(** Checkpoints arrive from clients and are treated as hostile: the blob
+    is validated structurally ({!Checkpoint.decode}) and then
+    semantically against the named model ({!Psm_flow.Estimate.import});
+    anything that does not fit earns an [Error], never daemon state. *)

@@ -73,9 +73,20 @@ let to_string v =
 
 exception Bad of string
 
-type parser_state = { text : string; mutable pos : int }
+type parser_state = { text : string; mutable pos : int; mutable depth : int }
 
 let error p msg = raise (Bad (Printf.sprintf "%s at byte %d" msg p.pos))
+
+(* The recursive-descent parser consumes one stack frame per nesting
+   level; without a bound, a request line of a few thousand '['s raises
+   [Stack_overflow] — an exception the request loop does not treat as a
+   parse error — and kills the daemon. The protocol never nests past
+   depth 4. *)
+let max_depth = 100
+
+let enter p =
+  p.depth <- p.depth + 1;
+  if p.depth > max_depth then error p "nesting too deep"
 
 let peek p = if p.pos < String.length p.text then Some p.text.[p.pos] else None
 
@@ -173,9 +184,11 @@ let rec parse_value p =
   | Some '"' -> Str (parse_string p)
   | Some '{' ->
       expect p '{';
+      enter p;
       skip_ws p;
       if peek p = Some '}' then begin
         p.pos <- p.pos + 1;
+        p.depth <- p.depth - 1;
         Obj []
       end
       else begin
@@ -195,13 +208,17 @@ let rec parse_value p =
               List.rev ((key, v) :: acc)
           | _ -> error p "expected ',' or '}'"
         in
-        Obj (fields [])
+        let fields = fields [] in
+        p.depth <- p.depth - 1;
+        Obj fields
       end
   | Some '[' ->
       expect p '[';
+      enter p;
       skip_ws p;
       if peek p = Some ']' then begin
         p.pos <- p.pos + 1;
+        p.depth <- p.depth - 1;
         List []
       end
       else begin
@@ -217,7 +234,9 @@ let rec parse_value p =
               List.rev (v :: acc)
           | _ -> error p "expected ',' or ']'"
         in
-        List (items [])
+        let items = items [] in
+        p.depth <- p.depth - 1;
+        List items
       end
   | Some 't' -> literal p "true" (Bool true)
   | Some 'f' -> literal p "false" (Bool false)
@@ -225,7 +244,7 @@ let rec parse_value p =
   | Some _ -> Num (parse_number p)
 
 let of_string text =
-  let p = { text; pos = 0 } in
+  let p = { text; pos = 0; depth = 0 } in
   match parse_value p with
   | v ->
       skip_ws p;
@@ -233,6 +252,9 @@ let of_string text =
         Error (Printf.sprintf "trailing garbage at byte %d" p.pos)
       else Ok v
   | exception Bad msg -> Error msg
+  (* Belt and braces under [max_depth]: never let a parse crash the
+     process. *)
+  | exception Stack_overflow -> Error "nesting too deep"
 
 (* ---------- accessors ---------- *)
 

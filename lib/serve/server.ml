@@ -6,6 +6,9 @@ type conn = {
   lines : string Queue.t; (* complete frames awaiting processing *)
   outbuf : Buffer.t; (* responses awaiting the socket *)
   mutable closed : bool;
+  mutable write_blocked : bool;
+      (* the last write filled the socket buffer (EAGAIN); don't try
+         again until select reports the fd writable *)
 }
 
 type t = {
@@ -23,6 +26,7 @@ let create ?pool ?idle_timeout ?batch ?now ~listen models =
     match listen with
     | `Tcp port ->
         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.set_nonblock fd;
         Unix.setsockopt fd Unix.SO_REUSEADDR true;
         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
         Unix.listen fd 128;
@@ -35,6 +39,7 @@ let create ?pool ?idle_timeout ?batch ?now ~listen models =
     | `Unix path ->
         (try Unix.unlink path with Unix.Unix_error _ -> ());
         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.set_nonblock fd;
         Unix.bind fd (Unix.ADDR_UNIX path);
         Unix.listen fd 128;
         (fd, 0)
@@ -71,18 +76,34 @@ let respond conn line =
   Buffer.add_string conn.outbuf line;
   Buffer.add_char conn.outbuf '\n'
 
-(* One bounded write; a partial write keeps the rest buffered for the next
-   round, so one slow client never wedges the loop for long. *)
+(* A stalled client that never reads can buffer responses without bound;
+   past this the connection is dropped (its sessions live on in the
+   engine until close/eviction, like any disconnect). *)
+let max_outbuf = 64 * 1024 * 1024
+
+(* One bounded non-blocking write ([single_write] on an fd accept marked
+   non-blocking, so it can never retry internally): a partial write keeps
+   the rest buffered for the next round, and a full socket buffer
+   (EAGAIN) parks the connection until select reports the fd writable —
+   one slow client never wedges the loop. *)
 let flush_out conn =
   let len = Buffer.length conn.outbuf in
-  if len > 0 && not conn.closed then begin
+  if len > 0 && (not conn.closed) && not conn.write_blocked then begin
     let bytes = Buffer.to_bytes conn.outbuf in
-    match Unix.write conn.fd bytes 0 len with
+    match Unix.single_write conn.fd bytes 0 len with
     | n ->
         Buffer.clear conn.outbuf;
         if n < len then Buffer.add_subbytes conn.outbuf bytes n (len - n)
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        conn.write_blocked <- true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
         close_conn conn
+  end;
+  if Buffer.length conn.outbuf > max_outbuf then begin
+    Psm_obs.incr "serve.slow_client_drops";
+    close_conn conn
   end
 
 (* ---------- request handling ---------- *)
@@ -259,10 +280,15 @@ let run t =
     in
     match Unix.select readable_wanted writable_wanted [] 1.0 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _writable, _ ->
+    | readable, writable, _ ->
+        (* A writable report is the all-clear after a full socket buffer. *)
+        List.iter
+          (fun c -> if List.mem c.fd writable then c.write_blocked <- false)
+          t.conns;
         if List.mem t.listen_fd readable then begin
           match Unix.accept t.listen_fd with
           | fd, _ ->
+              Unix.set_nonblock fd;
               Psm_obs.incr "serve.connections";
               t.conns <-
                 t.conns
@@ -270,7 +296,8 @@ let run t =
                       inbuf = Buffer.create 256;
                       lines = Queue.create ();
                       outbuf = Buffer.create 256;
-                      closed = false } ]
+                      closed = false;
+                      write_blocked = false } ]
           | exception Unix.Unix_error _ -> ()
         end;
         List.iter
@@ -283,6 +310,10 @@ let run t =
               | n ->
                   Buffer.add_subbytes conn.inbuf buf 0 n;
                   extract_lines conn
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+                  () (* spurious readiness on a non-blocking fd *)
               | exception
                   Unix.Unix_error
                     ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->

@@ -464,6 +464,140 @@ let test_checkpoint_kill_resume () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "garbage checkpoint accepted")
 
+(* A sim checkpoint taken mid-desynchronization carries live bans,
+   cursors and the desynced/entered-via bookkeeping; the restored twin
+   must walk the identical path through the recovery. *)
+let test_checkpoint_mid_desync () =
+  let m = model_of "RAM" in
+  let np = nprops m in
+  let e = Engine.create ~idle_timeout:0. [ ("RAM", m) ] in
+  get (Engine.open_session e ~id:"s" ~model:"RAM" ~mode:`Sim);
+  let text = Vcd.to_string (ram_trace ()) in
+  let n1 = feed_vcd e ~id:"s" text ~pieces:1 in
+  let rng = Random.State.make [| 0xdead; 5 |] in
+  let burst = Array.init 40 (fun _ -> (Some (Random.State.int rng np), 0.)) in
+  check_int "burst enqueued" 40 (get (Engine.submit e ~id:"s" burst));
+  ignore (Engine.drain e);
+  ignore (get (Engine.take_results e ~id:"s" ~count:(n1 + 40)));
+  let mid = get (Engine.session_stats e ~id:"s") in
+  check_bool "burst desynchronized" true (mid.Engine.resync_events > 0);
+  let blob = get (Engine.checkpoint e ~id:"s") in
+  get (Engine.restore_session e ~id:"s2" blob);
+  let tail = mk_obs ~oseed:501 ~np ~len:50 in
+  List.iter
+    (fun id ->
+      check_int "tail enqueued" 50
+        (get (Engine.submit e ~id (Array.map (fun o -> (o, 0.)) tail))))
+    [ "s"; "s2" ];
+  ignore (Engine.drain e);
+  let out = get (Engine.take_results e ~id:"s" ~count:50) in
+  let out2 = get (Engine.take_results e ~id:"s2" ~count:50) in
+  check_served ~what:"mid-desync twin" out out2;
+  let st = get (Engine.session_stats e ~id:"s") in
+  let st2 = get (Engine.session_stats e ~id:"s2") in
+  check_int "twin cycles" st.Engine.cycles st2.Engine.cycles;
+  check_int "twin wrong instants" st.Engine.wrong_instants
+    st2.Engine.wrong_instants;
+  check_int "twin resync events" st.Engine.resync_events
+    st2.Engine.resync_events
+
+(* ---------- hostile checkpoints (untrusted wire input) ---------- *)
+
+(* Correctly framed blobs (right version, right digest) whose fields do
+   not fit the model: every one must earn an [Error] — never daemon
+   state, never an exception. *)
+let frame payload =
+  Printf.sprintf "%s\n%s\n%s" Engine.checkpoint_version
+    (Digest.to_hex (Digest.string payload))
+    payload
+
+let test_hostile_checkpoints () =
+  let m = model_of "RAM" in
+  let e = Engine.create ~idle_timeout:0. [ ("RAM", m) ] in
+  let reject what payload =
+    match Engine.restore_session e ~id:("h-" ^ what) (frame payload) with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "hostile checkpoint accepted: %s" what
+  in
+  let rows = Hmm.state_count m.Persist.hmm in
+  let uniform n = String.concat "," (List.init n (fun _ -> "0.125")) in
+  let filter_payload ~steps ~belief =
+    Printf.sprintf
+      {|{"model":"RAM","prev_inputs":null,"backend":"filter","steps":%d,"log_lik":-1.5,"belief":[%s]}|}
+      steps belief
+  in
+  let sim_payload ?(cycles = 5) ?(wrong = 1) ?(bans = "[]") ~mode () =
+    Printf.sprintf
+      {|{"model":"RAM","prev_inputs":null,"backend":"sim","mode":%s,"sim_prev_inputs":null,"entered_via":null,"progressed":false,"cycles":%d,"wrong_instants":%d,"resync_events":0,"bans":%s}|}
+      mode cycles wrong bans
+  in
+  (* The v1 format marshalled an OCaml value; its version line is
+     refused outright — nothing ever Marshal-decodes wire bytes. *)
+  (match
+     Engine.restore_session e ~id:"v1"
+       (Printf.sprintf "psm-serve-session 1\n%s\nx"
+          (Digest.to_hex (Digest.string "x")))
+   with
+  | Error err -> check_bool "v1 names version" true (contains err "version")
+  | Ok () -> Alcotest.fail "v1 Marshal checkpoint accepted");
+  reject "belief too long" (filter_payload ~steps:3 ~belief:(uniform (rows + 1)));
+  reject "belief too short" (filter_payload ~steps:3 ~belief:(uniform (max 1 (rows - 1))));
+  reject "negative steps" (filter_payload ~steps:(-1) ~belief:(uniform rows));
+  reject "negative belief mass"
+    (filter_payload ~steps:3
+       ~belief:(String.concat "," ("-0.5" :: List.init (rows - 1) (fun _ -> "0.5"))));
+  reject "zero belief mass"
+    (filter_payload ~steps:3
+       ~belief:(String.concat "," (List.init rows (fun _ -> "0"))));
+  reject "ban row out of range"
+    (sim_payload ~mode:{|{"kind":"unstarted"}|} ~cycles:0 ~wrong:0
+       ~bans:(Printf.sprintf "[[0,%d]]" rows) ());
+  reject "negative ban row"
+    (sim_payload ~mode:{|{"kind":"unstarted"}|} ~cycles:0 ~wrong:0
+       ~bans:"[[-1,0]]" ());
+  reject "desynced row out of range"
+    (sim_payload ~mode:(Printf.sprintf {|{"kind":"desynced","row":%d}|} rows) ());
+  reject "synced row out of range"
+    (sim_payload
+       ~mode:(Printf.sprintf {|{"kind":"synced","row":%d,"cursors":[[0,0]]}|} rows)
+       ());
+  reject "cursor alternative out of range"
+    (sim_payload ~mode:{|{"kind":"synced","row":0,"cursors":[[99,0]]}|} ());
+  reject "cursor position out of range"
+    (sim_payload ~mode:{|{"kind":"synced","row":0,"cursors":[[0,99]]}|} ());
+  reject "synced without cursors"
+    (sim_payload ~mode:{|{"kind":"synced","row":0,"cursors":[]}|} ());
+  reject "wrong_instants beyond cycles"
+    (sim_payload ~mode:{|{"kind":"unstarted"}|} ~cycles:2 ~wrong:3 ());
+  reject "sample interface mismatch"
+    {|{"model":"RAM","prev_inputs":["1"],"backend":"filter","steps":0,"log_lik":0,"belief":[]}|};
+  reject "unknown backend"
+    {|{"model":"RAM","prev_inputs":null,"backend":"exec","steps":0}|};
+  reject "unknown model"
+    {|{"model":"nope","prev_inputs":null,"backend":"filter","steps":0,"log_lik":0,"belief":[]}|};
+  (* Digest mismatch is caught before any field parsing. *)
+  (match
+     Engine.restore_session e ~id:"dg"
+       (Printf.sprintf "%s\n%s\n%s" Engine.checkpoint_version
+          (Digest.to_hex (Digest.string "other"))
+          (filter_payload ~steps:0 ~belief:(uniform rows)))
+   with
+  | Error err -> check_bool "digest named" true (contains err "digest")
+  | Ok () -> Alcotest.fail "digest mismatch accepted");
+  (* A well-formed handcrafted blob (not produced by export) is fine. *)
+  get
+    (Engine.restore_session e ~id:"ok"
+       (frame (filter_payload ~steps:0 ~belief:(uniform rows))));
+  check_bool "engine unharmed" true (Engine.has_session e "ok");
+  (* Parser hardening: a deeply nested frame is a parse error, not a
+     stack overflow. *)
+  (match Json.of_string (String.make 5_000 '[') with
+  | Error err -> check_bool "depth named" true (contains err "deep")
+  | Ok _ -> Alcotest.fail "unterminated nesting parsed");
+  match Json.of_string (String.make 99 '[' ^ "0" ^ String.make 99 ']') with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "depth-99 value rejected: %s" err
+
 (* ---------- the daemon: socket-level fault injection ---------- *)
 
 type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
@@ -540,6 +674,12 @@ let test_server_faults () =
         (contains (J.to_string (J.member "error" (J.of_string r))) "malformed");
       check_bool "same connection still serves" true
         (response_ok (rpc c (req "hello" [])));
+      (* A deeply nested frame is a per-request parse error, not a
+         daemon-killing stack overflow. *)
+      check_bool "deep nesting rejected" false
+        (response_ok (rpc c (String.make 10_000 '[')));
+      check_bool "daemon survives deep nesting" true
+        (response_ok (rpc c (req "hello" [])));
       (* Unknown op, missing fields: still per-request errors. *)
       check_bool "unknown op rejected" false (response_ok (rpc c (req "nope" [])));
       check_bool "open without model rejected" false
@@ -606,8 +746,9 @@ let test_server_faults () =
 (* One scripted client conversation per bundled IP, pinned request line
    by response line. Floats cross the wire as shortest round-trip
    decimals, so the baselines are exact strings. Checkpoint hex is
-   deliberately not in the script: marshalled bytes are not stable
-   across compiler versions, the numeric protocol surface is.
+   deliberately not in the script: the resume semantics and hostile
+   rejection have dedicated tests, the numeric protocol surface is
+   what the transcript pins.
    Regenerate with PSM_REGEN_GOLDEN=1 dune runtest. *)
 
 let transcript_ips = [ "RAM"; "MultSum"; "AES"; "Camellia"; "FIFO" ]
@@ -728,6 +869,10 @@ let suite =
         test_sim_wsp_resync;
       Alcotest.test_case "checkpoint kill/resume (harness)" `Slow
         test_checkpoint_kill_resume;
+      Alcotest.test_case "checkpoint mid-desync (bans/cursors)" `Slow
+        test_checkpoint_mid_desync;
+      Alcotest.test_case "hostile checkpoints rejected" `Quick
+        test_hostile_checkpoints;
       Alcotest.test_case "daemon fault injection over socket" `Slow
         test_server_faults ]
     @ List.map
