@@ -3,7 +3,7 @@
    DESIGN.md, and micro-benchmarks the core operations with Bechamel.
 
    Usage:
-     main.exe [table1|table2|table3|figs|ablations|ingest|analyze|verify|evaluate|profile|stream|micro|all]
+     main.exe [table1|table2|table3|figs|ablations|ingest|analyze|verify|evaluate|profile|stream|compress|serve|micro|all]
               [--paper] [--json FILE]
 
    Default (no arguments): everything, with the long-TS/evaluation lengths
@@ -335,6 +335,13 @@ let run_ingest () =
   assert (Psm_trace.Functional_trace.length parsed.Psm_trace.Vcd.trace = large_cycles);
   Printf.printf "parse_file %d cycles: %.2f MiB in %.3f s = %.1f MiB/s\n" large_cycles
     mib parse_s mb_s;
+  (* The run structure is built incrementally by the reader's trace
+     builder, so it is already materialized here — no extra pass. *)
+  let runs = Psm_trace.Functional_trace.runs parsed.Psm_trace.Vcd.trace in
+  Printf.printf "run structure: %d run(s), compression %.4f (mean run %.2f)\n"
+    (Psm_trace.Runs.count runs)
+    (Psm_trace.Runs.compression runs)
+    (Psm_trace.Runs.mean_run runs);
   (* Parallel in-memory parse: same result, chunked across the pool. *)
   let text =
     let ic = open_in large_path in
@@ -387,7 +394,9 @@ let run_ingest () =
       ("parallel_parse_mib_per_s", par_mb_s);
       ("stream_peak_live_words_10k", float_of_int small_peak);
       ("stream_peak_live_words_100k", float_of_int large_peak);
-      ("stream_peak_ratio_100k_vs_10k", ratio) ]
+      ("stream_peak_ratio_100k_vs_10k", ratio);
+      ("run_compression", Psm_trace.Runs.compression runs);
+      ("mean_run_length", Psm_trace.Runs.mean_run runs) ]
 
 (* ---------- Static analyzer throughput ---------- *)
 
@@ -811,16 +820,17 @@ let stream_iface =
       Psm_trace.Signal.output "busy" 1 ]
 
 (* A deterministic cyclic workload: six behaviors revisited with a fixed
-   64-cycle dwell, so the model stays constant while the trace length
-   grows — the shape under which O(model) live memory is observable. *)
-let write_stream_vcd path len =
+   dwell, so the model stays constant while the trace length grows — the
+   shape under which O(model) live memory is observable, and (at the
+   default 64-cycle dwell) ~98.4% self-loop instants, the shape the
+   run-length-compacted pipeline paths exploit. *)
+let stream_workload ?(dwell = 64) len =
   let open Psm_bits in
   let samples =
     Array.init len (fun _ -> [| Bits.zero 2; Bits.zero 1; Bits.zero 1 |])
   in
   let powers = Array.make len 0. in
   let behaviors = [| (0, 0); (1, 1); (3, 0); (2, 1); (0, 1); (3, 1) |] in
-  let dwell = 64 in
   for i = 0 to len - 1 do
     let mode, req = behaviors.((i / dwell) mod Array.length behaviors) in
     let busy = if mode >= 2 then 1 else req in
@@ -830,8 +840,12 @@ let write_stream_vcd path len =
     powers.(i) <-
       float_of_int ((mode * 7) + (busy * 3) + 2) +. (0.05 *. float_of_int (i mod 5))
   done;
-  let trace = Psm_trace.Functional_trace.of_samples stream_iface samples in
-  Psm_trace.Vcd.write_file ~power:(Psm_trace.Power_trace.of_array powers) path trace
+  ( Psm_trace.Functional_trace.of_samples stream_iface samples,
+    Psm_trace.Power_trace.of_array powers )
+
+let write_stream_vcd path len =
+  let trace, power = stream_workload len in
+  Psm_trace.Vcd.write_file ~power path trace
 
 (* Peak live major heap during [f], sampled at the end of every major
    collection (post-sweep, so floating garbage is excluded). *)
@@ -885,14 +899,42 @@ let run_stream () =
             (Psm.transition_count bp) len;
           exit 1
         end;
-        (result, seconds, peak))
+        (* The per-cycle reference path on the same file: its wall clock
+           against [seconds] is the RLE speedup, and its model must be
+           identical (the full structural check lives in the test suite). *)
+        let t0 = Unix.gettimeofday () in
+        let reference =
+          Psm_trace.Runs.with_enabled false (fun () ->
+              Psm_flow.Stream_train.train_stream ~period:1 ~provenance:`Counts
+                [ path ])
+        in
+        let ref_seconds = Unix.gettimeofday () -. t0 in
+        let rp = reference.Psm_flow.Stream_train.optimized in
+        if
+          Psm.state_count rp <> Psm.state_count sp
+          || Psm.transition_count rp <> Psm.transition_count sp
+        then begin
+          Printf.eprintf
+            "FAIL: RLE streamed model (%d states, %d transitions) diverges \
+             from the per-cycle reference (%d states, %d transitions) at %d \
+             cycles\n"
+            (Psm.state_count sp) (Psm.transition_count sp) (Psm.state_count rp)
+            (Psm.transition_count rp) len;
+          exit 1
+        end;
+        (result, seconds, ref_seconds, peak))
   in
   let rows =
     List.map
       (fun len ->
-        let result, seconds, peak = measure len in
+        let result, seconds, ref_seconds, peak = measure len in
         let cycles = result.Psm_flow.Stream_train.cycles in
         let rate = if seconds > 0. then float_of_int cycles /. seconds else 0. in
+        let compression =
+          let trace, _ = stream_workload len in
+          Psm_trace.Runs.compression (Psm_trace.Functional_trace.runs trace)
+        in
+        let speedup = if seconds > 0. then ref_seconds /. seconds else 0. in
         let tag = Printf.sprintf "stream_%dk" (len / 1000) in
         stream_metrics :=
           !stream_metrics
@@ -900,7 +942,10 @@ let run_stream () =
               (tag ^ "_cycles_per_s", rate);
               (tag ^ "_peak_live_words", float_of_int peak);
               ( tag ^ "_compactions",
-                float_of_int result.Psm_flow.Stream_train.compactions ) ];
+                float_of_int result.Psm_flow.Stream_train.compactions );
+              (tag ^ "_run_compression", compression);
+              (tag ^ "_percycle_train_seconds", ref_seconds);
+              (tag ^ "_rle_speedup", speedup) ];
         [ string_of_int len;
           string_of_int cycles;
           Printf.sprintf "%.3f" seconds;
@@ -908,14 +953,16 @@ let run_stream () =
           string_of_int result.Psm_flow.Stream_train.compactions;
           string_of_int peak;
           string_of_int
-            (Psm.state_count result.Psm_flow.Stream_train.optimized) ])
+            (Psm.state_count result.Psm_flow.Stream_train.optimized);
+          Printf.sprintf "%.4f" compression;
+          Printf.sprintf "%.2fx" speedup ])
       [ 10_000; 100_000 ]
   in
   print_string
     (Report.render_table
        ~header:
          [ "VCD cycles"; "trained"; "train s"; "cycles/s"; "compactions";
-           "peak live words"; "states" ]
+           "peak live words"; "states"; "run compression"; "rle speedup" ]
        rows);
   print_endline
     "(peak live words = live major heap sampled at every major-GC end while\n\
@@ -944,6 +991,148 @@ let gate_stream_heap ~stream =
       end
   | _ ->
       Printf.eprintf "FAIL: --gate requires the stream stage\n";
+      exit 1
+
+(* ---------- Run-length compaction: RLE paths vs per-cycle ---------- *)
+
+let compress_metrics : (string * float) list ref = ref []
+
+(* Worst case for the compacted paths: every adjacent sample pair
+   differs, so every run has length one and the RLE branches buy
+   nothing — they must not cost anything either. *)
+let distinct_workload len =
+  let open Psm_bits in
+  let samples =
+    Array.init len (fun i ->
+        [| Bits.of_int ~width:2 (i mod 4);
+           Bits.of_int ~width:1 (i / 4 mod 2);
+           Bits.of_int ~width:1 (i mod 2) |])
+  in
+  let powers = Array.init len (fun i -> 2. +. float_of_int (i mod 5)) in
+  ( Psm_trace.Functional_trace.of_samples stream_iface samples,
+    Psm_trace.Power_trace.of_array powers )
+
+let run_compress () =
+  section "Run-length compaction: RLE pipeline vs per-cycle reference";
+  (* Best-of-3 full [Flow.train] under each toggle; the two trained
+     models must agree exactly — the timing comparison is meaningless if
+     the fast path computes something else. *)
+  let time_train ~enabled ~traces ~powers =
+    let result = ref None and best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Psm_trace.Runs.with_enabled enabled (fun () ->
+            Flow.train ~traces ~powers ())
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let check_identical tag (a : Flow.trained) (b : Flow.trained) =
+    if
+      Psm.state_count a.Flow.optimized <> Psm.state_count b.Flow.optimized
+      || Psm.transition_count a.Flow.optimized
+         <> Psm.transition_count b.Flow.optimized
+      || a.Flow.transition_counts <> b.Flow.transition_counts
+      || a.Flow.emission_counts <> b.Flow.emission_counts
+    then begin
+      Printf.eprintf
+        "FAIL: %s workload: the RLE pipeline and the per-cycle reference \
+         trained different models\n"
+        tag;
+      exit 1
+    end
+  in
+  let measure tag (trace, power) =
+    let traces = [ trace ] and powers = [ power ] in
+    let compression =
+      Psm_trace.Runs.compression (Psm_trace.Functional_trace.runs trace)
+    in
+    let rle, rle_s = time_train ~enabled:true ~traces ~powers in
+    let reference, ref_s = time_train ~enabled:false ~traces ~powers in
+    check_identical tag rle reference;
+    let speedup = if rle_s > 0. then ref_s /. rle_s else 0. in
+    Printf.printf
+      "%s: compression %.4f, train %.3f s (RLE) vs %.3f s (per-cycle) = \
+       %.2fx\n"
+      tag compression rle_s ref_s speedup;
+    compress_metrics :=
+      !compress_metrics
+      @ [ (tag ^ "_run_compression", compression);
+          (tag ^ "_train_rle_seconds", rle_s);
+          (tag ^ "_train_percycle_seconds", ref_s);
+          (tag ^ "_rle_speedup", speedup) ];
+    speedup
+  in
+  (* 60k cycles at 64-cycle dwell: ~98.4% self-loop instants. *)
+  ignore (measure "idle" (stream_workload 60_000));
+  ignore (measure "distinct" (distinct_workload 8_000));
+  (* Per-IP run-compression ratios on the paper's short-TS suites: what
+     the compacted paths have to work with on the bundled benchmarks. *)
+  let rows =
+    List.map
+      (fun (name, make) ->
+        let ip : Psm_ips.Ip.t = make () in
+        let suite =
+          Workloads.suite ~total_length:(Workloads.paper_short_length name)
+            ~long:false name
+        in
+        let pairs = List.map (Psm_ips.Capture.run ip) suite in
+        let cycles, runs =
+          List.fold_left
+            (fun (c, r) (trace, _) ->
+              let rs = Psm_trace.Functional_trace.runs trace in
+              (c + Psm_trace.Runs.total rs, r + Psm_trace.Runs.count rs))
+            (0, 0) pairs
+        in
+        let ratio =
+          if cycles = 0 then 1. else float_of_int runs /. float_of_int cycles
+        in
+        compress_metrics :=
+          !compress_metrics
+          @ [ (String.lowercase_ascii name ^ "_run_compression", ratio) ];
+        [ name; string_of_int cycles; string_of_int runs;
+          Printf.sprintf "%.4f" ratio ])
+      [ ("RAM", Psm_ips.Ram.create); ("MultSum", Psm_ips.Multsum.create);
+        ("AES", Psm_ips.Aes.create); ("Camellia", Psm_ips.Camellia.create) ]
+  in
+  print_string
+    (Report.render_table
+       ~header:[ "IP"; "cycles"; "runs"; "compression" ]
+       rows)
+
+(* The acceptance gates: the RLE pipeline must win clearly where there
+   are runs to exploit, and must not lose measurably where there are
+   none (every run has length one, the worst case). *)
+let gate_compress ~compress =
+  match
+    ( List.assoc_opt "idle_rle_speedup" compress,
+      List.assoc_opt "distinct_rle_speedup" compress )
+  with
+  | Some idle, Some distinct ->
+      Printf.printf
+        "[gate] rle speedup: idle %.2fx (floor 1.30x), all-distinct %.2fx \
+         (floor 0.95x)\n"
+        idle distinct;
+      if idle < 1.30 then begin
+        Printf.eprintf
+          "FAIL: RLE speedup on the idle-heavy workload is %.2fx (floor \
+           1.30x)\n"
+          idle;
+        exit 1
+      end;
+      if distinct < 0.95 then begin
+        Printf.eprintf
+          "FAIL: RLE slowdown on the all-distinct workload: %.2fx (floor \
+           0.95x)\n"
+          distinct;
+        exit 1
+      end
+  | _ ->
+      Printf.eprintf "FAIL: --gate requires the compress stage\n";
       exit 1
 
 (* ---------- Serve: concurrent sessions, batched sparse sweeps ---------- *)
@@ -1390,6 +1579,7 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   let evaluate = ("evaluate", run_evaluate ~eval_length) in
   let profile = ("profile", run_profile) in
   let stream = ("stream", run_stream) in
+  let compress = ("compress", run_compress) in
   let serve = ("serve", run_serve) in
   let micro = ("micro", run_micro) in
   match what with
@@ -1404,12 +1594,13 @@ let stages_of ~long_length ~eval_length ~ablation_eval what =
   | "evaluate" -> Some [ evaluate ]
   | "profile" -> Some [ profile ]
   | "stream" -> Some [ stream ]
+  | "compress" -> Some [ compress ]
   | "serve" -> Some [ serve ]
   | "micro" -> Some [ micro ]
   | "all" ->
       Some
         [ table1; table2; table3; figs; ablations; ingest; analyze; verify;
-          evaluate; profile; stream; serve; micro ]
+          evaluate; profile; stream; compress; serve; micro ]
   | _ -> None
 
 (* Two independent wall-clock measurements never agree to the printed
@@ -1560,7 +1751,7 @@ let () =
         | None ->
             Printf.eprintf
               "unknown command %s (expected \
-               table1|table2|table3|figs|ablations|ingest|analyze|verify|evaluate|profile|stream|micro|all)\n"
+               table1|table2|table3|figs|ablations|ingest|analyze|verify|evaluate|profile|stream|compress|serve|micro|all)\n"
               w;
             exit 2)
       whats
@@ -1576,7 +1767,7 @@ let () =
       [ ("ingest", !ingest_metrics); ("analyze", !analyze_metrics);
         ("verify", !verify_metrics); ("evaluate", !evaluate_metrics);
         ("profile", !profile_metrics); ("stream", !stream_metrics);
-        ("serve", !serve_metrics) ]
+        ("compress", !compress_metrics); ("serve", !serve_metrics) ]
   in
   check_distinct_measurements metrics;
   let baseline =
@@ -1607,11 +1798,11 @@ let () =
     if
       not
         (ran "table2" || ran "evaluate" || ran "stream" || ran "verify"
-        || ran "serve")
+        || ran "compress" || ran "serve")
     then begin
       Printf.eprintf
         "FAIL: --gate requires at least one gated stage \
-         (table2|evaluate|stream|verify|serve)\n";
+         (table2|evaluate|stream|verify|compress|serve)\n";
       exit 1
     end;
     if ran "table2" then gate_table2_speedup ~timings ~baseline;
@@ -1624,6 +1815,9 @@ let () =
     if ran "stream" then
       gate_stream_heap
         ~stream:(Option.value ~default:[] (List.assoc_opt "stream" metrics));
+    if ran "compress" then
+      gate_compress
+        ~compress:(Option.value ~default:[] (List.assoc_opt "compress" metrics));
     if ran "serve" then
       gate_serve
         ~serve:(Option.value ~default:[] (List.assoc_opt "serve" metrics))

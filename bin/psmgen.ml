@@ -5,6 +5,7 @@
                 set, optionally dump Graphviz/VCD/CSV artifacts
      evaluate   train on short-TS, evaluate accuracy on long-TS
      trace      capture a training trace and write it as VCD and/or CSV
+     stats      run-length structure of a trace (compression, histogram)
      lint       statically analyze a persisted model
      verify     symbolically prove model invariants over the atom theory
      diff       semantic (bisimulation) comparison of two models
@@ -89,6 +90,15 @@ let lint_flag =
        & info [ "lint" ]
            ~doc:"Print the static-analysis report for the model.")
 
+let no_rle_arg =
+  Term.(const (fun no_rle -> if no_rle then Psm_trace.Runs.set_enabled false)
+        $ Arg.(value & flag
+               & info [ "no-rle" ]
+                   ~doc:"Disable the run-length-compacted pipeline paths and \
+                         run the per-cycle reference implementation instead \
+                         (bit-identical results; for debugging and \
+                         benchmarking only)."))
+
 module Analyzer = Psm_analysis.Analyzer
 module Report = Psm_analysis.Report
 
@@ -165,8 +175,9 @@ let generate_cmd =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print propositions.") in
   Cmd.v
     (Cmd.info "generate" ~doc:"Mine PSMs for a benchmark IP")
-    Term.(const (fun () -> generate) $ logs_arg $ ip_arg $ length $ parts_arg
-          $ epsilon_arg $ dot_arg $ save_arg $ lint_flag $ verbose $ profile_arg)
+    Term.(const (fun () () -> generate) $ logs_arg $ no_rle_arg $ ip_arg $ length
+          $ parts_arg $ epsilon_arg $ dot_arg $ save_arg $ lint_flag $ verbose
+          $ profile_arg)
 
 (* ---- evaluate ---- *)
 
@@ -201,7 +212,8 @@ let evaluate_cmd =
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Short-TS training, long-TS accuracy evaluation")
-    Term.(const evaluate $ ip_arg $ length $ parts_arg $ epsilon_arg $ plot)
+    Term.(const (fun () -> evaluate) $ no_rle_arg $ ip_arg $ length $ parts_arg
+          $ epsilon_arg $ plot)
 
 (* ---- trace ---- *)
 
@@ -309,7 +321,8 @@ let train_vcd_cmd =
   Cmd.v
     (Cmd.info "train-vcd"
        ~doc:"Mine PSMs from externally captured VCD traces (black-box mode)")
-    Term.(const train_vcd $ files $ dot_arg $ unknowns_arg $ period_arg)
+    Term.(const (fun () -> train_vcd) $ no_rle_arg $ files $ dot_arg $ unknowns_arg
+          $ period_arg)
 
 (* ---- train-stream: incremental black-box training, O(model) memory ---- *)
 
@@ -364,8 +377,8 @@ let train_stream_cmd =
     (Cmd.info "train-stream"
        ~doc:"Mine PSMs from VCD traces incrementally, without materializing \
              any trace in memory")
-    Term.(const train_stream $ files $ dot_arg $ unknowns_arg $ stream_period
-          $ watermark $ checkpoint)
+    Term.(const (fun () -> train_stream) $ no_rle_arg $ files $ dot_arg
+          $ unknowns_arg $ stream_period $ watermark $ checkpoint)
 
 (* ---- apply: run a persisted model over recorded traces ---- *)
 
@@ -419,8 +432,102 @@ let apply_cmd =
   in
   Cmd.v
     (Cmd.info "apply" ~doc:"Estimate power for recorded traces with a persisted model")
-    Term.(const apply $ model $ vcds $ unknowns_arg $ period_arg $ lint_flag
-          $ profile_arg)
+    Term.(const (fun () -> apply) $ no_rle_arg $ model $ vcds $ unknowns_arg
+          $ period_arg $ lint_flag $ profile_arg)
+
+(* ---- stats: run-length structure of a trace ---- *)
+
+module Runs = Psm_trace.Runs
+
+let print_run_stats label runs =
+  Printf.printf
+    "%s: %d cycles in %d run(s), compression %.4f (mean run %.2f, max run %d)\n"
+    label (Runs.total runs) (Runs.count runs) (Runs.compression runs)
+    (Runs.mean_run runs) (Runs.max_run runs);
+  if Runs.count runs > 0 then begin
+    Printf.printf "  run-length histogram:\n";
+    List.iter
+      (fun (b, c) ->
+        Printf.printf "    [%7d, %7d): %d\n" (1 lsl b) (1 lsl (b + 1)) c)
+      (Runs.histogram runs)
+  end
+
+let json_of_runs runs =
+  Printf.sprintf
+    "{\"cycles\":%d,\"runs\":%d,\"compression\":%.6f,\"mean_run\":%.6f,\
+     \"max_run\":%d,\"histogram\":[%s]}"
+    (Runs.total runs) (Runs.count runs) (Runs.compression runs)
+    (Runs.mean_run runs) (Runs.max_run runs)
+    (String.concat ","
+       (List.map
+          (fun (b, c) -> Printf.sprintf "[%d,%d]" (1 lsl b) c)
+          (Runs.histogram runs)))
+
+let stats_run model_path trace_file unknowns period json_path =
+  let parsed =
+    try Psm_trace.Vcd.parse_file ~unknowns ?period trace_file
+    with Psm_trace.Vcd.Parse_error e ->
+      Printf.eprintf "%s: parse error: %s\n" trace_file
+        (Psm_trace.Reader.error_to_string e);
+      exit 1
+  in
+  print_ingest trace_file parsed.Psm_trace.Vcd.stats;
+  let trace = parsed.Psm_trace.Vcd.trace in
+  let runs = Psm_trace.Functional_trace.runs trace in
+  print_run_stats "samples" runs;
+  let prop_runs =
+    Option.map
+      (fun path ->
+        let model = Psm_flow.Persist.load_file path in
+        let table = model.Psm_flow.Persist.table in
+        let n = Psm_trace.Functional_trace.length trace in
+        (* One classification per sample run; unmatched rows code to -1. *)
+        let codes = Array.make n (-1) in
+        Psm_trace.Functional_trace.iter_runs
+          (fun ~start ~len sample ->
+            match Psm_mining.Prop_trace.Table.classify table sample with
+            | Some p -> Array.fill codes start len p
+            | None -> ())
+          trace;
+        let prop_runs = Runs.scan ~equal:(fun i j -> codes.(i) = codes.(j)) n in
+        print_run_stats "proposition segments" prop_runs;
+        prop_runs)
+      model_path
+  in
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc "{\"trace\":%s,\"samples\":%s%s}\n"
+        (Printf.sprintf "%S" trace_file)
+        (json_of_runs runs)
+        (match prop_runs with
+        | None -> ""
+        | Some pr -> ",\"prop_segments\":" ^ json_of_runs pr);
+      close_out oc;
+      Printf.printf "Wrote %s\n" path)
+    json_path
+
+let stats_cmd =
+  let model =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"MODEL"
+             ~doc:"Persisted model; adds the proposition-segment view (how \
+                   the mined atoms compact the trace).")
+  in
+  let trace =
+    Arg.(required & opt (some file) None
+         & info [ "trace" ] ~docv:"VCD" ~doc:"Trace to analyze.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write the statistics as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run-length structure of a trace: compression ratio and run \
+             histogram, the quantities the RLE pipeline paths exploit")
+    Term.(const (fun () -> stats_run) $ no_rle_arg $ model $ trace $ unknowns_arg
+          $ period_arg $ json)
 
 (* ---- lint: static analysis of a persisted model ---- *)
 
@@ -704,7 +811,8 @@ let serve_cmd =
              line-delimited JSON protocol (Unix or loopback TCP socket); \
              co-resident sessions on the same model advance in batched \
              sparse forward sweeps")
-    Term.(const serve_run $ logs_arg $ models $ socket_arg
+    Term.(const (fun () () -> serve_run ()) $ logs_arg $ no_rle_arg $ models
+          $ socket_arg
           $ port_arg
               ~doc:"Listen on loopback TCP (0 or omitted picks an ephemeral \
                     port, printed at startup)."
@@ -899,5 +1007,6 @@ let () =
   let doc = "automatic generation of power state machines (DATE 2016 reproduction)" in
   exit (Cmd.eval (Cmd.group (Cmd.info "psmgen" ~version:"1.0.0" ~doc)
                     [ generate_cmd; evaluate_cmd; trace_cmd; train_vcd_cmd;
-                      train_stream_cmd; apply_cmd; serve_cmd; serve_drive_cmd;
-                      lint_cmd; verify_cmd; diff_cmd; netlist_cmd; info_cmd ]))
+                      train_stream_cmd; apply_cmd; stats_cmd; serve_cmd;
+                      serve_drive_cmd; lint_cmd; verify_cmd; diff_cmd;
+                      netlist_cmd; info_cmd ]))

@@ -30,28 +30,64 @@ type t = {
    coalesced (a state merged by [simplify] holds member intervals that
    abut — the run is one activation). Overlapping (corrupt) intervals
    coalesce too; [attr-sanity] reports them. *)
+let merge_sorted ivs =
+  List.rev
+    (List.fold_left
+       (fun acc (start, stop) ->
+         match acc with
+         | (s0, e0) :: rest when start <= e0 + 1 -> (s0, max e0 stop) :: rest
+         | _ -> (start, stop) :: acc)
+       [] ivs)
+
+(* Intervals already in (trace, start, stop) order — the shape the
+   generator emits and merges preserve. *)
+let rec sorted_by_trace_start = function
+  | (a : Power_attr.interval) :: (b :: _ as rest) ->
+      (a.Power_attr.trace < b.Power_attr.trace
+      || (a.Power_attr.trace = b.Power_attr.trace
+         && (a.Power_attr.start < b.Power_attr.start
+            || (a.Power_attr.start = b.Power_attr.start
+               && a.Power_attr.stop <= b.Power_attr.stop))))
+      && sorted_by_trace_start rest
+  | _ -> true
+
 let activation_runs intervals =
-  let by_trace = Hashtbl.create 4 in
-  List.iter
-    (fun (iv : Power_attr.interval) ->
-      Hashtbl.replace by_trace iv.Power_attr.trace
-        ((iv.Power_attr.start, iv.Power_attr.stop)
-        :: Option.value ~default:[] (Hashtbl.find_opt by_trace iv.Power_attr.trace)))
-    intervals;
-  Hashtbl.fold
-    (fun trace ivs acc ->
-      let sorted = List.sort compare ivs in
-      let merged =
-        List.fold_left
-          (fun acc (start, stop) ->
-            match acc with
-            | (s0, e0) :: rest when start <= e0 + 1 -> (s0, max e0 stop) :: rest
-            | _ -> (start, stop) :: acc)
-          [] sorted
+  match intervals with
+  | [] -> []
+  | [ iv ] -> [ (iv.Power_attr.trace, [ (iv.Power_attr.start, iv.Power_attr.stop) ]) ]
+  | _ when sorted_by_trace_start intervals ->
+      (* Single-pass grouping: the interval list is itself the
+         materialized run structure (most states' intervals arrive in
+         canonical order), so the hashtable and the sorts disappear.
+         Output is structurally identical to the general path. *)
+      let rec split groups cur cur_ivs = function
+        | [] -> List.rev ((cur, merge_sorted (List.rev cur_ivs)) :: groups)
+        | (iv : Power_attr.interval) :: rest ->
+            if iv.Power_attr.trace = cur then
+              split groups cur ((iv.Power_attr.start, iv.Power_attr.stop) :: cur_ivs) rest
+            else
+              split
+                ((cur, merge_sorted (List.rev cur_ivs)) :: groups)
+                iv.Power_attr.trace
+                [ (iv.Power_attr.start, iv.Power_attr.stop) ]
+                rest
       in
-      (trace, List.rev merged) :: acc)
-    by_trace []
-  |> List.sort compare
+      (match intervals with
+      | iv :: rest ->
+          split [] iv.Power_attr.trace [ (iv.Power_attr.start, iv.Power_attr.stop) ] rest
+      | [] -> [])
+  | _ ->
+      let by_trace = Hashtbl.create 4 in
+      List.iter
+        (fun (iv : Power_attr.interval) ->
+          Hashtbl.replace by_trace iv.Power_attr.trace
+            ((iv.Power_attr.start, iv.Power_attr.stop)
+            :: Option.value ~default:[] (Hashtbl.find_opt by_trace iv.Power_attr.trace)))
+        intervals;
+      Hashtbl.fold
+        (fun trace ivs acc -> (trace, merge_sorted (List.sort compare ivs)) :: acc)
+        by_trace []
+      |> List.sort compare
 
 let create ?powers psm =
   Psm_obs.span "analyze.scan" @@ fun () ->

@@ -1,9 +1,25 @@
 module Prop_trace = Psm_mining.Prop_trace
 module Power_trace = Psm_trace.Power_trace
+module Runs = Psm_trace.Runs
 
 let assertion_of_pattern = function
   | Xu.Until (p, q) -> Assertion.Until (p, q)
   | Xu.Next (p, q) -> Assertion.Next (p, q)
+
+(* The Xu walk, collapsed to one step per maximal Γ segment: for each
+   consecutive segment pair ⟨p, s, e⟩, ⟨q, _, _⟩ the automaton emits
+   (e > s ? p U q : p X q) over [s, e] — a multi-instant run passes
+   through the `U state, a single instant stays in `X — and exhausts
+   with the final segment pending, i.e. trailing_stop = len - 1. Pinned
+   against the per-cycle automaton by the RLE equivalence tests. *)
+let triplets_of_segments segs =
+  let rec go acc = function
+    | (p, s, e) :: ((q, _, _) :: _ as rest) ->
+        let pat = if e > s then Xu.Until (p, q) else Xu.Next (p, q) in
+        go ((pat, s, e) :: acc) rest
+    | _ -> List.rev acc
+  in
+  go [] segs
 
 let generate psm ~trace gamma delta =
   Psm_obs.span "generate.chain" @@ fun () ->
@@ -13,15 +29,22 @@ let generate psm ~trace gamma delta =
     invalid_arg "Generator.generate: proposition and power traces differ in length";
   if Prop_trace.table gamma != Psm.prop_table psm then
     invalid_arg "Generator.generate: proposition table mismatch";
-  let xu = Xu.initialize gamma in
-  (* Collect ⟨pattern, start, stop⟩ triplets, then apply the trailing
-     extension to the last one. *)
-  let rec collect acc =
-    match Xu.get_assertion xu with
-    | Some triplet -> collect (triplet :: acc)
-    | None -> List.rev acc
+  let triplets, trailing =
+    if Runs.use () then
+      (triplets_of_segments (Prop_trace.segments gamma), Some (len - 1))
+    else begin
+      let xu = Xu.initialize gamma in
+      (* Collect ⟨pattern, start, stop⟩ triplets, then apply the trailing
+         extension to the last one. *)
+      let rec collect acc =
+        match Xu.get_assertion xu with
+        | Some triplet -> collect (triplet :: acc)
+        | None -> List.rev acc
+      in
+      let triplets = collect [] in
+      (triplets, Xu.trailing_stop xu)
+    end
   in
-  let triplets = collect [] in
   Psm_obs.count "generate.xu_triplets" (List.length triplets);
   let triplets =
     (* End-of-trace attribution. A trailing run of a single instant is
@@ -30,7 +53,7 @@ let generate psm ~trace gamma delta =
        the trace was cut mid-behaviour — becomes its own absorbing state
        asserting the run persists, so its power cannot pollute the last
        recognized state's attributes. *)
-    match (Xu.trailing_stop xu, List.rev triplets) with
+    match (trailing, List.rev triplets) with
     | None, _ -> triplets
     | Some stop, ((pat, start, last_stop) :: earlier as all) ->
         let tail_start = last_stop + 1 in

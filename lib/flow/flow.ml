@@ -133,13 +133,25 @@ let train ?(config = default) ~traces ~powers () =
           List.concat_map
             (fun (s : Psm.state) ->
               let per_prop = Hashtbl.create 8 in
+              let bump p n =
+                Hashtbl.replace per_prop p
+                  (float_of_int n +. Option.value ~default:0. (Hashtbl.find_opt per_prop p))
+              in
               List.iter
                 (fun iv ->
-                  for t = iv.Psm_core.Power_attr.start to iv.Psm_core.Power_attr.stop do
-                    let p = Prop_trace.prop_at gammas.(iv.Psm_core.Power_attr.trace) t in
-                    Hashtbl.replace per_prop p
-                      (1. +. Option.value ~default:0. (Hashtbl.find_opt per_prop p))
-                  done)
+                  let gamma = gammas.(iv.Psm_core.Power_attr.trace) in
+                  if Psm_trace.Runs.use () then
+                    (* One bump per Γ segment in the window; integer
+                       counts accumulated in floats stay exact, and props
+                       first appear in the same time order, so the table
+                       (and its fold order) matches the per-cycle loop. *)
+                    Prop_trace.iter_prop_runs gamma ~start:iv.Psm_core.Power_attr.start
+                      ~stop:iv.Psm_core.Power_attr.stop
+                      (fun p ~start:_ ~len -> bump p len)
+                  else
+                    for t = iv.Psm_core.Power_attr.start to iv.Psm_core.Power_attr.stop do
+                      bump (Prop_trace.prop_at gamma t) 1
+                    done)
                 s.Psm.attr.Psm_core.Power_attr.intervals;
               Hashtbl.fold (fun p c acc -> ((s.Psm.id, p), c) :: acc) per_prop [])
             (Psm.states optimized)

@@ -5,6 +5,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 module Interface = Psm_trace.Interface
 module Vcd = Psm_trace.Vcd
 module Reader = Psm_trace.Reader
+module Runs = Psm_trace.Runs
 module Bits = Psm_bits.Bits
 module Miner = Psm_mining.Miner
 module Table = Psm_mining.Prop_trace.Table
@@ -234,7 +235,15 @@ type core = {
   mutable generate_s : float;
 }
 
-and trainer = { config : Flow.config; core : core }
+(* Mining-phase run coalescer. Lives on the wrapper, NOT in [core]: the
+   checkpoint payload is one [Marshal] of [core] and must keep its
+   layout. Pending runs are flushed at trace boundaries and before any
+   checkpoint — flushing early is exact, because [observe_run] works in
+   absolute time and a value re-observed at the next instant continues
+   its run regardless of how the observations were batched. *)
+and mine_rle = { mutable rsample : Bits.t array option; mutable rlen : int }
+
+and trainer = { config : Flow.config; core : core; mine_rle : mine_rle }
 
 let create_core ?(config = Flow.default) ?(watermark = default_watermark)
     ?(provenance = `Full) iface =
@@ -501,16 +510,27 @@ let emit_triplet core pat tstart tstop =
 
 (* ---------- push / end_trace ---------- *)
 
+let same_sample a b = Array.length a = Array.length b && Array.for_all2 Bits.equal a b
+
 let push_training trainer sample ~power =
   let core = trainer.core in
   let table =
     match core.table with Some t -> t | None -> assert false
   in
   let t = core.cur_len in
-  let prop = Table.classify_or_add table sample in
+  (* Classification memo: a sample equal to the previous one has the same
+     truth row (hence the same proposition, with no interning to do) and
+     an input Hamming distance of exactly 0 — the dominant self-loop
+     cycles of an idle-heavy trace skip the classify and the copy. *)
+  let memo_hit =
+    Runs.use ()
+    && (match core.prev_inputs with Some prev -> same_sample prev sample | None -> false)
+  in
+  let prop = if memo_hit then core.prev_prop else Table.classify_or_add table sample in
   let ham =
     match core.prev_inputs with
     | None -> 0.
+    | Some _ when memo_hit -> 0.
     | Some prev ->
         let d =
           List.fold_left
@@ -540,18 +560,39 @@ let push_training trainer sample ~power =
     core.run_start <- t
   end;
   core.prev_prop <- prop;
-  core.prev_inputs <- Some (Array.copy sample);
+  if not memo_hit then core.prev_inputs <- Some (Array.copy sample);
   core.cur_len <- t + 1;
   core.cycles <- core.cycles + 1;
   core.since_compact <- core.since_compact + 1;
   if core.since_compact >= core.watermark then compact trainer.config core
+
+let flush_mine_rle trainer =
+  match trainer.mine_rle.rsample with
+  | None -> ()
+  | Some s ->
+      Miner.Incremental.observe_run trainer.core.miner s trainer.mine_rle.rlen;
+      trainer.mine_rle.rsample <- None;
+      trainer.mine_rle.rlen <- 0
 
 let push trainer sample ~power =
   let core = trainer.core in
   if Array.length sample <> Interface.arity core.iface then
     invalid_arg "Stream_train.push: sample arity mismatch";
   match core.phase with
-  | Mining -> Miner.Incremental.observe core.miner sample
+  | Mining ->
+      if Runs.use () then begin
+        match trainer.mine_rle.rsample with
+        | Some s when same_sample s sample ->
+            trainer.mine_rle.rlen <- trainer.mine_rle.rlen + 1
+        | _ ->
+            flush_mine_rle trainer;
+            trainer.mine_rle.rsample <- Some (Array.copy sample);
+            trainer.mine_rle.rlen <- 1
+      end
+      else begin
+        flush_mine_rle trainer;
+        Miner.Incremental.observe core.miner sample
+      end
   | Training -> push_training trainer sample ~power
 
 let end_trace_training trainer =
@@ -591,6 +632,7 @@ let end_trace trainer =
   let core = trainer.core in
   match core.phase with
   | Mining ->
+      flush_mine_rle trainer;
       Miner.Incremental.end_trace core.miner;
       core.traces_done <- core.traces_done + 1
   | Training -> end_trace_training trainer
@@ -600,6 +642,7 @@ let finish_mining trainer =
   (match core.phase with
   | Training -> invalid_arg "Stream_train.finish_mining: already training"
   | Mining -> ());
+  flush_mine_rle trainer;
   let t0 = Unix.gettimeofday () in
   let vocabulary =
     Psm_obs.span "stream.mine" @@ fun () -> Miner.Incremental.vocabulary core.miner
@@ -806,7 +849,8 @@ module Trainer = struct
 
   let create ?config ?watermark ?provenance iface =
     { config = Option.value ~default:Flow.default config;
-      core = create_core ?config ?watermark ?provenance iface }
+      core = create_core ?config ?watermark ?provenance iface;
+      mine_rle = { rsample = None; rlen = 0 } }
 
   let push = push
   let end_trace = end_trace
@@ -833,6 +877,10 @@ module Checkpoint = struct
   exception Restore_error of string
 
   let save_channel oc (t : Trainer.t) =
+    (* The pending mining run lives outside [core]; fold it into the
+       miner's counters so the marshaled payload is self-contained.
+       Early flushing is exact (absolute-time run continuity). *)
+    flush_mine_rle t;
     output_string oc (version_line ^ "\n");
     output_string oc
       (Printf.sprintf "state %s watermark %d cycles %d\n"
@@ -862,7 +910,7 @@ module Checkpoint = struct
       with Failure msg | Sys_error msg ->
         raise (Restore_error (source ^ ": corrupt checkpoint payload: " ^ msg))
     in
-    { config; core }
+    { config; core; mine_rle = { rsample = None; rlen = 0 } }
 
   let load_file ?config path =
     let ic = open_in_bin path in

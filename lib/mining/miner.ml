@@ -2,6 +2,7 @@ module Bits = Psm_bits.Bits
 module Functional_trace = Psm_trace.Functional_trace
 module Interface = Psm_trace.Interface
 module Signal = Psm_trace.Signal
+module Runs = Psm_trace.Runs
 
 type config = {
   min_support : float;
@@ -85,6 +86,35 @@ module Value_counter = struct
       List.iter (Hashtbl.remove t.table) doomed
     end
 
+  (* [observe_run t time v len]: the signal held [v] over the [len]
+     instants [time, time + len). Exact w.r.t. [len] successive
+     [observe] calls: the first cycle goes through [observe] (including
+     its prune), and the remaining [len - 1] cycles only ever extend the
+     just-touched cell's run — occ, run_len and last advance by bulk
+     arithmetic, and the reference's per-cycle prune checks in that
+     stretch are no-ops (no new hapax cell appears between them). When
+     the table is beyond [prune_at], or the first observe's prune evicted
+     [v] itself, fall back to the literal per-cycle loop. *)
+  let observe_run t time v len =
+    if len = 1 then observe t time v
+    else begin
+      observe t time v;
+      if Hashtbl.length t.table <= t.prune_at then
+        match Hashtbl.find_opt t.table v with
+        | Some c when c.last = time ->
+            c.occ <- c.occ + len - 1;
+            c.run_len <- c.run_len + len - 1;
+            c.last <- time + len - 1
+        | _ ->
+            for i = 1 to len - 1 do
+              observe t (time + i) v
+            done
+      else
+        for i = 1 to len - 1 do
+          observe t (time + i) v
+        done
+    end
+
   let fold f t init =
     (* Each value's final run is still open; close it into a snapshot
        cell rather than mutating the live one, so folding is reentrant
@@ -141,12 +171,24 @@ let const_candidates config traces iface total =
   let offset = ref 0 in
   List.iter
     (fun trace ->
-      Functional_trace.iter
-        (fun time sample ->
-          Array.iteri
-            (fun s v -> if narrow s then Value_counter.observe counters.(s) (!offset + time) v)
-            sample)
-        trace;
+      if Runs.use () then
+        (* A run of identical samples is a run of identical values on
+           every signal; one bulk observation per signal per run. *)
+        Functional_trace.iter_runs
+          (fun ~start ~len sample ->
+            Array.iteri
+              (fun s v ->
+                if narrow s then
+                  Value_counter.observe_run counters.(s) (!offset + start) v len)
+              sample)
+          trace
+      else
+        Functional_trace.iter
+          (fun time sample ->
+            Array.iteri
+              (fun s v -> if narrow s then Value_counter.observe counters.(s) (!offset + time) v)
+              sample)
+          trace;
       offset := !offset + Functional_trace.length trace + 2)
     traces;
   consts_of_counters ~total counters
@@ -178,6 +220,24 @@ module Run_acc = struct
       end
     end;
     a.prev <- holds
+
+  (* [len] successive [step]s with the same truth value, collapsed to
+     bulk arithmetic. Exact: a true stretch extends (or opens, closing
+     any pending short run) one run by [len]; a false stretch only
+     clears [prev] — short-run closing stays lazy, as in [step]. *)
+  let step_run ~short_below a holds len =
+    if len = 1 then step ~short_below a holds
+    else if holds then begin
+      a.occ <- a.occ + len;
+      if a.prev then a.run_len <- a.run_len + len
+      else begin
+        close_pending ~short_below a;
+        a.runs <- a.runs + 1;
+        a.run_len <- len
+      end;
+      a.prev <- true
+    end
+    else a.prev <- false
 
   (* Trace boundary: an open run ends here and must not bridge traces. *)
   let boundary ~short_below a =
@@ -214,16 +274,30 @@ let pair_chunk_stats ~short_below ~total traces (pairs : (int * int) array) =
   let gts = Array.init k (fun _ -> Run_acc.create ()) in
   List.iter
     (fun trace ->
-      Functional_trace.iter
-        (fun _ sample ->
-          for j = 0 to k - 1 do
-            let a, b = Array.unsafe_get pairs j in
-            let c = Bits.compare (Array.unsafe_get sample a) (Array.unsafe_get sample b) in
-            Run_acc.step ~short_below (Array.unsafe_get eqs j) (c = 0);
-            Run_acc.step ~short_below (Array.unsafe_get lts j) (c < 0);
-            Run_acc.step ~short_below (Array.unsafe_get gts j) (c > 0)
-          done)
-        trace;
+      if Runs.use () then
+        (* Identical samples compare identically: one three-way compare
+           per pair per run, bulk-stepped over the run length. *)
+        Functional_trace.iter_runs
+          (fun ~start:_ ~len sample ->
+            for j = 0 to k - 1 do
+              let a, b = Array.unsafe_get pairs j in
+              let c = Bits.compare (Array.unsafe_get sample a) (Array.unsafe_get sample b) in
+              Run_acc.step_run ~short_below (Array.unsafe_get eqs j) (c = 0) len;
+              Run_acc.step_run ~short_below (Array.unsafe_get lts j) (c < 0) len;
+              Run_acc.step_run ~short_below (Array.unsafe_get gts j) (c > 0) len
+            done)
+          trace
+      else
+        Functional_trace.iter
+          (fun _ sample ->
+            for j = 0 to k - 1 do
+              let a, b = Array.unsafe_get pairs j in
+              let c = Bits.compare (Array.unsafe_get sample a) (Array.unsafe_get sample b) in
+              Run_acc.step ~short_below (Array.unsafe_get eqs j) (c = 0);
+              Run_acc.step ~short_below (Array.unsafe_get lts j) (c < 0);
+              Run_acc.step ~short_below (Array.unsafe_get gts j) (c > 0)
+            done)
+          trace;
       Array.iter (Run_acc.boundary ~short_below) eqs;
       Array.iter (Run_acc.boundary ~short_below) lts;
       Array.iter (Run_acc.boundary ~short_below) gts)
@@ -254,6 +328,10 @@ let pair_candidates ?pool config traces iface total =
   if npairs = 0 then []
   else begin
     let short_below = short_below_of config in
+    (* Materialize the lazy run caches before fanning out: domains share
+       the trace values, and the cache write is not synchronized. *)
+    if Runs.use () then
+      List.iter (fun trace -> ignore (Functional_trace.runs trace)) traces;
     (* Parallelize by chunking the pair set across domains; every chunk
        makes its own fused trace pass, and chunk results concatenate in
        pair order, so the output is identical at any job count. *)
@@ -382,6 +460,32 @@ module Incremental = struct
     done;
     t.time <- t.time + 1;
     t.total <- t.total + 1
+
+  (* [observe_run t sample len]: [len] successive [observe]s of the same
+     sample, collapsed to one bulk observation per counter and one
+     comparison + bulk step per pair. *)
+  let observe_run t sample len =
+    if len <= 0 then invalid_arg "Miner.Incremental.observe_run: non-positive length";
+    if len = 1 then observe t sample
+    else begin
+      if Array.length sample <> Array.length t.counters then
+        invalid_arg "Miner.Incremental.observe_run: sample arity mismatch";
+      Array.iteri
+        (fun s v ->
+          if Array.unsafe_get t.narrow s then
+            Value_counter.observe_run t.counters.(s) t.time v len)
+        sample;
+      let short_below = t.short_below in
+      for j = 0 to Array.length t.pairs - 1 do
+        let a, b = Array.unsafe_get t.pairs j in
+        let c = Bits.compare (Array.unsafe_get sample a) (Array.unsafe_get sample b) in
+        Run_acc.step_run ~short_below (Array.unsafe_get t.eqs j) (c = 0) len;
+        Run_acc.step_run ~short_below (Array.unsafe_get t.lts j) (c < 0) len;
+        Run_acc.step_run ~short_below (Array.unsafe_get t.gts j) (c > 0) len
+      done;
+      t.time <- t.time + len;
+      t.total <- t.total + len
+    end
 
   (* Trace boundary: runs must not bridge traces. The +2 time gap breaks
      const-value runs exactly as the batch pass's per-trace offset does. *)

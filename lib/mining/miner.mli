@@ -86,6 +86,12 @@ module Incremental : sig
   val observe : t -> Psm_bits.Bits.t array -> unit
   (** One training sample, in time order. O(#narrow signals + #pairs). *)
 
+  val observe_run : t -> Psm_bits.Bits.t array -> int -> unit
+  (** [observe_run t sample len] is exactly [len] successive
+      [observe t sample] calls, collapsed to one bulk counter update per
+      signal and one comparison per pair. Raises [Invalid_argument] on
+      [len <= 0]. *)
+
   val end_trace : t -> unit
   (** Close the current trace: open runs end here and cannot bridge into
       the next trace's samples. *)
@@ -124,6 +130,12 @@ module Value_counter : sig
   val observe : t -> int -> Psm_bits.Bits.t -> unit
   (** [observe t time v]: the signal held value [v] at [time]. Times must
       be strictly increasing across calls. *)
+
+  val observe_run : t -> int -> Psm_bits.Bits.t -> int -> unit
+  (** [observe_run t time v len] is exactly [len] successive [observe]s
+      of [v] at [time, time + len): the repeated cycles collapse to bulk
+      cell arithmetic, falling back to the per-cycle loop when hapax
+      pruning could interfere. *)
 
   val fold : (Psm_bits.Bits.t -> cell -> 'a -> 'a) -> t -> 'a -> 'a
   (** Folds over snapshot cells with each value's still-open final run

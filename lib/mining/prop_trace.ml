@@ -1,4 +1,5 @@
 module Functional_trace = Psm_trace.Functional_trace
+module Runs = Psm_trace.Runs
 
 module Table = struct
   (* Truth rows are stored packed (one bit per atom, {!Vocabulary.row_key}
@@ -100,7 +101,14 @@ module Table = struct
         positives
 end
 
-type t = { table : Table.t; ids : int array }
+type t = {
+  table : Table.t;
+  ids : int array;
+  (* Maximal constant segments as (prop, start, stop), cached: the RLE
+     classification path gets them for free, and the per-run consumers
+     (flow's emission projection, reports) reuse them. *)
+  mutable segs : (int * int * int) array option;
+}
 
 (* Parallelism threshold: below this many instants the fan-out overhead
    is not worth paying. Kept low so the determinism tests exercise the
@@ -112,8 +120,31 @@ let of_functional ?pool table trace =
   let n = Functional_trace.length trace in
   let before = Table.prop_count table in
   let ids = Array.make n 0 in
+  let segs = ref None in
   let jobs = Psm_par.effective_jobs ?pool () in
-  if jobs <= 1 || n < min_parallel_length then
+  let use_rle =
+    Runs.use ()
+    && (jobs <= 1
+       || n < min_parallel_length
+       || Runs.count (Functional_trace.runs trace) * jobs <= n)
+  in
+  if use_rle then begin
+    (* One classification per run of identical samples; ids fill in
+       bulk, in time order, so interning order (and hence every id)
+       matches the sequential per-cycle path. Adjacent runs with equal
+       ids (distinct samples, same truth row) merge into one segment. *)
+    let rev = ref [] in
+    Functional_trace.iter_runs
+      (fun ~start ~len sample ->
+        let id = Table.classify_or_add table sample in
+        Array.fill ids start len id;
+        match !rev with
+        | (p, s0, _) :: tl when p = id -> rev := (p, s0, start + len - 1) :: tl
+        | _ -> rev := (id, start, start + len - 1) :: !rev)
+      trace;
+    segs := Some (Array.of_list (List.rev !rev))
+  end
+  else if jobs <= 1 || n < min_parallel_length then
     Functional_trace.iter
       (fun time sample -> ids.(time) <- Table.classify_or_add table sample)
       trace
@@ -143,7 +174,7 @@ let of_functional ?pool table trace =
     done
   end;
   Psm_obs.count "mine.props_interned" (Table.prop_count table - before);
-  { table; ids }
+  { table; ids; segs = !segs }
 
 let table t = t.table
 let length t = Array.length t.ids
@@ -154,18 +185,48 @@ let prop_at t i =
 
 let prop_ids t = Array.copy t.ids
 
-let segments t =
-  let n = length t in
-  let rec go acc start =
-    if start >= n then List.rev acc
+let seg_array t =
+  match t.segs with
+  | Some a -> a
+  | None ->
+      let n = length t in
+      let rec go acc start =
+        if start >= n then List.rev acc
+        else begin
+          let p = t.ids.(start) in
+          let stop = ref start in
+          while !stop + 1 < n && t.ids.(!stop + 1) = p do incr stop done;
+          go ((p, start, !stop) :: acc) (!stop + 1)
+        end
+      in
+      let a = Array.of_list (go [] 0) in
+      t.segs <- Some a;
+      a
+
+let segments t = Array.to_list (seg_array t)
+
+let iter_prop_runs t ~start ~stop f =
+  if start < 0 || stop >= length t || stop < start then
+    invalid_arg "Prop_trace.iter_prop_runs: window out of range";
+  let segs = seg_array t in
+  (* First segment whose stop reaches the window. *)
+  let lo = ref 0 and hi = ref (Array.length segs - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let _, _, s_stop = segs.(mid) in
+    if s_stop < start then lo := mid + 1 else hi := mid
+  done;
+  let i = ref !lo in
+  let continue = ref true in
+  while !continue && !i < Array.length segs do
+    let p, s_start, s_stop = segs.(!i) in
+    if s_start > stop then continue := false
     else begin
-      let p = t.ids.(start) in
-      let stop = ref start in
-      while !stop + 1 < n && t.ids.(!stop + 1) = p do incr stop done;
-      go ((p, start, !stop) :: acc) (!stop + 1)
+      let a = max s_start start and b = min s_stop stop in
+      f p ~start:a ~len:(b - a + 1);
+      incr i
     end
-  in
-  go [] 0
+  done
 
 let holds_exactly_one t trace =
   length t = Functional_trace.length trace

@@ -63,7 +63,15 @@ val prop_ids : t -> int array
 
 val segments : t -> (int * int * int) list
 (** Maximal constant runs as [(prop, start, stop)] triples, in order —
-    a convenience view used by tests and reports. *)
+    a convenience view used by tests and reports. Cached: the RLE
+    classification path produces it as a by-product, other paths compute
+    it once on first use. *)
+
+val iter_prop_runs : t -> start:int -> stop:int -> (int -> start:int -> len:int -> unit) -> unit
+(** [iter_prop_runs t ~start ~stop f] calls [f prop ~start ~len] once per
+    maximal constant stretch of Γ intersected with the inclusive window
+    [start, stop], in time order. O(log #segments + #covered segments)
+    via the cached segment view. *)
 
 val holds_exactly_one : t -> Psm_trace.Functional_trace.t -> bool
 (** Validates the Def. 2 invariant against the originating functional

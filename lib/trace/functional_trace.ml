@@ -3,7 +3,10 @@ module Bits = Psm_bits.Bits
 type t = {
   interface : Interface.t;
   samples : Bits.t array array; (* time-major *)
+  mutable runs_cache : Runs.t option;
 }
+
+let same_sample a b = Array.length a = Array.length b && Array.for_all2 Bits.equal a b
 
 let check_sample iface sample =
   let n = Interface.arity iface in
@@ -24,12 +27,22 @@ let check_sample iface sample =
 module Builder = struct
   type trace = t
 
-  type t = { iface : Interface.t; mutable rev : Bits.t array list; mutable n : int }
+  type t = {
+    iface : Interface.t;
+    mutable rev : Bits.t array list;
+    mutable n : int;
+    (* Run starts in reverse order, maintained with one sample comparison
+       per append so ingestion yields the run structure at zero extra pass. *)
+    mutable rev_starts : int list;
+  }
 
-  let create iface = { iface; rev = []; n = 0 }
+  let create iface = { iface; rev = []; n = 0; rev_starts = [] }
 
   let append b sample =
     check_sample b.iface sample;
+    (match b.rev with
+    | prev :: _ when same_sample prev sample -> ()
+    | _ -> b.rev_starts <- b.n :: b.rev_starts);
     b.rev <- Array.copy sample :: b.rev;
     b.n <- b.n + 1
 
@@ -38,12 +51,16 @@ module Builder = struct
   let finish b : trace =
     let samples = Array.make b.n [||] in
     List.iteri (fun i s -> samples.(b.n - 1 - i) <- s) b.rev;
-    { interface = b.iface; samples }
+    {
+      interface = b.iface;
+      samples;
+      runs_cache = Some (Runs.of_rev_starts ~length:b.n b.rev_starts);
+    }
 end
 
 let of_samples iface samples =
   Array.iter (check_sample iface) samples;
-  { interface = iface; samples = Array.map Array.copy samples }
+  { interface = iface; samples = Array.map Array.copy samples; runs_cache = None }
 
 let interface t = t.interface
 let length t = Array.length t.samples
@@ -65,16 +82,34 @@ let sample t ~time =
 
 let iter f t = Array.iteri f t.samples
 
+let runs t =
+  match t.runs_cache with
+  | Some r -> r
+  | None ->
+      let r =
+        Runs.scan ~equal:(fun i j -> same_sample t.samples.(i) t.samples.(j)) (length t)
+      in
+      t.runs_cache <- Some r;
+      r
+
+let iter_runs f t =
+  let r = runs t in
+  Runs.iter r (fun ~index:_ ~start ~len -> f ~start ~len t.samples.(start))
+
 let sub t ~start ~stop =
   check_time t start;
   check_time t stop;
   if stop < start then invalid_arg "Functional_trace.sub: stop < start";
-  { interface = t.interface; samples = Array.sub t.samples start (stop - start + 1) }
+  {
+    interface = t.interface;
+    samples = Array.sub t.samples start (stop - start + 1);
+    runs_cache = None;
+  }
 
 let append a b =
   if not (Interface.equal a.interface b.interface) then
     invalid_arg "Functional_trace.append: different interfaces";
-  { interface = a.interface; samples = Array.append a.samples b.samples }
+  { interface = a.interface; samples = Array.append a.samples b.samples; runs_cache = None }
 
 let input_hamming_series t =
   let input_idx = List.map fst (Interface.inputs t.interface) in

@@ -41,6 +41,17 @@ val iter : (int -> Psm_bits.Bits.t array -> unit) -> t -> unit
 (** [iter f t] calls [f time sample] in time order; the sample array must
     not be mutated. *)
 
+val runs : t -> Runs.t
+(** Run-length structure of the trace (maximal stretches of identical
+    samples). Computed incrementally during {!Builder} ingestion; derived
+    lazily (one O(T) equality scan, then cached) for traces assembled any
+    other way. *)
+
+val iter_runs : (start:int -> len:int -> Psm_bits.Bits.t array -> unit) -> t -> unit
+(** [iter_runs f t] calls [f ~start ~len sample] once per maximal run of
+    identical samples, in time order; [sample] is the shared row for the
+    [len] instants [start, start + len) and must not be mutated. *)
+
 val sub : t -> start:int -> stop:int -> t
 (** Inclusive time window as a new trace. *)
 

@@ -1,0 +1,57 @@
+(** Run-length structure of a trace: the maximal stretches of identical
+    samples, as run start offsets. Built incrementally during ingestion
+    (see {!Functional_trace.Builder}) or lazily on demand; consumed by
+    the run-aware mining/training/classification paths, which must stay
+    bit-identical to the per-cycle reference. *)
+
+(** {1 The global escape hatch} *)
+
+val use : unit -> bool
+(** Whether the run-length-compacted pipeline paths are enabled. Defaults
+    to [true]; the [PSM_NO_RLE] environment variable (any value other
+    than empty, ["0"] or ["false"]) or {!set_enabled}[ false] (the CLI's
+    [--no-rle]) selects the per-cycle reference paths everywhere. *)
+
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run [f] with the toggle forced to [b], restoring the previous value
+    afterwards (exception-safe). For tests and benches. *)
+
+(** {1 Run structure} *)
+
+type t
+
+val count : t -> int
+(** Number of maximal runs. *)
+
+val total : t -> int
+(** Number of instants covered (the trace length). *)
+
+val start : t -> int -> int
+val length_at : t -> int -> int
+
+val compression : t -> float
+(** [count / total] — 1.0 means incompressible, small means long runs.
+    1.0 for the empty trace. *)
+
+val mean_run : t -> float
+val max_run : t -> int
+
+val iter : t -> (index:int -> start:int -> len:int -> unit) -> unit
+(** Runs in time order. *)
+
+val histogram : t -> (int * int) list
+(** Power-of-two run-length histogram: [(b, c)] counts the [c] runs with
+    length in [2^b, 2^(b+1)), ascending in [b]. *)
+
+val scan : equal:(int -> int -> bool) -> int -> t
+(** [scan ~equal n] computes the run structure of a length-[n] sequence,
+    where [equal i j] decides whether instants [i] and [j] carry the same
+    sample. *)
+
+val of_rev_starts : length:int -> int list -> t
+(** Run starts in reverse order (the incremental builder's accumulator);
+    validates coverage of [0, length). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,330 @@
+(* Run-length compaction equivalence: every RLE-gated fast path must be
+   bit-identical to the per-cycle reference path (--no-rle). Pinned here
+   the same three ways PR 7 pinned stream≡batch: deterministic
+   adversarial run shapes, the bundled-IP captures, and a QCheck
+   property over random traces — with *exact* float comparison, because
+   the optimization's contract is bit-identity, not tolerance. *)
+
+module Flow = Psm_flow.Flow
+module Stream = Psm_flow.Stream_train
+module Persist = Psm_flow.Persist
+module Estimate = Psm_flow.Estimate
+module Psm = Psm_core.Psm
+module Assertion = Psm_core.Assertion
+module Power_attr = Psm_core.Power_attr
+module Optimize = Psm_core.Optimize
+module Functional_trace = Psm_trace.Functional_trace
+module Power_trace = Psm_trace.Power_trace
+module Interface = Psm_trace.Interface
+module Signal = Psm_trace.Signal
+module Runs = Psm_trace.Runs
+module Bits = Psm_bits.Bits
+module Miner = Psm_mining.Miner
+module Prop_trace = Psm_mining.Prop_trace
+module Multi_sim = Psm_hmm.Multi_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let exact label expected actual =
+  if not (Float.equal expected actual) then
+    Alcotest.failf "%s: per-cycle %.17g, RLE %.17g" label expected actual
+
+let with_rle b f = Runs.with_enabled b f
+
+(* ---------- the Runs structure itself ---------- *)
+
+let iface2 =
+  Interface.create [ Signal.input "a" 2; Signal.input "b" 1; Signal.output "c" 1 ]
+
+let sample2 a b c = [| Bits.of_int ~width:2 a; Bits.of_int ~width:1 b; Bits.of_int ~width:1 c |]
+
+let test_runs_structure () =
+  (* Builder-incremental runs = lazy equality scan, on a mixed shape. *)
+  let rows = [ (0, 0, 0); (0, 0, 0); (1, 1, 0); (1, 1, 0); (1, 1, 0); (2, 0, 1) ] in
+  let builder = Functional_trace.Builder.create iface2 in
+  List.iter (fun (a, b, c) -> Functional_trace.Builder.append builder (sample2 a b c)) rows;
+  let built = Functional_trace.Builder.finish builder in
+  let scanned =
+    Functional_trace.of_samples iface2
+      (Array.of_list (List.map (fun (a, b, c) -> sample2 a b c) rows))
+  in
+  let rb = Functional_trace.runs built and rs = Functional_trace.runs scanned in
+  check_int "count" (Runs.count rs) (Runs.count rb);
+  check_int "total" (Runs.total rs) (Runs.total rb);
+  check_int "count value" 3 (Runs.count rb);
+  check_int "total value" 6 (Runs.total rb);
+  check_int "max run" 3 (Runs.max_run rb);
+  exact "mean run" 2. (Runs.mean_run rb);
+  exact "compression" 0.5 (Runs.compression rb);
+  Alcotest.(check (list (pair int int))) "histogram" [ (0, 1); (1, 2) ] (Runs.histogram rb);
+  let collected = ref [] in
+  Runs.iter rb (fun ~index ~start ~len -> collected := (index, start, len) :: !collected);
+  Alcotest.(check (list (triple int int int)))
+    "iter" [ (0, 0, 2); (1, 2, 3); (2, 5, 1) ] (List.rev !collected);
+  (* Empty trace. *)
+  let empty = Functional_trace.of_samples iface2 [||] in
+  check_int "empty count" 0 (Runs.count (Functional_trace.runs empty));
+  exact "empty compression" 1. (Runs.compression (Functional_trace.runs empty))
+
+(* ---------- bulk counter primitives ---------- *)
+
+let test_value_counter_run () =
+  (* observe_run ≡ the per-cycle observe loop, including around hapax
+     pruning (tiny prune_at forces the fallback path). *)
+  let snapshot c = Miner.Value_counter.fold (fun v cell acc -> (v, cell) :: acc) c [] in
+  let vals = [| Bits.of_int ~width:4 3; Bits.of_int ~width:4 9; Bits.of_int ~width:4 12 |] in
+  List.iter
+    (fun prune_at ->
+      let reference = Miner.Value_counter.create ?prune_at ~short_below:4 () in
+      let bulk = Miner.Value_counter.create ?prune_at ~short_below:4 () in
+      let time = ref 0 in
+      let feed v len =
+        for i = 0 to len - 1 do
+          Miner.Value_counter.observe reference (!time + i) v
+        done;
+        Miner.Value_counter.observe_run bulk !time v len;
+        time := !time + len
+      in
+      feed vals.(0) 5;
+      feed vals.(1) 1;
+      feed vals.(0) 3;
+      feed vals.(2) 7;
+      time := !time + 2 (* trace gap *);
+      feed vals.(2) 4;
+      feed vals.(1) 2;
+      let label = Printf.sprintf "prune_at=%s"
+          (match prune_at with Some p -> string_of_int p | None -> "default") in
+      List.iter2
+        (fun (va, (ca : Miner.Value_counter.cell)) (vb, cb) ->
+          check_bool (label ^ " value") true (Bits.equal va vb);
+          check_int (label ^ " occ") ca.Miner.Value_counter.occ cb.Miner.Value_counter.occ;
+          check_int (label ^ " runs") ca.Miner.Value_counter.runs cb.Miner.Value_counter.runs;
+          check_int (label ^ " short") ca.Miner.Value_counter.short_runs
+            cb.Miner.Value_counter.short_runs)
+        (snapshot reference) (snapshot bulk))
+    [ None; Some 1; Some 2 ]
+
+(* ---------- adversarial run shapes ---------- *)
+
+let adversarial_interface = Interface.create [ Signal.input "x" 2; Signal.output "y" 1 ]
+
+let adv_trace rows powers =
+  ( Functional_trace.of_samples adversarial_interface
+      (Array.of_list
+         (List.map (fun (x, y) -> [| Bits.of_int ~width:2 x; Bits.of_int ~width:1 y |]) rows)),
+    Power_trace.of_array (Array.of_list powers) )
+
+(* All-distinct rows: every cycle is its own run. *)
+let all_distinct n =
+  adv_trace
+    (List.init n (fun i -> (i mod 4, (i / 4) mod 2)))
+    (List.init n (fun i -> 1. +. float_of_int (i mod 7)))
+
+(* One giant run: the whole trace is a single self-loop. *)
+let giant_run n =
+  adv_trace (List.init n (fun _ -> (2, 1))) (List.init n (fun i -> 5. +. (0.5 *. float_of_int (i mod 3))))
+
+(* Alternating 2-cycle runs: AABBAABB… *)
+let alternating n =
+  adv_trace
+    (List.init n (fun i -> if i mod 4 < 2 then (1, 0) else (3, 1)))
+    (List.init n (fun i -> if i mod 4 < 2 then 2. else 9.))
+
+(* ---------- exact model comparison ---------- *)
+
+let sorted_states psm =
+  List.sort (fun (a : Psm.state) b -> compare a.Psm.id b.Psm.id) (Psm.states psm)
+
+let check_attr label (a : Power_attr.t) (b : Power_attr.t) =
+  exact (label ^ " mu") a.Power_attr.mu b.Power_attr.mu;
+  exact (label ^ " sigma") a.Power_attr.sigma b.Power_attr.sigma;
+  check_int (label ^ " n") a.Power_attr.n b.Power_attr.n;
+  Alcotest.(check (list (triple int int int)))
+    (label ^ " intervals")
+    (List.map (fun iv -> (iv.Power_attr.trace, iv.Power_attr.start, iv.Power_attr.stop))
+       a.Power_attr.intervals)
+    (List.map (fun iv -> (iv.Power_attr.trace, iv.Power_attr.start, iv.Power_attr.stop))
+       b.Power_attr.intervals)
+
+let check_counts label a b =
+  check_int (label ^ " entries") (List.length a) (List.length b);
+  List.iter2
+    (fun ((ka : int * int), va) ((kb : int * int), vb) ->
+      Alcotest.(check (pair int int)) (label ^ " key") ka kb;
+      exact (label ^ " value") va vb)
+    a b
+
+let check_psm_exact name ap bp =
+  check_int (name ^ " states") (Psm.state_count ap) (Psm.state_count bp);
+  check_int (name ^ " transitions") (Psm.transition_count ap) (Psm.transition_count bp);
+  Alcotest.(check (list int)) (name ^ " initial") (Psm.initial ap) (Psm.initial bp);
+  Alcotest.(check (list (triple int int int)))
+    (name ^ " transition set")
+    (List.map (fun (t : Psm.transition) -> (t.Psm.src, t.Psm.guard, t.Psm.dst))
+       (Psm.transitions ap))
+    (List.map (fun (t : Psm.transition) -> (t.Psm.src, t.Psm.guard, t.Psm.dst))
+       (Psm.transitions bp));
+  List.iter2
+    (fun (a : Psm.state) (b : Psm.state) ->
+      let label = Printf.sprintf "%s state %d" name a.Psm.id in
+      check_int (label ^ " id") a.Psm.id b.Psm.id;
+      check_bool (label ^ " assertion") true (Assertion.equal a.Psm.assertion b.Psm.assertion);
+      check_attr label a.Psm.attr b.Psm.attr;
+      (match (a.Psm.output, b.Psm.output) with
+      | Psm.Const x, Psm.Const y -> exact (label ^ " const") x y
+      | Psm.Affine fa, Psm.Affine fb ->
+          exact (label ^ " slope") fa.slope fb.slope;
+          exact (label ^ " intercept") fa.intercept fb.intercept
+      | _ -> Alcotest.failf "%s: output kinds differ" label);
+      check_int (label ^ " components") (List.length a.Psm.components)
+        (List.length b.Psm.components);
+      List.iter2
+        (fun (aa, aattr) (ba, battr) ->
+          check_bool (label ^ " component assertion") true (Assertion.equal aa ba);
+          check_attr (label ^ " component") aattr battr)
+        a.Psm.components b.Psm.components)
+    (sorted_states ap) (sorted_states bp)
+
+let check_trained_exact name (a : Flow.trained) (b : Flow.trained) =
+  check_int (name ^ " props")
+    (Prop_trace.Table.prop_count a.Flow.table)
+    (Prop_trace.Table.prop_count b.Flow.table);
+  Array.iter2
+    (fun ga gb ->
+      Alcotest.(check (array int)) (name ^ " gamma")
+        (Prop_trace.prop_ids ga) (Prop_trace.prop_ids gb))
+    a.Flow.gammas b.Flow.gammas;
+  check_psm_exact (name ^ " raw") a.Flow.raw b.Flow.raw;
+  check_psm_exact name a.Flow.optimized b.Flow.optimized;
+  check_counts (name ^ " transition counts") a.Flow.transition_counts b.Flow.transition_counts;
+  check_counts (name ^ " emission counts") a.Flow.emission_counts b.Flow.emission_counts;
+  check_int (name ^ " reports")
+    (List.length a.Flow.optimize_reports) (List.length b.Flow.optimize_reports);
+  List.iter2
+    (fun (ra : Optimize.report) (rb : Optimize.report) ->
+      check_int (name ^ " report state") ra.Optimize.state_id rb.Optimize.state_id;
+      check_bool (name ^ " report upgraded") ra.Optimize.upgraded rb.Optimize.upgraded;
+      exact (name ^ " report sigma") ra.Optimize.relative_sigma rb.Optimize.relative_sigma;
+      exact (name ^ " report r") ra.Optimize.correlation rb.Optimize.correlation)
+    a.Flow.optimize_reports b.Flow.optimize_reports
+
+let check_stream_exact name (a : Stream.result) (b : Stream.result) =
+  check_int (name ^ " props")
+    (Prop_trace.Table.prop_count a.Stream.table)
+    (Prop_trace.Table.prop_count b.Stream.table);
+  check_int (name ^ " cycles") a.Stream.cycles b.Stream.cycles;
+  check_psm_exact name a.Stream.optimized b.Stream.optimized;
+  check_counts (name ^ " transition counts") a.Stream.transition_counts
+    b.Stream.transition_counts;
+  check_counts (name ^ " emission counts") a.Stream.emission_counts b.Stream.emission_counts
+
+(* Simulation-side equivalence on one model: Multi_sim's memoized stepper
+   and the filtering posterior stream, per-cycle exact. *)
+let check_simulation_exact name (reference : Flow.trained) traces =
+  let model =
+    { Persist.table = reference.Flow.table;
+      psm = reference.Flow.optimized;
+      hmm = reference.Flow.hmm }
+  in
+  List.iter
+    (fun trace ->
+      let sim_ref = with_rle false (fun () -> Multi_sim.simulate reference.Flow.hmm trace) in
+      let sim_rle = with_rle true (fun () -> Multi_sim.simulate reference.Flow.hmm trace) in
+      Alcotest.(check (array int)) (name ^ " sim states")
+        sim_ref.Multi_sim.state_trace sim_rle.Multi_sim.state_trace;
+      Array.iter2 (exact (name ^ " sim estimate")) sim_ref.Multi_sim.estimate
+        sim_rle.Multi_sim.estimate;
+      check_int (name ^ " sim wrong") sim_ref.Multi_sim.wrong_instants
+        sim_rle.Multi_sim.wrong_instants;
+      let filter_outputs enabled =
+        with_rle enabled (fun () ->
+            let est = Estimate.of_model ~mode:`Filter model in
+            let n = Functional_trace.length trace in
+            Array.init n (fun time ->
+                Estimate.step_sample est (Functional_trace.sample trace ~time)))
+      in
+      Array.iter2
+        (fun (pa, sa) (pb, sb) ->
+          exact (name ^ " filter power") pa pb;
+          check_int (name ^ " filter state") sa sb)
+        (filter_outputs false) (filter_outputs true))
+    traces
+
+let check_all_exact name pairs =
+  let traces, powers = List.split pairs in
+  let batch_ref = with_rle false (fun () -> Flow.train ~traces ~powers ()) in
+  let batch_rle = with_rle true (fun () -> Flow.train ~traces ~powers ()) in
+  check_trained_exact name batch_ref batch_rle;
+  let stream_ref =
+    with_rle false (fun () -> Stream.train_traces ~watermark:32 ~traces ~powers ())
+  in
+  let stream_rle =
+    with_rle true (fun () -> Stream.train_traces ~watermark:32 ~traces ~powers ())
+  in
+  check_stream_exact (name ^ " stream") stream_ref stream_rle;
+  check_simulation_exact name batch_ref traces
+
+let test_adversarial_shapes () =
+  check_all_exact "all-distinct" [ all_distinct 120 ];
+  check_all_exact "giant-run" [ giant_run 150 ];
+  check_all_exact "alternating" [ alternating 160 ];
+  (* Mixed multi-trace: all three shapes as one training set. *)
+  check_all_exact "mixed" [ all_distinct 90; giant_run 110; alternating 100 ]
+
+(* ---------- bundled IP ---------- *)
+
+let test_ip_equivalence () =
+  let traces, powers = Test_stream.capture_suite ~total_length:3000 "RAM" Psm_ips.Ram.create in
+  check_all_exact "RAM" (List.combine traces powers)
+
+(* ---------- QCheck property ---------- *)
+
+let test_random_rle_equiv =
+  QCheck.Test.make ~count:25 ~name:"RLE pipeline = per-cycle pipeline on random traces"
+    (QCheck.make Test_stream.gen_pair) (fun pairs ->
+      check_all_exact "random" pairs;
+      true)
+
+(* ---------- prop-trace segment view ---------- *)
+
+let test_iter_prop_runs () =
+  let trace, _ = alternating 40 in
+  let vocabulary = Miner.mine_vocabulary [ trace ] in
+  let table = Prop_trace.Table.create vocabulary in
+  let gamma = Prop_trace.of_functional table trace in
+  let n = Prop_trace.length gamma in
+  (* Windowed per-run iteration must cover exactly the per-cycle ids. *)
+  List.iter
+    (fun (start, stop) ->
+      let expect = ref [] in
+      for t = stop downto start do
+        expect := Prop_trace.prop_at gamma t :: !expect
+      done;
+      let got = ref [] in
+      Prop_trace.iter_prop_runs gamma ~start ~stop (fun p ~start:_ ~len ->
+          for _ = 1 to len do
+            got := p :: !got
+          done);
+      Alcotest.(check (list int))
+        (Printf.sprintf "window [%d,%d]" start stop)
+        !expect (List.rev !got))
+    [ (0, n - 1); (0, 0); (n - 1, n - 1); (3, 17); (1, n - 2) ];
+  (* Γ itself is identical with and without RLE classification. *)
+  let gamma_ref =
+    with_rle false (fun () ->
+        Prop_trace.of_functional (Prop_trace.Table.create vocabulary) trace)
+  in
+  Alcotest.(check (array int)) "gamma ids"
+    (Prop_trace.prop_ids gamma_ref) (Prop_trace.prop_ids gamma)
+
+let suite =
+  ( "rle",
+    [ Alcotest.test_case "runs: builder = scan, stats" `Quick test_runs_structure;
+      Alcotest.test_case "value counter bulk = per-cycle (pruning)" `Quick
+        test_value_counter_run;
+      Alcotest.test_case "prop-trace segment windows" `Quick test_iter_prop_runs;
+      Alcotest.test_case "adversarial shapes: rle = per-cycle" `Quick
+        test_adversarial_shapes;
+      Alcotest.test_case "RAM capture: rle = per-cycle" `Slow test_ip_equivalence;
+      QCheck_alcotest.to_alcotest test_random_rle_equiv ] )
